@@ -1,0 +1,221 @@
+//! Baseline engines for the DBMS bakeoff (experiments E2–E4).
+//!
+//! The paper compares its compiled executors against PostgreSQL, HSQLDB,
+//! a commercial DBMS, the Stanford STREAM engine and a commercial stream
+//! processor. None of those are available here, so each architectural
+//! class is reproduced by an in-process stand-in (DESIGN.md §2):
+//!
+//! * [`NaiveReevalEngine`] — stores base tables and re-runs the full
+//!   query through the reference interpreter on every delta: the
+//!   conventional-DBMS strategy for standing queries.
+//! * [`FirstOrderIvmEngine`] — derives first-order delta queries once,
+//!   then evaluates each delta query (with its residual joins) through
+//!   the interpreter on every event: "today's VM algorithms".
+//! * [`StreamEngine`] — a delta-propagating operator chain with
+//!   per-operator materialized state (prefix join results), evaluated
+//!   tuple at a time with dynamic dispatch: the stream-processor
+//!   architecture.
+//! * [`DbtoasterEngine`] — a thin wrapper over the compiled
+//!   [`dbtoaster_runtime::Engine`] so the bench harness can drive all
+//!   four engines through one [`StandingQueryEngine`] trait.
+//!
+//! All engines produce identical results (see the cross-checking tests
+//! and `tests/engine_equivalence.rs` at the workspace root); they differ
+//! only in how much work each delta costs — which is precisely what the
+//! bakeoff measures.
+
+pub mod first_order;
+pub mod naive;
+pub mod stream;
+
+use dbtoaster_common::{Event, Result, Tuple, Value};
+
+pub use first_order::FirstOrderIvmEngine;
+pub use naive::NaiveReevalEngine;
+pub use stream::StreamEngine;
+
+/// A uniform interface over every engine in the bakeoff.
+pub trait StandingQueryEngine {
+    /// Engine name used in benchmark reports.
+    fn name(&self) -> &'static str;
+    /// Apply one update-stream event.
+    fn on_event(&mut self, event: &Event) -> Result<()>;
+    /// The current result: `(group key, output values)` rows sorted by key.
+    fn result(&self) -> Vec<(Tuple, Vec<Value>)>;
+    /// Approximate memory footprint of all engine state, in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Convenience: the single value of a scalar query.
+    fn scalar_result(&self) -> Value {
+        self.result()
+            .first()
+            .and_then(|(_, vs)| vs.first().cloned())
+            .unwrap_or(Value::ZERO)
+    }
+
+    /// Convenience: apply a whole stream.
+    fn process(&mut self, events: &[Event]) -> Result<()> {
+        for e in events {
+            self.on_event(e)?;
+        }
+        Ok(())
+    }
+}
+
+/// The compiled DBToaster engine behind the common trait.
+pub struct DbtoasterEngine {
+    engine: dbtoaster_runtime::Engine,
+    name: &'static str,
+}
+
+impl DbtoasterEngine {
+    /// Fully recursive compilation.
+    pub fn new(
+        sql: &str,
+        catalog: &dbtoaster_common::Catalog,
+    ) -> Result<DbtoasterEngine> {
+        let program = dbtoaster_compiler::compile_sql(
+            sql,
+            catalog,
+            &dbtoaster_compiler::CompileOptions::full(),
+        )?;
+        Ok(DbtoasterEngine {
+            engine: dbtoaster_runtime::Engine::new(&program)?,
+            name: "dbtoaster",
+        })
+    }
+
+    /// Depth-limited compilation (used by the E6 ablation).
+    pub fn with_depth(
+        sql: &str,
+        catalog: &dbtoaster_common::Catalog,
+        depth: usize,
+    ) -> Result<DbtoasterEngine> {
+        let program = dbtoaster_compiler::compile_sql(
+            sql,
+            catalog,
+            &dbtoaster_compiler::CompileOptions::with_depth(depth),
+        )?;
+        Ok(DbtoasterEngine {
+            engine: dbtoaster_runtime::Engine::new(&program)?,
+            name: "dbtoaster-depth-limited",
+        })
+    }
+
+    /// Access to the underlying engine (profiling, snapshots).
+    pub fn inner(&self) -> &dbtoaster_runtime::Engine {
+        &self.engine
+    }
+}
+
+impl StandingQueryEngine for DbtoasterEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_event(&mut self, event: &Event) -> Result<()> {
+        self.engine.on_event(event)
+    }
+
+    fn result(&self) -> Vec<(Tuple, Vec<Value>)> {
+        self.engine
+            .result()
+            .into_iter()
+            .map(|r| (r.key, r.values))
+            .collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+}
+
+/// Sort result rows for order-insensitive comparisons in tests and
+/// reports.
+pub fn sorted_result(mut rows: Vec<(Tuple, Vec<Value>)>) -> Vec<(Tuple, Vec<Value>)> {
+    rows.sort();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{tuple, Catalog, ColumnType, Schema};
+
+    fn rst_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+    }
+
+    const RST: &str = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
+
+    fn sample_stream() -> Vec<Event> {
+        vec![
+            Event::insert("R", tuple![5i64, 1i64]),
+            Event::insert("S", tuple![1i64, 10i64]),
+            Event::insert("T", tuple![10i64, 7i64]),
+            Event::insert("R", tuple![2i64, 1i64]),
+            Event::insert("T", tuple![10i64, 3i64]),
+            Event::delete("R", tuple![5i64, 1i64]),
+            Event::insert("S", tuple![1i64, 20i64]),
+            Event::insert("T", tuple![20i64, 100i64]),
+        ]
+    }
+
+    #[test]
+    fn all_four_engines_agree_on_the_figure2_query() {
+        let cat = rst_catalog();
+        let mut engines: Vec<Box<dyn StandingQueryEngine>> = vec![
+            Box::new(DbtoasterEngine::new(RST, &cat).unwrap()),
+            Box::new(NaiveReevalEngine::new(RST, &cat).unwrap()),
+            Box::new(FirstOrderIvmEngine::new(RST, &cat).unwrap()),
+            Box::new(StreamEngine::new(RST, &cat).unwrap()),
+        ];
+        for event in sample_stream() {
+            let mut answers = Vec::new();
+            for e in engines.iter_mut() {
+                e.on_event(&event).unwrap();
+                answers.push((e.name(), e.scalar_result()));
+            }
+            for (name, v) in &answers {
+                assert_eq!(*v, answers[0].1, "{name} disagrees after {event:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_grouped_queries() {
+        let cat = rst_catalog();
+        let sql = "select B, sum(A), count(*) from R group by B";
+        let mut dbt = DbtoasterEngine::new(sql, &cat).unwrap();
+        let mut naive = NaiveReevalEngine::new(sql, &cat).unwrap();
+        let mut fo = FirstOrderIvmEngine::new(sql, &cat).unwrap();
+        let mut stream = StreamEngine::new(sql, &cat).unwrap();
+        let events = vec![
+            Event::insert("R", tuple![10i64, 1i64]),
+            Event::insert("R", tuple![20i64, 1i64]),
+            Event::insert("R", tuple![5i64, 2i64]),
+            Event::delete("R", tuple![20i64, 1i64]),
+        ];
+        for e in &events {
+            dbt.on_event(e).unwrap();
+            naive.on_event(e).unwrap();
+            fo.on_event(e).unwrap();
+            stream.on_event(e).unwrap();
+        }
+        let expect = sorted_result(dbt.result());
+        assert_eq!(expect, sorted_result(naive.result()));
+        assert_eq!(expect, sorted_result(fo.result()));
+        assert_eq!(expect, sorted_result(stream.result()));
+    }
+
+    #[test]
+    fn memory_reporting_is_nonzero_once_loaded() {
+        let cat = rst_catalog();
+        let mut naive = NaiveReevalEngine::new(RST, &cat).unwrap();
+        naive.on_event(&Event::insert("R", tuple![1i64, 1i64])).unwrap();
+        assert!(naive.memory_bytes() > 0);
+    }
+}

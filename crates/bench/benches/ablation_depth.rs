@@ -1,0 +1,42 @@
+//! E6 — the value of *recursive* compilation (ablation).
+//!
+//! Compares full recursive compilation against depth-limited variants of
+//! the same compiler on the same workload: `depth 1` is classical
+//! first-order IVM (deltas evaluated against base-relation maps), `depth
+//! 2` materializes one level of auxiliary maps, and `full` is the
+//! paper's behaviour. The expected shape: per-event cost drops sharply
+//! from depth 1 to full recursion because residual joins disappear from
+//! the handlers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dbtoaster_baselines::{DbtoasterEngine, StandingQueryEngine};
+use dbtoaster_workloads::tpch::{ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41};
+
+fn ablation_depth(c: &mut Criterion) {
+    let catalog = ssb_catalog();
+    let data = TpchData::generate(&TpchConfig::at_scale(0.01));
+    let stream = transform_to_ssb(&data);
+
+    let mut group = c.benchmark_group("ablation_depth");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (label, depth) in [("depth1_classical_ivm", Some(1)), ("depth2", Some(2)), ("full_recursive", None)]
+    {
+        group.bench_with_input(BenchmarkId::new("ssb_q41", label), &stream.events, |b, events| {
+            b.iter(|| {
+                let mut engine: Box<dyn StandingQueryEngine> = match depth {
+                    Some(d) => Box::new(DbtoasterEngine::with_depth(SSB_Q41, &catalog, d).unwrap()),
+                    None => Box::new(DbtoasterEngine::new(SSB_Q41, &catalog).unwrap()),
+                };
+                engine.process(events).unwrap();
+                engine.result().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_depth);
+criterion_main!(benches);

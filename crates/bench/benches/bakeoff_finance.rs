@@ -1,0 +1,57 @@
+//! E2 — the financial-application bakeoff (paper §1, §4.2).
+//!
+//! Per-event processing cost of the financial standing queries on the
+//! synthetic order-book stream, for the DBToaster-compiled engine and the
+//! three baseline architectures. The paper's claim is a 1–3 order of
+//! magnitude throughput advantage for compiled delta processing; the
+//! shape to look for here is dbtoaster ≫ first-order-ivm ≈
+//! stream-operators ≫ naive-reeval, with the gap growing with book depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dbtoaster_bench::EngineKind;
+use dbtoaster_workloads::orderbook::{
+    finance_queries, orderbook_catalog, OrderBookConfig, OrderBookGenerator,
+};
+
+fn bakeoff_finance(c: &mut Criterion) {
+    let catalog = orderbook_catalog();
+    let mut group = c.benchmark_group("bakeoff_finance");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for &(query_name, sql) in finance_queries().iter() {
+        for depth in [500usize] {
+            let stream = OrderBookGenerator::new(OrderBookConfig {
+                messages: 1_000,
+                book_depth: depth,
+                ..Default::default()
+            })
+            .generate();
+            for kind in EngineKind::all() {
+                // Keep the slowest baseline tractable at the larger depth.
+                let events: Vec<_> = if kind == EngineKind::NaiveReeval {
+                    stream.events.iter().take(150).cloned().collect()
+                } else {
+                    stream.events.clone()
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{query_name}/depth{depth}"), kind.label()),
+                    &events,
+                    |b, events| {
+                        b.iter(|| {
+                            let mut engine = kind.build(sql, &catalog).unwrap();
+                            engine.process(events).unwrap();
+                            engine.scalar_result()
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bakeoff_finance);
+criterion_main!(benches);

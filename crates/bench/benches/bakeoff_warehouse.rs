@@ -1,0 +1,49 @@
+//! E3 — the warehouse-loading bakeoff (paper §4, "Data warehouse
+//! loading").
+//!
+//! Maintains SSB Q4.1 while the star schema loads from the transformed
+//! TPC-H stream. The expected shape matches E2: the compiled engine
+//! processes the loading stream orders of magnitude faster than re-running
+//! the five-way join, and without materializing the join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dbtoaster_bench::EngineKind;
+use dbtoaster_workloads::tpch::{ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41};
+
+fn bakeoff_warehouse(c: &mut Criterion) {
+    let catalog = ssb_catalog();
+    let mut group = c.benchmark_group("bakeoff_warehouse");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for scale in [0.01f64] {
+        let data = TpchData::generate(&TpchConfig::at_scale(scale));
+        let stream = transform_to_ssb(&data);
+        for kind in EngineKind::all() {
+            // Full re-evaluation of a 5-way join per event is intractable
+            // beyond a small prefix; measure it on a prefix only.
+            let events: Vec<_> = if kind == EngineKind::NaiveReeval {
+                stream.events.iter().take(70).cloned().collect()
+            } else {
+                stream.events.clone()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("ssb_q41/scale{scale}"), kind.label()),
+                &events,
+                |b, events| {
+                    b.iter(|| {
+                        let mut engine = kind.build(SSB_Q41, &catalog).unwrap();
+                        engine.process(events).unwrap();
+                        engine.result().len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bakeoff_warehouse);
+criterion_main!(benches);

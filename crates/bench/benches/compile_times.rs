@@ -1,0 +1,52 @@
+//! E1 / E5 — compilation cost.
+//!
+//! The paper's profiling panel reports compile time (C++ generation plus
+//! native compilation) and generated-code size. This bench measures the
+//! equivalent stages here: recursive compilation of the Figure-2 query
+//! and of SSB Q4.1, plus Rust source generation and lowering to the
+//! executable form.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dbtoaster_common::{Catalog, ColumnType, Schema};
+use dbtoaster_compiler::compile_sql;
+
+fn rst_catalog() -> Catalog {
+    Catalog::new()
+        .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+        .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+        .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+}
+
+fn compile_times(c: &mut Criterion) {
+    let rst = rst_catalog();
+    let ssb = dbtoaster_workloads::tpch::ssb_catalog();
+    let figure2 = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
+
+    c.bench_function("compile/figure2_recursive", |b| {
+        b.iter(|| {
+            compile_sql(figure2, &rst, &dbtoaster_compiler::CompileOptions::full()).unwrap()
+        })
+    });
+    c.bench_function("compile/ssb_q41_recursive", |b| {
+        b.iter(|| {
+            compile_sql(
+                dbtoaster_workloads::tpch::SSB_Q41,
+                &ssb,
+                &dbtoaster_compiler::CompileOptions::full(),
+            )
+            .unwrap()
+        })
+    });
+    let program =
+        compile_sql(figure2, &rst, &dbtoaster_compiler::CompileOptions::full()).unwrap();
+    c.bench_function("compile/figure2_codegen", |b| {
+        b.iter(|| dbtoaster_compiler::codegen::generate_rust(&program).len())
+    });
+    c.bench_function("compile/figure2_lowering", |b| {
+        b.iter(|| dbtoaster_runtime::lower_program(&program).unwrap().map_names.len())
+    });
+}
+
+criterion_group!(benches, compile_times);
+criterion_main!(benches);

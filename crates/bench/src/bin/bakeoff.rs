@@ -1,0 +1,72 @@
+//! The DBMS bakeoff report (experiments E2 + E3).
+//!
+//! Runs every engine over the financial and warehouse-loading workloads
+//! and prints the throughput/memory table plus the speed-up of the
+//! compiled engine over each baseline (the paper's 1–3 orders of
+//! magnitude claim). Usage: `cargo run --release -p dbtoaster-bench --bin
+//! bakeoff [messages]`.
+
+use dbtoaster_bench::{measure, render_table, speedups, EngineKind};
+use dbtoaster_workloads::orderbook::{
+    finance_queries, orderbook_catalog, OrderBookConfig, OrderBookGenerator,
+};
+use dbtoaster_workloads::tpch::{ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41};
+
+fn main() {
+    let messages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+
+    let mut rows = Vec::new();
+
+    // E2: financial application.
+    let finance_catalog = orderbook_catalog();
+    let finance_stream = OrderBookGenerator::new(OrderBookConfig {
+        messages,
+        book_depth: messages / 5,
+        ..Default::default()
+    })
+    .generate();
+    println!(
+        "order-book stream: {} events ({:?})",
+        finance_stream.len(),
+        finance_stream.counts_by_relation()
+    );
+    for (name, sql) in finance_queries() {
+        for kind in EngineKind::all() {
+            let events: Vec<_> = if kind == EngineKind::NaiveReeval {
+                finance_stream.events.iter().take(500).cloned().collect()
+            } else {
+                finance_stream.events.clone()
+            };
+            match measure(kind, name, sql, &finance_catalog, &events) {
+                Ok(row) => rows.push(row),
+                Err(e) => eprintln!("{name}/{}: {e}", kind.label()),
+            }
+        }
+    }
+
+    // E3: warehouse loading (SSB Q4.1 over the transformed TPC-H stream).
+    let warehouse_catalog = ssb_catalog();
+    let data = TpchData::generate(&TpchConfig::at_scale(messages as f64 / 200_000.0));
+    let warehouse_stream = transform_to_ssb(&data);
+    println!("warehouse loading stream: {} events", warehouse_stream.len());
+    for kind in EngineKind::all() {
+        let events: Vec<_> = if kind == EngineKind::NaiveReeval {
+            warehouse_stream.events.iter().take(400).cloned().collect()
+        } else {
+            warehouse_stream.events.clone()
+        };
+        match measure(kind, "ssb_q41", SSB_Q41, &warehouse_catalog, &events) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("ssb_q41/{}: {e}", kind.label()),
+        }
+    }
+
+    println!("\n== bakeoff ==\n{}", render_table(&rows));
+    println!("== dbtoaster speed-up over baselines ==");
+    for (query, engine, factor) in speedups(&rows) {
+        println!("{query:<18} vs {engine:<18} {factor:>10.1}x");
+    }
+}

@@ -1,0 +1,66 @@
+//! E4 — memory usage comparison (the bakeoff's memory panel).
+//!
+//! Loads the same workloads into every engine and reports the approximate
+//! resident bytes of each engine's state (maps for the compiled engine,
+//! base tables and operator synopses for the baselines).
+
+use dbtoaster_bench::EngineKind;
+use dbtoaster_workloads::orderbook::{orderbook_catalog, OrderBookConfig, OrderBookGenerator, SOBI};
+use dbtoaster_workloads::tpch::{ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41};
+
+fn main() {
+    let messages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    println!("{:<14} {:<18} {:>14} {:>12}", "workload", "engine", "events", "memory(KiB)");
+
+    let finance_catalog = orderbook_catalog();
+    let stream = OrderBookGenerator::new(OrderBookConfig {
+        messages,
+        book_depth: messages / 4,
+        ..Default::default()
+    })
+    .generate();
+    for kind in EngineKind::all() {
+        if kind == EngineKind::NaiveReeval && messages > 5_000 {
+            // Re-evaluating a cross-broker join per event at this size is
+            // pointless for a memory report; load the state only.
+        }
+        let mut engine = kind.build(SOBI, &finance_catalog).unwrap();
+        let events: Vec<_> = if kind == EngineKind::NaiveReeval {
+            stream.events.iter().take(2_000).cloned().collect()
+        } else {
+            stream.events.clone()
+        };
+        engine.process(&events).unwrap();
+        println!(
+            "{:<14} {:<18} {:>14} {:>12.1}",
+            "orderbook/sobi",
+            kind.label(),
+            events.len(),
+            engine.memory_bytes() as f64 / 1024.0
+        );
+    }
+
+    let warehouse_catalog = ssb_catalog();
+    let data = TpchData::generate(&TpchConfig::at_scale(0.05));
+    let stream = transform_to_ssb(&data);
+    for kind in EngineKind::all() {
+        let mut engine = kind.build(SSB_Q41, &warehouse_catalog).unwrap();
+        let events: Vec<_> = if kind == EngineKind::NaiveReeval {
+            stream.events.iter().take(1_000).cloned().collect()
+        } else {
+            stream.events.clone()
+        };
+        engine.process(&events).unwrap();
+        println!(
+            "{:<14} {:<18} {:>14} {:>12.1}",
+            "ssb_q41",
+            kind.label(),
+            events.len(),
+            engine.memory_bytes() as f64 / 1024.0
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! E5 + E7 — the profiling panel.
+//!
+//! For each demo query: compile time, lowering time, number of maps
+//! (with and without sharing across handlers), number of generated
+//! statements, generated-code size (calculus nodes and emitted Rust
+//! bytes), and per-map/per-trigger runtime statistics after processing a
+//! sample stream.
+
+use std::time::Instant;
+
+use dbtoaster_compiler::{codegen::generate_rust, compile_sql, CompileOptions};
+use dbtoaster_runtime::Engine;
+use dbtoaster_workloads::orderbook::{
+    finance_queries, orderbook_catalog, OrderBookConfig, OrderBookGenerator,
+};
+use dbtoaster_workloads::tpch::{ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41};
+
+fn main() {
+    let finance_catalog = orderbook_catalog();
+    let finance_stream = OrderBookGenerator::new(OrderBookConfig {
+        messages: 5_000,
+        book_depth: 1_000,
+        ..Default::default()
+    })
+    .generate();
+    let warehouse_catalog = ssb_catalog();
+    let warehouse_stream =
+        transform_to_ssb(&TpchData::generate(&TpchConfig::at_scale(0.02)));
+
+    let mut cases: Vec<(&str, &str, &dbtoaster_common::Catalog, &dbtoaster_common::UpdateStream)> =
+        Vec::new();
+    for (name, sql) in finance_queries() {
+        cases.push((name, sql, &finance_catalog, &finance_stream));
+    }
+    cases.push(("ssb_q41", SSB_Q41, &warehouse_catalog, &warehouse_stream));
+
+    for (name, sql, catalog, stream) in cases {
+        let started = Instant::now();
+        let program = compile_sql(sql, catalog, &CompileOptions::full()).unwrap();
+        let compile_time = started.elapsed();
+        let started = Instant::now();
+        let source = generate_rust(&program);
+        let codegen_time = started.elapsed();
+        let mut engine = Engine::new(&program).unwrap();
+        engine.process(stream).unwrap();
+        let profile = engine.profile();
+
+        println!("== {name} ==");
+        println!("  compile time:        {compile_time:?}");
+        println!("  codegen time:        {codegen_time:?} ({} bytes of Rust)", source.len());
+        println!("  lowering time:       {:?}", profile.compile_time);
+        println!(
+            "  maps: {} ({} statements, code size {})",
+            program.maps.len(),
+            profile.statement_count,
+            profile.code_size
+        );
+        println!("  events processed:    {}", profile.events_processed);
+        println!("  total map memory:    {:.1} KiB", profile.total_bytes as f64 / 1024.0);
+        for (map, entries, bytes) in &profile.per_map {
+            println!("    map {map:<24} {entries:>8} entries {:>10.1} KiB", *bytes as f64 / 1024.0);
+        }
+        for (trigger, count, time) in &profile.per_trigger {
+            println!("    trigger {trigger:<22} {count:>8} events   {time:?}");
+        }
+        println!();
+    }
+}

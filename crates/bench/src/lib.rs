@@ -1,0 +1,154 @@
+//! Shared harness code for the benchmark suite (experiments E2–E7).
+//!
+//! The criterion benches and the report binaries all drive the same four
+//! engines (DBToaster-compiled, first-order IVM, stream operator chain,
+//! naive re-evaluation) over the same generated workloads; this module
+//! provides the common plumbing: engine construction, throughput
+//! measurement, and the tabular report the bakeoff binaries print.
+
+use std::time::Instant;
+
+use dbtoaster_baselines::{
+    DbtoasterEngine, FirstOrderIvmEngine, NaiveReevalEngine, StandingQueryEngine, StreamEngine,
+};
+use dbtoaster_common::{Catalog, Event, Result};
+
+/// Which engines participate in a bakeoff run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    Dbtoaster,
+    FirstOrderIvm,
+    StreamOperators,
+    NaiveReeval,
+}
+
+impl EngineKind {
+    pub fn all() -> [EngineKind; 4] {
+        [
+            EngineKind::Dbtoaster,
+            EngineKind::FirstOrderIvm,
+            EngineKind::StreamOperators,
+            EngineKind::NaiveReeval,
+        ]
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Dbtoaster => "dbtoaster",
+            EngineKind::FirstOrderIvm => "first-order-ivm",
+            EngineKind::StreamOperators => "stream-operators",
+            EngineKind::NaiveReeval => "naive-reeval",
+        }
+    }
+
+    /// Build the engine for a query.
+    pub fn build(&self, sql: &str, catalog: &Catalog) -> Result<Box<dyn StandingQueryEngine>> {
+        Ok(match self {
+            EngineKind::Dbtoaster => Box::new(DbtoasterEngine::new(sql, catalog)?),
+            EngineKind::FirstOrderIvm => Box::new(FirstOrderIvmEngine::new(sql, catalog)?),
+            EngineKind::StreamOperators => Box::new(StreamEngine::new(sql, catalog)?),
+            EngineKind::NaiveReeval => Box::new(NaiveReevalEngine::new(sql, catalog)?),
+        })
+    }
+}
+
+/// One row of a bakeoff report.
+#[derive(Debug, Clone)]
+pub struct BakeoffRow {
+    pub query: String,
+    pub engine: &'static str,
+    pub events: usize,
+    pub seconds: f64,
+    pub tuples_per_second: f64,
+    pub memory_bytes: usize,
+}
+
+/// Run one engine over a stream and measure throughput and memory.
+pub fn measure(
+    kind: EngineKind,
+    query_name: &str,
+    sql: &str,
+    catalog: &Catalog,
+    events: &[Event],
+) -> Result<BakeoffRow> {
+    let mut engine = kind.build(sql, catalog)?;
+    let start = Instant::now();
+    engine.process(events)?;
+    let seconds = start.elapsed().as_secs_f64().max(1e-9);
+    Ok(BakeoffRow {
+        query: query_name.to_string(),
+        engine: kind.label(),
+        events: events.len(),
+        seconds,
+        tuples_per_second: events.len() as f64 / seconds,
+        memory_bytes: engine.memory_bytes(),
+    })
+}
+
+/// Render bakeoff rows as an aligned text table (the report binaries'
+/// output format).
+pub fn render_table(rows: &[BakeoffRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:<18} {:>9} {:>11} {:>14} {:>12}\n",
+        "query", "engine", "events", "seconds", "tuples/sec", "memory(KiB)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:<18} {:>9} {:>11.4} {:>14.0} {:>12.1}\n",
+            r.query,
+            r.engine,
+            r.events,
+            r.seconds,
+            r.tuples_per_second,
+            r.memory_bytes as f64 / 1024.0
+        ));
+    }
+    out
+}
+
+/// Relative speed-up of the DBToaster engine over each baseline, per
+/// query (the paper's headline 1–3 orders of magnitude).
+pub fn speedups(rows: &[BakeoffRow]) -> Vec<(String, &'static str, f64)> {
+    let mut out = Vec::new();
+    for r in rows {
+        if r.engine == "dbtoaster" {
+            continue;
+        }
+        if let Some(dbt) = rows
+            .iter()
+            .find(|x| x.query == r.query && x.engine == "dbtoaster")
+        {
+            out.push((r.query.clone(), r.engine, dbt.tuples_per_second / r.tuples_per_second));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_workloads::orderbook::{orderbook_catalog, OrderBookConfig, OrderBookGenerator, VWAP_COMPONENTS};
+
+    #[test]
+    fn measure_produces_consistent_rows_for_all_engines() {
+        let cat = orderbook_catalog();
+        let stream = OrderBookGenerator::new(OrderBookConfig {
+            messages: 300,
+            book_depth: 100,
+            ..Default::default()
+        })
+        .generate();
+        let mut rows = Vec::new();
+        for kind in EngineKind::all() {
+            rows.push(measure(kind, "vwap", VWAP_COMPONENTS, &cat, &stream.events).unwrap());
+        }
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.tuples_per_second > 0.0));
+        let table = render_table(&rows);
+        assert!(table.contains("dbtoaster"));
+        assert!(table.contains("naive-reeval"));
+        let ups = speedups(&rows);
+        assert_eq!(ups.len(), 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! Canonical forms for map sharing.
+//!
+//! The paper notes that "we can exploit map sharing opportunities across
+//! event handler functions": the maintenance of `q` on an insert into S
+//! reuses the maps `qA[b]` and `qD[c]` that were created for inserts into
+//! R and T. Two candidate maps can be shared when their definitions are
+//! identical up to renaming of variables, so the compiler keys its map
+//! registry by the canonical string produced here.
+//!
+//! The canonicalization renames the map's key variables positionally
+//! (`__K0`, `__K1`, ...), sorts product factors by a name-insensitive
+//! structural key, and then renames every remaining variable in traversal
+//! order (`__V0`, `__V1`, ...). A failure to identify two structurally
+//! equal definitions merely creates a duplicate map (a missed
+//! optimization, never an error), so ties in the factor ordering are
+//! acceptable.
+
+use std::collections::BTreeMap;
+
+use crate::expr::{CalcExpr, Var};
+
+/// Produce a canonical string for a map definition with the given key
+/// variables.
+pub fn canonical_form(keys: &[Var], definition: &CalcExpr) -> String {
+    let sorted = sort_structurally(definition);
+    let mut renaming: BTreeMap<Var, Var> = BTreeMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        renaming.insert(k.clone(), format!("__K{i}"));
+    }
+    let mut counter = 0usize;
+    assign_names(&sorted, &mut renaming, &mut counter);
+    let renamed = sorted.rename(&|v| renaming.get(v).cloned());
+    format!("[{}] {renamed}", keys.len())
+}
+
+/// Recursively sort the factors of products and the terms of sums by a
+/// structural key that ignores variable names, so that re-orderings do
+/// not defeat sharing.
+fn sort_structurally(expr: &CalcExpr) -> CalcExpr {
+    match expr {
+        CalcExpr::Prod(fs) => {
+            let mut sorted: Vec<CalcExpr> = fs.iter().map(sort_structurally).collect();
+            sorted.sort_by_key(structural_key);
+            CalcExpr::Prod(sorted)
+        }
+        CalcExpr::Sum(ts) => {
+            let mut sorted: Vec<CalcExpr> = ts.iter().map(sort_structurally).collect();
+            sorted.sort_by_key(structural_key);
+            CalcExpr::Sum(sorted)
+        }
+        CalcExpr::Neg(e) => CalcExpr::Neg(Box::new(sort_structurally(e))),
+        CalcExpr::AggSum { group, body } => CalcExpr::AggSum {
+            group: group.clone(),
+            body: Box::new(sort_structurally(body)),
+        },
+        CalcExpr::Lift { var, body } => {
+            CalcExpr::Lift { var: var.clone(), body: Box::new(sort_structurally(body)) }
+        }
+        CalcExpr::Exists(e) => CalcExpr::Exists(Box::new(sort_structurally(e))),
+        other => other.clone(),
+    }
+}
+
+/// A sort key that depends only on structure (node kind, relation / map
+/// names, arities), never on variable names.
+fn structural_key(expr: &CalcExpr) -> String {
+    match expr {
+        CalcExpr::Val(v) => format!("0:val:{}", v.vars().len()),
+        CalcExpr::Cmp { op, .. } => format!("1:cmp:{op}"),
+        CalcExpr::Rel { name, vars } => format!("2:rel:{name}:{}", vars.len()),
+        CalcExpr::MapRef { name, keys } => format!("3:map:{name}:{}", keys.len()),
+        CalcExpr::AggSum { group, body } => {
+            format!("4:agg:{}:{}", group.len(), structural_key(body))
+        }
+        CalcExpr::Lift { body, .. } => format!("5:lift:{}", structural_key(body)),
+        CalcExpr::Exists(e) => format!("6:exists:{}", structural_key(e)),
+        CalcExpr::Neg(e) => format!("7:neg:{}", structural_key(e)),
+        CalcExpr::Prod(fs) => {
+            format!("8:prod:{}", fs.iter().map(structural_key).collect::<Vec<_>>().join(","))
+        }
+        CalcExpr::Sum(ts) => {
+            format!("9:sum:{}", ts.iter().map(structural_key).collect::<Vec<_>>().join(","))
+        }
+    }
+}
+
+/// Assign canonical names to variables in traversal order.
+fn assign_names(expr: &CalcExpr, renaming: &mut BTreeMap<Var, Var>, counter: &mut usize) {
+    let visit = |v: &Var, renaming: &mut BTreeMap<Var, Var>, counter: &mut usize| {
+        if !renaming.contains_key(v) {
+            renaming.insert(v.clone(), format!("__V{counter}"));
+            *counter += 1;
+        }
+    };
+    match expr {
+        CalcExpr::Val(v) => {
+            for var in ordered_vars(v) {
+                visit(&var, renaming, counter);
+            }
+        }
+        CalcExpr::Cmp { left, right, .. } => {
+            for var in ordered_vars(left).into_iter().chain(ordered_vars(right)) {
+                visit(&var, renaming, counter);
+            }
+        }
+        CalcExpr::Rel { vars, .. } | CalcExpr::MapRef { name: _, keys: vars } => {
+            for v in vars {
+                visit(v, renaming, counter);
+            }
+        }
+        CalcExpr::Prod(fs) | CalcExpr::Sum(fs) => {
+            for f in fs {
+                assign_names(f, renaming, counter);
+            }
+        }
+        CalcExpr::Neg(e) | CalcExpr::Exists(e) => assign_names(e, renaming, counter),
+        CalcExpr::AggSum { group, body } => {
+            for g in group {
+                visit(g, renaming, counter);
+            }
+            assign_names(body, renaming, counter);
+        }
+        CalcExpr::Lift { var, body } => {
+            visit(var, renaming, counter);
+            assign_names(body, renaming, counter);
+        }
+    }
+}
+
+fn ordered_vars(v: &crate::expr::ValExpr) -> Vec<Var> {
+    let mut out = Vec::new();
+    v.collect_vars(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ValExpr;
+
+    #[test]
+    fn alpha_equivalent_definitions_share() {
+        // sum_D(S(B, C) ⋈ T(C, D)) keyed by B, written with two different
+        // variable namings and factor orders.
+        let def1 = CalcExpr::agg_sum(
+            vec![],
+            CalcExpr::product(vec![
+                CalcExpr::rel("S", vec!["B", "C"]),
+                CalcExpr::rel("T", vec!["C", "D"]),
+                CalcExpr::Val(ValExpr::var("D")),
+            ]),
+        );
+        let def2 = CalcExpr::agg_sum(
+            vec![],
+            CalcExpr::product(vec![
+                CalcExpr::Val(ValExpr::var("Z")),
+                CalcExpr::rel("T", vec!["Y", "Z"]),
+                CalcExpr::rel("S", vec!["X", "Y"]),
+            ]),
+        );
+        let c1 = canonical_form(&["B".to_string()], &def1);
+        let c2 = canonical_form(&["X".to_string()], &def2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn different_structures_do_not_share() {
+        let def1 = CalcExpr::agg_sum(vec![], CalcExpr::rel("S", vec!["B", "C"]));
+        let def2 = CalcExpr::agg_sum(vec![], CalcExpr::rel("T", vec!["B", "C"]));
+        assert_ne!(
+            canonical_form(&["B".to_string()], &def1),
+            canonical_form(&["B".to_string()], &def2)
+        );
+    }
+
+    #[test]
+    fn key_position_matters() {
+        let def = CalcExpr::agg_sum(vec![], CalcExpr::rel("S", vec!["B", "C"]));
+        let by_b = canonical_form(&["B".to_string()], &def);
+        let by_c = canonical_form(&["C".to_string()], &def);
+        assert_ne!(by_b, by_c);
+    }
+
+    #[test]
+    fn key_count_is_part_of_the_form() {
+        let def = CalcExpr::agg_sum(vec![], CalcExpr::rel("S", vec!["B", "C"]));
+        let one = canonical_form(&["B".to_string()], &def);
+        let two = canonical_form(&["B".to_string(), "C".to_string()], &def);
+        assert_ne!(one, two);
+    }
+}

@@ -1,0 +1,60 @@
+//! Workspace-wide error type.
+//!
+//! One error enum is shared by the SQL frontend, the compiler and the
+//! runtime so that the facade crate can expose a single `Result` to
+//! applications embedding the library.
+
+use std::fmt;
+
+/// Errors produced anywhere in the compilation or execution pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexing / parsing failure with position information.
+    Parse(String),
+    /// Name resolution or type checking failure.
+    Analysis(String),
+    /// Schema / catalog problem (unknown relation, arity mismatch, ...).
+    Schema(String),
+    /// The query is outside the supported SQL fragment.
+    Unsupported(String),
+    /// Internal invariant violated in the compiler (a bug).
+    Compile(String),
+    /// Runtime execution problem (bad event, missing map, ...).
+    Runtime(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Analysis(m) => write!(f, "analysis error: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported query: {m}"),
+            Error::Compile(m) => write!(f, "compiler error: {m}"),
+            Error::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = Error::Parse("unexpected token ')' at 12".into());
+        assert!(e.to_string().contains("parse error"));
+        assert!(e.to_string().contains("')'"));
+    }
+
+    #[test]
+    fn errors_are_comparable_for_tests() {
+        assert_eq!(Error::Schema("x".into()), Error::Schema("x".into()));
+        assert_ne!(Error::Schema("x".into()), Error::Runtime("x".into()));
+    }
+}

@@ -1,0 +1,115 @@
+//! A fast, non-cryptographic hasher for in-memory map structures.
+//!
+//! The generated trigger programs spend most of their time in hash-map
+//! lookups keyed by small tuples, so SipHash (std's default, HashDoS
+//! resistant) is unnecessarily slow here. This is a self-contained
+//! implementation of the FNV-free "Fx" multiply-rotate hash used by rustc,
+//! avoiding an extra dependency (see DESIGN.md §5).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiply-rotate hasher. Not HashDoS resistant — fine for a
+/// main-memory query runtime processing trusted data.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+/// Drop-in `HashMap` replacement used across the workspace.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// Drop-in `HashSet` replacement used across the workspace.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_ne!(hash_of(&42u64), hash_of(&43u64));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+    }
+
+    #[test]
+    fn map_behaves_like_std_hashmap() {
+        let mut m: FxHashMap<String, i64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(format!("k{i}"), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m["k537"], 537);
+        m.remove("k537");
+        assert!(!m.contains_key("k537"));
+    }
+
+    #[test]
+    fn handles_unaligned_byte_tails() {
+        // 9 bytes exercises the chunk remainder path.
+        assert_ne!(hash_of(&[1u8; 9][..]), hash_of(&[2u8; 9][..]));
+        assert_eq!(hash_of(&[7u8; 9][..]), hash_of(&[7u8; 9][..]));
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared primitives for the DBToaster reproduction.
+//!
+//! This crate contains the vocabulary types every other crate in the
+//! workspace speaks: runtime [`Value`]s and their arithmetic, [`Tuple`]s,
+//! relation [`Schema`]s and the [`Catalog`], the update-stream [`Event`]
+//! model of the paper (arbitrary inserts/updates/deletes on base
+//! relations), error types, and a fast non-cryptographic hasher used for
+//! all in-memory map structures.
+//!
+//! DBToaster's data model (Section 2 of the paper) treats a database as a
+//! set of relations, each subject to an arbitrary sequence of inserts,
+//! updates and deletes — *not* a windowed stream. Everything here is
+//! designed around that model: events carry signed multiplicities, tuples
+//! are positional and typed, and values form a commutative ring under the
+//! arithmetic the map algebra needs.
+
+pub mod error;
+pub mod event;
+pub mod hash;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use event::{Event, EventKind, UpdateStream};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use schema::{Catalog, Column, ColumnType, Schema};
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,242 @@
+//! Relation schemas and the catalog.
+//!
+//! The catalog is the compiler's view of the database: which base
+//! relations exist, their column names and types. DBToaster relations are
+//! fed by update streams rather than loaded from disk, so the catalog
+//! carries no storage information — only naming and typing, plus an
+//! optional "static" flag for relations that are bulk-loaded once and
+//! never change (dimension tables in the warehouse-loading scenario may be
+//! declared static to let the compiler skip generating triggers for them).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Column types understood by the SQL frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Str,
+    Bool,
+    Date,
+}
+
+impl ColumnType {
+    /// Whether a runtime value is acceptable for this column type
+    /// (integers are accepted where floats are expected).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Bool, Value::Bool(_))
+                | (ColumnType::Date, Value::Date(_))
+        )
+    }
+
+    /// The type resulting from arithmetic between two column types.
+    pub fn unify_numeric(self, other: ColumnType) -> ColumnType {
+        if self == ColumnType::Float || other == ColumnType::Float {
+            ColumnType::Float
+        } else {
+            ColumnType::Int
+        }
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Str => "VARCHAR",
+            ColumnType::Bool => "BOOLEAN",
+            ColumnType::Date => "DATE",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Column {
+        Column { name: name.into().to_ascii_uppercase(), ty }
+    }
+}
+
+/// The schema of a base relation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Static relations are bulk-loaded and never receive deltas; the
+    /// compiler does not generate triggers for them.
+    pub is_static: bool,
+}
+
+impl Schema {
+    /// Create a stream relation schema (receives deltas).
+    pub fn new(name: impl Into<String>, columns: Vec<(&str, ColumnType)>) -> Schema {
+        Schema {
+            name: name.into().to_ascii_uppercase(),
+            columns: columns.into_iter().map(|(n, t)| Column::new(n, t)).collect(),
+            is_static: false,
+        }
+    }
+
+    /// Create a static (table) relation schema.
+    pub fn new_static(name: impl Into<String>, columns: Vec<(&str, ColumnType)>) -> Schema {
+        Schema { is_static: true, ..Schema::new(name, columns) }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let upper = name.to_ascii_uppercase();
+        self.columns.iter().position(|c| c.name == upper)
+    }
+
+    /// Validate a tuple against this schema.
+    pub fn check_tuple(&self, t: &Tuple) -> Result<()> {
+        if t.arity() != self.arity() {
+            return Err(Error::Schema(format!(
+                "relation {} expects arity {}, got {}",
+                self.name,
+                self.arity(),
+                t.arity()
+            )));
+        }
+        for (c, v) in self.columns.iter().zip(t.iter()) {
+            if !c.ty.admits(v) {
+                return Err(Error::Schema(format!(
+                    "column {}.{} of type {} cannot hold {v}",
+                    self.name, c.name, c.ty
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The set of base relations known to the compiler.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    relations: Vec<Schema>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a relation. Re-registering the same name replaces the
+    /// previous definition (convenient for interactive / demo use).
+    pub fn add(&mut self, schema: Schema) -> &mut Self {
+        if let Some(existing) = self.relations.iter_mut().find(|r| r.name == schema.name) {
+            *existing = schema;
+        } else {
+            self.relations.push(schema);
+        }
+        self
+    }
+
+    /// Builder-style registration.
+    pub fn with(mut self, schema: Schema) -> Self {
+        self.add(schema);
+        self
+    }
+
+    /// Look up a relation by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&Schema> {
+        let upper = name.to_ascii_uppercase();
+        self.relations.iter().find(|r| r.name == upper)
+    }
+
+    /// Look up a relation or fail with a descriptive error.
+    pub fn expect(&self, name: &str) -> Result<&Schema> {
+        self.get(name)
+            .ok_or_else(|| Error::Schema(format!("unknown relation '{name}'")))
+    }
+
+    /// All registered relations.
+    pub fn relations(&self) -> &[Schema] {
+        &self.relations
+    }
+
+    /// Relations that receive deltas (non-static).
+    pub fn stream_relations(&self) -> impl Iterator<Item = &Schema> {
+        self.relations.iter().filter(|r| !r.is_static)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rst_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let cat = rst_catalog();
+        assert!(cat.get("r").is_some());
+        assert_eq!(cat.get("R").unwrap().column_index("b"), Some(1));
+        assert!(cat.get("X").is_none());
+        assert!(cat.expect("X").is_err());
+    }
+
+    #[test]
+    fn tuple_validation() {
+        let cat = rst_catalog();
+        let r = cat.get("R").unwrap();
+        assert!(r.check_tuple(&tuple![1i64, 2i64]).is_ok());
+        assert!(r.check_tuple(&tuple![1i64]).is_err());
+        assert!(r.check_tuple(&tuple![1i64, "x"]).is_err());
+    }
+
+    #[test]
+    fn float_columns_admit_ints() {
+        let s = Schema::new("B", vec![("P", ColumnType::Float)]);
+        assert!(s.check_tuple(&tuple![3i64]).is_ok());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut cat = rst_catalog();
+        cat.add(Schema::new("R", vec![("X", ColumnType::Float)]));
+        assert_eq!(cat.get("R").unwrap().arity(), 1);
+        assert_eq!(cat.relations().len(), 3);
+    }
+
+    #[test]
+    fn static_relations_are_excluded_from_streams() {
+        let cat = Catalog::new()
+            .with(Schema::new("E", vec![("X", ColumnType::Int)]))
+            .with(Schema::new_static("DIM", vec![("K", ColumnType::Int)]));
+        let streams: Vec<_> = cat.stream_relations().map(|s| s.name.clone()).collect();
+        assert_eq!(streams, vec!["E".to_string()]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Positional tuples.
+//!
+//! A [`Tuple`] is an ordered sequence of [`Value`]s matching a relation's
+//! schema. Tuples are used both as base-relation rows flowing through the
+//! update stream and as map keys inside the runtime, so they are cheap to
+//! clone (values are mostly inline) and hash with the workspace-wide Fx
+//! hasher.
+
+use std::fmt;
+use std::ops::{Deref, Index};
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// An ordered, fixed-arity sequence of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    /// An empty (zero-arity) tuple — the key of scalar maps such as the
+    /// top-level query result `q` in the paper's example.
+    pub fn empty() -> Tuple {
+        Tuple(Vec::new())
+    }
+
+    /// Build a tuple from anything convertible to values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple(values)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Project the tuple onto the given positions.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Concatenate two tuples (used by join operators in the baseline
+    /// executors).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Approximate memory footprint in bytes (for experiment E4).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Tuple>() + self.0.iter().map(Value::approx_bytes).sum::<usize>()
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Tuple {
+        Tuple(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples:
+/// `tuple![1, 2.5, "x"]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_projection() {
+        let t = tuple![1i64, 2.5f64, "abc"];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::Int(1));
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, tuple!["abc", 1i64]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = tuple![1i64, 2i64];
+        let b = tuple![3i64];
+        assert_eq!(a.concat(&b), tuple![1i64, 2i64, 3i64]);
+    }
+
+    #[test]
+    fn empty_tuple_is_valid_map_key() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Tuple, i64> = HashMap::new();
+        m.insert(Tuple::empty(), 7);
+        assert_eq!(m[&Tuple::empty()], 7);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", tuple![1i64, "x"]), "(1, 'x')");
+    }
+}

@@ -1,0 +1,528 @@
+//! Runtime values and the arithmetic the map algebra is defined over.
+//!
+//! DBToaster maps are functions from key tuples to aggregate values; both
+//! keys and aggregates are [`Value`]s. The map algebra requires a
+//! commutative ring structure (addition with inverse, multiplication), so
+//! [`Value::add`] and [`Value::mul`] are total over the numeric variants
+//! and promote `Int` to `Float` when mixed. Strings and dates participate
+//! only as keys and in comparisons.
+//!
+//! Floats are hashable and orderable here (by their IEEE-754 bit pattern
+//! for hashing, and a total order for sorting) so that they can be used as
+//! group-by keys, exactly like the C++ runtime the paper generates.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed runtime value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer (also used for counts / multiplicities).
+    Int(i64),
+    /// 64-bit IEEE-754 float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean (comparison results surface as `Int(0|1)` inside the ring,
+    /// but SQL booleans can be stored in base relations).
+    Bool(bool),
+    /// Date, stored as days since 1970-01-01 for cheap comparisons.
+    /// Constructed from `YYYY-MM-DD` literals or the `DATE(y,m,d)` helper.
+    Date(i32),
+    /// SQL NULL. Nulls compare as not-equal to everything (including
+    /// themselves) and are absorbing for arithmetic.
+    Null,
+}
+
+impl Value {
+    /// The additive identity of the ring.
+    pub const ZERO: Value = Value::Int(0);
+    /// The multiplicative identity of the ring.
+    pub const ONE: Value = Value::Int(1);
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Build a date value from a calendar date.
+    ///
+    /// Uses a proleptic Gregorian day count relative to 1970-01-01 so that
+    /// comparisons and `EXTRACT(YEAR ...)`-style derivations are cheap.
+    pub fn date(year: i32, month: u32, day: u32) -> Value {
+        Value::Date(days_from_civil(year, month, day))
+    }
+
+    /// True if this is the additive identity (used to prune zero entries
+    /// from maps after applying deltas, keeping memory proportional to the
+    /// live support of each view).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Value::Int(i) => *i == 0,
+            Value::Float(f) => *f == 0.0,
+            Value::Bool(b) => !*b,
+            Value::Null => true,
+            _ => false,
+        }
+    }
+
+    /// True if this value is numeric (participates in ring arithmetic).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Bool(_))
+    }
+
+    /// Interpret as f64 for mixed-type arithmetic and for final result
+    /// post-processing (e.g. `avg = sum / count`).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(i) => *i as f64,
+            Value::Float(f) => *f,
+            Value::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Value::Date(d) => *d as f64,
+            Value::Str(_) | Value::Null => 0.0,
+        }
+    }
+
+    /// Interpret as i64 (truncating floats). Mainly used for
+    /// multiplicities and counts.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            Value::Float(f) => *f as i64,
+            Value::Bool(b) => *b as i64,
+            Value::Date(d) => *d as i64,
+            Value::Str(_) | Value::Null => 0,
+        }
+    }
+
+    /// Interpret as a boolean (SQL truthiness: non-zero numerics are true).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Date(_) => true,
+            Value::Null => false,
+        }
+    }
+
+    /// Ring addition with numeric promotion.
+    pub fn add(&self, other: &Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (Null, v) | (v, Null) => v.clone(),
+            (Int(a), Int(b)) => Int(a.wrapping_add(*b)),
+            (a, b) if a.is_numeric() && b.is_numeric() => Float(a.as_f64() + b.as_f64()),
+            (Str(a), Str(b)) => Str(format!("{a}{b}")),
+            (a, _) => a.clone(),
+        }
+    }
+
+    /// Ring subtraction (addition of the additive inverse).
+    pub fn sub(&self, other: &Value) -> Value {
+        self.add(&other.neg())
+    }
+
+    /// Ring multiplication with numeric promotion.
+    pub fn mul(&self, other: &Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => Null,
+            (Int(a), Int(b)) => Int(a.wrapping_mul(*b)),
+            (a, b) if a.is_numeric() && b.is_numeric() => Float(a.as_f64() * b.as_f64()),
+            (a, _) => a.clone(),
+        }
+    }
+
+    /// Division; integer division when both sides are integers and the
+    /// divisor is non-zero, float otherwise. Division by zero yields NULL
+    /// (SQL semantics) rather than panicking so runtime handlers are total.
+    pub fn div(&self, other: &Value) -> Value {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => Null,
+            (Int(a), Int(b)) => {
+                if *b == 0 {
+                    Null
+                } else if a % b == 0 {
+                    Int(a / b)
+                } else {
+                    Float(*a as f64 / *b as f64)
+                }
+            }
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                let d = b.as_f64();
+                if d == 0.0 {
+                    Null
+                } else {
+                    Float(a.as_f64() / d)
+                }
+            }
+            (a, _) => a.clone(),
+        }
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Value {
+        use Value::*;
+        match self {
+            Int(a) => Int(-a),
+            Float(f) => Float(-f),
+            Bool(b) => Int(-(*b as i64)),
+            Date(d) => Int(-(*d as i64)),
+            Str(_) => Null,
+            Null => Null,
+        }
+    }
+
+    /// Multiply by a signed integer multiplicity — the hot path of every
+    /// generated trigger statement (`map[k] += multiplicity * value`).
+    pub fn scale(&self, multiplicity: i64) -> Value {
+        match self {
+            Value::Int(a) => Value::Int(a.wrapping_mul(multiplicity)),
+            Value::Float(f) => Value::Float(f * multiplicity as f64),
+            Value::Bool(b) => Value::Int(*b as i64 * multiplicity),
+            other => {
+                if multiplicity == 1 {
+                    other.clone()
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+
+    /// SQL comparison. NULL compares as `None`.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (a, b) if a.is_numeric() && b.is_numeric() => a.as_f64().partial_cmp(&b.as_f64()),
+            (Date(a), b) if b.is_numeric() => (*a as f64).partial_cmp(&b.as_f64()),
+            (a, Date(b)) if a.is_numeric() => a.as_f64().partial_cmp(&(*b as f64)),
+            _ => None,
+        }
+    }
+
+    /// The minimum of two values under [`Value::compare`]; used by the
+    /// extrema (min/max) maintenance structures.
+    pub fn min_of(&self, other: &Value) -> Value {
+        match self.compare(other) {
+            Some(Ordering::Greater) => other.clone(),
+            _ => self.clone(),
+        }
+    }
+
+    /// The maximum of two values under [`Value::compare`].
+    pub fn max_of(&self, other: &Value) -> Value {
+        match self.compare(other) {
+            Some(Ordering::Less) => other.clone(),
+            _ => self.clone(),
+        }
+    }
+
+    /// A rough estimate of heap + inline footprint in bytes, used by the
+    /// memory-usage experiment (E4).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => std::mem::size_of::<Value>() + s.capacity(),
+            _ => std::mem::size_of::<Value>(),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::ZERO
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Int(a), Float(b)) | (Float(b), Int(a)) => (*a as f64) == *b,
+            (Str(a), Str(b)) => a == b,
+            (Bool(a), Bool(b)) => a == b,
+            (Bool(a), Int(b)) | (Int(b), Bool(a)) => (*a as i64) == *b,
+            (Date(a), Date(b)) => a == b,
+            (Null, Null) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Keep the hash consistent with `PartialEq`'s numeric promotion:
+        // integral floats hash like the corresponding integer.
+        match self {
+            Value::Int(i) => {
+                state.write_u8(0);
+                state.write_i64(*i);
+            }
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.is_finite() && f.abs() < i64::MAX as f64 {
+                    state.write_u8(0);
+                    state.write_i64(*f as i64);
+                } else {
+                    state.write_u8(1);
+                    state.write_u64(f.to_bits());
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(0);
+                state.write_i64(*b as i64);
+            }
+            Value::Date(d) => {
+                state.write_u8(4);
+                state.write_i32(*d);
+            }
+            Value::Null => state.write_u8(5),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.total_cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl Value {
+    /// A total order over all values: NULL < numerics < dates < strings.
+    /// Used for deterministic output ordering in reports and tests.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) | Value::Bool(_) => 1,
+                Value::Date(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (a, b) if rank(a) == 1 && rank(b) == 1 => {
+                a.as_f64().partial_cmp(&b.as_f64()).unwrap_or(Ordering::Equal)
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => {
+                let (y, m, day) = civil_from_days(*d);
+                write!(f, "{y:04}-{m:02}-{day:02}")
+            }
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic Gregorian date
+/// (Howard Hinnant's `days_from_civil` algorithm).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = ((m + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = if m <= 2 { y + 1 } else { y };
+    (y as i32, m, d)
+}
+
+/// Extract the calendar year from a [`Value::Date`]; other values pass
+/// through `as_i64` (so generated handlers stay total).
+pub fn year_of(v: &Value) -> i64 {
+    match v {
+        Value::Date(d) => civil_from_days(*d).0 as i64,
+        other => other.as_i64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arithmetic_forms_a_ring() {
+        let a = Value::Int(7);
+        let b = Value::Int(5);
+        assert_eq!(a.add(&b), Value::Int(12));
+        assert_eq!(a.mul(&b), Value::Int(35));
+        assert_eq!(a.sub(&b), Value::Int(2));
+        assert_eq!(a.add(&Value::ZERO), a);
+        assert_eq!(a.mul(&Value::ONE), a);
+        assert_eq!(a.add(&a.neg()), Value::ZERO);
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        let a = Value::Int(3);
+        let b = Value::Float(1.5);
+        assert_eq!(a.add(&b), Value::Float(4.5));
+        assert_eq!(a.mul(&b), Value::Float(4.5));
+        assert_eq!(b.sub(&a), Value::Float(-1.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(Value::Int(4).div(&Value::Int(0)), Value::Null);
+        assert_eq!(Value::Float(1.0).div(&Value::Float(0.0)), Value::Null);
+        assert_eq!(Value::Int(9).div(&Value::Int(3)), Value::Int(3));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)), Value::Float(3.5));
+    }
+
+    #[test]
+    fn scaling_by_multiplicity() {
+        assert_eq!(Value::Float(2.5).scale(-2), Value::Float(-5.0));
+        assert_eq!(Value::Int(3).scale(4), Value::Int(12));
+        assert_eq!(Value::Bool(true).scale(3), Value::Int(3));
+    }
+
+    #[test]
+    fn zero_detection_after_cancellation() {
+        let v = Value::Float(1.5).add(&Value::Float(-1.5));
+        assert!(v.is_zero());
+        assert!(Value::Int(0).is_zero());
+        assert!(!Value::Int(1).is_zero());
+    }
+
+    #[test]
+    fn integral_float_and_int_hash_and_compare_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(v: &Value) -> u64 {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(Value::Int(42), Value::Float(42.0));
+        assert_eq!(h(&Value::Int(42)), h(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn date_roundtrip_and_ordering() {
+        let d1 = Value::date(1995, 3, 15);
+        let d2 = Value::date(1996, 1, 1);
+        assert_eq!(d1.compare(&d2), Some(Ordering::Less));
+        assert_eq!(format!("{d1}"), "1995-03-15");
+        assert_eq!(year_of(&d1), 1995);
+        for &(y, m, d) in &[(1970, 1, 1), (2000, 2, 29), (1992, 12, 31), (2026, 6, 14)] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d));
+        }
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).mul(&Value::Null), Value::Null);
+        assert!(!Value::Null.as_bool());
+    }
+
+    #[test]
+    fn string_comparison_and_equality() {
+        let a = Value::str("AMERICA");
+        let b = Value::str("ASIA");
+        assert_eq!(a.compare(&b), Some(Ordering::Less));
+        assert_eq!(a, Value::str("AMERICA"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn total_order_is_deterministic_across_types() {
+        let mut vals = vec![
+            Value::str("z"),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(2.5),
+            Value::date(2001, 1, 1),
+        ];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert!(matches!(vals[4], Value::Str(_)));
+    }
+}

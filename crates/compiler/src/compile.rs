@@ -1,0 +1,629 @@
+//! The recursive compilation driver.
+//!
+//! `compile_sql` / `compile_query` turn one standing query into a
+//! [`TriggerProgram`] by the workflow of the paper's Section 3:
+//!
+//! 1. translate the query into top-level map definitions (calculus),
+//! 2. for every map definition and every (relation, insert/delete) event,
+//!    take the **delta** of the definition, **simplify** it with the map
+//!    algebra rules, and **materialize** the relation-bearing pieces of
+//!    the result as new maps,
+//! 3. emit an update statement per delta term into the event's trigger,
+//! 4. recursively compile the newly created maps (their definitions have
+//!    strictly fewer base-relation atoms, so the recursion terminates),
+//!    sharing maps across event handlers via canonical forms.
+//!
+//! Two deviations from the fully-incremental path are supported and used
+//! by the experiments:
+//!
+//! * **Depth-limited compilation** (`CompileOptions::max_depth`): once the
+//!   given number of map levels is reached, residual base-relation atoms
+//!   are replaced by references to base-relation multiplicity maps
+//!   (`BASE_<REL>`) and left inside the statement, to be evaluated by
+//!   iteration at runtime. `max_depth = 1` reproduces classical
+//!   first-order incremental view maintenance (the E6 ablation).
+//! * **Nested-aggregate re-evaluation**: maps whose definitions contain
+//!   `Lift` / `Exists` (nested or EXISTS subqueries) are maintained by a
+//!   `Replace` statement that recomputes them from base-relation maps on
+//!   every relevant event (DESIGN.md §3.2).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use dbtoaster_common::{Catalog, Error, EventKind, FxHashMap, Result, Value};
+use dbtoaster_calculus::{
+    canonical_form, delta, to_polynomial, translate_query, CalcExpr, QueryCalc, Term, ValExpr, Var,
+};
+use dbtoaster_sql::{analyze, parse_query, BoundQuery};
+
+use crate::program::{MapDecl, Statement, StatementKind, Trigger, TriggerProgram};
+
+/// Compiler configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Maximum number of map levels. `None` (default) recurses until no
+    /// base-relation atoms remain — the full DBToaster behaviour.
+    /// `Some(1)` materializes only the result maps themselves and
+    /// evaluates delta queries against base-relation maps (classical
+    /// first-order IVM).
+    pub max_depth: Option<usize>,
+    /// Prefix for generated result map names (default `Q`).
+    pub result_prefix: Option<String>,
+}
+
+impl CompileOptions {
+    /// Full recursive compilation (the default).
+    pub fn full() -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    /// Classical first-order IVM: a single level of maps.
+    pub fn first_order() -> CompileOptions {
+        CompileOptions { max_depth: Some(1), ..Default::default() }
+    }
+
+    /// Limit compilation to `depth` map levels.
+    pub fn with_depth(depth: usize) -> CompileOptions {
+        CompileOptions { max_depth: Some(depth), ..Default::default() }
+    }
+}
+
+/// Compile a SQL string against a catalog.
+pub fn compile_sql(sql: &str, catalog: &Catalog, options: &CompileOptions) -> Result<TriggerProgram> {
+    let parsed = parse_query(sql)?;
+    let bound = analyze(&parsed, catalog)?;
+    let mut program = compile_query(&bound, catalog, options)?;
+    program.sql = Some(sql.to_string());
+    Ok(program)
+}
+
+/// Compile an analyzed query against a catalog.
+pub fn compile_query(
+    query: &BoundQuery,
+    catalog: &Catalog,
+    options: &CompileOptions,
+) -> Result<TriggerProgram> {
+    let prefix = options.result_prefix.clone().unwrap_or_else(|| "Q".to_string());
+    let qc = translate_query(query, &prefix)?;
+    let mut compiler = Compiler {
+        catalog: catalog.clone(),
+        options: options.clone(),
+        maps: Vec::new(),
+        by_canonical: FxHashMap::default(),
+        triggers: Vec::new(),
+        worklist: Vec::new(),
+        counter: 0,
+    };
+    compiler.run(&qc)?;
+    Ok(TriggerProgram {
+        sql: None,
+        maps: compiler.maps,
+        triggers: compiler.triggers,
+        query: qc,
+        catalog: catalog.clone(),
+        max_depth: options.max_depth,
+    })
+}
+
+struct Compiler {
+    catalog: Catalog,
+    options: CompileOptions,
+    maps: Vec<MapDecl>,
+    /// canonical form -> map name (for sharing).
+    by_canonical: FxHashMap<String, String>,
+    triggers: Vec<Trigger>,
+    /// Maps awaiting trigger generation, with their recursion depth.
+    worklist: Vec<(String, usize)>,
+    counter: usize,
+}
+
+impl Compiler {
+    fn run(&mut self, qc: &QueryCalc) -> Result<()> {
+        // Register the top-level result maps.
+        for spec in &qc.maps {
+            let canonical = canonical_form(&spec.keys, &spec.definition);
+            self.by_canonical.insert(canonical.clone(), spec.name.clone());
+            self.maps.push(MapDecl {
+                name: spec.name.clone(),
+                keys: spec.keys.clone(),
+                definition: spec.definition.clone(),
+                canonical,
+                is_base_relation: false,
+            });
+            self.worklist.push((spec.name.clone(), 0));
+        }
+
+        while let Some((name, depth)) = self.worklist.pop() {
+            self.compile_map(&name, depth)?;
+        }
+
+        // Deterministic trigger order: by relation, inserts before deletes.
+        self.triggers.sort_by(|a, b| {
+            (a.relation.clone(), a.event != EventKind::Insert)
+                .cmp(&(b.relation.clone(), b.event != EventKind::Insert))
+        });
+        Ok(())
+    }
+
+    fn map_decl(&self, name: &str) -> Result<MapDecl> {
+        self.maps
+            .iter()
+            .find(|m| m.name == name)
+            .cloned()
+            .ok_or_else(|| Error::Compile(format!("unknown map {name}")))
+    }
+
+    fn compile_map(&mut self, name: &str, depth: usize) -> Result<()> {
+        let decl = self.map_decl(name)?;
+        let relations: Vec<String> = decl.definition.relations().into_iter().collect();
+        let nested = contains_nested(&decl.definition);
+
+        for rel_name in &relations {
+            let schema = self.catalog.expect(rel_name)?.clone();
+            let columns: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+            let args = dbtoaster_calculus::trigger_args(rel_name, &columns);
+
+            for event in [EventKind::Insert, EventKind::Delete] {
+                let statements = if nested {
+                    // Re-evaluation strategy for nested aggregates.
+                    vec![self.replace_statement(&decl, depth)?]
+                } else {
+                    self.delta_statements(&decl, rel_name, event, &args, depth)?
+                };
+                if statements.is_empty() {
+                    continue;
+                }
+                self.push_statements(rel_name, event, &args, statements);
+            }
+        }
+        Ok(())
+    }
+
+    fn push_statements(
+        &mut self,
+        relation: &str,
+        event: EventKind,
+        args: &[Var],
+        statements: Vec<Statement>,
+    ) {
+        if let Some(t) = self
+            .triggers
+            .iter_mut()
+            .find(|t| t.relation == relation && t.event == event)
+        {
+            for s in statements {
+                if !t.statements.contains(&s) {
+                    t.statements.push(s);
+                }
+            }
+        } else {
+            self.triggers.push(Trigger {
+                relation: relation.to_string(),
+                event,
+                args: args.to_vec(),
+                statements,
+            });
+        }
+    }
+
+    /// The fully-incremental path: delta, simplify, materialize.
+    fn delta_statements(
+        &mut self,
+        decl: &MapDecl,
+        relation: &str,
+        event: EventKind,
+        args: &[Var],
+        depth: usize,
+    ) -> Result<Vec<Statement>> {
+        let d = delta(&decl.definition, relation, event, args);
+        if d.is_zero() {
+            return Ok(Vec::new());
+        }
+        let mut protected: BTreeSet<Var> = args.iter().cloned().collect();
+        protected.extend(decl.keys.iter().cloned());
+        let poly = to_polynomial(&d, &protected);
+
+        let mut statements = Vec::new();
+        for term in &poly.terms {
+            let update = self.materialize_term(term, &protected, depth)?;
+            if update.is_zero() {
+                continue;
+            }
+            statements.push(Statement {
+                target: decl.name.clone(),
+                target_keys: decl.keys.clone(),
+                update,
+                kind: StatementKind::Update,
+            });
+        }
+        Ok(statements)
+    }
+
+    /// Materialize the relation-bearing factors of one delta term,
+    /// returning the statement right-hand side.
+    fn materialize_term(
+        &mut self,
+        term: &Term,
+        protected: &BTreeSet<Var>,
+        depth: usize,
+    ) -> Result<CalcExpr> {
+        let mut factors = Vec::new();
+        if term.coeff != Value::ONE {
+            factors.push(CalcExpr::Val(ValExpr::Const(term.coeff.clone())));
+        }
+        let depth_exceeded = match self.options.max_depth {
+            Some(limit) => depth + 1 >= limit.max(1),
+            None => false,
+        };
+        for factor in &term.factors {
+            if !factor.has_relations() {
+                factors.push(factor.clone());
+                continue;
+            }
+            if depth_exceeded {
+                // Leave the factor in the statement, reading base-relation
+                // multiplicity maps instead of relations.
+                factors.push(self.replace_relations_with_base_maps(factor)?);
+                continue;
+            }
+            factors.push(self.materialize_factor(factor, protected, depth)?);
+        }
+        Ok(CalcExpr::product(factors))
+    }
+
+    /// Replace one relation-bearing factor by a reference to a (possibly
+    /// newly created, possibly shared) map.
+    fn materialize_factor(
+        &mut self,
+        factor: &CalcExpr,
+        protected: &BTreeSet<Var>,
+        depth: usize,
+    ) -> Result<CalcExpr> {
+        // The map's keys are exactly the variables of the factor that are
+        // bound by the enclosing statement context (trigger arguments,
+        // target-map keys — including statement-level loop variables such
+        // as the `foreach c` of the paper's example); everything else is
+        // aggregated away inside the map. Keys are ordered by first
+        // occurrence so that structurally identical factors arising in
+        // different handlers produce identical canonical forms and share
+        // one map.
+        let keys: Vec<Var> = ordered_occurrences(factor)
+            .into_iter()
+            .filter(|v| protected.contains(v))
+            .collect();
+        let inner = match factor {
+            CalcExpr::AggSum { body, .. } => (**body).clone(),
+            other => other.clone(),
+        };
+        let canonical = canonical_form(&keys, &inner);
+        if let Some(existing) = self.by_canonical.get(&canonical) {
+            return Ok(CalcExpr::MapRef { name: existing.clone(), keys });
+        }
+
+        // New map: give it canonical internal key names so that its own
+        // trigger arguments can never collide with its key variables.
+        self.counter += 1;
+        let rel_hint: Vec<String> = inner.relations().into_iter().collect();
+        let name = format!("M{}_{}", self.counter, rel_hint.join("_"));
+        let decl_keys: Vec<Var> = (0..keys.len()).map(|i| format!("{name}_K{i}")).collect();
+        let renaming: FxHashMap<Var, Var> =
+            keys.iter().cloned().zip(decl_keys.iter().cloned()).collect();
+        let renamed_body = inner.rename(&|v| renaming.get(v).cloned());
+        let definition = CalcExpr::agg_sum(decl_keys.clone(), renamed_body);
+
+        self.by_canonical.insert(canonical.clone(), name.clone());
+        self.maps.push(MapDecl {
+            name: name.clone(),
+            keys: decl_keys,
+            definition,
+            canonical,
+            is_base_relation: false,
+        });
+        self.worklist.push((name.clone(), depth + 1));
+        Ok(CalcExpr::MapRef { name, keys })
+    }
+
+    /// A `Replace` statement recomputing a nested-aggregate map from
+    /// base-relation maps.
+    fn replace_statement(&mut self, decl: &MapDecl, _depth: usize) -> Result<Statement> {
+        let update = self.replace_relations_with_base_maps(&decl.definition)?;
+        Ok(Statement {
+            target: decl.name.clone(),
+            target_keys: decl.keys.clone(),
+            update,
+            kind: StatementKind::Replace,
+        })
+    }
+
+    /// Rewrite every base-relation atom into a reference to the
+    /// corresponding `BASE_<REL>` multiplicity map, registering (and
+    /// scheduling maintenance of) those maps as needed.
+    fn replace_relations_with_base_maps(&mut self, expr: &CalcExpr) -> Result<CalcExpr> {
+        Ok(match expr {
+            CalcExpr::Rel { name, vars } => {
+                let map_name = self.ensure_base_map(name)?;
+                CalcExpr::MapRef { name: map_name, keys: vars.clone() }
+            }
+            CalcExpr::Val(_) | CalcExpr::Cmp { .. } | CalcExpr::MapRef { .. } => expr.clone(),
+            CalcExpr::Prod(es) => CalcExpr::Prod(
+                es.iter()
+                    .map(|e| self.replace_relations_with_base_maps(e))
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            CalcExpr::Sum(es) => CalcExpr::Sum(
+                es.iter()
+                    .map(|e| self.replace_relations_with_base_maps(e))
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            CalcExpr::Neg(e) => {
+                CalcExpr::Neg(Box::new(self.replace_relations_with_base_maps(e)?))
+            }
+            CalcExpr::AggSum { group, body } => CalcExpr::AggSum {
+                group: group.clone(),
+                body: Box::new(self.replace_relations_with_base_maps(body)?),
+            },
+            CalcExpr::Lift { var, body } => CalcExpr::Lift {
+                var: var.clone(),
+                body: Box::new(self.replace_relations_with_base_maps(body)?),
+            },
+            CalcExpr::Exists(e) => {
+                CalcExpr::Exists(Box::new(self.replace_relations_with_base_maps(e)?))
+            }
+        })
+    }
+
+    /// Register the `BASE_<REL>` multiplicity map for a relation and
+    /// schedule its (trivial) maintenance triggers.
+    fn ensure_base_map(&mut self, relation: &str) -> Result<String> {
+        let name = format!("BASE_{relation}");
+        if self.maps.iter().any(|m| m.name == name) {
+            return Ok(name);
+        }
+        let schema = self.catalog.expect(relation)?.clone();
+        let keys: Vec<Var> =
+            schema.columns.iter().map(|c| format!("{name}_{}", c.name)).collect();
+        let definition = CalcExpr::agg_sum(
+            keys.clone(),
+            CalcExpr::Rel { name: relation.to_string(), vars: keys.clone() },
+        );
+        let canonical = canonical_form(&keys, &definition);
+        self.maps.push(MapDecl {
+            name: name.clone(),
+            keys,
+            definition,
+            canonical,
+            is_base_relation: true,
+        });
+        // Base maps are maintained by the ordinary delta path (their delta
+        // is simply ±1 at the inserted/deleted key).
+        self.worklist.push((name.clone(), 0));
+        Ok(name)
+    }
+}
+
+/// Variables of an expression in order of first occurrence (pre-order
+/// traversal), deduplicated. Used to give generated maps a deterministic,
+/// structure-derived key order.
+fn ordered_occurrences(expr: &CalcExpr) -> Vec<Var> {
+    fn walk(expr: &CalcExpr, out: &mut Vec<Var>) {
+        let push = |v: &Var, out: &mut Vec<Var>| {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        };
+        match expr {
+            CalcExpr::Val(v) => {
+                let mut vs = Vec::new();
+                v.collect_vars(&mut vs);
+                for v in vs {
+                    push(&v, out);
+                }
+            }
+            CalcExpr::Cmp { left, right, .. } => {
+                let mut vs = Vec::new();
+                left.collect_vars(&mut vs);
+                right.collect_vars(&mut vs);
+                for v in vs {
+                    push(&v, out);
+                }
+            }
+            CalcExpr::Rel { vars, .. } => {
+                for v in vars {
+                    push(v, out);
+                }
+            }
+            CalcExpr::MapRef { keys, .. } => {
+                for v in keys {
+                    push(v, out);
+                }
+            }
+            CalcExpr::Prod(es) | CalcExpr::Sum(es) => {
+                for e in es {
+                    walk(e, out);
+                }
+            }
+            CalcExpr::Neg(e) | CalcExpr::Exists(e) => walk(e, out),
+            CalcExpr::AggSum { group, body } => {
+                for g in group {
+                    push(g, out);
+                }
+                walk(body, out);
+            }
+            CalcExpr::Lift { var, body } => {
+                push(var, out);
+                walk(body, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(expr, &mut out);
+    out
+}
+
+/// Does the expression contain a nested-aggregate construct?
+fn contains_nested(expr: &CalcExpr) -> bool {
+    match expr {
+        CalcExpr::Lift { .. } | CalcExpr::Exists(_) => true,
+        CalcExpr::Val(_) | CalcExpr::Rel { .. } | CalcExpr::MapRef { .. } | CalcExpr::Cmp { .. } => {
+            false
+        }
+        CalcExpr::Prod(es) | CalcExpr::Sum(es) => es.iter().any(contains_nested),
+        CalcExpr::Neg(e) => contains_nested(e),
+        CalcExpr::AggSum { body, .. } => contains_nested(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{ColumnType, Schema};
+
+    fn rst_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+    }
+
+    const RST: &str = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
+
+    #[test]
+    fn figure2_full_compilation_produces_six_triggers_and_auxiliary_maps() {
+        let p = compile_sql(RST, &rst_catalog(), &CompileOptions::full()).unwrap();
+        // 3 relations x {insert, delete}.
+        assert_eq!(p.triggers.len(), 6);
+        // Figure 2 materializes q plus qD[b], qA[b], qD[c], qA[c], q1[b,c]
+        // — with sharing, 6 maps in total (no base-relation copies).
+        assert_eq!(p.maps.len(), 6, "{}", p.pretty());
+        assert!(p.maps.iter().all(|m| !m.is_base_relation));
+        // No statement references a base relation atom: scans are gone.
+        for t in &p.triggers {
+            for s in &t.statements {
+                assert!(!s.update.has_relations(), "residual scan in {s}");
+                assert_eq!(s.kind, StatementKind::Update);
+            }
+        }
+        // The insert-into-R handler updates q via a single map lookup
+        // (q += a * qD[b]) plus maintenance of the auxiliary maps.
+        let on_r = p.trigger("R", EventKind::Insert).unwrap();
+        assert!(on_r.statements.iter().any(|s| s.target == "Q"));
+        assert!(on_r.statements.len() >= 2);
+    }
+
+    #[test]
+    fn figure2_shares_maps_across_handlers() {
+        let p = compile_sql(RST, &rst_catalog(), &CompileOptions::full()).unwrap();
+        // The S-insert handler must reference the same maps maintained by
+        // the R/T handlers (qA[b], qD[c]) rather than private copies: the
+        // q1[b,c] count map is referenced from both the R and T handlers.
+        let q1 = p
+            .maps
+            .iter()
+            .find(|m| m.definition.relations().len() == 1 && m.keys.len() == 2)
+            .expect("expected the q1[b,c] count map");
+        let referenced_by: Vec<String> = p
+            .triggers
+            .iter()
+            .filter(|t| {
+                t.statements.iter().any(|s| s.update.map_refs().contains(&q1.name))
+            })
+            .map(|t| t.handler_name())
+            .collect();
+        assert!(referenced_by.iter().any(|h| h.ends_with("_R")), "{referenced_by:?}");
+        assert!(referenced_by.iter().any(|h| h.ends_with("_T")), "{referenced_by:?}");
+    }
+
+    #[test]
+    fn delete_handlers_mirror_insert_handlers() {
+        let p = compile_sql(RST, &rst_catalog(), &CompileOptions::full()).unwrap();
+        let ins = p.trigger("R", EventKind::Insert).unwrap();
+        let del = p.trigger("R", EventKind::Delete).unwrap();
+        assert_eq!(ins.statements.len(), del.statements.len());
+    }
+
+    #[test]
+    fn first_order_compilation_keeps_base_relation_maps_only() {
+        let p = compile_sql(RST, &rst_catalog(), &CompileOptions::first_order()).unwrap();
+        // Result map + one BASE_ map per relation, nothing else.
+        let base: Vec<_> = p.maps.iter().filter(|m| m.is_base_relation).collect();
+        assert_eq!(base.len(), 3, "{}", p.pretty());
+        assert_eq!(p.maps.len(), 4);
+        // Statements for Q still contain aggregations (to be evaluated by
+        // iterating base maps): that is exactly classical IVM.
+        let on_r = p.trigger("R", EventKind::Insert).unwrap();
+        let q_stmt = on_r.statements.iter().find(|s| s.target == "Q").unwrap();
+        assert!(!q_stmt.update.map_refs().is_empty());
+        assert!(!q_stmt.update.has_relations());
+    }
+
+    #[test]
+    fn group_by_query_compiles_with_group_keys() {
+        let cat = rst_catalog();
+        let p = compile_sql(
+            "select B, sum(A) from R group by B",
+            &cat,
+            &CompileOptions::full(),
+        )
+        .unwrap();
+        assert_eq!(p.maps[0].keys.len(), 1);
+        let on_r = p.trigger("R", EventKind::Insert).unwrap();
+        assert_eq!(on_r.statements.len(), 1);
+        assert_eq!(on_r.statements[0].target_keys.len(), 1);
+    }
+
+    #[test]
+    fn nested_aggregate_queries_use_replace_statements() {
+        let cat = Catalog::new().with(Schema::new(
+            "BIDS",
+            vec![
+                ("T", ColumnType::Float),
+                ("ID", ColumnType::Int),
+                ("BROKER_ID", ColumnType::Int),
+                ("VOLUME", ColumnType::Float),
+                ("PRICE", ColumnType::Float),
+            ],
+        ));
+        let p = compile_sql(
+            "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 \
+             where 0.25 * (select sum(b3.VOLUME) from BIDS b3) > \
+                   (select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE)",
+            &cat,
+            &CompileOptions::full(),
+        )
+        .unwrap();
+        assert!(p.maps.iter().any(|m| m.is_base_relation));
+        let on_ins = p.trigger("BIDS", EventKind::Insert).unwrap();
+        assert!(on_ins.statements.iter().any(|s| s.kind == StatementKind::Replace));
+        // The base-relation map itself is maintained incrementally.
+        assert!(on_ins
+            .statements
+            .iter()
+            .any(|s| s.kind == StatementKind::Update && s.target.starts_with("BASE_")));
+    }
+
+    #[test]
+    fn statement_and_code_size_metrics_are_positive() {
+        let p = compile_sql(RST, &rst_catalog(), &CompileOptions::full()).unwrap();
+        assert!(p.statement_count() >= 8);
+        assert!(p.code_size() > p.statement_count());
+        assert!(p.pretty().contains("on_insert_R"));
+    }
+
+    #[test]
+    fn recursion_depth_monotonically_reduces_map_count() {
+        let cat = rst_catalog();
+        let full = compile_sql(RST, &cat, &CompileOptions::full()).unwrap();
+        let d2 = compile_sql(RST, &cat, &CompileOptions::with_depth(2)).unwrap();
+        let d1 = compile_sql(RST, &cat, &CompileOptions::first_order()).unwrap();
+        let non_base = |p: &TriggerProgram| p.maps.iter().filter(|m| !m.is_base_relation).count();
+        assert!(non_base(&d1) <= non_base(&d2));
+        assert!(non_base(&d2) <= non_base(&full));
+    }
+
+    #[test]
+    fn unknown_relations_are_rejected() {
+        let err = compile_sql("select sum(X) from NOPE", &rst_catalog(), &CompileOptions::full());
+        assert!(err.is_err());
+    }
+}

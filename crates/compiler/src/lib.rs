@@ -1,0 +1,23 @@
+//! The DBToaster recursive delta compiler.
+//!
+//! This crate is the paper's primary contribution: it takes a standing
+//! SQL aggregate query and produces a *trigger program* — one handler per
+//! (base relation, insert/delete) event, each a short list of update
+//! statements over in-memory map data structures — by recursively
+//! compiling deltas of deltas until no base-relation scans remain
+//! (Section 3 and Figure 2 of the paper).
+//!
+//! * [`program`] — the compiled artifact: map declarations, triggers,
+//!   statements, result descriptors,
+//! * [`compile`] — the recursive compilation driver (delta → simplify →
+//!   materialize → recurse), including map sharing and the `max_depth`
+//!   knob used for the classical-IVM ablation,
+//! * [`codegen`] — emission of the equivalent Rust event-handler source
+//!   text, the analog of the paper's C++ code generation.
+
+pub mod codegen;
+pub mod compile;
+pub mod program;
+
+pub use compile::{compile_query, compile_sql, CompileOptions};
+pub use program::{MapDecl, Statement, StatementKind, Trigger, TriggerProgram};

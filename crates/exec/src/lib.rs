@@ -1,0 +1,532 @@
+//! Relational executor substrate.
+//!
+//! The bakeoff baselines (and the correctness oracle used by the test
+//! suite) need a conventional way to evaluate queries: store base
+//! relations as multisets and evaluate calculus expressions by
+//! interpretation — nested-loop enumeration over table contents, exactly
+//! the work a query-plan interpreter performs for every re-evaluation.
+//! This crate provides that substrate:
+//!
+//! * [`Database`] — multiset storage for base relations, updated by
+//!   update-stream events,
+//! * [`evaluate_groups`] / [`evaluate_scalar`] — a reference interpreter
+//!   for calculus expressions over a [`Database`], used by the
+//!   naive-re-evaluation and first-order-IVM baseline engines and as the
+//!   ground truth the DBToaster engine is tested against.
+
+use std::collections::BTreeSet;
+
+use dbtoaster_calculus::{CalcExpr, QueryCalc, ResultColumn, ValExpr, Var};
+use dbtoaster_common::{Error, Event, FxHashMap, Result, Tuple, Value};
+
+/// Multiset storage for base relations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: FxHashMap<String, FxHashMap<Tuple, i64>>,
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Apply one update-stream event.
+    pub fn apply(&mut self, event: &Event) {
+        let table = self.tables.entry(event.relation.clone()).or_default();
+        let entry = table.entry(event.tuple.clone()).or_insert(0);
+        *entry += event.kind.sign();
+        if *entry == 0 {
+            table.remove(&event.tuple);
+        }
+    }
+
+    /// The multiset of tuples of a relation (empty if never touched).
+    pub fn table(&self, relation: &str) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.tables
+            .get(relation)
+            .into_iter()
+            .flat_map(|t| t.iter().map(|(k, m)| (k, *m)))
+    }
+
+    /// Number of live tuples in a relation.
+    pub fn cardinality(&self, relation: &str) -> usize {
+        self.tables.get(relation).map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Approximate memory footprint of all stored tuples in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.tables
+            .values()
+            .flat_map(|t| t.keys())
+            .map(|k| k.approx_bytes() + std::mem::size_of::<i64>())
+            .sum()
+    }
+}
+
+/// Variable bindings used by the interpreter.
+pub type Env = FxHashMap<Var, Value>;
+
+/// Evaluate a grouped calculus expression (typically `AggSum(group,
+/// body)`) over the database, returning the non-zero group aggregates.
+pub fn evaluate_groups(
+    expr: &CalcExpr,
+    group: &[Var],
+    db: &Database,
+    outer: &Env,
+) -> Result<FxHashMap<Tuple, Value>> {
+    let mut out: FxHashMap<Tuple, Value> = FxHashMap::default();
+    let body = match expr {
+        CalcExpr::AggSum { body, .. } => body,
+        other => other,
+    };
+    let mut env = outer.clone();
+    enumerate(body, db, &mut env, Value::ONE, &mut |env, weight| {
+        let key: Tuple = group
+            .iter()
+            .map(|g| env.get(g).cloned().unwrap_or(Value::Null))
+            .collect();
+        let slot = out.entry(key).or_insert(Value::ZERO);
+        *slot = slot.add(weight);
+        Ok(())
+    })?;
+    out.retain(|_, v| !v.is_zero());
+    Ok(out)
+}
+
+/// Evaluate a calculus expression as a single scalar (no group).
+pub fn evaluate_scalar(expr: &CalcExpr, db: &Database, outer: &Env) -> Result<Value> {
+    let groups = evaluate_groups(expr, &[], db, outer)?;
+    Ok(groups.into_values().next().unwrap_or(Value::ZERO))
+}
+
+/// Evaluate a full query (all result columns) against the database —
+/// exactly what a conventional engine does when it re-runs a view query.
+pub fn evaluate_query(qc: &QueryCalc, db: &Database) -> Result<Vec<(Tuple, Vec<Value>)>> {
+    let env = Env::default();
+    // Evaluate every backing map.
+    let mut maps: FxHashMap<String, FxHashMap<Tuple, Value>> = FxHashMap::default();
+    for spec in &qc.maps {
+        maps.insert(
+            spec.name.clone(),
+            evaluate_groups(&spec.definition, &spec.keys, db, &env)?,
+        );
+    }
+    assemble_from_maps(qc, &maps)
+}
+
+/// Assemble result rows from already-computed backing maps (shared by the
+/// re-evaluation path above and by the incremental baseline engines,
+/// which maintain the maps themselves).
+pub fn assemble_from_maps(
+    qc: &QueryCalc,
+    maps: &FxHashMap<String, FxHashMap<Tuple, Value>>,
+) -> Result<Vec<(Tuple, Vec<Value>)>> {
+    // Group keys: union over driver maps.
+    let mut keys: BTreeSet<Tuple> = BTreeSet::new();
+    if qc.group_vars.is_empty() {
+        keys.insert(Tuple::empty());
+    } else {
+        for col in &qc.columns {
+            match col {
+                ResultColumn::Sum { map, .. } | ResultColumn::Avg { count_map: map, .. } => {
+                    keys.extend(maps[map].keys().cloned());
+                }
+                ResultColumn::Extremum { map, .. } => {
+                    keys.extend(
+                        maps[map]
+                            .keys()
+                            .map(|k| Tuple::new(k.0[..qc.group_vars.len()].to_vec())),
+                    );
+                }
+                ResultColumn::Group { .. } => {}
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for key in keys {
+        let mut values = Vec::new();
+        for col in &qc.columns {
+            let v = match col {
+                ResultColumn::Group { var, .. } => {
+                    let idx = qc.group_vars.iter().position(|g| g == var).ok_or_else(|| {
+                        Error::Compile(format!("group column {var} not in group variables"))
+                    })?;
+                    key[idx].clone()
+                }
+                ResultColumn::Sum { map, .. } => {
+                    maps[map].get(&key).cloned().unwrap_or(Value::ZERO)
+                }
+                ResultColumn::Avg { sum_map, count_map, .. } => {
+                    let s = maps[sum_map].get(&key).cloned().unwrap_or(Value::ZERO);
+                    let c = maps[count_map].get(&key).cloned().unwrap_or(Value::ZERO);
+                    s.div(&c)
+                }
+                ResultColumn::Extremum { map, is_min, .. } => {
+                    let mut best: Option<Value> = None;
+                    for (k, v) in &maps[map] {
+                        if k.0[..key.arity()] == key.0[..] && v.as_f64() > 0.0 {
+                            let candidate = k.0[key.arity()].clone();
+                            best = Some(match best {
+                                None => candidate,
+                                Some(b) => {
+                                    if *is_min {
+                                        b.min_of(&candidate)
+                                    } else {
+                                        b.max_of(&candidate)
+                                    }
+                                }
+                            });
+                        }
+                    }
+                    best.unwrap_or(Value::Null)
+                }
+            };
+            values.push(v);
+        }
+        rows.push((key, values));
+    }
+    // Scalar queries always produce their single row; grouped queries drop
+    // empty groups (all aggregates zero) to mirror SQL semantics.
+    if !qc.group_vars.is_empty() {
+        rows.retain(|(_, vals)| {
+            vals.iter().zip(&qc.columns).any(|(v, c)| {
+                !matches!(c, ResultColumn::Group { .. }) && !v.is_zero()
+            })
+        });
+    }
+    Ok(rows)
+}
+
+/// Recursive enumeration of the bindings of a calculus expression.
+/// `weight` accumulates multiplicities and numeric factors; `emit` is
+/// called once per complete binding with the final weight.
+fn enumerate(
+    expr: &CalcExpr,
+    db: &Database,
+    env: &mut Env,
+    weight: Value,
+    emit: &mut dyn FnMut(&Env, &Value) -> Result<()>,
+) -> Result<()> {
+    if weight.is_zero() {
+        return Ok(());
+    }
+    match expr {
+        CalcExpr::Val(v) => {
+            let value = eval_val(v, env)?;
+            emit(env, &weight.mul(&value))
+        }
+        CalcExpr::Cmp { op, left, right } => {
+            // An equality one side of which is a not-yet-bound variable
+            // *binds* that variable (this is how trigger-argument
+            // equalities produced by the delta transformation constrain
+            // the key of a maintenance query).
+            if *op == dbtoaster_calculus::CmpOp::Eq {
+                if let ValExpr::Var(x) = left {
+                    if !env.contains_key(x) {
+                        if let Ok(r) = eval_val(right, env) {
+                            env.insert(x.clone(), r);
+                            emit(env, &weight)?;
+                            env.remove(x);
+                            return Ok(());
+                        }
+                    }
+                }
+                if let ValExpr::Var(y) = right {
+                    if !env.contains_key(y) {
+                        if let Ok(l) = eval_val(left, env) {
+                            env.insert(y.clone(), l);
+                            emit(env, &weight)?;
+                            env.remove(y);
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            let l = eval_val(left, env)?;
+            let r = eval_val(right, env)?;
+            if op.eval(&l, &r) {
+                emit(env, &weight)
+            } else {
+                Ok(())
+            }
+        }
+        CalcExpr::Rel { name, vars } => {
+            // Enumerate tuples consistent with the current bindings.
+            let snapshot: Vec<(Tuple, i64)> =
+                db.table(name).map(|(t, m)| (t.clone(), m)).collect();
+            'tuples: for (tuple, mult) in snapshot {
+                let mut added: Vec<Var> = Vec::new();
+                for (var, value) in vars.iter().zip(tuple.iter()) {
+                    match env.get(var) {
+                        Some(existing) if existing == value => {}
+                        Some(_) => {
+                            for a in added.drain(..) {
+                                env.remove(&a);
+                            }
+                            continue 'tuples;
+                        }
+                        None => {
+                            env.insert(var.clone(), value.clone());
+                            added.push(var.clone());
+                        }
+                    }
+                }
+                emit(env, &weight.scale(mult))?;
+                for a in added {
+                    env.remove(&a);
+                }
+            }
+            Ok(())
+        }
+        CalcExpr::MapRef { name, .. } => Err(Error::Runtime(format!(
+            "the reference interpreter evaluates base relations only, found map {name}"
+        ))),
+        CalcExpr::Neg(e) => enumerate(e, db, env, weight.neg(), emit),
+        CalcExpr::Sum(ts) => {
+            for t in ts {
+                enumerate(t, db, env, weight.clone(), emit)?;
+            }
+            Ok(())
+        }
+        CalcExpr::Prod(factors) => enumerate_product(factors, db, env, weight, emit),
+        CalcExpr::AggSum { group, body } => {
+            // A nested aggregation evaluated in the current environment:
+            // its value per group is computed and the groups are emitted.
+            let groups = evaluate_groups_inner(body, group, db, env)?;
+            for (key, value) in groups {
+                let mut added = Vec::new();
+                let mut consistent = true;
+                for (g, v) in group.iter().zip(key.iter()) {
+                    match env.get(g) {
+                        Some(existing) if existing == v => {}
+                        Some(_) => {
+                            consistent = false;
+                            break;
+                        }
+                        None => {
+                            env.insert(g.clone(), v.clone());
+                            added.push(g.clone());
+                        }
+                    }
+                }
+                if consistent {
+                    emit(env, &weight.mul(&value))?;
+                }
+                for a in added {
+                    env.remove(&a);
+                }
+            }
+            Ok(())
+        }
+        CalcExpr::Lift { var, body } => {
+            let value = evaluate_scalar_inner(body, db, env)?;
+            let already = env.contains_key(var);
+            if already {
+                // The lifted variable is constrained: multiplicity 1 only
+                // when the values agree.
+                if env[var] == value {
+                    emit(env, &weight)?;
+                }
+                Ok(())
+            } else {
+                env.insert(var.clone(), value);
+                emit(env, &weight)?;
+                env.remove(var);
+                Ok(())
+            }
+        }
+        CalcExpr::Exists(body) => {
+            let value = evaluate_scalar_inner(body, db, env)?;
+            if value.is_zero() {
+                Ok(())
+            } else {
+                emit(env, &weight)
+            }
+        }
+    }
+}
+
+fn enumerate_product(
+    factors: &[CalcExpr],
+    db: &Database,
+    env: &mut Env,
+    weight: Value,
+    emit: &mut dyn FnMut(&Env, &Value) -> Result<()>,
+) -> Result<()> {
+    match factors.len() {
+        0 => emit(env, &weight),
+        _ => {
+            let (head, rest) = factors.split_first().expect("non-empty");
+            // For each binding/weight of the head, enumerate the rest.
+            // Reorder so relation atoms come before value/comparison
+            // factors that depend on their variables being bound.
+            let mut result = Ok(());
+            let mut inner = |env: &Env, w: &Value| -> Result<()> {
+                let mut env2 = env.clone();
+                enumerate_product(rest, db, &mut env2, w.clone(), emit)
+            };
+            if let Err(e) = enumerate(head, db, env, weight, &mut inner) {
+                result = Err(e);
+            }
+            result
+        }
+    }
+}
+
+fn evaluate_groups_inner(
+    body: &CalcExpr,
+    group: &[Var],
+    db: &Database,
+    outer: &Env,
+) -> Result<FxHashMap<Tuple, Value>> {
+    let mut out: FxHashMap<Tuple, Value> = FxHashMap::default();
+    let mut env = outer.clone();
+    enumerate(body, db, &mut env, Value::ONE, &mut |env, weight| {
+        let key: Tuple = group
+            .iter()
+            .map(|g| env.get(g).cloned().unwrap_or(Value::Null))
+            .collect();
+        let slot = out.entry(key).or_insert(Value::ZERO);
+        *slot = slot.add(weight);
+        Ok(())
+    })?;
+    out.retain(|_, v| !v.is_zero());
+    Ok(out)
+}
+
+fn evaluate_scalar_inner(body: &CalcExpr, db: &Database, outer: &Env) -> Result<Value> {
+    let groups = evaluate_groups_inner(body, &[], db, outer)?;
+    Ok(groups.into_values().next().unwrap_or(Value::ZERO))
+}
+
+/// Sort factors so that value expressions and comparisons come after the
+/// relation atoms that bind their variables — a convenience for callers
+/// constructing products by hand. (`translate_query` already emits
+/// relation atoms first.)
+pub fn order_factors(factors: &mut [CalcExpr]) {
+    factors.sort_by_key(|f| match f {
+        CalcExpr::Rel { .. } => 0,
+        CalcExpr::AggSum { .. } | CalcExpr::Lift { .. } | CalcExpr::Exists(_) => 1,
+        CalcExpr::Cmp { .. } => 2,
+        _ => 3,
+    });
+}
+
+fn eval_val(v: &ValExpr, env: &Env) -> Result<Value> {
+    Ok(match v {
+        ValExpr::Const(c) => c.clone(),
+        ValExpr::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| Error::Runtime(format!("unbound variable {x} in interpreter")))?,
+        ValExpr::Add(es) => {
+            let mut acc = Value::ZERO;
+            for e in es {
+                acc = acc.add(&eval_val(e, env)?);
+            }
+            acc
+        }
+        ValExpr::Mul(es) => {
+            let mut acc = Value::ONE;
+            for e in es {
+                acc = acc.mul(&eval_val(e, env)?);
+            }
+            acc
+        }
+        ValExpr::Neg(e) => eval_val(e, env)?.neg(),
+        ValExpr::Div(a, b) => eval_val(a, env)?.div(&eval_val(b, env)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{tuple, Catalog, ColumnType, Schema};
+    use dbtoaster_calculus::translate_query;
+    use dbtoaster_sql::{analyze, parse_query};
+
+    fn rst_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+    }
+
+    fn qc(sql: &str, cat: &Catalog) -> dbtoaster_calculus::QueryCalc {
+        translate_query(&analyze(&parse_query(sql).unwrap(), cat).unwrap(), "Q").unwrap()
+    }
+
+    fn load(db: &mut Database, rel: &str, rows: &[(i64, i64)]) {
+        for (a, b) in rows {
+            db.apply(&Event::insert(rel, tuple![*a, *b]));
+        }
+    }
+
+    #[test]
+    fn database_multiset_semantics() {
+        let mut db = Database::new();
+        db.apply(&Event::insert("R", tuple![1i64, 2i64]));
+        db.apply(&Event::insert("R", tuple![1i64, 2i64]));
+        assert_eq!(db.table("R").next().unwrap().1, 2);
+        db.apply(&Event::delete("R", tuple![1i64, 2i64]));
+        assert_eq!(db.table("R").next().unwrap().1, 1);
+        db.apply(&Event::delete("R", tuple![1i64, 2i64]));
+        assert_eq!(db.cardinality("R"), 0);
+    }
+
+    #[test]
+    fn interpreter_computes_the_three_way_join_aggregate() {
+        let cat = rst_catalog();
+        let q = qc("select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C", &cat);
+        let mut db = Database::new();
+        load(&mut db, "R", &[(5, 1), (2, 1)]);
+        load(&mut db, "S", &[(1, 10), (1, 20)]);
+        load(&mut db, "T", &[(10, 7), (10, 3), (20, 100)]);
+        let rows = evaluate_query(&q, &db).unwrap();
+        // 5*7 + 5*3 + 2*7 + 2*3 + 5*100 + 2*100 = 770
+        assert_eq!(rows[0].1[0], Value::Int(770));
+    }
+
+    #[test]
+    fn interpreter_handles_group_by_and_avg() {
+        let cat = rst_catalog();
+        let q = qc("select B, sum(A), avg(A) from R group by B", &cat);
+        let mut db = Database::new();
+        load(&mut db, "R", &[(10, 1), (20, 1), (5, 2)]);
+        let mut rows = evaluate_query(&q, &db).unwrap();
+        rows.sort();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1, vec![Value::Int(1), Value::Int(30), Value::Int(15)]);
+    }
+
+    #[test]
+    fn interpreter_handles_nested_aggregate_predicates() {
+        let cat = Catalog::new().with(Schema::new(
+            "BIDS",
+            vec![("PRICE", ColumnType::Int), ("VOLUME", ColumnType::Int)],
+        ));
+        // Sum of price*volume for bids whose price is above the average of
+        // a correlated sub-sum: here, bids strictly dominated in price by
+        // less than 15 units of volume.
+        let q = qc(
+            "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 \
+             where (select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE) < 15",
+            &cat,
+        );
+        let mut db = Database::new();
+        load(&mut db, "BIDS", &[(10, 10), (20, 10), (30, 10)]);
+        // For price 30: dominated volume 0 < 15 -> included (300).
+        // For price 20: dominated volume 10 < 15 -> included (200).
+        // For price 10: dominated volume 20 >= 15 -> excluded.
+        let rows = evaluate_query(&q, &db).unwrap();
+        assert_eq!(rows[0].1[0], Value::Int(500));
+    }
+
+    #[test]
+    fn unbound_variables_are_reported() {
+        let e = CalcExpr::Val(ValExpr::var("NOPE"));
+        let db = Database::new();
+        assert!(evaluate_scalar(&e, &db, &Env::default()).is_err());
+    }
+}

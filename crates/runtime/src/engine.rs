@@ -1,0 +1,646 @@
+//! The query engine: applies update-stream events to the maintained maps
+//! and serves the standing-query result.
+//!
+//! An [`Engine`] is the *embedded mode* of the paper's runtime: it lives
+//! in the application's address space, processes one [`Event`] at a time
+//! through pre-compiled trigger statements, and exposes
+//!
+//! * [`Engine::result`] — the standing query's current answer,
+//! * [`Engine::map_snapshot`] / [`Engine::lookup`] — the read-only
+//!   interface to internal maps for ad-hoc client-side queries,
+//! * [`Engine::profile`] — per-trigger and per-map statistics (tuple
+//!   counts, processing time, entry counts, approximate bytes), backing
+//!   the paper's profiling/visualization experiments,
+//! * [`Engine::enable_tracing`] / [`Engine::last_trace`] — the
+//!   statement-level debugger used by the demo walkthrough.
+
+use std::time::{Duration, Instant};
+
+use dbtoaster_common::{Error, Event, EventKind, FxHashMap, Result, Tuple, Value};
+use dbtoaster_compiler::TriggerProgram;
+
+use crate::lower::{lower_program, Block, ExecProgram, ResultColumnSpec, Scalar};
+use crate::storage::MapStorage;
+
+/// One row of the standing-query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Group-by key (empty for scalar queries).
+    pub key: Tuple,
+    /// Output values in `SELECT` order (including echoed group columns).
+    pub values: Vec<Value>,
+}
+
+/// Per-trigger and per-map statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    pub events_processed: u64,
+    pub per_trigger: Vec<(String, u64, Duration)>,
+    /// (map name, live entries, approximate bytes).
+    pub per_map: Vec<(String, usize, usize)>,
+    pub total_bytes: usize,
+    /// Number of compiled statements and total compiled "code size"
+    /// (calculus nodes), mirroring the paper's generated-code statistics.
+    pub statement_count: usize,
+    pub code_size: usize,
+    /// Wall-clock time spent compiling and lowering the query.
+    pub compile_time: Duration,
+}
+
+/// The embedded-mode query engine.
+pub struct Engine {
+    program: TriggerProgram,
+    exec: ExecProgram,
+    maps: Vec<MapStorage>,
+    events_processed: u64,
+    trigger_stats: FxHashMap<(String, EventKind), (u64, Duration)>,
+    compile_time: Duration,
+    tracing: bool,
+    trace: Vec<String>,
+}
+
+impl Engine {
+    /// Build an engine from a compiled trigger program (lowers it and
+    /// allocates all maps and secondary indexes).
+    pub fn new(program: &TriggerProgram) -> Result<Engine> {
+        let started = Instant::now();
+        let exec = lower_program(program)?;
+        let mut maps: Vec<MapStorage> =
+            exec.map_arities.iter().map(|&a| MapStorage::new(a)).collect();
+        for (map, patterns) in exec.patterns.iter().enumerate() {
+            for p in patterns {
+                maps[map].register_pattern(p);
+            }
+        }
+        Ok(Engine {
+            program: program.clone(),
+            exec,
+            maps,
+            events_processed: 0,
+            trigger_stats: FxHashMap::default(),
+            compile_time: started.elapsed(),
+            tracing: false,
+            trace: Vec::new(),
+        })
+    }
+
+    /// The lowered program (for inspection and tests).
+    pub fn exec_program(&self) -> &ExecProgram {
+        &self.exec
+    }
+
+    /// The calculus-level program this engine runs.
+    pub fn program(&self) -> &TriggerProgram {
+        &self.program
+    }
+
+    /// Enable or disable statement-level tracing (the demo debugger).
+    pub fn enable_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The trace of the most recently processed event (statement renderings
+    /// with the target-map sizes after each application).
+    pub fn last_trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Process a single update-stream event.
+    pub fn on_event(&mut self, event: &Event) -> Result<()> {
+        let started = Instant::now();
+        if self.tracing {
+            self.trace.clear();
+            self.trace.push(format!(
+                "event: {} {} {}",
+                event.kind.label(),
+                event.relation,
+                event.tuple
+            ));
+        }
+        let Some(trigger) = self.exec.trigger(&event.relation, event.kind) else {
+            // Relations unknown to the query are ignored (the paper's
+            // runtime registers handlers only for referenced streams).
+            self.events_processed += 1;
+            return Ok(());
+        };
+        if event.tuple.arity() != trigger.event_args {
+            return Err(Error::Runtime(format!(
+                "event on {} has arity {}, expected {}",
+                event.relation,
+                event.tuple.arity(),
+                trigger.event_args
+            )));
+        }
+
+        for stmt in &trigger.statements {
+            let mut env = vec![Value::ZERO; stmt.slots];
+            env[..event.tuple.arity()].clone_from_slice(&event.tuple);
+            if stmt.clear_target {
+                self.maps[stmt.target].clear();
+            }
+            let mut updates: Vec<(Tuple, Value)> = Vec::new();
+            run_block(&self.maps, &stmt.block, &mut env, 0, &mut |env, maps| {
+                let key: Tuple =
+                    stmt.keys.iter().map(|k| eval_scalar(k, env, maps)).collect();
+                let value = match &stmt.block.value {
+                    Some(v) => eval_scalar(v, env, maps),
+                    None => Value::ONE,
+                };
+                if !value.is_zero() {
+                    updates.push((key, value));
+                }
+            });
+            let target = stmt.target;
+            for (key, value) in updates {
+                self.maps[target].add(key, value);
+            }
+            if self.tracing {
+                self.trace.push(format!(
+                    "  {} => {} now has {} entries",
+                    stmt.rendered,
+                    self.exec.map_names[target],
+                    self.maps[target].len()
+                ));
+            }
+        }
+
+        self.events_processed += 1;
+        let entry = self
+            .trigger_stats
+            .entry((event.relation.clone(), event.kind))
+            .or_insert((0, Duration::ZERO));
+        entry.0 += 1;
+        entry.1 += started.elapsed();
+        Ok(())
+    }
+
+    /// Process every event of a stream, in order.
+    pub fn process<'a>(&mut self, events: impl IntoIterator<Item = &'a Event>) -> Result<()> {
+        for e in events {
+            self.on_event(e)?;
+        }
+        Ok(())
+    }
+
+    /// The current standing-query result, sorted by group key for
+    /// deterministic output.
+    pub fn result(&self) -> Vec<ResultRow> {
+        let spec = &self.exec.result;
+        // Collect the set of group keys from the driver maps (or the
+        // single empty key for scalar queries).
+        let mut keys: Vec<Tuple> = Vec::new();
+        if spec.group_arity == 0 {
+            keys.push(Tuple::empty());
+        } else {
+            for &m in &spec.driver_maps {
+                for (k, _) in self.maps[m].iter() {
+                    if !keys.contains(k) {
+                        keys.push(k.clone());
+                    }
+                }
+            }
+            // Extremum-only queries: derive groups from support maps.
+            if spec.driver_maps.is_empty() {
+                for col in &spec.columns {
+                    if let ResultColumnSpec::Extremum { map, .. } = col {
+                        for (k, _) in self.maps[*map].iter() {
+                            let prefix = Tuple::new(k.0[..spec.group_arity].to_vec());
+                            if !keys.contains(&prefix) {
+                                keys.push(prefix);
+                            }
+                        }
+                    }
+                }
+            }
+            keys.sort();
+        }
+
+        let mut rows = Vec::with_capacity(keys.len());
+        for key in keys {
+            let mut values = Vec::with_capacity(spec.columns.len());
+            let mut all_zero = true;
+            for col in &spec.columns {
+                let v = match col {
+                    ResultColumnSpec::Group { index, .. } => {
+                        all_zero = false;
+                        key[*index].clone()
+                    }
+                    ResultColumnSpec::Sum { map, .. } => {
+                        let v = self.maps[*map].get(&key);
+                        if !v.is_zero() {
+                            all_zero = false;
+                        }
+                        v
+                    }
+                    ResultColumnSpec::Avg { sum, count, .. } => {
+                        let s = self.maps[*sum].get(&key);
+                        let c = self.maps[*count].get(&key);
+                        if !c.is_zero() {
+                            all_zero = false;
+                        }
+                        s.div(&c)
+                    }
+                    ResultColumnSpec::Extremum { map, is_min, .. } => {
+                        let mut best: Option<Value> = None;
+                        for (k, v) in self.maps[*map].iter() {
+                            if k.0[..key.arity()] == key.0[..] && v.as_f64() > 0.0 {
+                                let candidate = k.0[key.arity()].clone();
+                                best = Some(match best {
+                                    None => candidate,
+                                    Some(b) => {
+                                        if *is_min {
+                                            b.min_of(&candidate)
+                                        } else {
+                                            b.max_of(&candidate)
+                                        }
+                                    }
+                                });
+                                all_zero = false;
+                            }
+                        }
+                        best.unwrap_or(Value::Null)
+                    }
+                };
+                values.push(v);
+            }
+            // For scalar queries we always report the single row; grouped
+            // queries drop groups whose aggregates have all vanished.
+            if spec.group_arity == 0 || !all_zero {
+                rows.push(ResultRow { key, values });
+            }
+        }
+        rows
+    }
+
+    /// Output column names in `SELECT` order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.exec
+            .result
+            .columns
+            .iter()
+            .map(|c| match c {
+                ResultColumnSpec::Group { name, .. }
+                | ResultColumnSpec::Sum { name, .. }
+                | ResultColumnSpec::Avg { name, .. }
+                | ResultColumnSpec::Extremum { name, .. } => name.clone(),
+            })
+            .collect()
+    }
+
+    /// Convenience accessor for scalar single-aggregate queries.
+    pub fn scalar_result(&self) -> Value {
+        self.result()
+            .first()
+            .and_then(|r| r.values.first().cloned())
+            .unwrap_or(Value::ZERO)
+    }
+
+    /// Read-only snapshot of one internal map (the ad-hoc query
+    /// interface).
+    pub fn map_snapshot(&self, name: &str) -> Option<Vec<(Tuple, Value)>> {
+        let id = self.exec.map_id(name)?;
+        let mut entries: Vec<(Tuple, Value)> =
+            self.maps[id].iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Some(entries)
+    }
+
+    /// Point lookup into an internal map.
+    pub fn lookup(&self, map: &str, key: &Tuple) -> Option<Value> {
+        let id = self.exec.map_id(map)?;
+        Some(self.maps[id].get(key))
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Approximate total memory held by all maps, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.maps.iter().map(MapStorage::approx_bytes).sum()
+    }
+
+    /// Build the profiling report (experiment E5).
+    pub fn profile(&self) -> ProfileReport {
+        let mut per_trigger: Vec<(String, u64, Duration)> = self
+            .trigger_stats
+            .iter()
+            .map(|((rel, kind), (count, time))| {
+                (format!("on_{}_{}", kind.label(), rel), *count, *time)
+            })
+            .collect();
+        per_trigger.sort();
+        let per_map: Vec<(String, usize, usize)> = self
+            .exec
+            .map_names
+            .iter()
+            .zip(&self.maps)
+            .map(|(name, m)| (name.clone(), m.len(), m.approx_bytes()))
+            .collect();
+        ProfileReport {
+            events_processed: self.events_processed,
+            per_trigger,
+            total_bytes: per_map.iter().map(|(_, _, b)| b).sum(),
+            per_map,
+            statement_count: self.program.statement_count(),
+            code_size: self.program.code_size(),
+            compile_time: self.compile_time,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// statement evaluation
+// ---------------------------------------------------------------------
+
+/// Drive the nested loops of a block, invoking `emit` for every binding.
+/// Guards and assignments are evaluated innermost (per complete binding).
+fn run_block(
+    maps: &[MapStorage],
+    block: &Block,
+    env: &mut Vec<Value>,
+    level: usize,
+    emit: &mut dyn FnMut(&mut Vec<Value>, &[MapStorage]),
+) {
+    if level == block.loops.len() {
+        for (slot, scalar) in &block.assigns {
+            env[*slot] = eval_scalar(scalar, env, maps);
+        }
+        for g in &block.guards {
+            if !eval_scalar(g, env, maps).as_bool() {
+                return;
+            }
+        }
+        emit(env, maps);
+        return;
+    }
+    let step = &block.loops[level];
+    let bound: Tuple = step.bound_values.iter().map(|s| eval_scalar(s, env, maps)).collect();
+    // Materialize the slice keys so the recursive call can freely evaluate
+    // lookups against the maps.
+    let entries: Vec<(Tuple, Value)> = maps[step.map]
+        .slice(&step.bound_positions, &bound)
+        .into_iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    for (key, value) in entries {
+        for (pos, slot) in &step.bind {
+            env[*slot] = key[*pos].clone();
+        }
+        env[step.value_slot] = value;
+        run_block(maps, block, env, level + 1, emit);
+    }
+}
+
+/// Evaluate a scalar expression.
+fn eval_scalar(scalar: &Scalar, env: &[Value], maps: &[MapStorage]) -> Value {
+    match scalar {
+        Scalar::Const(c) => c.clone(),
+        Scalar::Slot(i) => env[*i].clone(),
+        Scalar::Add(es) => es
+            .iter()
+            .fold(Value::ZERO, |acc, e| acc.add(&eval_scalar(e, env, maps))),
+        Scalar::Mul(es) => {
+            let mut acc = Value::ONE;
+            for e in es {
+                acc = acc.mul(&eval_scalar(e, env, maps));
+                if acc.is_zero() {
+                    return acc;
+                }
+            }
+            acc
+        }
+        Scalar::Neg(e) => eval_scalar(e, env, maps).neg(),
+        Scalar::Div(a, b) => eval_scalar(a, env, maps).div(&eval_scalar(b, env, maps)),
+        Scalar::Cmp { op, left, right } => {
+            let l = eval_scalar(left, env, maps);
+            let r = eval_scalar(right, env, maps);
+            Value::Int(op.eval(&l, &r) as i64)
+        }
+        Scalar::Lookup { map, keys } => {
+            let key: Tuple = keys.iter().map(|k| eval_scalar(k, env, maps)).collect();
+            maps[*map].get(&key)
+        }
+        Scalar::Aggregate(block) => eval_block_sum(block, env, maps),
+        Scalar::Exists(block) => {
+            let v = eval_block_sum(block, env, maps);
+            Value::Int((!v.is_zero()) as i64)
+        }
+    }
+}
+
+/// Sum a nested block (Lift / EXISTS bodies).
+fn eval_block_sum(block: &Block, env: &[Value], maps: &[MapStorage]) -> Value {
+    let mut scratch = env.to_vec();
+    let mut total = Value::ZERO;
+    run_block(maps, block, &mut scratch, 0, &mut |env, maps| {
+        if let Some(v) = &block.value {
+            total = total.add(&eval_scalar(v, env, maps));
+        } else {
+            total = total.add(&Value::ONE);
+        }
+    });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{tuple, Catalog, ColumnType, Schema, UpdateStream};
+    use dbtoaster_compiler::{compile_sql, CompileOptions};
+
+    fn rst_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+    }
+
+    fn engine_for(sql: &str, options: &CompileOptions) -> Engine {
+        let p = compile_sql(sql, &rst_catalog(), options).unwrap();
+        Engine::new(&p).unwrap()
+    }
+
+    /// Reference computation of sum(A*D) over explicit relation contents.
+    fn reference_sum_ad(r: &[(i64, i64)], s: &[(i64, i64)], t: &[(i64, i64)]) -> i64 {
+        let mut total = 0;
+        for (a, b) in r {
+            for (b2, c) in s {
+                if b == b2 {
+                    for (c2, d) in t {
+                        if c == c2 {
+                            total += a * d;
+                        }
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    const RST: &str = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
+
+    #[test]
+    fn figure2_example_matches_hand_computation() {
+        let mut engine = engine_for(RST, &CompileOptions::full());
+        // Events in an order that exercises all handlers.
+        let events = vec![
+            Event::insert("S", tuple![1i64, 10i64]),
+            Event::insert("R", tuple![5i64, 1i64]),
+            Event::insert("T", tuple![10i64, 7i64]),
+            Event::insert("R", tuple![2i64, 1i64]),
+            Event::insert("T", tuple![10i64, 3i64]),
+            Event::insert("S", tuple![1i64, 20i64]),
+            Event::insert("T", tuple![20i64, 100i64]),
+        ];
+        engine.process(&events).unwrap();
+        let r = [(5, 1), (2, 1)];
+        let s = [(1, 10), (1, 20)];
+        let t = [(10, 7), (10, 3), (20, 100)];
+        assert_eq!(engine.scalar_result(), Value::Int(reference_sum_ad(&r, &s, &t)));
+    }
+
+    #[test]
+    fn deletions_and_reinsertions_cancel_exactly() {
+        let mut engine = engine_for(RST, &CompileOptions::full());
+        let mut stream = UpdateStream::new();
+        stream.push(Event::insert("R", tuple![4i64, 2i64]));
+        stream.push(Event::insert("S", tuple![2i64, 9i64]));
+        stream.push(Event::insert("T", tuple![9i64, 11i64]));
+        stream.push(Event::delete("S", tuple![2i64, 9i64]));
+        engine.process(&stream).unwrap();
+        assert_eq!(engine.scalar_result(), Value::Int(0));
+        engine.on_event(&Event::insert("S", tuple![2i64, 9i64])).unwrap();
+        assert_eq!(engine.scalar_result(), Value::Int(44));
+    }
+
+    #[test]
+    fn full_and_first_order_compilation_agree() {
+        let mut full = engine_for(RST, &CompileOptions::full());
+        let mut first = engine_for(RST, &CompileOptions::first_order());
+        let events = [
+            Event::insert("R", tuple![1i64, 1i64]),
+            Event::insert("S", tuple![1i64, 2i64]),
+            Event::insert("T", tuple![2i64, 5i64]),
+            Event::insert("R", tuple![3i64, 1i64]),
+            Event::delete("R", tuple![1i64, 1i64]),
+            Event::insert("T", tuple![2i64, 7i64]),
+        ];
+        for e in &events {
+            full.on_event(e).unwrap();
+            first.on_event(e).unwrap();
+            assert_eq!(full.scalar_result(), first.scalar_result(), "diverged at {e:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_query_returns_rows_per_group() {
+        let cat = rst_catalog();
+        let p = compile_sql("select B, sum(A), count(*) from R group by B", &cat, &CompileOptions::full())
+            .unwrap();
+        let mut engine = Engine::new(&p).unwrap();
+        for (a, b) in [(10i64, 1i64), (20, 1), (5, 2)] {
+            engine.on_event(&Event::insert("R", tuple![a, b])).unwrap();
+        }
+        let rows = engine.result();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].values, vec![Value::Int(1), Value::Int(30), Value::Int(2)]);
+        assert_eq!(rows[1].values, vec![Value::Int(2), Value::Int(5), Value::Int(1)]);
+        // Deleting the only group-2 row removes that group from the output.
+        engine.on_event(&Event::delete("R", tuple![5i64, 2i64])).unwrap();
+        assert_eq!(engine.result().len(), 1);
+    }
+
+    #[test]
+    fn avg_and_minmax_columns_are_assembled_from_their_maps() {
+        let cat = rst_catalog();
+        let p = compile_sql(
+            "select B, avg(A), min(A), max(A) from R group by B",
+            &cat,
+            &CompileOptions::full(),
+        )
+        .unwrap();
+        let mut engine = Engine::new(&p).unwrap();
+        for a in [10i64, 20, 60] {
+            engine.on_event(&Event::insert("R", tuple![a, 1i64])).unwrap();
+        }
+        let rows = engine.result();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[1], Value::Int(30));
+        assert_eq!(rows[0].values[2], Value::Int(10));
+        assert_eq!(rows[0].values[3], Value::Int(60));
+        // Deleting the current maximum exposes the next one.
+        engine.on_event(&Event::delete("R", tuple![60i64, 1i64])).unwrap();
+        assert_eq!(engine.result()[0].values[3], Value::Int(20));
+    }
+
+    #[test]
+    fn snapshots_and_lookups_expose_internal_maps() {
+        let mut engine = engine_for(RST, &CompileOptions::full());
+        engine.on_event(&Event::insert("S", tuple![1i64, 10i64])).unwrap();
+        let q1_name = engine
+            .exec_program()
+            .map_names
+            .iter()
+            .find(|n| n.starts_with("M5"))
+            .unwrap()
+            .clone();
+        let snapshot = engine.map_snapshot(&q1_name).unwrap();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot[0].1, Value::Int(1));
+        assert_eq!(engine.lookup(&q1_name, &tuple![1i64, 10i64]), Some(Value::Int(1)));
+        assert!(engine.map_snapshot("NOPE").is_none());
+    }
+
+    #[test]
+    fn profiler_reports_triggers_maps_and_code_size() {
+        let mut engine = engine_for(RST, &CompileOptions::full());
+        engine.on_event(&Event::insert("R", tuple![1i64, 1i64])).unwrap();
+        engine.on_event(&Event::insert("S", tuple![1i64, 2i64])).unwrap();
+        let report = engine.profile();
+        assert_eq!(report.events_processed, 2);
+        assert_eq!(report.per_map.len(), 6);
+        assert!(report.statement_count >= 8);
+        assert!(report.total_bytes > 0);
+        assert!(report.per_trigger.iter().any(|(n, c, _)| n == "on_insert_R" && *c == 1));
+    }
+
+    #[test]
+    fn tracing_records_statement_applications() {
+        let mut engine = engine_for(RST, &CompileOptions::full());
+        engine.enable_tracing(true);
+        engine.on_event(&Event::insert("R", tuple![1i64, 1i64])).unwrap();
+        let trace = engine.last_trace();
+        assert!(trace[0].starts_with("event: insert R"));
+        assert!(trace.len() > 1);
+    }
+
+    #[test]
+    fn events_on_unknown_relations_are_ignored() {
+        let mut engine = engine_for(RST, &CompileOptions::full());
+        engine.on_event(&Event::insert("UNRELATED", tuple![1i64])).unwrap();
+        assert_eq!(engine.scalar_result(), Value::Int(0));
+    }
+
+    #[test]
+    fn arity_mismatches_are_runtime_errors() {
+        let mut engine = engine_for(RST, &CompileOptions::full());
+        assert!(engine.on_event(&Event::insert("R", tuple![1i64])).is_err());
+    }
+
+    #[test]
+    fn memory_grows_with_state_and_shrinks_on_deletes() {
+        let mut engine = engine_for(RST, &CompileOptions::full());
+        let empty = engine.memory_bytes();
+        for i in 0..50i64 {
+            engine.on_event(&Event::insert("S", tuple![i, i])).unwrap();
+        }
+        let loaded = engine.memory_bytes();
+        assert!(loaded > empty);
+        for i in 0..50i64 {
+            engine.on_event(&Event::delete("S", tuple![i, i])).unwrap();
+        }
+        assert!(engine.memory_bytes() < loaded);
+    }
+}

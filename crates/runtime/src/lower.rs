@@ -1,0 +1,698 @@
+//! Lowering calculus trigger programs to a slot-based executable form.
+//!
+//! The paper's compiler emits C++ and relies on the C++ compiler for
+//! native code; here the equivalent step resolves every symbolic artifact
+//! at compile time so that event processing touches no strings, no plan
+//! trees and no interpretation of the query shape:
+//!
+//! * map names become integer ids,
+//! * variables become slots of a flat environment vector,
+//! * `foreach` statements become [`LoopStep`]s over pre-registered
+//!   secondary-index slices,
+//! * comparisons become guard [`Scalar`]s, and arithmetic becomes a small
+//!   expression tree over slots and constants,
+//! * statements whose aggregations survive (depth-limited compilation,
+//!   nested-aggregate re-evaluation) are *flattened*: the statement's
+//!   per-binding `+=` performs the summation, so no separate aggregation
+//!   machinery runs at event time.
+
+use dbtoaster_common::{Error, EventKind, Result, Value};
+use dbtoaster_calculus::{CalcExpr, CmpOp, ResultColumn, ValExpr, Var};
+use dbtoaster_compiler::{Statement, StatementKind, TriggerProgram};
+
+/// Scalar expressions over environment slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    Const(Value),
+    Slot(usize),
+    Add(Vec<Scalar>),
+    Mul(Vec<Scalar>),
+    Neg(Box<Scalar>),
+    Div(Box<Scalar>, Box<Scalar>),
+    /// 1 if the comparison holds, else 0.
+    Cmp { op: CmpOp, left: Box<Scalar>, right: Box<Scalar> },
+    /// Point lookup into a map with fully-computable keys.
+    Lookup { map: usize, keys: Vec<Scalar> },
+    /// Sum of a nested block (used for `Lift` bodies).
+    Aggregate(Box<Block>),
+    /// 1 if the nested block sums to a non-zero value (used for EXISTS).
+    Exists(Box<Block>),
+}
+
+/// One loop over a map slice: the positions in `bound` are fixed to the
+/// given scalars, the positions in `bind` receive the matching key
+/// components, and `value_slot` receives the stored value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopStep {
+    pub map: usize,
+    /// Sorted key positions that are bound, with the scalars producing
+    /// their values (order matches `positions`).
+    pub bound_positions: Vec<usize>,
+    pub bound_values: Vec<Scalar>,
+    /// (key position, destination slot) for the unbound components.
+    pub bind: Vec<(usize, usize)>,
+    /// Slot receiving the map value of the current entry.
+    pub value_slot: usize,
+}
+
+/// A block: nested loops, slot assignments, guards and a value.
+/// Its aggregate value is the sum over all loop bindings that pass the
+/// guards of the block's value expression.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    pub loops: Vec<LoopStep>,
+    pub assigns: Vec<(usize, Scalar)>,
+    pub guards: Vec<Scalar>,
+    pub value: Option<Scalar>,
+}
+
+/// One executable statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecStatement {
+    pub target: usize,
+    /// Clear the target before applying (Replace statements).
+    pub clear_target: bool,
+    /// Target key expressions (one per key position).
+    pub keys: Vec<Scalar>,
+    pub block: Block,
+    /// Number of environment slots the statement needs.
+    pub slots: usize,
+    /// Human-readable form, for the tracing debugger.
+    pub rendered: String,
+}
+
+/// A compiled trigger: all statements for one (relation, event kind).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledTrigger {
+    pub relation: String,
+    pub event_args: usize,
+    pub statements: Vec<ExecStatement>,
+}
+
+/// How one output column of the result is produced from the maps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultColumnSpec {
+    /// The i-th component of the group key.
+    Group { name: String, index: usize },
+    Sum { name: String, map: usize },
+    Avg { name: String, sum: usize, count: usize },
+    Extremum { name: String, map: usize, is_min: bool },
+}
+
+/// Result-assembly description.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSpec {
+    pub group_arity: usize,
+    pub columns: Vec<ResultColumnSpec>,
+    /// Maps that enumerate the group keys (first suitable map is used).
+    pub driver_maps: Vec<usize>,
+}
+
+/// The fully lowered program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecProgram {
+    pub map_names: Vec<String>,
+    pub map_arities: Vec<usize>,
+    /// Secondary-index patterns required per map.
+    pub patterns: Vec<Vec<Vec<usize>>>,
+    pub triggers: Vec<((String, EventKind), CompiledTrigger)>,
+    pub result: ResultSpec,
+    /// Names of base relations that have at least one trigger.
+    pub relations: Vec<String>,
+}
+
+impl ExecProgram {
+    /// Map id by name.
+    pub fn map_id(&self, name: &str) -> Option<usize> {
+        self.map_names.iter().position(|n| n == name)
+    }
+
+    /// The compiled trigger for an event, if any.
+    pub fn trigger(&self, relation: &str, event: EventKind) -> Option<&CompiledTrigger> {
+        self.triggers
+            .iter()
+            .find(|((r, e), _)| r == relation && *e == event)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Lower a calculus trigger program.
+pub fn lower_program(program: &TriggerProgram) -> Result<ExecProgram> {
+    let map_names: Vec<String> = program.maps.iter().map(|m| m.name.clone()).collect();
+    let map_arities: Vec<usize> = program.maps.iter().map(|m| m.keys.len()).collect();
+    let mut exec = ExecProgram {
+        patterns: vec![Vec::new(); map_names.len()],
+        map_names,
+        map_arities,
+        ..Default::default()
+    };
+
+    for trigger in &program.triggers {
+        let mut compiled = CompiledTrigger {
+            relation: trigger.relation.clone(),
+            event_args: trigger.args.len(),
+            statements: Vec::new(),
+        };
+        for statement in &trigger.statements {
+            let lowered = lower_statement(statement, &trigger.args, &mut exec)?;
+            compiled.statements.extend(lowered);
+        }
+        if !exec.relations.contains(&trigger.relation) {
+            exec.relations.push(trigger.relation.clone());
+        }
+        exec.triggers.push(((trigger.relation.clone(), trigger.event), compiled));
+    }
+
+    exec.result = lower_result(program, &exec)?;
+    Ok(exec)
+}
+
+fn lower_result(program: &TriggerProgram, exec: &ExecProgram) -> Result<ResultSpec> {
+    let group_arity = program.query.group_vars.len();
+    let mut columns = Vec::new();
+    let mut driver_maps = Vec::new();
+    let map_id = |name: &str| {
+        exec.map_id(name)
+            .ok_or_else(|| Error::Compile(format!("result references unknown map {name}")))
+    };
+    for col in &program.query.columns {
+        match col {
+            ResultColumn::Group { name, var } => {
+                let index = program
+                    .query
+                    .group_vars
+                    .iter()
+                    .position(|g| g == var)
+                    .ok_or_else(|| Error::Compile(format!("group column {var} not in keys")))?;
+                columns.push(ResultColumnSpec::Group { name: name.clone(), index });
+            }
+            ResultColumn::Sum { name, map } => {
+                let id = map_id(map)?;
+                driver_maps.push(id);
+                columns.push(ResultColumnSpec::Sum { name: name.clone(), map: id });
+            }
+            ResultColumn::Avg { name, sum_map, count_map } => {
+                let sum = map_id(sum_map)?;
+                let count = map_id(count_map)?;
+                driver_maps.push(count);
+                columns.push(ResultColumnSpec::Avg { name: name.clone(), sum, count });
+            }
+            ResultColumn::Extremum { name, map, is_min } => {
+                let id = map_id(map)?;
+                columns.push(ResultColumnSpec::Extremum {
+                    name: name.clone(),
+                    map: id,
+                    is_min: *is_min,
+                });
+            }
+        }
+    }
+    Ok(ResultSpec { group_arity, columns, driver_maps })
+}
+
+// ---------------------------------------------------------------------
+// statement lowering
+// ---------------------------------------------------------------------
+
+struct Lowerer<'a> {
+    exec: &'a mut ExecProgram,
+    slots: Vec<Var>,
+    bound: Vec<bool>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn slot_of(&mut self, var: &str) -> usize {
+        match self.slots.iter().position(|v| v == var) {
+            Some(i) => i,
+            None => {
+                self.slots.push(var.to_string());
+                self.bound.push(false);
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    fn is_bound(&mut self, var: &str) -> bool {
+        let s = self.slot_of(var);
+        self.bound[s]
+    }
+
+    fn map_id(&self, name: &str) -> Result<usize> {
+        self.exec
+            .map_id(name)
+            .ok_or_else(|| Error::Compile(format!("statement references unknown map {name}")))
+    }
+}
+
+fn lower_statement(
+    statement: &Statement,
+    args: &[Var],
+    exec: &mut ExecProgram,
+) -> Result<Vec<ExecStatement>> {
+    let target = exec
+        .map_id(&statement.target)
+        .ok_or_else(|| Error::Compile(format!("unknown target map {}", statement.target)))?;
+
+    // A Replace statement's RHS is the map definition; unwrap the top
+    // AggSum (its group is the target key list) and split a top-level sum
+    // into independent addends.
+    let (terms, clear_target) = match statement.kind {
+        StatementKind::Update => (vec![statement.update.clone()], false),
+        StatementKind::Replace => {
+            let body = match &statement.update {
+                CalcExpr::AggSum { body, .. } => (**body).clone(),
+                other => other.clone(),
+            };
+            let terms = match body {
+                CalcExpr::Sum(ts) => ts,
+                other => vec![other],
+            };
+            (terms, true)
+        }
+    };
+
+    let mut out = Vec::new();
+    for (i, term) in terms.iter().enumerate() {
+        let mut lowerer = Lowerer { exec, slots: Vec::new(), bound: Vec::new() };
+        for a in args {
+            let s = lowerer.slot_of(a);
+            lowerer.bound[s] = true;
+        }
+        let (block, key_scalars) = build_block(&mut lowerer, term, &statement.target_keys, true)?;
+        out.push(ExecStatement {
+            target,
+            clear_target: clear_target && i == 0,
+            keys: key_scalars,
+            block,
+            slots: lowerer.slots.len(),
+            rendered: statement.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Flatten a calculus product term into atomic factors, folding signs.
+fn flatten_factors(expr: &CalcExpr, sign: i64, out: &mut Vec<(i64, CalcExpr)>) {
+    match expr {
+        CalcExpr::Prod(fs) => {
+            // The sign applies once to the whole product; distribute it to
+            // the first pushed factor by pushing a constant if needed.
+            if sign < 0 {
+                out.push((1, CalcExpr::constant(-1)));
+            }
+            for f in fs {
+                flatten_factors(f, 1, out);
+            }
+        }
+        CalcExpr::Neg(e) => flatten_factors(e, -sign, out),
+        other => out.push((sign, other.clone())),
+    }
+}
+
+/// Build a block for one product term. When `for_statement` is true, the
+/// `target_keys` must all end up computable and nested aggregations are
+/// flattened into the block's loops (the per-binding `+=` performs the
+/// summation); when false (nested Lift/Exists bodies) the block is
+/// evaluated as a scalar sum.
+fn build_block(
+    lowerer: &mut Lowerer<'_>,
+    term: &CalcExpr,
+    target_keys: &[Var],
+    for_statement: bool,
+) -> Result<(Block, Vec<Scalar>)> {
+    let mut raw = Vec::new();
+    flatten_factors(term, 1, &mut raw);
+
+    // Flatten AggSum factors: their bodies' factors join this block.
+    let mut factors: Vec<CalcExpr> = Vec::new();
+    let mut queue: Vec<CalcExpr> = raw
+        .into_iter()
+        .map(|(sign, f)| {
+            if sign < 0 {
+                CalcExpr::product(vec![CalcExpr::constant(-1), f])
+            } else {
+                f
+            }
+        })
+        .collect();
+    while let Some(f) = queue.pop() {
+        match f {
+            CalcExpr::AggSum { body, .. } => {
+                let mut inner = Vec::new();
+                flatten_factors(&body, 1, &mut inner);
+                for (sign, g) in inner {
+                    if sign < 0 {
+                        queue.push(CalcExpr::constant(-1));
+                    }
+                    queue.push(g);
+                }
+            }
+            CalcExpr::Prod(fs) => queue.extend(fs),
+            other => factors.push(other),
+        }
+    }
+
+    let mut block = Block::default();
+    let mut value_factors: Vec<Scalar> = Vec::new();
+    let mut pending_cmps: Vec<(CmpOp, ValExpr, ValExpr)> = Vec::new();
+    let mut pending_maps: Vec<(String, Vec<Var>)> = Vec::new();
+
+    for f in factors {
+        match f {
+            CalcExpr::Val(v) => value_factors.push(lower_val_deferred(&v)),
+            CalcExpr::Cmp { op, left, right } => pending_cmps.push((op, left, right)),
+            CalcExpr::MapRef { name, keys } => pending_maps.push((name, keys)),
+            CalcExpr::Lift { var, body } => {
+                let inner = build_nested_scalar(lowerer, &body)?;
+                let slot = lowerer.slot_of(&var);
+                lowerer.bound[slot] = true;
+                block.assigns.push((slot, inner));
+            }
+            CalcExpr::Exists(body) => {
+                let inner = build_nested_block(lowerer, &body)?;
+                value_factors.push(Scalar::Exists(Box::new(inner)));
+            }
+            CalcExpr::Rel { name, .. } => {
+                return Err(Error::Compile(format!(
+                    "statement still references base relation {name}; compile it first"
+                )))
+            }
+            CalcExpr::Sum(ts) => {
+                // A residual sum factor (e.g. an OR predicate): evaluate it
+                // as a nested scalar.
+                let inner = build_nested_scalar(lowerer, &CalcExpr::Sum(ts))?;
+                value_factors.push(inner);
+            }
+            CalcExpr::Prod(_) | CalcExpr::AggSum { .. } | CalcExpr::Neg(_) => unreachable!(),
+        }
+    }
+
+    // Fixpoint: resolve equality assignments and choose loops.
+    loop {
+        let mut progress = false;
+
+        // Equalities that bind an unbound variable to a computable value.
+        let mut i = 0;
+        while i < pending_cmps.len() {
+            let (op, l, r) = &pending_cmps[i];
+            if *op == CmpOp::Eq {
+                let assignment = match (l, r) {
+                    (ValExpr::Var(x), rhs) if !lowerer.is_bound(x) && val_ready(lowerer, rhs) => {
+                        Some((x.clone(), rhs.clone()))
+                    }
+                    (lhs, ValExpr::Var(y)) if !lowerer.is_bound(y) && val_ready(lowerer, lhs) => {
+                        Some((y.clone(), lhs.clone()))
+                    }
+                    _ => None,
+                };
+                if let Some((var, rhs)) = assignment {
+                    let scalar = lower_val(lowerer, &rhs)?;
+                    let slot = lowerer.slot_of(&var);
+                    lowerer.bound[slot] = true;
+                    block.assigns.push((slot, scalar));
+                    pending_cmps.remove(i);
+                    progress = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+
+        // Map references that are fully bound become lookups.
+        let mut i = 0;
+        while i < pending_maps.len() {
+            let (_, keys) = &pending_maps[i];
+            if keys.iter().all(|k| lowerer.is_bound(k)) {
+                let (name, keys) = pending_maps.remove(i);
+                let map = lowerer.map_id(&name)?;
+                let key_scalars =
+                    keys.iter().map(|k| Scalar::Slot(lowerer.slot_of(k))).collect();
+                value_factors.push(Scalar::Lookup { map, keys: key_scalars });
+                progress = true;
+                continue;
+            }
+            i += 1;
+        }
+
+        if pending_maps.is_empty() && pending_cmps.iter().all(|_| true) && !progress {
+            // Pick a loop: the pending map reference with the most bound
+            // keys (most selective slice).
+            if pending_maps.is_empty() {
+                break;
+            }
+        }
+        if progress {
+            continue;
+        }
+        if pending_maps.is_empty() {
+            break;
+        }
+        let (best_idx, _) = pending_maps
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, keys))| {
+                keys.iter().filter(|k| lowerer.is_bound(k)).count()
+            })
+            .expect("pending_maps is non-empty");
+        let (name, keys) = pending_maps.remove(best_idx);
+        let map = lowerer.map_id(&name)?;
+
+        let mut bound_positions = Vec::new();
+        let mut bound_values = Vec::new();
+        let mut bind = Vec::new();
+        for (pos, key) in keys.iter().enumerate() {
+            if lowerer.is_bound(key) || bind.iter().any(|(_, s)| *s == lowerer.slot_of(key)) {
+                bound_positions.push(pos);
+                bound_values.push(Scalar::Slot(lowerer.slot_of(key)));
+            } else {
+                let slot = lowerer.slot_of(key);
+                bind.push((pos, slot));
+            }
+        }
+        // Register the index pattern this loop needs.
+        if !bound_positions.is_empty() && bound_positions.len() < keys.len() {
+            let pats = &mut lowerer.exec.patterns[map];
+            if !pats.contains(&bound_positions) {
+                pats.push(bound_positions.clone());
+            }
+        }
+        let value_slot = {
+            lowerer.slots.push(format!("__val{}", lowerer.slots.len()));
+            lowerer.bound.push(true);
+            lowerer.slots.len() - 1
+        };
+        for (_, slot) in &bind {
+            lowerer.bound[*slot] = true;
+        }
+        value_factors.push(Scalar::Slot(value_slot));
+        block.loops.push(LoopStep { map, bound_positions, bound_values, bind, value_slot });
+    }
+
+    // Whatever comparisons remain are guards; they must now be evaluable.
+    for (op, l, r) in pending_cmps {
+        let left = lower_val(lowerer, &l)?;
+        let right = lower_val(lowerer, &r)?;
+        block.guards.push(Scalar::Cmp { op, left: Box::new(left), right: Box::new(right) });
+    }
+
+    // Resolve the deferred value factors (variables must be bound now).
+    let value_factors = value_factors
+        .into_iter()
+        .map(|s| resolve_deferred(lowerer, s))
+        .collect::<Result<Vec<_>>>()?;
+
+    block.value = Some(match value_factors.len() {
+        0 => Scalar::Const(Value::ONE),
+        1 => value_factors.into_iter().next().unwrap(),
+        _ => Scalar::Mul(value_factors),
+    });
+
+    // Target keys.
+    let mut key_scalars = Vec::new();
+    if for_statement {
+        for k in target_keys {
+            if !lowerer.is_bound(k) {
+                return Err(Error::Compile(format!(
+                    "target key {k} is not bound by trigger arguments, equalities or loops \
+                     in statement"
+                )));
+            }
+            key_scalars.push(Scalar::Slot(lowerer.slot_of(k)));
+        }
+    }
+
+    Ok((block, key_scalars))
+}
+
+/// Build a nested block (for Lift / Exists bodies) sharing the enclosing
+/// statement's slot space.
+fn build_nested_block(lowerer: &mut Lowerer<'_>, body: &CalcExpr) -> Result<Block> {
+    // Bodies may be sums of products; evaluate each addend as its own
+    // sub-block and sum them through an Aggregate of a synthetic block per
+    // addend. For the common single-term case this is a single block.
+    let (block, _) = build_block(lowerer, body, &[], false)?;
+    Ok(block)
+}
+
+/// Build a nested scalar for a Lift body.
+fn build_nested_scalar(lowerer: &mut Lowerer<'_>, body: &CalcExpr) -> Result<Scalar> {
+    match body {
+        CalcExpr::Sum(ts) => {
+            let mut parts = Vec::new();
+            for t in ts {
+                parts.push(build_nested_scalar(lowerer, t)?);
+            }
+            Ok(Scalar::Add(parts))
+        }
+        CalcExpr::Val(v) => lower_val(lowerer, v),
+        other => {
+            let block = build_nested_block(lowerer, other)?;
+            Ok(Scalar::Aggregate(Box::new(block)))
+        }
+    }
+}
+
+/// Lower a value expression whose variables may not be bound yet; slots
+/// are allocated and verified during `resolve_deferred`.
+fn lower_val_deferred(v: &ValExpr) -> Scalar {
+    match v {
+        ValExpr::Const(c) => Scalar::Const(c.clone()),
+        ValExpr::Var(x) => Scalar::Lookup { map: usize::MAX, keys: vec![Scalar::Const(Value::Str(x.clone()))] },
+        ValExpr::Add(es) => Scalar::Add(es.iter().map(lower_val_deferred).collect()),
+        ValExpr::Mul(es) => Scalar::Mul(es.iter().map(lower_val_deferred).collect()),
+        ValExpr::Neg(e) => Scalar::Neg(Box::new(lower_val_deferred(e))),
+        ValExpr::Div(a, b) => {
+            Scalar::Div(Box::new(lower_val_deferred(a)), Box::new(lower_val_deferred(b)))
+        }
+    }
+}
+
+/// Replace the deferred variable markers produced by `lower_val_deferred`
+/// with real slots (now that loops have bound them).
+fn resolve_deferred(lowerer: &mut Lowerer<'_>, s: Scalar) -> Result<Scalar> {
+    Ok(match s {
+        Scalar::Lookup { map, keys } if map == usize::MAX => {
+            let var = match &keys[0] {
+                Scalar::Const(Value::Str(name)) => name.clone(),
+                _ => return Err(Error::Compile("malformed deferred variable".into())),
+            };
+            Scalar::Slot(lowerer.slot_of(&var))
+        }
+        Scalar::Add(es) => Scalar::Add(
+            es.into_iter().map(|e| resolve_deferred(lowerer, e)).collect::<Result<_>>()?,
+        ),
+        Scalar::Mul(es) => Scalar::Mul(
+            es.into_iter().map(|e| resolve_deferred(lowerer, e)).collect::<Result<_>>()?,
+        ),
+        Scalar::Neg(e) => Scalar::Neg(Box::new(resolve_deferred(lowerer, *e)?)),
+        Scalar::Div(a, b) => Scalar::Div(
+            Box::new(resolve_deferred(lowerer, *a)?),
+            Box::new(resolve_deferred(lowerer, *b)?),
+        ),
+        other => other,
+    })
+}
+
+fn val_ready(lowerer: &mut Lowerer<'_>, v: &ValExpr) -> bool {
+    let mut vars = Vec::new();
+    v.collect_vars(&mut vars);
+    vars.iter().all(|x| lowerer.is_bound(x))
+}
+
+fn lower_val(lowerer: &mut Lowerer<'_>, v: &ValExpr) -> Result<Scalar> {
+    Ok(match v {
+        ValExpr::Const(c) => Scalar::Const(c.clone()),
+        ValExpr::Var(x) => Scalar::Slot(lowerer.slot_of(x)),
+        ValExpr::Add(es) => {
+            Scalar::Add(es.iter().map(|e| lower_val(lowerer, e)).collect::<Result<_>>()?)
+        }
+        ValExpr::Mul(es) => {
+            Scalar::Mul(es.iter().map(|e| lower_val(lowerer, e)).collect::<Result<_>>()?)
+        }
+        ValExpr::Neg(e) => Scalar::Neg(Box::new(lower_val(lowerer, e)?)),
+        ValExpr::Div(a, b) => {
+            Scalar::Div(Box::new(lower_val(lowerer, a)?), Box::new(lower_val(lowerer, b)?))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{Catalog, ColumnType, Schema};
+    use dbtoaster_compiler::{compile_sql, CompileOptions};
+
+    fn rst_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+    }
+
+    #[test]
+    fn figure2_program_lowers_with_loops_and_lookups() {
+        let p = compile_sql(
+            "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C",
+            &rst_catalog(),
+            &CompileOptions::full(),
+        )
+        .unwrap();
+        let exec = lower_program(&p).unwrap();
+        assert_eq!(exec.map_names.len(), 6);
+        // Every (relation, event) pair has a compiled trigger.
+        assert_eq!(exec.triggers.len(), 6);
+        // The R-insert trigger: q update is straight-line (no loops), the
+        // qA[c] update loops over the q1 slice (the paper's foreach).
+        let on_r = exec.trigger("R", EventKind::Insert).unwrap();
+        assert!(on_r.statements.iter().any(|s| s.block.loops.is_empty()));
+        assert!(on_r.statements.iter().any(|s| !s.block.loops.is_empty()));
+        // The foreach loop registered a secondary-index pattern on q1.
+        let q1 = exec.map_names.iter().position(|n| n.starts_with("M5")).unwrap();
+        assert!(!exec.patterns[q1].is_empty());
+    }
+
+    #[test]
+    fn first_order_programs_lower_to_loops_over_base_maps() {
+        let p = compile_sql(
+            "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C",
+            &rst_catalog(),
+            &CompileOptions::first_order(),
+        )
+        .unwrap();
+        let exec = lower_program(&p).unwrap();
+        let on_r = exec.trigger("R", EventKind::Insert).unwrap();
+        let q_stmt = &on_r.statements[0];
+        // Evaluating the residual join needs at least one loop.
+        assert!(!q_stmt.block.loops.is_empty());
+    }
+
+    #[test]
+    fn group_by_statement_keys_come_from_trigger_args() {
+        let p = compile_sql(
+            "select B, sum(A) from R group by B",
+            &rst_catalog(),
+            &CompileOptions::full(),
+        )
+        .unwrap();
+        let exec = lower_program(&p).unwrap();
+        let on_r = exec.trigger("R", EventKind::Insert).unwrap();
+        assert_eq!(on_r.statements.len(), 1);
+        assert_eq!(on_r.statements[0].keys.len(), 1);
+        assert!(on_r.statements[0].block.loops.is_empty());
+    }
+
+    #[test]
+    fn result_spec_references_result_maps() {
+        let p = compile_sql(
+            "select B, sum(A), avg(A) from R group by B",
+            &rst_catalog(),
+            &CompileOptions::full(),
+        )
+        .unwrap();
+        let exec = lower_program(&p).unwrap();
+        assert_eq!(exec.result.group_arity, 1);
+        assert_eq!(exec.result.columns.len(), 3);
+        assert!(matches!(exec.result.columns[0], ResultColumnSpec::Group { .. }));
+        assert!(matches!(exec.result.columns[2], ResultColumnSpec::Avg { .. }));
+    }
+}

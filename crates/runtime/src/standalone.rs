@@ -1,0 +1,145 @@
+//! Standalone processing mode.
+//!
+//! The paper's runtime can run either embedded in the client's address
+//! space or as a standalone query processor "accepting input over a
+//! network interface or archived stream". This module provides the
+//! standalone form: the engine runs on its own thread behind a
+//! [`crossbeam`] channel; producers push events, and any thread can take
+//! a consistent read of the current result or of internal map snapshots
+//! through a shared [`parking_lot::RwLock`].
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::RwLock;
+
+use dbtoaster_common::{Event, Result, Tuple, Value};
+use dbtoaster_compiler::TriggerProgram;
+
+use crate::engine::{Engine, ProfileReport, ResultRow};
+
+enum Command {
+    Event(Event),
+    Shutdown,
+}
+
+/// A standalone query processor: an [`Engine`] running on a dedicated
+/// thread, fed through a bounded channel.
+pub struct StandaloneServer {
+    sender: Sender<Command>,
+    engine: Arc<RwLock<Engine>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl StandaloneServer {
+    /// Start the server for a compiled program. `queue_capacity` bounds
+    /// the number of in-flight events (back-pressure on producers).
+    pub fn start(program: &TriggerProgram, queue_capacity: usize) -> Result<StandaloneServer> {
+        let engine = Arc::new(RwLock::new(Engine::new(program)?));
+        let (sender, receiver) = bounded::<Command>(queue_capacity.max(1));
+        let worker_engine = Arc::clone(&engine);
+        let worker = std::thread::spawn(move || {
+            while let Ok(cmd) = receiver.recv() {
+                match cmd {
+                    Command::Event(e) => {
+                        // Errors on individual events (arity mismatches)
+                        // are ignored in streaming mode; the profiler still
+                        // counts the event.
+                        let _ = worker_engine.write().on_event(&e);
+                    }
+                    Command::Shutdown => break,
+                }
+            }
+        });
+        Ok(StandaloneServer { sender, engine, worker: Some(worker) })
+    }
+
+    /// Enqueue one event (blocks when the queue is full).
+    pub fn send(&self, event: Event) {
+        let _ = self.sender.send(Command::Event(event));
+    }
+
+    /// Enqueue many events.
+    pub fn send_all(&self, events: impl IntoIterator<Item = Event>) {
+        for e in events {
+            self.send(e);
+        }
+    }
+
+    /// The current standing-query result (consistent snapshot).
+    pub fn result(&self) -> Vec<ResultRow> {
+        self.engine.read().result()
+    }
+
+    /// The current value of a scalar query.
+    pub fn scalar_result(&self) -> Value {
+        self.engine.read().scalar_result()
+    }
+
+    /// Read-only snapshot of an internal map.
+    pub fn map_snapshot(&self, name: &str) -> Option<Vec<(Tuple, Value)>> {
+        self.engine.read().map_snapshot(name)
+    }
+
+    /// Profiling report of the running engine.
+    pub fn profile(&self) -> ProfileReport {
+        self.engine.read().profile()
+    }
+
+    /// Number of events fully processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.read().events_processed()
+    }
+
+    /// Stop the worker after draining the queue.
+    pub fn shutdown(mut self) {
+        let _ = self.sender.send(Command::Shutdown);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StandaloneServer {
+    fn drop(&mut self) {
+        let _ = self.sender.send(Command::Shutdown);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{tuple, Catalog, ColumnType, Schema};
+    use dbtoaster_compiler::{compile_sql, CompileOptions};
+
+    #[test]
+    fn standalone_server_processes_a_stream_and_serves_results() {
+        let cat = Catalog::new()
+            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]));
+        let p = compile_sql(
+            "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C",
+            &cat,
+            &CompileOptions::full(),
+        )
+        .unwrap();
+        let server = StandaloneServer::start(&p, 128).unwrap();
+        server.send_all(vec![
+            Event::insert("R", tuple![3i64, 1i64]),
+            Event::insert("S", tuple![1i64, 2i64]),
+            Event::insert("T", tuple![2i64, 10i64]),
+        ]);
+        // Wait for the queue to drain.
+        while server.events_processed() < 3 {
+            std::thread::yield_now();
+        }
+        assert_eq!(server.scalar_result(), Value::Int(30));
+        assert_eq!(server.profile().events_processed, 3);
+        server.shutdown();
+    }
+}

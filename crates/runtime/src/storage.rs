@@ -1,0 +1,265 @@
+//! In-memory map storage.
+//!
+//! A [`MapStorage`] is one of the paper's in-memory aggregate views: a
+//! hash map from key tuples to ring values. Entries whose value becomes
+//! the additive identity are removed, so memory stays proportional to the
+//! live support of the view. Secondary indexes over key-position subsets
+//! support the *slice* lookups that `foreach` statements need (e.g.
+//! iterating all `c` with `q1[b, c] ≠ 0` for a fixed `b`); the lowering
+//! pass registers the patterns it needs up front so index maintenance is
+//! incremental.
+
+use dbtoaster_common::{FxHashMap, Tuple, Value};
+
+/// One maintained map (in-memory view).
+#[derive(Debug, Clone, Default)]
+pub struct MapStorage {
+    /// Key arity (0 for scalar maps such as the query result `q`).
+    arity: usize,
+    /// Primary storage.
+    data: FxHashMap<Tuple, Value>,
+    /// Secondary indexes: `(bound key positions, projected key -> full keys)`.
+    indexes: Vec<(Vec<usize>, FxHashMap<Tuple, Vec<Tuple>>)>,
+}
+
+impl MapStorage {
+    /// Create a map with the given key arity.
+    pub fn new(arity: usize) -> MapStorage {
+        MapStorage { arity, data: FxHashMap::default(), indexes: Vec::new() }
+    }
+
+    /// Key arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of live (non-zero) entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the map has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Register a secondary index over the given key positions (idempotent).
+    /// A pattern covering all positions or the empty pattern needs no
+    /// index (full lookups and full scans use the primary storage).
+    pub fn register_pattern(&mut self, positions: &[usize]) {
+        if positions.is_empty() || positions.len() >= self.arity {
+            return;
+        }
+        let mut pat = positions.to_vec();
+        pat.sort_unstable();
+        pat.dedup();
+        if self.indexes.iter().any(|(p, _)| *p == pat) {
+            return;
+        }
+        let mut index: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
+        for key in self.data.keys() {
+            index.entry(key.project(&pat)).or_default().push(key.clone());
+        }
+        self.indexes.push((pat, index));
+    }
+
+    /// The value stored under `key` (zero if absent).
+    pub fn get(&self, key: &Tuple) -> Value {
+        self.data.get(key).cloned().unwrap_or(Value::ZERO)
+    }
+
+    /// Add `delta` to the entry under `key`, removing it if it becomes
+    /// zero. This is the hot operation of every generated trigger.
+    pub fn add(&mut self, key: Tuple, delta: Value) {
+        if delta.is_zero() {
+            return;
+        }
+        debug_assert_eq!(key.arity(), self.arity, "key arity mismatch");
+        match self.data.get_mut(&key) {
+            Some(v) => {
+                *v = v.add(&delta);
+                if v.is_zero() {
+                    self.data.remove(&key);
+                    self.remove_from_indexes(&key);
+                }
+            }
+            None => {
+                for (pat, index) in &mut self.indexes {
+                    index.entry(key.project(pat)).or_default().push(key.clone());
+                }
+                self.data.insert(key, delta);
+            }
+        }
+    }
+
+    /// Overwrite the entry under `key` (used by `Replace` statements and
+    /// by bulk loading).
+    pub fn set(&mut self, key: Tuple, value: Value) {
+        let current = self.get(&key);
+        let delta = value.sub(&current);
+        self.add(key, delta);
+    }
+
+    /// Remove every entry.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        for (_, index) in &mut self.indexes {
+            index.clear();
+        }
+    }
+
+    fn remove_from_indexes(&mut self, key: &Tuple) {
+        for (pat, index) in &mut self.indexes {
+            let projected = key.project(pat);
+            if let Some(keys) = index.get_mut(&projected) {
+                keys.retain(|k| k != key);
+                if keys.is_empty() {
+                    index.remove(&projected);
+                }
+            }
+        }
+    }
+
+    /// Iterate all `(key, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &Value)> {
+        self.data.iter()
+    }
+
+    /// All keys matching the given bound positions/values, using a
+    /// registered secondary index when one exists and falling back to a
+    /// scan otherwise. `positions` must be sorted (as produced by
+    /// `register_pattern`).
+    pub fn slice<'a>(&'a self, positions: &[usize], bound: &Tuple) -> Vec<(&'a Tuple, &'a Value)> {
+        if positions.is_empty() {
+            return self.data.iter().collect();
+        }
+        if positions.len() >= self.arity {
+            // Fully bound: a point lookup.
+            return match self.data.get_key_value(bound) {
+                Some((k, v)) => vec![(k, v)],
+                None => Vec::new(),
+            };
+        }
+        if let Some((_, index)) = self.indexes.iter().find(|(p, _)| p == positions) {
+            match index.get(bound) {
+                Some(keys) => keys
+                    .iter()
+                    .filter_map(|k| self.data.get_key_value(k))
+                    .collect(),
+                None => Vec::new(),
+            }
+        } else {
+            // Unregistered pattern: scan (correct but slow; the lowering
+            // pass registers every pattern it uses, so this is a fallback
+            // for ad-hoc snapshot queries only).
+            self.data
+                .iter()
+                .filter(|(k, _)| {
+                    positions.iter().enumerate().all(|(i, &p)| k[p] == bound[i])
+                })
+                .collect()
+        }
+    }
+
+    /// Approximate memory footprint in bytes (primary + indexes), for the
+    /// memory-usage experiment (E4).
+    pub fn approx_bytes(&self) -> usize {
+        let entry_overhead = std::mem::size_of::<(Tuple, Value)>();
+        let primary: usize = self
+            .data
+            .iter()
+            .map(|(k, v)| k.approx_bytes() + v.approx_bytes() + entry_overhead)
+            .sum();
+        let secondary: usize = self
+            .indexes
+            .iter()
+            .map(|(_, idx)| {
+                idx.iter()
+                    .map(|(k, keys)| k.approx_bytes() + keys.len() * std::mem::size_of::<Tuple>())
+                    .sum::<usize>()
+            })
+            .sum();
+        primary + secondary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::tuple;
+
+    #[test]
+    fn add_get_and_zero_elimination() {
+        let mut m = MapStorage::new(1);
+        m.add(tuple![1i64], Value::Int(5));
+        m.add(tuple![1i64], Value::Int(-2));
+        assert_eq!(m.get(&tuple![1i64]), Value::Int(3));
+        m.add(tuple![1i64], Value::Int(-3));
+        assert_eq!(m.get(&tuple![1i64]), Value::ZERO);
+        assert_eq!(m.len(), 0, "zero entries must be removed");
+    }
+
+    #[test]
+    fn scalar_maps_use_the_empty_key() {
+        let mut m = MapStorage::new(0);
+        m.add(Tuple::empty(), Value::Float(2.5));
+        m.add(Tuple::empty(), Value::Float(1.0));
+        assert_eq!(m.get(&Tuple::empty()), Value::Float(3.5));
+    }
+
+    #[test]
+    fn slices_use_secondary_indexes() {
+        let mut m = MapStorage::new(2);
+        m.register_pattern(&[0]);
+        for b in 0..5i64 {
+            for c in 0..3i64 {
+                m.add(tuple![b, c], Value::Int(b * 10 + c));
+            }
+        }
+        let slice = m.slice(&[0], &tuple![2i64]);
+        assert_eq!(slice.len(), 3);
+        assert!(slice.iter().all(|(k, _)| k[0] == Value::Int(2)));
+        // Removing an entry keeps the index consistent.
+        m.add(tuple![2i64, 1i64], Value::Int(-21));
+        assert_eq!(m.slice(&[0], &tuple![2i64]).len(), 2);
+    }
+
+    #[test]
+    fn patterns_registered_after_data_are_backfilled() {
+        let mut m = MapStorage::new(2);
+        for b in 0..4i64 {
+            m.add(tuple![b, b + 1], Value::Int(1));
+        }
+        m.register_pattern(&[1]);
+        assert_eq!(m.slice(&[1], &tuple![3i64]).len(), 1);
+    }
+
+    #[test]
+    fn unregistered_patterns_fall_back_to_scans() {
+        let mut m = MapStorage::new(3);
+        m.add(tuple![1i64, 2i64, 3i64], Value::Int(1));
+        m.add(tuple![1i64, 5i64, 3i64], Value::Int(1));
+        let s = m.slice(&[0, 2], &tuple![1i64, 3i64]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_and_clear() {
+        let mut m = MapStorage::new(1);
+        m.set(tuple![1i64], Value::Int(9));
+        m.set(tuple![1i64], Value::Int(4));
+        assert_eq!(m.get(&tuple![1i64]), Value::Int(4));
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_entries() {
+        let mut m = MapStorage::new(1);
+        let empty = m.approx_bytes();
+        for i in 0..100i64 {
+            m.add(tuple![i], Value::Int(i));
+        }
+        assert!(m.approx_bytes() > empty);
+    }
+}

@@ -1,0 +1,706 @@
+//! Name resolution and type checking.
+//!
+//! The analyzer binds a parsed [`SelectQuery`] against a
+//! [`Catalog`], producing a [`BoundQuery`] in which every column
+//! reference has been resolved to a *variable name* that uniquely
+//! identifies (relation instance, column). These variable names are what
+//! the calculus translation uses for relation atoms, so correlated
+//! subqueries "just work": a subquery that mentions an outer alias simply
+//! has that outer variable free in its bound form.
+//!
+//! The analyzer also classifies `SELECT` items into group-by columns and
+//! aggregates, rewrites `AVG(e)` into a `SUM(e)` / `COUNT(*)` pair marker
+//! (the compiler maintains both maps and divides at result-access time),
+//! and rejects queries outside the supported fragment with descriptive
+//! errors.
+
+use dbtoaster_common::{Catalog, ColumnType, Error, Result, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{AggFunc, BinaryOp, SelectQuery, SqlExpr, UnaryOp};
+
+/// A relation instance in the `FROM` clause after binding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundRelation {
+    /// Base relation name (upper case).
+    pub name: String,
+    /// Alias as written (upper case), made globally unique across nested
+    /// scopes by the analyzer.
+    pub alias: String,
+    /// One variable name per column, in schema order: `"{alias}_{column}"`.
+    pub column_vars: Vec<String>,
+    /// Column types in schema order.
+    pub column_types: Vec<ColumnType>,
+    /// Column names in schema order.
+    pub column_names: Vec<String>,
+    /// True if the relation was declared static (no deltas).
+    pub is_static: bool,
+}
+
+impl BoundRelation {
+    /// The variable bound to a column by name.
+    pub fn var_of(&self, column: &str) -> Option<&str> {
+        self.column_names
+            .iter()
+            .position(|c| c == column)
+            .map(|i| self.column_vars[i].as_str())
+    }
+}
+
+/// A resolved column reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundColumn {
+    /// The variable name denoting (relation instance, column).
+    pub var: String,
+    pub ty: ColumnType,
+    /// True if the column resolved to a relation of an *enclosing* query
+    /// (a correlated reference).
+    pub correlated: bool,
+}
+
+/// Supported aggregate kinds after the `AVG` rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggKind {
+    Sum,
+    Count,
+    /// Kept as a distinct kind so the compiler knows to emit a sum map and
+    /// a count map and combine them on read.
+    Avg,
+    Min,
+    Max,
+}
+
+impl From<AggFunc> for AggKind {
+    fn from(f: AggFunc) -> AggKind {
+        match f {
+            AggFunc::Sum => AggKind::Sum,
+            AggFunc::Count => AggKind::Count,
+            AggFunc::Avg => AggKind::Avg,
+            AggFunc::Min => AggKind::Min,
+            AggFunc::Max => AggKind::Max,
+        }
+    }
+}
+
+/// A bound aggregate call from the `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundAgg {
+    pub kind: AggKind,
+    /// Aggregated value expression; `None` means `COUNT(*)`.
+    pub arg: Option<BoundExpr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// Bound expressions (column references resolved to variables).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoundExpr {
+    Column(BoundColumn),
+    Literal(Value),
+    Unary { op: UnaryOp, expr: Box<BoundExpr> },
+    Binary { op: BinaryOp, left: Box<BoundExpr>, right: Box<BoundExpr> },
+    /// A scalar subquery (single aggregate, no group-by), possibly
+    /// correlated with enclosing scopes.
+    Subquery(Box<BoundQuery>),
+    /// `EXISTS (subquery)`.
+    Exists(Box<BoundQuery>),
+}
+
+impl BoundExpr {
+    /// Collect the variables referenced by this expression.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            BoundExpr::Column(c) => {
+                if !out.contains(&c.var) {
+                    out.push(c.var.clone());
+                }
+            }
+            BoundExpr::Literal(_) => {}
+            BoundExpr::Unary { expr, .. } => expr.collect_vars(out),
+            BoundExpr::Binary { left, right, .. } => {
+                left.collect_vars(out);
+                right.collect_vars(out);
+            }
+            BoundExpr::Subquery(q) | BoundExpr::Exists(q) => {
+                // Only correlated (outer) variables leak out of a subquery.
+                for v in q.correlated_vars() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One output column of a bound query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BoundSelectItem {
+    /// A group-by column echoed in the output.
+    GroupColumn { column: BoundColumn, name: String },
+    /// An aggregate.
+    Aggregate(BoundAgg),
+}
+
+/// A fully analyzed query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundQuery {
+    pub relations: Vec<BoundRelation>,
+    pub select: Vec<BoundSelectItem>,
+    pub group_by: Vec<BoundColumn>,
+    pub predicate: Option<BoundExpr>,
+}
+
+impl BoundQuery {
+    /// Output column names in `SELECT` order.
+    pub fn output_names(&self) -> Vec<String> {
+        self.select
+            .iter()
+            .map(|item| match item {
+                BoundSelectItem::GroupColumn { name, .. } => name.clone(),
+                BoundSelectItem::Aggregate(a) => a.name.clone(),
+            })
+            .collect()
+    }
+
+    /// The aggregates of this query, in `SELECT` order.
+    pub fn aggregates(&self) -> Vec<&BoundAgg> {
+        self.select
+            .iter()
+            .filter_map(|item| match item {
+                BoundSelectItem::Aggregate(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Variables referenced by this query that belong to enclosing scopes
+    /// (non-empty only for correlated subqueries).
+    pub fn correlated_vars(&self) -> Vec<String> {
+        let own: Vec<&String> =
+            self.relations.iter().flat_map(|r| r.column_vars.iter()).collect();
+        let mut all = Vec::new();
+        if let Some(p) = &self.predicate {
+            p.collect_vars(&mut all);
+        }
+        for item in &self.select {
+            if let BoundSelectItem::Aggregate(BoundAgg { arg: Some(a), .. }) = item {
+                a.collect_vars(&mut all);
+            }
+        }
+        all.retain(|v| !own.iter().any(|o| *o == v));
+        all
+    }
+}
+
+/// Analyze a parsed query against the catalog.
+pub fn analyze(query: &SelectQuery, catalog: &Catalog) -> Result<BoundQuery> {
+    let mut ctx = Analyzer { catalog, used_aliases: Vec::new() };
+    ctx.analyze_query(query, &[])
+}
+
+struct Analyzer<'a> {
+    catalog: &'a Catalog,
+    /// All aliases used so far (across nesting levels) for uniqueness.
+    used_aliases: Vec<String>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn analyze_query(
+        &mut self,
+        query: &SelectQuery,
+        outer: &[BoundRelation],
+    ) -> Result<BoundQuery> {
+        if query.from.is_empty() {
+            return Err(Error::Unsupported("queries require a FROM clause".into()));
+        }
+
+        // Bind FROM.
+        let mut relations = Vec::new();
+        for t in &query.from {
+            let schema = self.catalog.expect(&t.name)?;
+            let mut alias = t.alias.to_ascii_uppercase();
+            let mut suffix = 1;
+            while self.used_aliases.contains(&alias) {
+                suffix += 1;
+                alias = format!("{}_{suffix}", t.alias.to_ascii_uppercase());
+            }
+            self.used_aliases.push(alias.clone());
+            let column_vars = schema
+                .columns
+                .iter()
+                .map(|c| format!("{alias}_{}", c.name))
+                .collect();
+            relations.push(BoundRelation {
+                name: schema.name.clone(),
+                alias,
+                column_vars,
+                column_types: schema.columns.iter().map(|c| c.ty).collect(),
+                column_names: schema.columns.iter().map(|c| c.name.clone()).collect(),
+                is_static: schema.is_static,
+            });
+        }
+
+        // Scope chain: current relations first, then outer relations.
+        let scope: Vec<&BoundRelation> =
+            relations.iter().chain(outer.iter()).collect();
+
+        // Bind GROUP BY (plain columns only).
+        let mut group_by = Vec::new();
+        for g in &query.group_by {
+            match g {
+                SqlExpr::Column { .. } => {
+                    group_by.push(self.bind_column(g, &scope, relations.len())?)
+                }
+                other => {
+                    return Err(Error::Unsupported(format!(
+                        "GROUP BY supports plain columns only, found {other}"
+                    )))
+                }
+            }
+        }
+
+        // Bind WHERE.
+        let predicate = match &query.where_clause {
+            Some(w) => Some(self.bind_expr(w, &scope, relations.len(), false)?),
+            None => None,
+        };
+
+        // Bind SELECT items.
+        let mut select = Vec::new();
+        let mut agg_counter = 0usize;
+        for (idx, item) in query.select.iter().enumerate() {
+            if item.expr.contains_aggregate() {
+                let (kind, arg_expr) = match &item.expr {
+                    SqlExpr::Agg { func, arg } => (AggKind::from(*func), arg.as_deref()),
+                    other => {
+                        return Err(Error::Unsupported(format!(
+                            "SELECT items must be plain aggregates or group-by columns, \
+                             found composite expression {other}"
+                        )))
+                    }
+                };
+                let arg = match arg_expr {
+                    Some(a) => Some(self.bind_expr(a, &scope, relations.len(), false)?),
+                    None => None,
+                };
+                if matches!(kind, AggKind::Sum | AggKind::Avg | AggKind::Min | AggKind::Max)
+                    && arg.is_none()
+                {
+                    return Err(Error::Analysis(format!("{kind:?} requires an argument")));
+                }
+                agg_counter += 1;
+                let name = item
+                    .alias
+                    .clone()
+                    .unwrap_or_else(|| format!("AGG{agg_counter}"))
+                    .to_ascii_uppercase();
+                select.push(BoundSelectItem::Aggregate(BoundAgg { kind, arg, name }));
+            } else {
+                let column = self.bind_column(&item.expr, &scope, relations.len())?;
+                // Non-aggregate output columns must be grouped on.
+                if !group_by.iter().any(|g| g.var == column.var) {
+                    return Err(Error::Analysis(format!(
+                        "non-aggregate SELECT item {} must appear in GROUP BY",
+                        item.expr
+                    )));
+                }
+                let name = item
+                    .alias
+                    .clone()
+                    .unwrap_or_else(|| match &item.expr {
+                        SqlExpr::Column { name, .. } => name.clone(),
+                        _ => format!("COL{idx}"),
+                    })
+                    .to_ascii_uppercase();
+                select.push(BoundSelectItem::GroupColumn { column, name });
+            }
+        }
+
+        if select.iter().all(|s| matches!(s, BoundSelectItem::GroupColumn { .. })) {
+            return Err(Error::Unsupported(
+                "standing queries must compute at least one aggregate".into(),
+            ));
+        }
+
+        Ok(BoundQuery { relations, select, group_by, predicate })
+    }
+
+    fn bind_column(
+        &mut self,
+        expr: &SqlExpr,
+        scope: &[&BoundRelation],
+        _local: usize,
+    ) -> Result<BoundColumn> {
+        match expr {
+            SqlExpr::Column { qualifier, name } => self.resolve(qualifier.as_deref(), name, scope),
+            other => Err(Error::Analysis(format!("expected a column reference, found {other}"))),
+        }
+    }
+
+    fn resolve(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+        scope: &[&BoundRelation],
+    ) -> Result<BoundColumn> {
+        let name = name.to_ascii_uppercase();
+        let mut matches = Vec::new();
+        for (idx, rel) in scope.iter().enumerate() {
+            let alias_matches = match qualifier {
+                // An alias may have been renamed for uniqueness; match on
+                // the original prefix too.
+                Some(q) => {
+                    let q = q.to_ascii_uppercase();
+                    rel.alias == q || rel.alias.starts_with(&format!("{q}_"))
+                }
+                None => true,
+            };
+            if !alias_matches {
+                continue;
+            }
+            if let Some(pos) = rel.column_names.iter().position(|c| *c == name) {
+                matches.push((idx, rel, pos));
+            }
+        }
+        match matches.len() {
+            0 => Err(Error::Analysis(format!(
+                "unknown column {}{name}",
+                qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+            ))),
+            1 => {
+                let (idx, rel, pos) = matches[0];
+                Ok(BoundColumn {
+                    var: rel.column_vars[pos].clone(),
+                    ty: rel.column_types[pos],
+                    correlated: idx >= scopelen_local(scope),
+                })
+            }
+            _ => {
+                // Ambiguity within the innermost scope is an error; if the
+                // only matches are one local and one outer, prefer local.
+                let local_matches: Vec<_> =
+                    matches.iter().filter(|(idx, _, _)| *idx < scopelen_local(scope)).collect();
+                match local_matches.len() {
+                    1 => {
+                        let (idx, rel, pos) = *local_matches[0];
+                        Ok(BoundColumn {
+                            var: rel.column_vars[pos].clone(),
+                            ty: rel.column_types[pos],
+                            correlated: idx >= scopelen_local(scope),
+                        })
+                    }
+                    0 => {
+                        let (idx, rel, pos) = matches[0];
+                        Ok(BoundColumn {
+                            var: rel.column_vars[pos].clone(),
+                            ty: rel.column_types[pos],
+                            correlated: idx >= scopelen_local(scope),
+                        })
+                    }
+                    _ => Err(Error::Analysis(format!(
+                        "ambiguous column reference {}{name}",
+                        qualifier.map(|q| format!("{q}.")).unwrap_or_default()
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn bind_expr(
+        &mut self,
+        expr: &SqlExpr,
+        scope: &[&BoundRelation],
+        local: usize,
+        _in_agg: bool,
+    ) -> Result<BoundExpr> {
+        match expr {
+            SqlExpr::Column { .. } => Ok(BoundExpr::Column(self.bind_column(expr, scope, local)?)),
+            SqlExpr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+            SqlExpr::Unary { op, expr } => Ok(BoundExpr::Unary {
+                op: *op,
+                expr: Box::new(self.bind_expr(expr, scope, local, _in_agg)?),
+            }),
+            SqlExpr::Binary { op, left, right } => Ok(BoundExpr::Binary {
+                op: *op,
+                left: Box::new(self.bind_expr(left, scope, local, _in_agg)?),
+                right: Box::new(self.bind_expr(right, scope, local, _in_agg)?),
+            }),
+            SqlExpr::Agg { .. } => Err(Error::Unsupported(
+                "aggregates are only supported in the SELECT list and in scalar subqueries".into(),
+            )),
+            SqlExpr::Subquery(q) => {
+                let outer: Vec<BoundRelation> = scope.iter().map(|r| (*r).clone()).collect();
+                let bound = self.analyze_query(q, &outer)?;
+                if bound.aggregates().len() != 1 || !bound.group_by.is_empty() {
+                    return Err(Error::Unsupported(
+                        "scalar subqueries must compute exactly one ungrouped aggregate".into(),
+                    ));
+                }
+                Ok(BoundExpr::Subquery(Box::new(bound)))
+            }
+            SqlExpr::Exists(q) => {
+                // EXISTS(SELECT ...) is analyzed as COUNT(*) > 0; we bind a
+                // count aggregate over the subquery body.
+                let rewritten = SelectQuery {
+                    select: vec![crate::ast::SelectItem {
+                        expr: SqlExpr::Agg { func: AggFunc::Count, arg: None },
+                        alias: Some("EXISTS_COUNT".into()),
+                    }],
+                    from: q.from.clone(),
+                    where_clause: q.where_clause.clone(),
+                    group_by: vec![],
+                };
+                let outer: Vec<BoundRelation> = scope.iter().map(|r| (*r).clone()).collect();
+                let bound = self.analyze_query(&rewritten, &outer)?;
+                Ok(BoundExpr::Exists(Box::new(bound)))
+            }
+            SqlExpr::InList { expr, list, negated } => {
+                // Rewrite `x IN (a, b, c)` into `x=a OR x=b OR x=c`.
+                let bound_x = self.bind_expr(expr, scope, local, _in_agg)?;
+                let mut disjunction: Option<BoundExpr> = None;
+                for item in list {
+                    let rhs = self.bind_expr(item, scope, local, _in_agg)?;
+                    let eq = BoundExpr::Binary {
+                        op: BinaryOp::Eq,
+                        left: Box::new(bound_x.clone()),
+                        right: Box::new(rhs),
+                    };
+                    disjunction = Some(match disjunction {
+                        None => eq,
+                        Some(acc) => BoundExpr::Binary {
+                            op: BinaryOp::Or,
+                            left: Box::new(acc),
+                            right: Box::new(eq),
+                        },
+                    });
+                }
+                let result = disjunction.ok_or_else(|| {
+                    Error::Analysis("IN list must not be empty".into())
+                })?;
+                if *negated {
+                    Ok(BoundExpr::Unary { op: UnaryOp::Not, expr: Box::new(result) })
+                } else {
+                    Ok(result)
+                }
+            }
+            SqlExpr::Between { expr, low, high } => {
+                // Rewrite into `low <= x AND x <= high`.
+                let x = self.bind_expr(expr, scope, local, _in_agg)?;
+                let low = self.bind_expr(low, scope, local, _in_agg)?;
+                let high = self.bind_expr(high, scope, local, _in_agg)?;
+                Ok(BoundExpr::Binary {
+                    op: BinaryOp::And,
+                    left: Box::new(BoundExpr::Binary {
+                        op: BinaryOp::LtEq,
+                        left: Box::new(low),
+                        right: Box::new(x.clone()),
+                    }),
+                    right: Box::new(BoundExpr::Binary {
+                        op: BinaryOp::LtEq,
+                        left: Box::new(x),
+                        right: Box::new(high),
+                    }),
+                })
+            }
+        }
+    }
+}
+
+/// Number of relations belonging to the innermost (local) scope. The scope
+/// slice is built as `local relations ++ outer relations`, and the local
+/// count is threaded implicitly: analyzers pass the full chain, so this
+/// helper recovers the local prefix length by counting relations whose
+/// alias was registered last. For simplicity the analyzer always places
+/// local relations first, so local count is tracked by the caller; this
+/// helper exists to keep `resolve` readable.
+fn scopelen_local(_scope: &[&BoundRelation]) -> usize {
+    // `resolve` treats every match equally except for preferring earlier
+    // (more local) scope entries; correlation is detected by the caller of
+    // analyze via `correlated_vars`. Returning the full length marks no
+    // binding as correlated here; `BoundQuery::correlated_vars` computes
+    // correlation set-theoretically instead, which is what the calculus
+    // translation consumes.
+    usize::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use dbtoaster_common::Schema;
+
+    fn rst_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+    }
+
+    fn bids_catalog() -> Catalog {
+        Catalog::new().with(Schema::new(
+            "BIDS",
+            vec![
+                ("T", ColumnType::Float),
+                ("ID", ColumnType::Int),
+                ("BROKER_ID", ColumnType::Int),
+                ("VOLUME", ColumnType::Float),
+                ("PRICE", ColumnType::Float),
+            ],
+        ))
+    }
+
+    #[test]
+    fn binds_the_papers_example() {
+        let q = parse_query("select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C").unwrap();
+        let b = analyze(&q, &rst_catalog()).unwrap();
+        assert_eq!(b.relations.len(), 3);
+        assert_eq!(b.relations[0].column_vars, vec!["R_A", "R_B"]);
+        assert_eq!(b.aggregates().len(), 1);
+        let agg = b.aggregates()[0];
+        assert_eq!(agg.kind, AggKind::Sum);
+        let mut vars = Vec::new();
+        agg.arg.as_ref().unwrap().collect_vars(&mut vars);
+        assert_eq!(vars, vec!["R_A".to_string(), "T_D".to_string()]);
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_by_uniqueness() {
+        let q = parse_query("select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C").unwrap();
+        let b = analyze(&q, &rst_catalog()).unwrap();
+        // A is unique to R, D unique to T.
+        let agg = b.aggregates()[0];
+        let mut vars = Vec::new();
+        agg.arg.as_ref().unwrap().collect_vars(&mut vars);
+        assert!(vars.contains(&"R_A".to_string()));
+        assert!(vars.contains(&"T_D".to_string()));
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_is_an_error() {
+        // B exists in both R and S.
+        let q = parse_query("select sum(B) from R, S").unwrap();
+        let err = analyze(&q, &rst_catalog()).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_relation_and_column_errors() {
+        let q = parse_query("select sum(A) from NOPE").unwrap();
+        assert!(analyze(&q, &rst_catalog()).is_err());
+        let q = parse_query("select sum(Z) from R").unwrap();
+        let err = analyze(&q, &rst_catalog()).unwrap_err();
+        assert!(err.to_string().contains("unknown column"));
+    }
+
+    #[test]
+    fn group_by_columns_must_cover_output_columns() {
+        let cat = rst_catalog();
+        let ok = parse_query("select B, sum(A) from R group by B").unwrap();
+        assert!(analyze(&ok, &cat).is_ok());
+        let bad = parse_query("select B, sum(A) from R").unwrap();
+        assert!(analyze(&bad, &cat).is_err());
+    }
+
+    #[test]
+    fn self_join_aliases_are_distinguished() {
+        let q = parse_query(
+            "select sum(b1.PRICE) from BIDS b1, BIDS b2 where b1.PRICE < b2.PRICE",
+        )
+        .unwrap();
+        let b = analyze(&q, &bids_catalog()).unwrap();
+        assert_eq!(b.relations[0].alias, "B1");
+        assert_eq!(b.relations[1].alias, "B2");
+        assert_ne!(b.relations[0].column_vars[4], b.relations[1].column_vars[4]);
+    }
+
+    #[test]
+    fn correlated_subquery_exposes_outer_vars() {
+        let q = parse_query(
+            "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 \
+             where 0.25 * (select sum(b3.VOLUME) from BIDS b3) > \
+                   (select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE)",
+        )
+        .unwrap();
+        let b = analyze(&q, &bids_catalog()).unwrap();
+        let pred = b.predicate.as_ref().unwrap();
+        // Find the correlated subquery and check that B1_PRICE is free in it.
+        fn find_subqueries<'a>(e: &'a BoundExpr, out: &mut Vec<&'a BoundQuery>) {
+            match e {
+                BoundExpr::Subquery(q) | BoundExpr::Exists(q) => out.push(q),
+                BoundExpr::Binary { left, right, .. } => {
+                    find_subqueries(left, out);
+                    find_subqueries(right, out);
+                }
+                BoundExpr::Unary { expr, .. } => find_subqueries(expr, out),
+                _ => {}
+            }
+        }
+        let mut subs = Vec::new();
+        find_subqueries(pred, &mut subs);
+        assert_eq!(subs.len(), 2);
+        let correlated: Vec<_> =
+            subs.iter().map(|s| s.correlated_vars()).filter(|v| !v.is_empty()).collect();
+        assert_eq!(correlated.len(), 1);
+        assert_eq!(correlated[0], vec!["B1_PRICE".to_string()]);
+    }
+
+    #[test]
+    fn avg_is_kept_as_a_distinct_kind() {
+        let q = parse_query("select avg(PRICE) from BIDS").unwrap();
+        let b = analyze(&q, &bids_catalog()).unwrap();
+        assert_eq!(b.aggregates()[0].kind, AggKind::Avg);
+    }
+
+    #[test]
+    fn exists_is_rewritten_to_a_count_subquery() {
+        let cat = bids_catalog();
+        let q = parse_query(
+            "select count(*) from BIDS b where exists \
+             (select 1 from BIDS c where c.PRICE = b.PRICE and c.ID <> b.ID)",
+        )
+        .unwrap();
+        let b = analyze(&q, &cat).unwrap();
+        match b.predicate.as_ref().unwrap() {
+            BoundExpr::Exists(sub) => {
+                assert_eq!(sub.aggregates().len(), 1);
+                assert_eq!(sub.aggregates()[0].kind, AggKind::Count);
+                assert!(!sub.correlated_vars().is_empty());
+            }
+            other => panic!("expected EXISTS, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_is_rewritten_to_disjunction() {
+        let cat = rst_catalog();
+        let q = parse_query("select sum(A) from R where B in (1, 2, 3)").unwrap();
+        let b = analyze(&q, &cat).unwrap();
+        let p = format!("{:?}", b.predicate.unwrap());
+        assert_eq!(p.matches("Or").count(), 2);
+        assert_eq!(p.matches("Eq").count(), 3);
+    }
+
+    #[test]
+    fn between_is_rewritten_to_conjunction() {
+        let cat = rst_catalog();
+        let q = parse_query("select sum(A) from R where B between 2 and 7").unwrap();
+        let b = analyze(&q, &cat).unwrap();
+        let p = format!("{:?}", b.predicate.unwrap());
+        assert_eq!(p.matches("LtEq").count(), 2);
+    }
+
+    #[test]
+    fn queries_without_aggregates_are_rejected() {
+        let cat = rst_catalog();
+        let q = parse_query("select B from R group by B").unwrap();
+        let err = analyze(&q, &cat).unwrap_err();
+        assert!(err.to_string().contains("at least one aggregate"));
+    }
+
+    #[test]
+    fn count_star_needs_no_argument_but_sum_does() {
+        let cat = rst_catalog();
+        assert!(analyze(&parse_query("select count(*) from R").unwrap(), &cat).is_ok());
+    }
+}

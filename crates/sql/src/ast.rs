@@ -1,0 +1,256 @@
+//! Surface syntax tree for the supported SQL fragment.
+
+use dbtoaster_common::{ColumnType, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed top-level statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Statement {
+    /// A standing query to be compiled into trigger programs.
+    Select(SelectQuery),
+    /// `CREATE TABLE` (static relation) or `CREATE STREAM` (delta-fed
+    /// relation) — registers a schema in the catalog.
+    Create(CreateRelation),
+}
+
+/// A `CREATE TABLE` / `CREATE STREAM` declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CreateRelation {
+    pub name: String,
+    pub columns: Vec<(String, ColumnType)>,
+    /// True for `CREATE STREAM`: the relation receives deltas.
+    pub is_stream: bool,
+}
+
+/// A `SELECT` query (possibly nested as a subquery).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectQuery {
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<SqlExpr>,
+}
+
+/// One item in the `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectItem {
+    pub expr: SqlExpr,
+    pub alias: Option<String>,
+}
+
+/// A relation in the `FROM` clause: `name [AS] alias`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: String,
+}
+
+/// Aggregate functions of the supported fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Avg,
+    Min,
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators (arithmetic, comparison, boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinaryOp {
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div)
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    Neg,
+    Not,
+}
+
+/// Scalar / boolean expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SqlExpr {
+    /// `alias.column` or bare `column`.
+    Column { qualifier: Option<String>, name: String },
+    /// A literal constant.
+    Literal(Value),
+    /// Unary negation / NOT.
+    Unary { op: UnaryOp, expr: Box<SqlExpr> },
+    /// Binary arithmetic, comparison or boolean connective.
+    Binary { op: BinaryOp, left: Box<SqlExpr>, right: Box<SqlExpr> },
+    /// Aggregate call. `arg` is `None` for `COUNT(*)`.
+    Agg { func: AggFunc, arg: Option<Box<SqlExpr>> },
+    /// A scalar subquery usable as an operand (nested aggregate).
+    Subquery(Box<SelectQuery>),
+    /// `EXISTS (subquery)`.
+    Exists(Box<SelectQuery>),
+    /// `expr [NOT] IN (v1, v2, ...)` with literal list members.
+    InList { expr: Box<SqlExpr>, list: Vec<SqlExpr>, negated: bool },
+    /// `expr BETWEEN low AND high`.
+    Between { expr: Box<SqlExpr>, low: Box<SqlExpr>, high: Box<SqlExpr> },
+}
+
+impl SqlExpr {
+    /// Convenience constructor for a bare column reference.
+    pub fn col(name: &str) -> SqlExpr {
+        SqlExpr::Column { qualifier: None, name: name.to_ascii_uppercase() }
+    }
+
+    /// Convenience constructor for a qualified column reference.
+    pub fn qcol(qualifier: &str, name: &str) -> SqlExpr {
+        SqlExpr::Column {
+            qualifier: Some(qualifier.to_ascii_uppercase()),
+            name: name.to_ascii_uppercase(),
+        }
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn lit(v: impl Into<Value>) -> SqlExpr {
+        SqlExpr::Literal(v.into())
+    }
+
+    /// Convenience constructor for a binary expression.
+    pub fn binary(op: BinaryOp, left: SqlExpr, right: SqlExpr) -> SqlExpr {
+        SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Does this expression (transitively) contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Agg { .. } => true,
+            SqlExpr::Column { .. } | SqlExpr::Literal(_) => false,
+            SqlExpr::Unary { expr, .. } => expr.contains_aggregate(),
+            SqlExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            // Aggregates inside a subquery belong to the subquery's scope.
+            SqlExpr::Subquery(_) | SqlExpr::Exists(_) => false,
+            SqlExpr::InList { expr, .. } => expr.contains_aggregate(),
+            SqlExpr::Between { expr, low, high } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+        }
+    }
+}
+
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlExpr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            SqlExpr::Column { qualifier: None, name } => write!(f, "{name}"),
+            SqlExpr::Literal(v) => write!(f, "{v}"),
+            SqlExpr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-({expr})"),
+            SqlExpr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT ({expr})"),
+            SqlExpr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            SqlExpr::Agg { func, arg: Some(a) } => write!(f, "{func}({a})"),
+            SqlExpr::Agg { func, arg: None } => write!(f, "{func}(*)"),
+            SqlExpr::Subquery(_) => write!(f, "(<subquery>)"),
+            SqlExpr::Exists(_) => write!(f, "EXISTS (<subquery>)"),
+            SqlExpr::InList { expr, list, negated } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            SqlExpr::Between { expr, low, high } => write!(f, "{expr} BETWEEN {low} AND {high}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection_stops_at_subquery_boundaries() {
+        let agg = SqlExpr::Agg { func: AggFunc::Sum, arg: Some(Box::new(SqlExpr::col("a"))) };
+        assert!(agg.contains_aggregate());
+        let sub = SqlExpr::Subquery(Box::new(SelectQuery {
+            select: vec![SelectItem { expr: agg.clone(), alias: None }],
+            from: vec![],
+            where_clause: None,
+            group_by: vec![],
+        }));
+        assert!(!sub.contains_aggregate());
+        let mixed = SqlExpr::binary(BinaryOp::Mul, SqlExpr::lit(2i64), agg);
+        assert!(mixed.contains_aggregate());
+    }
+
+    #[test]
+    fn display_roundtrips_reasonably() {
+        let e = SqlExpr::binary(
+            BinaryOp::Eq,
+            SqlExpr::qcol("r", "b"),
+            SqlExpr::qcol("s", "b"),
+        );
+        assert_eq!(e.to_string(), "(R.B = S.B)");
+    }
+}

@@ -1,0 +1,262 @@
+//! Hand-written SQL tokenizer.
+//!
+//! Produces a flat token stream with byte offsets so the parser can report
+//! useful positions. Keywords are recognized case-insensitively; quoted
+//! strings use single quotes with `''` escaping, matching standard SQL.
+
+use dbtoaster_common::{Error, Result};
+
+/// Token categories.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or bare identifier, upper-cased (SQL identifiers are case
+    /// insensitive in this dialect).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// Single-quoted string literal, unescaped.
+    Str(String),
+    /// Punctuation / operators.
+    Symbol(Symbol),
+    /// End of input (always the last token).
+    Eof,
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// A token plus its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push_sym(&mut tokens, Symbol::LParen, &mut i),
+            ')' => push_sym(&mut tokens, Symbol::RParen, &mut i),
+            ',' => push_sym(&mut tokens, Symbol::Comma, &mut i),
+            '.' => push_sym(&mut tokens, Symbol::Dot, &mut i),
+            ';' => push_sym(&mut tokens, Symbol::Semicolon, &mut i),
+            '*' => push_sym(&mut tokens, Symbol::Star, &mut i),
+            '+' => push_sym(&mut tokens, Symbol::Plus, &mut i),
+            '-' => push_sym(&mut tokens, Symbol::Minus, &mut i),
+            '/' => push_sym(&mut tokens, Symbol::Slash, &mut i),
+            '=' => push_sym(&mut tokens, Symbol::Eq, &mut i),
+            '<' => {
+                let (sym, len) = if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    (Symbol::LtEq, 2)
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    (Symbol::NotEq, 2)
+                } else {
+                    (Symbol::Lt, 1)
+                };
+                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+                i += len;
+            }
+            '>' => {
+                let (sym, len) = if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    (Symbol::GtEq, 2)
+                } else {
+                    (Symbol::Gt, 1)
+                };
+                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+                i += len;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token { kind: TokenKind::Symbol(Symbol::NotEq), offset: i });
+                i += 2;
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Parse(format!(
+                            "unterminated string literal starting at byte {start}"
+                        )));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| {
+                        Error::Parse(format!("invalid float literal '{text}' at byte {start}"))
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        Error::Parse(format!("invalid integer literal '{text}' at byte {start}"))
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_ascii_uppercase()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character '{other}' at byte {i}"
+                )))
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    Ok(tokens)
+}
+
+fn push_sym(tokens: &mut Vec<Token>, sym: Symbol, i: &mut usize) {
+    tokens.push(Token { kind: TokenKind::Symbol(sym), offset: *i });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers_are_uppercased() {
+        let ks = kinds("select Sum(a) from r");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(ks[1], TokenKind::Ident("SUM".into()));
+        assert_eq!(ks[3], TokenKind::Ident("A".into()));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("0.25")[0], TokenKind::Float(0.25));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(kinds("'MFGR#1'")[0], TokenKind::Str("MFGR#1".into()));
+        assert_eq!(kinds("'it''s'")[0], TokenKind::Str("it's".into()));
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use Symbol::*;
+        let ks = kinds("a <= b >= c <> d != e < f > g = h");
+        let syms: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec![LtEq, GtEq, NotEq, NotEq, Lt, Gt, Eq]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("select -- the result\n 1");
+        assert_eq!(ks.len(), 3); // SELECT, 1, EOF
+        assert_eq!(ks[1], TokenKind::Int(1));
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = tokenize("select a").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("select ¤").is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! SQL frontend for the DBToaster reproduction.
+//!
+//! The paper's compiler accepts "the core relational algebra, standard
+//! aggregates (sum, avg, count, min, max), subqueries and nested
+//! aggregates". This crate implements that fragment:
+//!
+//! * [`lexer`] — hand-written tokenizer with positions,
+//! * [`ast`] — the surface syntax tree,
+//! * [`parser`] — recursive-descent parser for `SELECT`-`FROM`-`WHERE`-
+//!   `GROUP BY` queries (with scalar subqueries, `EXISTS`, `IN`,
+//!   `BETWEEN`), plus `CREATE TABLE` / `CREATE STREAM` declarations used
+//!   by examples and the interactive demo binaries,
+//! * [`analyzer`] — name resolution and type checking against a
+//!   [`dbtoaster_common::Catalog`], producing a bound query the
+//!   calculus translation consumes.
+
+pub mod analyzer;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use analyzer::{
+    analyze, AggKind, BoundAgg, BoundColumn, BoundExpr, BoundQuery, BoundRelation, BoundSelectItem,
+};
+pub use ast::{
+    AggFunc, BinaryOp, CreateRelation, SelectItem, SelectQuery, SqlExpr, Statement, TableRef,
+    UnaryOp,
+};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse_query, parse_statement, parse_statements};

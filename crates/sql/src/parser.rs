@@ -1,0 +1,675 @@
+//! Recursive-descent parser for the supported SQL fragment.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! statements := statement (';' statement)* ';'?
+//! statement  := create | query
+//! create     := CREATE (TABLE | STREAM) ident '(' col_def (',' col_def)* ')'
+//! query      := SELECT item (',' item)* FROM table (',' table)*
+//!               [WHERE expr] [GROUP BY expr (',' expr)*]
+//! expr       := or_expr
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | cmp_expr
+//! cmp_expr   := add_expr [(= | <> | < | <= | > | >=) add_expr
+//!                         | [NOT] IN '(' literal (',' literal)* ')'
+//!                         | BETWEEN add_expr AND add_expr]
+//! add_expr   := mul_expr (('+'|'-') mul_expr)*
+//! mul_expr   := unary (('*'|'/') unary)*
+//! unary      := '-' unary | primary
+//! primary    := literal | DATE 'Y-M-D' | agg '(' [expr|'*'] ')'
+//!             | EXISTS '(' query ')' | '(' query ')' | '(' expr ')'
+//!             | ident ['.' ident]
+//! ```
+
+use dbtoaster_common::{ColumnType, Error, Result, Value};
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Symbol, Token, TokenKind};
+
+/// Parse a semicolon-separated script of statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.eat_symbol(Symbol::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.parse_statement()?);
+        if !p.eat_symbol(Symbol::Semicolon) && !p.at_eof() {
+            return Err(p.error("expected ';' or end of input"));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a single statement.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.eat_symbol(Symbol::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a single `SELECT` query.
+pub fn parse_query(sql: &str) -> Result<SelectQuery> {
+    match parse_statement(sql)? {
+        Statement::Select(q) => Ok(q),
+        Statement::Create(_) => Err(Error::Parse("expected a SELECT query".into())),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: &str) -> Error {
+        Error::Parse(format!("{msg} (near byte {})", self.tokens[self.pos].offset))
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn peek_symbol(&self, sym: Symbol) -> bool {
+        matches!(self.peek(), TokenKind::Symbol(s) if *s == sym)
+    }
+
+    fn eat_symbol(&mut self, sym: Symbol) -> bool {
+        if self.peek_symbol(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Symbol) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {sym:?}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.peek_keyword("CREATE") {
+            self.parse_create().map(Statement::Create)
+        } else if self.peek_keyword("SELECT") {
+            self.parse_select().map(Statement::Select)
+        } else {
+            Err(self.error("expected SELECT or CREATE"))
+        }
+    }
+
+    fn parse_create(&mut self) -> Result<CreateRelation> {
+        self.expect_keyword("CREATE")?;
+        let is_stream = if self.eat_keyword("STREAM") {
+            true
+        } else {
+            self.expect_keyword("TABLE")?;
+            false
+        };
+        let name = self.expect_ident()?;
+        self.expect_symbol(Symbol::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            let ty_name = self.expect_ident()?;
+            let ty = match ty_name.as_str() {
+                "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => ColumnType::Int,
+                "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" => ColumnType::Float,
+                "VARCHAR" | "CHAR" | "TEXT" | "STRING" => {
+                    // optional length argument, ignored
+                    if self.eat_symbol(Symbol::LParen) {
+                        self.bump();
+                        self.expect_symbol(Symbol::RParen)?;
+                    }
+                    ColumnType::Str
+                }
+                "BOOLEAN" | "BOOL" => ColumnType::Bool,
+                "DATE" => ColumnType::Date,
+                other => {
+                    return Err(Error::Parse(format!("unknown column type '{other}'")));
+                }
+            };
+            columns.push((col, ty));
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_symbol(Symbol::RParen)?;
+        Ok(CreateRelation { name, columns, is_stream })
+    }
+
+    fn parse_select(&mut self) -> Result<SelectQuery> {
+        self.expect_keyword("SELECT")?;
+        let mut select = Vec::new();
+        loop {
+            let expr = self.parse_expr()?;
+            let alias = if self.eat_keyword("AS") {
+                Some(self.expect_ident()?)
+            } else {
+                match self.peek() {
+                    TokenKind::Ident(s)
+                        if !is_reserved(s) && !self.peek_symbol(Symbol::Comma) =>
+                    {
+                        Some(self.expect_ident()?)
+                    }
+                    _ => None,
+                }
+            };
+            select.push(SelectItem { expr, alias });
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let alias = if self.eat_keyword("AS") {
+                self.expect_ident()?
+            } else {
+                match self.peek() {
+                    TokenKind::Ident(s) if !is_reserved(s) => self.expect_ident()?,
+                    _ => name.clone(),
+                }
+            };
+            from.push(TableRef { name, alias });
+            if !self.eat_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        let where_clause =
+            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(SelectQuery { select, from, where_clause, group_by })
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<SqlExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<SqlExpr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = SqlExpr::binary(BinaryOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<SqlExpr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = SqlExpr::binary(BinaryOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<SqlExpr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_not()?;
+            Ok(SqlExpr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<SqlExpr> {
+        let left = self.parse_additive()?;
+
+        let negated = {
+            // look ahead for `NOT IN`
+            if self.peek_keyword("NOT") {
+                let save = self.pos;
+                self.bump();
+                if self.peek_keyword("IN") {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+
+        if self.eat_keyword("IN") {
+            self.expect_symbol(Symbol::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_additive()?);
+                if !self.eat_symbol(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Symbol::RParen)?;
+            return Ok(SqlExpr::InList { expr: Box::new(left), list, negated });
+        }
+        if negated {
+            return Err(self.error("expected IN after NOT"));
+        }
+
+        if self.eat_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+
+        let op = match self.peek() {
+            TokenKind::Symbol(Symbol::Eq) => Some(BinaryOp::Eq),
+            TokenKind::Symbol(Symbol::NotEq) => Some(BinaryOp::NotEq),
+            TokenKind::Symbol(Symbol::Lt) => Some(BinaryOp::Lt),
+            TokenKind::Symbol(Symbol::LtEq) => Some(BinaryOp::LtEq),
+            TokenKind::Symbol(Symbol::Gt) => Some(BinaryOp::Gt),
+            TokenKind::Symbol(Symbol::GtEq) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            Ok(SqlExpr::binary(op, left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<SqlExpr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = if self.eat_symbol(Symbol::Plus) {
+                BinaryOp::Add
+            } else if self.eat_symbol(Symbol::Minus) {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            let right = self.parse_multiplicative()?;
+            left = SqlExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<SqlExpr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = if self.eat_symbol(Symbol::Star) {
+                BinaryOp::Mul
+            } else if self.eat_symbol(Symbol::Slash) {
+                BinaryOp::Div
+            } else {
+                break;
+            };
+            let right = self.parse_unary()?;
+            left = SqlExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<SqlExpr> {
+        if self.eat_symbol(Symbol::Minus) {
+            let inner = self.parse_unary()?;
+            Ok(SqlExpr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) })
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<SqlExpr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(SqlExpr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(SqlExpr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(SqlExpr::Literal(Value::Str(s)))
+            }
+            TokenKind::Symbol(Symbol::LParen) => {
+                self.bump();
+                // Either a subquery or a parenthesized expression.
+                if self.peek_keyword("SELECT") {
+                    let q = self.parse_select()?;
+                    self.expect_symbol(Symbol::RParen)?;
+                    Ok(SqlExpr::Subquery(Box::new(q)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_symbol(Symbol::RParen)?;
+                    Ok(e)
+                }
+            }
+            TokenKind::Ident(ident) => {
+                self.bump();
+                match ident.as_str() {
+                    "DATE" => {
+                        // DATE 'YYYY-MM-DD'
+                        match self.bump() {
+                            TokenKind::Str(s) => {
+                                let parts: Vec<&str> = s.split('-').collect();
+                                if parts.len() != 3 {
+                                    return Err(Error::Parse(format!(
+                                        "invalid date literal '{s}'"
+                                    )));
+                                }
+                                let y = parts[0].parse::<i32>();
+                                let m = parts[1].parse::<u32>();
+                                let d = parts[2].parse::<u32>();
+                                match (y, m, d) {
+                                    (Ok(y), Ok(m), Ok(d)) => {
+                                        Ok(SqlExpr::Literal(Value::date(y, m, d)))
+                                    }
+                                    _ => Err(Error::Parse(format!("invalid date literal '{s}'"))),
+                                }
+                            }
+                            other => {
+                                Err(Error::Parse(format!("expected date string, found {other:?}")))
+                            }
+                        }
+                    }
+                    "SUM" | "COUNT" | "AVG" | "MIN" | "MAX" => {
+                        let func = match ident.as_str() {
+                            "SUM" => AggFunc::Sum,
+                            "COUNT" => AggFunc::Count,
+                            "AVG" => AggFunc::Avg,
+                            "MIN" => AggFunc::Min,
+                            _ => AggFunc::Max,
+                        };
+                        self.expect_symbol(Symbol::LParen)?;
+                        let arg = if self.eat_symbol(Symbol::Star) {
+                            if func != AggFunc::Count {
+                                return Err(self.error("'*' argument is only valid for COUNT"));
+                            }
+                            None
+                        } else {
+                            Some(Box::new(self.parse_expr()?))
+                        };
+                        self.expect_symbol(Symbol::RParen)?;
+                        Ok(SqlExpr::Agg { func, arg })
+                    }
+                    "EXISTS" => {
+                        self.expect_symbol(Symbol::LParen)?;
+                        self.expect_keyword("SELECT")
+                            .map_err(|_| self.error("EXISTS requires a subquery"))?;
+                        // back up one token so parse_select sees SELECT
+                        self.pos -= 1;
+                        let q = self.parse_select()?;
+                        self.expect_symbol(Symbol::RParen)?;
+                        Ok(SqlExpr::Exists(Box::new(q)))
+                    }
+                    "TRUE" => Ok(SqlExpr::Literal(Value::Bool(true))),
+                    "FALSE" => Ok(SqlExpr::Literal(Value::Bool(false))),
+                    "NULL" => Ok(SqlExpr::Literal(Value::Null)),
+                    _ => {
+                        if self.eat_symbol(Symbol::Dot) {
+                            let col = self.expect_ident()?;
+                            Ok(SqlExpr::Column { qualifier: Some(ident), name: col })
+                        } else {
+                            Ok(SqlExpr::Column { qualifier: None, name: ident })
+                        }
+                    }
+                }
+            }
+            other => Err(Error::Parse(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    matches!(
+        word,
+        "SELECT"
+            | "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "BY"
+            | "AS"
+            | "AND"
+            | "OR"
+            | "NOT"
+            | "IN"
+            | "BETWEEN"
+            | "EXISTS"
+            | "CREATE"
+            | "TABLE"
+            | "STREAM"
+            | "ON"
+            | "JOIN"
+            | "HAVING"
+            | "ORDER"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example (Section 3).
+    const RST: &str = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
+
+    #[test]
+    fn parses_the_papers_example_query() {
+        let q = parse_query(RST).unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.select.len(), 1);
+        assert!(q.select[0].expr.contains_aggregate());
+        assert!(q.group_by.is_empty());
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.to_string(), "((R.B = S.B) AND (S.C = T.C))");
+    }
+
+    #[test]
+    fn parses_group_by_aggregates_with_aliases() {
+        let q = parse_query(
+            "select d.D_YEAR, c.C_NATION, sum(lo.LO_REVENUE - lo.LO_SUPPLYCOST) as profit \
+             from DATES d, CUSTOMER c, LINEORDER lo \
+             where lo.LO_CUSTKEY = c.C_CUSTKEY and lo.LO_ORDERDATE = d.D_DATEKEY \
+             group by d.D_YEAR, c.C_NATION",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.select[2].alias.as_deref(), Some("PROFIT"));
+        assert_eq!(q.from[2].alias, "LO");
+    }
+
+    #[test]
+    fn parses_table_aliases_with_and_without_as() {
+        let q = parse_query("select sum(a) from R as x, S y, T").unwrap();
+        assert_eq!(q.from[0].alias, "X");
+        assert_eq!(q.from[1].alias, "Y");
+        assert_eq!(q.from[2].alias, "T");
+    }
+
+    #[test]
+    fn parses_nested_scalar_subquery() {
+        let q = parse_query(
+            "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 \
+             where 0.25 * (select sum(b3.VOLUME) from BIDS b3) > \
+                   (select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE)",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        match w {
+            SqlExpr::Binary { op: BinaryOp::Gt, left, right } => {
+                assert!(matches!(*right, SqlExpr::Subquery(_)));
+                assert!(matches!(
+                    *left,
+                    SqlExpr::Binary { op: BinaryOp::Mul, .. }
+                ));
+            }
+            other => panic!("unexpected where clause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_exists_in_and_between() {
+        let q = parse_query(
+            "select count(*) from ASKS a where exists (select 1 from BIDS b where b.PRICE = a.PRICE) \
+             and a.VOLUME between 10 and 100 and a.BROKER_ID in (1, 2, 3)",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap().to_string();
+        assert!(w.contains("EXISTS"));
+        assert!(w.contains("BETWEEN"));
+        assert!(w.contains("IN (1, 2, 3)"));
+    }
+
+    #[test]
+    fn parses_count_star_and_avg() {
+        let q = parse_query("select count(*), avg(price) from BIDS").unwrap();
+        assert!(matches!(
+            q.select[0].expr,
+            SqlExpr::Agg { func: AggFunc::Count, arg: None }
+        ));
+        assert!(matches!(
+            q.select[1].expr,
+            SqlExpr::Agg { func: AggFunc::Avg, arg: Some(_) }
+        ));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("select sum(a + b * c - d / e) from R").unwrap();
+        let s = q.select[0].expr.to_string();
+        assert_eq!(s, "SUM(((A + (B * C)) - (D / E)))");
+    }
+
+    #[test]
+    fn parses_create_statements() {
+        let stmts = parse_statements(
+            "CREATE STREAM BIDS (T FLOAT, ID INT, BROKER_ID INT, VOLUME FLOAT, PRICE FLOAT);\n\
+             CREATE TABLE DIM (K INT, NAME VARCHAR(25));\n\
+             SELECT sum(PRICE) FROM BIDS;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        match &stmts[0] {
+            Statement::Create(c) => {
+                assert!(c.is_stream);
+                assert_eq!(c.columns.len(), 5);
+                assert_eq!(c.columns[3], ("VOLUME".to_string(), ColumnType::Float));
+            }
+            other => panic!("expected create, got {other:?}"),
+        }
+        match &stmts[1] {
+            Statement::Create(c) => {
+                assert!(!c.is_stream);
+                assert_eq!(c.columns[1], ("NAME".to_string(), ColumnType::Str));
+            }
+            other => panic!("expected create, got {other:?}"),
+        }
+        assert!(matches!(stmts[2], Statement::Select(_)));
+    }
+
+    #[test]
+    fn parses_date_literals_and_string_predicates() {
+        let q = parse_query(
+            "select sum(l.PRICE) from LINEITEM l where l.SHIPDATE >= DATE '1995-03-15' \
+             and l.FLAG = 'R'",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap().to_string();
+        assert!(w.contains("1995-03-15"));
+        assert!(w.contains("'R'"));
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let err = parse_query("select sum(a from R").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+        let err = parse_query("selekt 1 from R").unwrap_err();
+        assert!(err.to_string().contains("SELECT or CREATE"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_statement("select sum(a) from R extra garbage ) (").is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let q = parse_query("select sum(-a) from R where not (b = 1)").unwrap();
+        assert_eq!(q.select[0].expr.to_string(), "SUM(-(A))");
+        assert!(q.where_clause.unwrap().to_string().starts_with("NOT"));
+    }
+}

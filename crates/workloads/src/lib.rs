@@ -1,0 +1,22 @@
+//! Benchmark workloads.
+//!
+//! The paper demonstrates DBToaster on two applications: algorithmic
+//! trading over NASDAQ TotalView order-book data, and combined data
+//! warehouse loading + analysis over TPC-H data transformed into the Star
+//! Schema Benchmark. Neither dataset is redistributable, so this crate
+//! generates deterministic synthetic equivalents that preserve the update
+//! patterns and join/aggregation structure (DESIGN.md §2):
+//!
+//! * [`orderbook`] — a limit-order-book message stream (order additions,
+//!   partial cancels as delete+insert pairs, and full deletions) over
+//!   `BIDS`/`ASKS` relations, plus the financial standing queries
+//!   (VWAP components, the full nested-aggregate VWAP, an order-book
+//!   imbalance query and a per-broker market-maker query),
+//! * [`tpch`] — a scaled-down TPC-H-shaped generator, the warehouse
+//!   loading transform into the SSB star schema, and SSB query 4.1.
+
+pub mod orderbook;
+pub mod tpch;
+
+pub use orderbook::{OrderBookConfig, OrderBookGenerator};
+pub use tpch::{transform_to_ssb, TpchConfig, TpchData};

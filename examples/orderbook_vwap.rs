@@ -1,0 +1,56 @@
+//! Financial application: maintain VWAP and order-book signals over a
+//! synthetic TotalView-like message stream (the paper's algorithmic
+//! trading scenario).
+//!
+//! ```text
+//! cargo run --release --example orderbook_vwap [messages]
+//! ```
+
+use dbtoaster::prelude::*;
+use dbtoaster::workloads::orderbook::{
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, SOBI, VWAP_COMPONENTS,
+};
+
+fn main() {
+    let messages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let catalog = orderbook_catalog();
+    let stream = OrderBookGenerator::new(OrderBookConfig {
+        messages,
+        book_depth: messages / 5,
+        ..Default::default()
+    })
+    .generate();
+    println!("order book stream: {} messages {:?}", stream.len(), stream.counts_by_relation());
+
+    // VWAP: maintain numerator and denominator, divide on read.
+    let mut vwap = dbtoaster::StandingQuery::compile(VWAP_COMPONENTS, &catalog).unwrap();
+    // SOBI-style signal and per-broker market-maker imbalance.
+    let mut sobi = dbtoaster::StandingQuery::compile(SOBI, &catalog).unwrap();
+    let mut market_maker = dbtoaster::StandingQuery::compile(MARKET_MAKER, &catalog).unwrap();
+
+    let started = std::time::Instant::now();
+    for event in &stream {
+        vwap.on_event(event).unwrap();
+        sobi.on_event(event).unwrap();
+        market_maker.on_event(event).unwrap();
+    }
+    let elapsed = started.elapsed();
+
+    let row = &vwap.result()[0];
+    let (pv, volume) = (row.values[0].as_f64(), row.values[1].as_f64());
+    println!("\nafter {} events ({elapsed:?}, {:.0} events/sec across 3 standing queries):",
+        stream.len(), stream.len() as f64 / elapsed.as_secs_f64());
+    println!("  VWAP                = {:.4}", pv / volume.max(1.0));
+    println!("  SOBI signal         = {}", sobi.scalar());
+    println!("  market-maker groups = {} brokers", market_maker.result().len());
+    for row in market_maker.result().iter().take(5) {
+        println!("    broker {:>3} imbalance {}", row.values[0], row.values[1]);
+    }
+
+    println!("\ncompiled state (VWAP query): {:.1} KiB across {} maps",
+        vwap.profile().total_bytes as f64 / 1024.0,
+        vwap.profile().per_map.len());
+}

@@ -1,0 +1,187 @@
+//! # DBToaster (Rust reproduction)
+//!
+//! A SQL compiler for high-performance delta processing in main-memory
+//! databases: standing aggregate queries are *recursively* compiled into
+//! trigger programs — one short handler per (relation, insert/delete)
+//! event — over in-memory map data structures, so that each update is
+//! absorbed by a few hash-map operations instead of a query re-run.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! * [`common`] — values, tuples, schemas, the update-stream event model,
+//! * [`sql`] — lexer, parser, analyzer for the supported SQL fragment,
+//! * [`calculus`] — the map algebra (ring expressions, delta rules,
+//!   simplification),
+//! * [`compiler`] — the recursive delta compiler and the Rust code
+//!   generator,
+//! * [`runtime`] — map storage, the statement VM, the embedded-mode
+//!   [`Engine`] and the standalone server,
+//! * [`exec`] — the reference interpreter used by baselines and tests,
+//! * [`baselines`] — the bakeoff baseline engines,
+//! * [`workloads`] — order-book and TPC-H/SSB workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dbtoaster::prelude::*;
+//!
+//! // 1. Declare the streamed relations.
+//! let catalog = Catalog::new()
+//!     .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+//!     .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
+//!     .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]));
+//!
+//! // 2. Compile the standing query (the paper's running example).
+//! let query = "select sum(A*D) from R, S, T where R.B = S.B and S.C = T.C";
+//! let mut engine = StandingQuery::compile(query, &catalog).unwrap();
+//!
+//! // 3. Feed deltas; the result is maintained incrementally.
+//! engine.insert("R", tuple![2i64, 1i64]).unwrap();
+//! engine.insert("S", tuple![1i64, 3i64]).unwrap();
+//! engine.insert("T", tuple![3i64, 10i64]).unwrap();
+//! assert_eq!(engine.scalar(), Value::Int(20));
+//! engine.delete("R", tuple![2i64, 1i64]).unwrap();
+//! assert_eq!(engine.scalar(), Value::Int(0));
+//! ```
+
+pub use dbtoaster_baselines as baselines;
+pub use dbtoaster_calculus as calculus;
+pub use dbtoaster_common as common;
+pub use dbtoaster_compiler as compiler;
+pub use dbtoaster_exec as exec;
+pub use dbtoaster_runtime as runtime;
+pub use dbtoaster_sql as sql;
+pub use dbtoaster_workloads as workloads;
+
+use dbtoaster_common::{Catalog, Event, Result, Tuple, UpdateStream, Value};
+use dbtoaster_compiler::{CompileOptions, TriggerProgram};
+use dbtoaster_runtime::{Engine, ProfileReport, ResultRow};
+
+/// Everything a typical embedding application needs.
+pub mod prelude {
+    pub use crate::StandingQuery;
+    pub use dbtoaster_common::{
+        tuple, Catalog, ColumnType, Event, EventKind, Schema, Tuple, UpdateStream, Value,
+    };
+    pub use dbtoaster_compiler::{CompileOptions, TriggerProgram};
+    pub use dbtoaster_runtime::{Engine, ResultRow, StandaloneServer};
+}
+
+/// A compiled standing query with its embedded-mode engine — the
+/// high-level API of the library.
+pub struct StandingQuery {
+    program: TriggerProgram,
+    engine: Engine,
+}
+
+impl StandingQuery {
+    /// Compile a SQL query with full recursive compilation.
+    pub fn compile(sql: &str, catalog: &Catalog) -> Result<StandingQuery> {
+        StandingQuery::compile_with(sql, catalog, &CompileOptions::full())
+    }
+
+    /// Compile with explicit options (e.g. depth-limited compilation).
+    pub fn compile_with(
+        sql: &str,
+        catalog: &Catalog,
+        options: &CompileOptions,
+    ) -> Result<StandingQuery> {
+        let program = dbtoaster_compiler::compile_sql(sql, catalog, options)?;
+        let engine = Engine::new(&program)?;
+        Ok(StandingQuery { program, engine })
+    }
+
+    /// The compiled trigger program (maps, handlers, statements).
+    pub fn program(&self) -> &TriggerProgram {
+        &self.program
+    }
+
+    /// The generated Rust event-handler source (the analog of the paper's
+    /// C++ emission).
+    pub fn generated_source(&self) -> String {
+        dbtoaster_compiler::codegen::generate_rust(&self.program)
+    }
+
+    /// Apply one event.
+    pub fn on_event(&mut self, event: &Event) -> Result<()> {
+        self.engine.on_event(event)
+    }
+
+    /// Insert a tuple into a base relation.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<()> {
+        self.engine.on_event(&Event::insert(relation, tuple))
+    }
+
+    /// Delete a tuple from a base relation.
+    pub fn delete(&mut self, relation: &str, tuple: Tuple) -> Result<()> {
+        self.engine.on_event(&Event::delete(relation, tuple))
+    }
+
+    /// Apply every event of a stream.
+    pub fn process(&mut self, stream: &UpdateStream) -> Result<()> {
+        self.engine.process(stream)
+    }
+
+    /// The current result rows.
+    pub fn result(&self) -> Vec<ResultRow> {
+        self.engine.result()
+    }
+
+    /// Output column names in `SELECT` order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.engine.column_names()
+    }
+
+    /// The single value of a scalar query.
+    pub fn scalar(&self) -> Value {
+        self.engine.scalar_result()
+    }
+
+    /// Read-only snapshot of an internal map (ad-hoc query interface).
+    pub fn map_snapshot(&self, name: &str) -> Option<Vec<(Tuple, Value)>> {
+        self.engine.map_snapshot(name)
+    }
+
+    /// Profiling statistics.
+    pub fn profile(&self) -> ProfileReport {
+        self.engine.profile()
+    }
+
+    /// Direct access to the underlying engine (tracing, memory, ...).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Direct read access to the underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use dbtoaster_common::tuple;
+
+    #[test]
+    fn facade_compiles_and_maintains_a_grouped_query() {
+        let catalog = Catalog::new().with(Schema::new(
+            "ORDERS",
+            vec![("CUST", ColumnType::Int), ("AMOUNT", ColumnType::Float)],
+        ));
+        let mut q = crate::StandingQuery::compile(
+            "select CUST, sum(AMOUNT), count(*) from ORDERS group by CUST",
+            &catalog,
+        )
+        .unwrap();
+        q.insert("ORDERS", tuple![1i64, 10.0f64]).unwrap();
+        q.insert("ORDERS", tuple![1i64, 5.0f64]).unwrap();
+        q.insert("ORDERS", tuple![2i64, 7.5f64]).unwrap();
+        let rows = q.result();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].values[1], Value::Float(15.0));
+        assert_eq!(q.column_names().len(), 3);
+        assert!(q.generated_source().contains("on_insert_ORDERS"));
+        assert!(q.profile().statement_count > 0);
+    }
+}
