@@ -9,7 +9,9 @@
 //! [`crate::NaiveReevalEngine`]) but pays a join against base tables per
 //! delta, which is the cost recursive compilation eliminates.
 
-use dbtoaster_calculus::{delta, simplify, translate_query, trigger_args, CalcExpr, QueryCalc, Var};
+use dbtoaster_calculus::{
+    delta, simplify, translate_query, trigger_args, CalcExpr, QueryCalc, Var,
+};
 use dbtoaster_common::{Catalog, Error, Event, EventKind, FxHashMap, Result, Tuple, Value};
 use dbtoaster_exec::{assemble_from_maps, evaluate_groups, Database, Env};
 use dbtoaster_sql::{analyze, parse_query};
@@ -46,8 +48,7 @@ impl FirstOrderIvmEngine {
             maps.insert(spec.name.clone(), FxHashMap::default());
             for relation in spec.definition.relations() {
                 let schema = catalog.expect(&relation)?;
-                let columns: Vec<String> =
-                    schema.columns.iter().map(|c| c.name.clone()).collect();
+                let columns: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
                 let args = trigger_args(&relation, &columns);
                 for kind in [EventKind::Insert, EventKind::Delete] {
                     let d = delta(&spec.definition, &relation, kind, &args);
@@ -58,18 +59,24 @@ impl FirstOrderIvmEngine {
                         args.iter().cloned().collect();
                     protected.extend(spec.keys.iter().cloned());
                     let simplified = simplify(&d, &protected);
-                    maintenance.entry((relation.clone(), kind)).or_default().push(
-                        MaintenanceQuery {
+                    maintenance
+                        .entry((relation.clone(), kind))
+                        .or_default()
+                        .push(MaintenanceQuery {
                             map: spec.name.clone(),
                             keys: spec.keys.clone(),
                             args: args.clone(),
                             delta_expr: simplified,
-                        },
-                    );
+                        });
                 }
             }
         }
-        Ok(FirstOrderIvmEngine { query, db: Database::new(), maintenance, maps })
+        Ok(FirstOrderIvmEngine {
+            query,
+            db: Database::new(),
+            maintenance,
+            maps,
+        })
     }
 }
 
@@ -139,11 +146,18 @@ mod tests {
     #[test]
     fn maintains_a_join_aggregate_without_full_recomputation() {
         let cat = Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]));
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ));
         let mut e =
             FirstOrderIvmEngine::new("select sum(A*C) from R, S where R.B = S.B", &cat).unwrap();
-        e.on_event(&Event::insert("S", tuple![1i64, 10i64])).unwrap();
+        e.on_event(&Event::insert("S", tuple![1i64, 10i64]))
+            .unwrap();
         e.on_event(&Event::insert("R", tuple![3i64, 1i64])).unwrap();
         assert_eq!(e.scalar_result(), Value::Int(30));
         e.on_event(&Event::insert("S", tuple![1i64, 5i64])).unwrap();
@@ -154,13 +168,9 @@ mod tests {
 
     #[test]
     fn handles_self_joins_via_the_second_order_term() {
-        let cat = Catalog::new()
-            .with(Schema::new("E", vec![("X", ColumnType::Int)]));
-        let mut e = FirstOrderIvmEngine::new(
-            "select count(*) from E a, E b where a.X = b.X",
-            &cat,
-        )
-        .unwrap();
+        let cat = Catalog::new().with(Schema::new("E", vec![("X", ColumnType::Int)]));
+        let mut e = FirstOrderIvmEngine::new("select count(*) from E a, E b where a.X = b.X", &cat)
+            .unwrap();
         e.on_event(&Event::insert("E", tuple![1i64])).unwrap();
         assert_eq!(e.scalar_result(), Value::Int(1));
         e.on_event(&Event::insert("E", tuple![1i64])).unwrap();

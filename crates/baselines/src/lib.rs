@@ -70,10 +70,7 @@ pub struct DbtoasterEngine {
 
 impl DbtoasterEngine {
     /// Fully recursive compilation.
-    pub fn new(
-        sql: &str,
-        catalog: &dbtoaster_common::Catalog,
-    ) -> Result<DbtoasterEngine> {
+    pub fn new(sql: &str, catalog: &dbtoaster_common::Catalog) -> Result<DbtoasterEngine> {
         let program = dbtoaster_compiler::compile_sql(
             sql,
             catalog,
@@ -144,9 +141,18 @@ mod tests {
 
     fn rst_catalog() -> Catalog {
         Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ))
     }
 
     const RST: &str = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
@@ -215,7 +221,9 @@ mod tests {
     fn memory_reporting_is_nonzero_once_loaded() {
         let cat = rst_catalog();
         let mut naive = NaiveReevalEngine::new(RST, &cat).unwrap();
-        naive.on_event(&Event::insert("R", tuple![1i64, 1i64])).unwrap();
+        naive
+            .on_event(&Event::insert("R", tuple![1i64, 1i64]))
+            .unwrap();
         assert!(naive.memory_bytes() > 0);
     }
 }

@@ -27,7 +27,11 @@ impl NaiveReevalEngine {
     pub fn new(sql: &str, catalog: &Catalog) -> Result<NaiveReevalEngine> {
         let bound = analyze(&parse_query(sql)?, catalog)?;
         let query = translate_query(&bound, "Q")?;
-        Ok(NaiveReevalEngine { query, db: Database::new(), current: Vec::new() })
+        Ok(NaiveReevalEngine {
+            query,
+            db: Database::new(),
+            current: Vec::new(),
+        })
     }
 }
 
@@ -65,8 +69,10 @@ mod tests {
 
     #[test]
     fn recomputes_after_every_event() {
-        let cat = Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]));
+        let cat = Catalog::new().with(Schema::new(
+            "R",
+            vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+        ));
         let mut e = NaiveReevalEngine::new("select sum(A) from R", &cat).unwrap();
         e.on_event(&Event::insert("R", tuple![3i64, 1i64])).unwrap();
         assert_eq!(e.scalar_result(), Value::Int(3));

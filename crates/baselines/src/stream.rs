@@ -49,7 +49,11 @@ impl Synopsis {
             return;
         }
         for (var, index) in self.indexes.iter_mut() {
-            let pos = self.vars.iter().position(|v| v == var).expect("indexed var");
+            let pos = self
+                .vars
+                .iter()
+                .position(|v| v == var)
+                .expect("indexed var");
             let bucket = index.entry(tuple[pos].clone()).or_default();
             if newly_present {
                 bucket.push(tuple.clone());
@@ -125,9 +129,11 @@ impl StreamEngine {
                 CalcExpr::Cmp { op, left, right } => {
                     predicates.push((*op, left.clone(), right.clone()))
                 }
-                other if !other.has_relations()
-                    && other.map_refs().is_empty()
-                    && !matches!(other, CalcExpr::Lift { .. } | CalcExpr::Exists(_)) => {
+                other
+                    if !other.has_relations()
+                        && other.map_refs().is_empty()
+                        && !matches!(other, CalcExpr::Lift { .. } | CalcExpr::Exists(_)) =>
+                {
                     // Composite scalar predicates (e.g. OR via
                     // inclusion-exclusion) are evaluated per binding as
                     // part of each aggregate's calc factors.
@@ -143,7 +149,10 @@ impl StreamEngine {
 
         let mut synopses = Vec::new();
         for (name, vars, _) in &query.relations {
-            let mut syn = Synopsis { vars: vars.clone(), ..Default::default() };
+            let mut syn = Synopsis {
+                vars: vars.clone(),
+                ..Default::default()
+            };
             // Index every variable that participates in an equality with
             // another relation (the join attributes).
             for (op, l, r) in &predicates {
@@ -193,14 +202,23 @@ impl StreamEngine {
             })
             .collect();
 
-        Ok(StreamEngine { query, synopses, predicates, eq_pairs, aggs, maps })
+        Ok(StreamEngine {
+            query,
+            synopses,
+            predicates,
+            eq_pairs,
+            aggs,
+            maps,
+        })
     }
 
     /// Propagate a delta binding through the remaining operators.
     fn propagate(&mut self, event_index: usize, env: FxHashMap<Var, Value>, sign: i64) {
         // Depth-first join of the delta tuple against every other synopsis,
         // probing hash indexes on already-bound join attributes.
-        let mut order: Vec<usize> = (0..self.synopses.len()).filter(|i| *i != event_index).collect();
+        let mut order: Vec<usize> = (0..self.synopses.len())
+            .filter(|i| *i != event_index)
+            .collect();
         // Keep FROM order (a left-deep chain).
         order.sort_unstable();
         let mut results: Vec<(FxHashMap<Var, Value>, i64)> = Vec::new();
@@ -374,8 +392,11 @@ impl StandingQueryEngine for StreamEngine {
                     event.relation
                 )));
             }
-            let env: FxHashMap<Var, Value> =
-                vars.iter().cloned().zip(event.tuple.iter().cloned()).collect();
+            let env: FxHashMap<Var, Value> = vars
+                .iter()
+                .cloned()
+                .zip(event.tuple.iter().cloned())
+                .collect();
             // Propagate against the *pre-state* of the other synopses.
             self.propagate(idx, env, sign);
             // For self-joins, the instances updated earlier in this loop
@@ -415,14 +436,22 @@ mod tests {
     #[test]
     fn propagates_deltas_through_the_join_chain() {
         let cat = Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]));
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ));
         let mut e = StreamEngine::new("select sum(A*C) from R, S where R.B = S.B", &cat).unwrap();
         e.on_event(&Event::insert("R", tuple![3i64, 1i64])).unwrap();
         assert_eq!(e.scalar_result(), Value::Int(0));
-        e.on_event(&Event::insert("S", tuple![1i64, 10i64])).unwrap();
+        e.on_event(&Event::insert("S", tuple![1i64, 10i64]))
+            .unwrap();
         assert_eq!(e.scalar_result(), Value::Int(30));
-        e.on_event(&Event::delete("S", tuple![1i64, 10i64])).unwrap();
+        e.on_event(&Event::delete("S", tuple![1i64, 10i64]))
+            .unwrap();
         assert_eq!(e.scalar_result(), Value::Int(0));
     }
 

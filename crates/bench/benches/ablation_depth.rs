@@ -22,18 +22,27 @@ fn ablation_depth(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_secs(1));
-    for (label, depth) in [("depth1_classical_ivm", Some(1)), ("depth2", Some(2)), ("full_recursive", None)]
-    {
-        group.bench_with_input(BenchmarkId::new("ssb_q41", label), &stream.events, |b, events| {
-            b.iter(|| {
-                let mut engine: Box<dyn StandingQueryEngine> = match depth {
-                    Some(d) => Box::new(DbtoasterEngine::with_depth(SSB_Q41, &catalog, d).unwrap()),
-                    None => Box::new(DbtoasterEngine::new(SSB_Q41, &catalog).unwrap()),
-                };
-                engine.process(events).unwrap();
-                engine.result().len()
-            })
-        });
+    for (label, depth) in [
+        ("depth1_classical_ivm", Some(1)),
+        ("depth2", Some(2)),
+        ("full_recursive", None),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("ssb_q41", label),
+            &stream.events,
+            |b, events| {
+                b.iter(|| {
+                    let mut engine: Box<dyn StandingQueryEngine> = match depth {
+                        Some(d) => {
+                            Box::new(DbtoasterEngine::with_depth(SSB_Q41, &catalog, d).unwrap())
+                        }
+                        None => Box::new(DbtoasterEngine::new(SSB_Q41, &catalog).unwrap()),
+                    };
+                    engine.process(events).unwrap();
+                    engine.result().len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,76 @@
+//! Batched vs. per-event ingestion on the order-book workload.
+//!
+//! Measures the view server's two ingestion paths over the same
+//! generated message stream and view portfolio (VWAP components + the
+//! per-broker market-maker view, so BIDS events fan out to two views):
+//!
+//! * `per_event` — `ViewServer::apply` per message: every event takes
+//!   each interested engine's write lock and pays the per-event
+//!   bookkeeping (two clock reads, a per-trigger stat update).
+//! * `batch{N}` — `ViewServer::apply_batch` over batches of N: each
+//!   affected engine's lock is taken once per batch and the bookkeeping
+//!   is amortized across the batch.
+//!
+//! The expected shape: batching wins, with diminishing returns once the
+//! per-batch overhead is amortized (a few hundred events per batch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dbtoaster_server::ViewServer;
+use dbtoaster_workloads::orderbook::{
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, VWAP_COMPONENTS,
+};
+
+fn portfolio() -> ViewServer {
+    let mut server = ViewServer::new(&orderbook_catalog());
+    server.register("vwap_components", VWAP_COMPONENTS).unwrap();
+    server.register("market_maker", MARKET_MAKER).unwrap();
+    server
+}
+
+fn batch_ingestion(c: &mut Criterion) {
+    let stream = OrderBookGenerator::new(OrderBookConfig {
+        messages: 10_000,
+        book_depth: 2_000,
+        ..Default::default()
+    })
+    .generate();
+
+    let mut group = c.benchmark_group("batch_ingestion");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_with_input(
+        BenchmarkId::new("orderbook", "per_event"),
+        &stream,
+        |b, stream| {
+            b.iter(|| {
+                let server = portfolio();
+                for event in stream {
+                    server.apply(event).unwrap();
+                }
+                server.memory_bytes()
+            })
+        },
+    );
+
+    for batch_size in [64usize, 256, 1024, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("orderbook", format!("batch{batch_size}")),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let server = portfolio();
+                    for chunk in stream.events.chunks(batch_size) {
+                        server.apply_batch(chunk).unwrap();
+                    }
+                    server.memory_bytes()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_ingestion);
+criterion_main!(benches);

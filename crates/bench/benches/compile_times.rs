@@ -13,9 +13,18 @@ use dbtoaster_compiler::compile_sql;
 
 fn rst_catalog() -> Catalog {
     Catalog::new()
-        .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-        .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-        .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+        .with(Schema::new(
+            "R",
+            vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "S",
+            vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "T",
+            vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+        ))
 }
 
 fn compile_times(c: &mut Criterion) {
@@ -24,9 +33,7 @@ fn compile_times(c: &mut Criterion) {
     let figure2 = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
 
     c.bench_function("compile/figure2_recursive", |b| {
-        b.iter(|| {
-            compile_sql(figure2, &rst, &dbtoaster_compiler::CompileOptions::full()).unwrap()
-        })
+        b.iter(|| compile_sql(figure2, &rst, &dbtoaster_compiler::CompileOptions::full()).unwrap())
     });
     c.bench_function("compile/ssb_q41_recursive", |b| {
         b.iter(|| {
@@ -38,13 +45,17 @@ fn compile_times(c: &mut Criterion) {
             .unwrap()
         })
     });
-    let program =
-        compile_sql(figure2, &rst, &dbtoaster_compiler::CompileOptions::full()).unwrap();
+    let program = compile_sql(figure2, &rst, &dbtoaster_compiler::CompileOptions::full()).unwrap();
     c.bench_function("compile/figure2_codegen", |b| {
         b.iter(|| dbtoaster_compiler::codegen::generate_rust(&program).len())
     });
     c.bench_function("compile/figure2_lowering", |b| {
-        b.iter(|| dbtoaster_runtime::lower_program(&program).unwrap().map_names.len())
+        b.iter(|| {
+            dbtoaster_runtime::lower_program(&program)
+                .unwrap()
+                .map_names
+                .len()
+        })
     });
 }
 

@@ -51,7 +51,10 @@ fn main() {
     let warehouse_catalog = ssb_catalog();
     let data = TpchData::generate(&TpchConfig::at_scale(messages as f64 / 200_000.0));
     let warehouse_stream = transform_to_ssb(&data);
-    println!("warehouse loading stream: {} events", warehouse_stream.len());
+    println!(
+        "warehouse loading stream: {} events",
+        warehouse_stream.len()
+    );
     for kind in EngineKind::all() {
         let events: Vec<_> = if kind == EngineKind::NaiveReeval {
             warehouse_stream.events.iter().take(400).cloned().collect()

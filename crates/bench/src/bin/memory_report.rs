@@ -5,7 +5,9 @@
 //! base tables and operator synopses for the baselines).
 
 use dbtoaster_bench::EngineKind;
-use dbtoaster_workloads::orderbook::{orderbook_catalog, OrderBookConfig, OrderBookGenerator, SOBI};
+use dbtoaster_workloads::orderbook::{
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, SOBI,
+};
 use dbtoaster_workloads::tpch::{ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41};
 
 fn main() {
@@ -14,7 +16,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_000);
 
-    println!("{:<14} {:<18} {:>14} {:>12}", "workload", "engine", "events", "memory(KiB)");
+    println!(
+        "{:<14} {:<18} {:>14} {:>12}",
+        "workload", "engine", "events", "memory(KiB)"
+    );
 
     let finance_catalog = orderbook_catalog();
     let stream = OrderBookGenerator::new(OrderBookConfig {

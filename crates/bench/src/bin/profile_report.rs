@@ -24,11 +24,14 @@ fn main() {
     })
     .generate();
     let warehouse_catalog = ssb_catalog();
-    let warehouse_stream =
-        transform_to_ssb(&TpchData::generate(&TpchConfig::at_scale(0.02)));
+    let warehouse_stream = transform_to_ssb(&TpchData::generate(&TpchConfig::at_scale(0.02)));
 
-    let mut cases: Vec<(&str, &str, &dbtoaster_common::Catalog, &dbtoaster_common::UpdateStream)> =
-        Vec::new();
+    let mut cases: Vec<(
+        &str,
+        &str,
+        &dbtoaster_common::Catalog,
+        &dbtoaster_common::UpdateStream,
+    )> = Vec::new();
     for (name, sql) in finance_queries() {
         cases.push((name, sql, &finance_catalog, &finance_stream));
     }
@@ -47,7 +50,10 @@ fn main() {
 
         println!("== {name} ==");
         println!("  compile time:        {compile_time:?}");
-        println!("  codegen time:        {codegen_time:?} ({} bytes of Rust)", source.len());
+        println!(
+            "  codegen time:        {codegen_time:?} ({} bytes of Rust)",
+            source.len()
+        );
         println!("  lowering time:       {:?}", profile.compile_time);
         println!(
             "  maps: {} ({} statements, code size {})",
@@ -56,9 +62,15 @@ fn main() {
             profile.code_size
         );
         println!("  events processed:    {}", profile.events_processed);
-        println!("  total map memory:    {:.1} KiB", profile.total_bytes as f64 / 1024.0);
+        println!(
+            "  total map memory:    {:.1} KiB",
+            profile.total_bytes as f64 / 1024.0
+        );
         for (map, entries, bytes) in &profile.per_map {
-            println!("    map {map:<24} {entries:>8} entries {:>10.1} KiB", *bytes as f64 / 1024.0);
+            println!(
+                "    map {map:<24} {entries:>8} entries {:>10.1} KiB",
+                *bytes as f64 / 1024.0
+            );
         }
         for (trigger, count, time) in &profile.per_trigger {
             println!("    trigger {trigger:<22} {count:>8} events   {time:?}");

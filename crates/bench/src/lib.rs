@@ -119,7 +119,11 @@ pub fn speedups(rows: &[BakeoffRow]) -> Vec<(String, &'static str, f64)> {
             .iter()
             .find(|x| x.query == r.query && x.engine == "dbtoaster")
         {
-            out.push((r.query.clone(), r.engine, dbt.tuples_per_second / r.tuples_per_second));
+            out.push((
+                r.query.clone(),
+                r.engine,
+                dbt.tuples_per_second / r.tuples_per_second,
+            ));
         }
     }
     out
@@ -128,7 +132,9 @@ pub fn speedups(rows: &[BakeoffRow]) -> Vec<(String, &'static str, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbtoaster_workloads::orderbook::{orderbook_catalog, OrderBookConfig, OrderBookGenerator, VWAP_COMPONENTS};
+    use dbtoaster_workloads::orderbook::{
+        orderbook_catalog, OrderBookConfig, OrderBookGenerator, VWAP_COMPONENTS,
+    };
 
     #[test]
     fn measure_produces_consistent_rows_for_all_engines() {

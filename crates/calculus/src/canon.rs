@@ -53,9 +53,10 @@ fn sort_structurally(expr: &CalcExpr) -> CalcExpr {
             group: group.clone(),
             body: Box::new(sort_structurally(body)),
         },
-        CalcExpr::Lift { var, body } => {
-            CalcExpr::Lift { var: var.clone(), body: Box::new(sort_structurally(body)) }
-        }
+        CalcExpr::Lift { var, body } => CalcExpr::Lift {
+            var: var.clone(),
+            body: Box::new(sort_structurally(body)),
+        },
         CalcExpr::Exists(e) => CalcExpr::Exists(Box::new(sort_structurally(e))),
         other => other.clone(),
     }
@@ -76,10 +77,16 @@ fn structural_key(expr: &CalcExpr) -> String {
         CalcExpr::Exists(e) => format!("6:exists:{}", structural_key(e)),
         CalcExpr::Neg(e) => format!("7:neg:{}", structural_key(e)),
         CalcExpr::Prod(fs) => {
-            format!("8:prod:{}", fs.iter().map(structural_key).collect::<Vec<_>>().join(","))
+            format!(
+                "8:prod:{}",
+                fs.iter().map(structural_key).collect::<Vec<_>>().join(",")
+            )
         }
         CalcExpr::Sum(ts) => {
-            format!("9:sum:{}", ts.iter().map(structural_key).collect::<Vec<_>>().join(","))
+            format!(
+                "9:sum:{}",
+                ts.iter().map(structural_key).collect::<Vec<_>>().join(",")
+            )
         }
     }
 }
@@ -103,7 +110,11 @@ fn assign_names(expr: &CalcExpr, renaming: &mut BTreeMap<Var, Var>, counter: &mu
                 visit(&var, renaming, counter);
             }
         }
-        CalcExpr::Rel { vars, .. } | CalcExpr::MapRef { name: _, keys: vars } => {
+        CalcExpr::Rel { vars, .. }
+        | CalcExpr::MapRef {
+            name: _,
+            keys: vars,
+        } => {
             for v in vars {
                 visit(v, renaming, counter);
             }

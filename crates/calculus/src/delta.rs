@@ -30,7 +30,13 @@ use crate::expr::{CalcExpr, CmpOp, ValExpr, Var};
 pub fn trigger_args(relation: &str, columns: &[String]) -> Vec<Var> {
     columns
         .iter()
-        .map(|c| format!("{}_{}", relation.to_ascii_lowercase(), c.to_ascii_lowercase()))
+        .map(|c| {
+            format!(
+                "{}_{}",
+                relation.to_ascii_lowercase(),
+                c.to_ascii_lowercase()
+            )
+        })
         .collect()
 }
 
@@ -64,9 +70,12 @@ pub fn delta(expr: &CalcExpr, relation: &str, kind: EventKind, args: &[Var]) -> 
                 EventKind::Delete => CalcExpr::Neg(Box::new(product)),
             }
         }
-        CalcExpr::Sum(terms) => {
-            CalcExpr::sum(terms.iter().map(|t| delta(t, relation, kind, args)).collect())
-        }
+        CalcExpr::Sum(terms) => CalcExpr::sum(
+            terms
+                .iter()
+                .map(|t| delta(t, relation, kind, args))
+                .collect(),
+        ),
         CalcExpr::Neg(e) => {
             let d = delta(e, relation, kind, args);
             if d.is_zero() {
@@ -196,7 +205,10 @@ mod tests {
         let s = d.to_string();
         assert!(s.contains("[R_A = a]"));
         assert!(s.contains("S(S_B, S_C)"));
-        assert!(!s.contains("R(R_A, R_B)"), "the R atom must be replaced by equalities: {s}");
+        assert!(
+            !s.contains("R(R_A, R_B)"),
+            "the R atom must be replaced by equalities: {s}"
+        );
     }
 
     #[test]
@@ -237,7 +249,10 @@ mod tests {
                 CalcExpr::Val(ValExpr::var("V")),
             ]),
         );
-        let lift = CalcExpr::Lift { var: "total".into(), body: Box::new(body) };
+        let lift = CalcExpr::Lift {
+            var: "total".into(),
+            body: Box::new(body),
+        };
         let d = delta(&lift, "BIDS", Insert, &["p".into(), "v".into()]);
         match &d {
             CalcExpr::Sum(ts) => {

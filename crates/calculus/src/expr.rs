@@ -46,15 +46,15 @@ impl CmpOp {
     /// NULL, makes every comparison false — SQL semantics).
     pub fn eval(&self, l: &Value, r: &Value) -> bool {
         use std::cmp::Ordering::*;
-        match (self, l.compare(r)) {
-            (CmpOp::Eq, Some(Equal)) => true,
-            (CmpOp::NotEq, Some(Less | Greater)) => true,
-            (CmpOp::Lt, Some(Less)) => true,
-            (CmpOp::LtEq, Some(Less | Equal)) => true,
-            (CmpOp::Gt, Some(Greater)) => true,
-            (CmpOp::GtEq, Some(Greater | Equal)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, l.compare(r)),
+            (CmpOp::Eq, Some(Equal))
+                | (CmpOp::NotEq, Some(Less | Greater))
+                | (CmpOp::Lt, Some(Less))
+                | (CmpOp::LtEq, Some(Less | Equal))
+                | (CmpOp::Gt, Some(Greater))
+                | (CmpOp::GtEq, Some(Greater | Equal))
+        )
     }
 
     /// The comparison with operands swapped.
@@ -232,7 +232,11 @@ pub enum CalcExpr {
     /// previous compilation step): the value stored under key `keys`.
     MapRef { name: String, keys: Vec<Var> },
     /// A `{0,1}`-valued comparison factor.
-    Cmp { op: CmpOp, left: ValExpr, right: ValExpr },
+    Cmp {
+        op: CmpOp,
+        left: ValExpr,
+        right: ValExpr,
+    },
     /// Product — generalized natural join.
     Prod(Vec<CalcExpr>),
     /// Sum — generalized union.
@@ -241,7 +245,10 @@ pub enum CalcExpr {
     Neg(Box<CalcExpr>),
     /// Group-by aggregation: sum the body over all bindings of variables
     /// not listed in `group`.
-    AggSum { group: Vec<Var>, body: Box<CalcExpr> },
+    AggSum {
+        group: Vec<Var>,
+        body: Box<CalcExpr>,
+    },
     /// Bind `var` to the scalar value of `body` (nested aggregate),
     /// multiplicity 1.
     Lift { var: Var, body: Box<CalcExpr> },
@@ -283,7 +290,11 @@ impl CalcExpr {
 
     /// An equality comparison between two variables.
     pub fn eq_vars(a: impl Into<String>, b: impl Into<String>) -> CalcExpr {
-        CalcExpr::Cmp { op: CmpOp::Eq, left: ValExpr::Var(a.into()), right: ValExpr::Var(b.into()) }
+        CalcExpr::Cmp {
+            op: CmpOp::Eq,
+            left: ValExpr::Var(a.into()),
+            right: ValExpr::Var(b.into()),
+        }
     }
 
     /// Smart product constructor: flattens nested products and drops
@@ -297,7 +308,10 @@ impl CalcExpr {
                 other => out.push(other),
             }
         }
-        if out.iter().any(|f| matches!(f, CalcExpr::Val(v) if v.is_zero())) {
+        if out
+            .iter()
+            .any(|f| matches!(f, CalcExpr::Val(v) if v.is_zero()))
+        {
             return CalcExpr::zero();
         }
         match out.len() {
@@ -327,7 +341,10 @@ impl CalcExpr {
 
     /// Smart aggregation constructor.
     pub fn agg_sum(group: Vec<Var>, body: CalcExpr) -> CalcExpr {
-        CalcExpr::AggSum { group, body: Box::new(body) }
+        CalcExpr::AggSum {
+            group,
+            body: Box::new(body),
+        }
     }
 
     /// True if this expression is syntactically the constant zero.
@@ -377,7 +394,10 @@ impl CalcExpr {
             }
             CalcExpr::Exists(e) => {
                 let bound = e.bound_vars();
-                e.visible_vars().into_iter().filter(|v| !bound.contains(v)).collect()
+                e.visible_vars()
+                    .into_iter()
+                    .filter(|v| !bound.contains(v))
+                    .collect()
             }
         }
     }
@@ -393,7 +413,9 @@ impl CalcExpr {
                 s.extend(right.vars());
                 s
             }
-            CalcExpr::Prod(es) | CalcExpr::Sum(es) => es.iter().flat_map(|e| e.all_vars()).collect(),
+            CalcExpr::Prod(es) | CalcExpr::Sum(es) => {
+                es.iter().flat_map(|e| e.all_vars()).collect()
+            }
             CalcExpr::Neg(e) => e.all_vars(),
             CalcExpr::AggSum { group, body } => {
                 let mut s = body.all_vars();
@@ -448,7 +470,9 @@ impl CalcExpr {
         match self {
             CalcExpr::MapRef { name, .. } => std::iter::once(name.clone()).collect(),
             CalcExpr::Val(_) | CalcExpr::Cmp { .. } | CalcExpr::Rel { .. } => BTreeSet::new(),
-            CalcExpr::Prod(es) | CalcExpr::Sum(es) => es.iter().flat_map(|e| e.map_refs()).collect(),
+            CalcExpr::Prod(es) | CalcExpr::Sum(es) => {
+                es.iter().flat_map(|e| e.map_refs()).collect()
+            }
             CalcExpr::Neg(e) => e.map_refs(),
             CalcExpr::AggSum { body, .. } => body.map_refs(),
             CalcExpr::Lift { body, .. } => body.map_refs(),
@@ -469,12 +493,14 @@ impl CalcExpr {
         let rn = |v: &Var| mapping(v).unwrap_or_else(|| v.clone());
         match self {
             CalcExpr::Val(v) => CalcExpr::Val(v.rename(mapping)),
-            CalcExpr::Rel { name, vars } => {
-                CalcExpr::Rel { name: name.clone(), vars: vars.iter().map(rn).collect() }
-            }
-            CalcExpr::MapRef { name, keys } => {
-                CalcExpr::MapRef { name: name.clone(), keys: keys.iter().map(rn).collect() }
-            }
+            CalcExpr::Rel { name, vars } => CalcExpr::Rel {
+                name: name.clone(),
+                vars: vars.iter().map(rn).collect(),
+            },
+            CalcExpr::MapRef { name, keys } => CalcExpr::MapRef {
+                name: name.clone(),
+                keys: keys.iter().map(rn).collect(),
+            },
             CalcExpr::Cmp { op, left, right } => CalcExpr::Cmp {
                 op: *op,
                 left: left.rename(mapping),
@@ -487,16 +513,23 @@ impl CalcExpr {
                 group: group.iter().map(rn).collect(),
                 body: Box::new(body.rename(mapping)),
             },
-            CalcExpr::Lift { var, body } => {
-                CalcExpr::Lift { var: rn(var), body: Box::new(body.rename(mapping)) }
-            }
+            CalcExpr::Lift { var, body } => CalcExpr::Lift {
+                var: rn(var),
+                body: Box::new(body.rename(mapping)),
+            },
             CalcExpr::Exists(e) => CalcExpr::Exists(Box::new(e.rename(mapping))),
         }
     }
 
     /// Substitute a single variable by another variable everywhere.
     pub fn substitute_var(&self, from: &str, to: &str) -> CalcExpr {
-        self.rename(&|v| if v == from { Some(to.to_string()) } else { None })
+        self.rename(&|v| {
+            if v == from {
+                Some(to.to_string())
+            } else {
+                None
+            }
+        })
     }
 
     /// Number of nodes — used as a crude "generated code size" metric for
@@ -504,7 +537,10 @@ impl CalcExpr {
     /// simplification effectiveness.
     pub fn size(&self) -> usize {
         1 + match self {
-            CalcExpr::Val(_) | CalcExpr::Rel { .. } | CalcExpr::MapRef { .. } | CalcExpr::Cmp { .. } => 0,
+            CalcExpr::Val(_)
+            | CalcExpr::Rel { .. }
+            | CalcExpr::MapRef { .. }
+            | CalcExpr::Cmp { .. } => 0,
             CalcExpr::Prod(es) | CalcExpr::Sum(es) => es.iter().map(|e| e.size()).sum(),
             CalcExpr::Neg(e) => e.size(),
             CalcExpr::AggSum { body, .. } => body.size(),
@@ -584,7 +620,11 @@ mod tests {
         let z = CalcExpr::product(vec![CalcExpr::rel("R", vec!["X"]), CalcExpr::zero()]);
         assert!(z.is_zero());
         // sums drop zeros and flatten
-        let s = CalcExpr::sum(vec![CalcExpr::zero(), sample(), CalcExpr::Sum(vec![CalcExpr::one()])]);
+        let s = CalcExpr::sum(vec![
+            CalcExpr::zero(),
+            sample(),
+            CalcExpr::Sum(vec![CalcExpr::one()]),
+        ]);
         match s {
             CalcExpr::Sum(ts) => assert_eq!(ts.len(), 2),
             other => panic!("expected sum, got {other}"),
@@ -630,10 +670,7 @@ mod tests {
 
     #[test]
     fn relations_and_maps_are_reported() {
-        let e = CalcExpr::product(vec![
-            sample(),
-            CalcExpr::map_ref("Q_D", vec!["B"]),
-        ]);
+        let e = CalcExpr::product(vec![sample(), CalcExpr::map_ref("Q_D", vec!["B"])]);
         assert_eq!(e.relations().len(), 3);
         assert_eq!(e.map_refs().len(), 1);
         assert!(e.has_relations());
@@ -675,7 +712,10 @@ mod tests {
     fn val_expr_constant_folding() {
         let e = ValExpr::Mul(vec![
             ValExpr::Const(Value::Int(3)),
-            ValExpr::Add(vec![ValExpr::Const(Value::Int(1)), ValExpr::Const(Value::Int(4))]),
+            ValExpr::Add(vec![
+                ValExpr::Const(Value::Int(1)),
+                ValExpr::Const(Value::Int(4)),
+            ]),
         ]);
         assert_eq!(e.fold_const(), Some(Value::Int(15)));
         let with_var = ValExpr::Mul(vec![ValExpr::var("X"), ValExpr::Const(Value::Int(2))]);

@@ -46,18 +46,29 @@ pub struct Term {
 impl Term {
     /// The multiplicative unit.
     pub fn unit() -> Term {
-        Term { coeff: Value::ONE, factors: Vec::new() }
+        Term {
+            coeff: Value::ONE,
+            factors: Vec::new(),
+        }
     }
 
     fn from_factor(f: CalcExpr) -> Term {
-        Term { coeff: Value::ONE, factors: vec![f] }
+        Term {
+            coeff: Value::ONE,
+            factors: vec![f],
+        }
     }
 
     /// Term product: coefficients multiply, factor lists concatenate.
     pub fn multiply(&self, other: &Term) -> Term {
         Term {
             coeff: self.coeff.mul(&other.coeff),
-            factors: self.factors.iter().chain(other.factors.iter()).cloned().collect(),
+            factors: self
+                .factors
+                .iter()
+                .chain(other.factors.iter())
+                .cloned()
+                .collect(),
         }
     }
 
@@ -187,22 +198,20 @@ fn normalize(expr: &CalcExpr, protected: &BTreeSet<Var>) -> Polynomial {
         CalcExpr::Rel { .. } | CalcExpr::MapRef { .. } => {
             Polynomial::single(Term::from_factor(expr.clone()))
         }
-        CalcExpr::Cmp { op, left, right } => {
-            match (left.fold_const(), right.fold_const()) {
-                (Some(l), Some(r)) => {
-                    if op.eval(&l, &r) {
-                        Polynomial::single(Term::unit())
-                    } else {
-                        Polynomial::zero()
-                    }
+        CalcExpr::Cmp { op, left, right } => match (left.fold_const(), right.fold_const()) {
+            (Some(l), Some(r)) => {
+                if op.eval(&l, &r) {
+                    Polynomial::single(Term::unit())
+                } else {
+                    Polynomial::zero()
                 }
-                _ => Polynomial::single(Term::from_factor(expr.clone())),
             }
-        }
+            _ => Polynomial::single(Term::from_factor(expr.clone())),
+        },
         CalcExpr::Neg(e) => normalize(e, protected).negate(),
-        CalcExpr::Sum(es) => es
-            .iter()
-            .fold(Polynomial::zero(), |acc, e| acc.add(normalize(e, protected))),
+        CalcExpr::Sum(es) => es.iter().fold(Polynomial::zero(), |acc, e| {
+            acc.add(normalize(e, protected))
+        }),
         CalcExpr::Prod(es) => {
             let mut acc = Polynomial::single(Term::unit());
             for e in es {
@@ -226,7 +235,9 @@ fn normalize(expr: &CalcExpr, protected: &BTreeSet<Var>) -> Polynomial {
             let inner = simplify(body, protected);
             if inner.is_zero() {
                 Polynomial::zero()
-            } else if !inner.has_relations() && inner.map_refs().is_empty() && inner.all_vars().is_empty()
+            } else if !inner.has_relations()
+                && inner.map_refs().is_empty()
+                && inner.all_vars().is_empty()
             {
                 // A constant, non-zero body: EXISTS is identically 1.
                 Polynomial::single(Term::unit())
@@ -288,12 +299,21 @@ fn normalize_aggsum(group: &[Var], body: &CalcExpr, protected: &BTreeSet<Var>) -
                 // actually mentions; the others are constant over it.
                 let body_expr = CalcExpr::product(component);
                 let body_vars = body_expr.all_vars();
-                let kept_group: Vec<Var> =
-                    group.iter().filter(|g| body_vars.contains(*g)).cloned().collect();
-                factors.push(CalcExpr::AggSum { group: kept_group, body: Box::new(body_expr) });
+                let kept_group: Vec<Var> = group
+                    .iter()
+                    .filter(|g| body_vars.contains(*g))
+                    .cloned()
+                    .collect();
+                factors.push(CalcExpr::AggSum {
+                    group: kept_group,
+                    body: Box::new(body_expr),
+                });
             }
         }
-        out = out.add(Polynomial::single(Term { coeff: term.coeff, factors }));
+        out = out.add(Polynomial::single(Term {
+            coeff: term.coeff,
+            factors,
+        }));
     }
     out
 }
@@ -336,7 +356,12 @@ fn connected_components(factors: Vec<CalcExpr>, summed: &BTreeSet<Var>) -> Vec<V
     let n = factors.len();
     let var_sets: Vec<BTreeSet<Var>> = factors
         .iter()
-        .map(|f| f.all_vars().into_iter().filter(|v| summed.contains(v)).collect())
+        .map(|f| {
+            f.all_vars()
+                .into_iter()
+                .filter(|v| summed.contains(v))
+                .collect()
+        })
         .collect();
     let mut component: Vec<usize> = (0..n).collect();
 
@@ -436,7 +461,11 @@ fn classify_equality(factor: &CalcExpr, protected: &BTreeSet<Var>) -> EqAction {
     };
     // Constant comparisons are decided immediately (any operator).
     if let (Some(l), Some(r)) = (left.fold_const(), right.fold_const()) {
-        return if op.eval(&l, &r) { EqAction::Drop } else { EqAction::Annihilate };
+        return if op.eval(&l, &r) {
+            EqAction::Drop
+        } else {
+            EqAction::Annihilate
+        };
     }
     if *op != CmpOp::Eq {
         return EqAction::Keep;
@@ -447,9 +476,15 @@ fn classify_equality(factor: &CalcExpr, protected: &BTreeSet<Var>) -> EqAction {
             let x_protected = protected.contains(x);
             let y_protected = protected.contains(y);
             if !x_protected {
-                EqAction::Rename { from: x.clone(), to: y.clone() }
+                EqAction::Rename {
+                    from: x.clone(),
+                    to: y.clone(),
+                }
             } else if !y_protected {
-                EqAction::Rename { from: y.clone(), to: x.clone() }
+                EqAction::Rename {
+                    from: y.clone(),
+                    to: x.clone(),
+                }
             } else {
                 EqAction::Keep
             }
@@ -549,7 +584,10 @@ mod tests {
 
     #[test]
     fn tautological_equality_disappears() {
-        let e = CalcExpr::product(vec![CalcExpr::eq_vars("X", "X"), CalcExpr::rel("R", vec!["X"])]);
+        let e = CalcExpr::product(vec![
+            CalcExpr::eq_vars("X", "X"),
+            CalcExpr::rel("R", vec!["X"]),
+        ]);
         let p = to_polynomial(&e, &BTreeSet::new());
         assert_eq!(p.terms[0].factors.len(), 1);
     }
@@ -562,7 +600,12 @@ mod tests {
         let def = figure2_definition();
         let d = crate::delta::delta(&def, "R", Insert, &["a".into(), "b".into()]);
         let p = to_polynomial(&d, &protected(&["a", "b"]));
-        assert_eq!(p.terms.len(), 1, "expected a single term, got {}", p.to_expr());
+        assert_eq!(
+            p.terms.len(),
+            1,
+            "expected a single term, got {}",
+            p.to_expr()
+        );
         let term = &p.terms[0];
         assert_eq!(term.coeff, Value::ONE);
         // Factors: Val(a) pulled out of the aggregation + the residual AggSum.
@@ -570,7 +613,10 @@ mod tests {
         let rendered: Vec<String> = term.factors.iter().map(|f| f.to_string()).collect();
         assert!(rendered.contains(&"a".to_string()), "{rendered:?}");
         let agg = rendered.iter().find(|s| s.starts_with("AggSum")).unwrap();
-        assert!(agg.contains("S(b, "), "S must be restricted to the trigger value b: {agg}");
+        assert!(
+            agg.contains("S(b, "),
+            "S must be restricted to the trigger value b: {agg}"
+        );
         assert!(agg.contains("T("), "{agg}");
         assert!(!agg.contains("R("), "the R atom must be gone: {agg}");
     }

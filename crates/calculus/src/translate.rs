@@ -49,10 +49,18 @@ pub enum ResultColumn {
     /// A `SUM`/`COUNT` aggregate read directly from `map`.
     Sum { name: String, map: String },
     /// `AVG` = `sum_map[k] / count_map[k]`.
-    Avg { name: String, sum_map: String, count_map: String },
+    Avg {
+        name: String,
+        sum_map: String,
+        count_map: String,
+    },
     /// `MIN`/`MAX` read from a support map keyed by `group ++ [value]`:
     /// the extremum over entries with positive multiplicity.
-    Extremum { name: String, map: String, is_min: bool },
+    Extremum {
+        name: String,
+        map: String,
+        is_min: bool,
+    },
 }
 
 impl ResultColumn {
@@ -112,7 +120,10 @@ impl Translator {
         for item in &query.select {
             match item {
                 BoundSelectItem::GroupColumn { column, name } => {
-                    columns.push(ResultColumn::Group { name: name.clone(), var: column.var.clone() });
+                    columns.push(ResultColumn::Group {
+                        name: name.clone(),
+                        var: column.var.clone(),
+                    });
                 }
                 BoundSelectItem::Aggregate(agg) => {
                     agg_index += 1;
@@ -141,7 +152,12 @@ impl Translator {
             .map(|r| (r.name.clone(), r.column_vars.clone(), r.is_static))
             .collect();
 
-        Ok(QueryCalc { group_vars, columns, maps, relations })
+        Ok(QueryCalc {
+            group_vars,
+            columns,
+            maps,
+            relations,
+        })
     }
 
     /// The product of relation atoms and predicate factors (no aggregate
@@ -183,7 +199,9 @@ impl Translator {
                     None => vec![],
                 };
                 let body = CalcExpr::product(
-                    std::iter::once(base_body.clone()).chain(value_factors).collect(),
+                    std::iter::once(base_body.clone())
+                        .chain(value_factors)
+                        .collect(),
                 );
                 maps.push(AggSpec {
                     name: base_name.to_string(),
@@ -196,9 +214,10 @@ impl Translator {
                 });
             }
             AggKind::Avg => {
-                let arg = agg.arg.as_ref().ok_or_else(|| {
-                    Error::Analysis("AVG requires an argument".to_string())
-                })?;
+                let arg = agg
+                    .arg
+                    .as_ref()
+                    .ok_or_else(|| Error::Analysis("AVG requires an argument".to_string()))?;
                 let sum_name = format!("{base_name}_SUM");
                 let cnt_name = format!("{base_name}_CNT");
                 let sum_body = CalcExpr::product(
@@ -223,9 +242,10 @@ impl Translator {
                 });
             }
             AggKind::Min | AggKind::Max => {
-                let arg = agg.arg.as_ref().ok_or_else(|| {
-                    Error::Analysis("MIN/MAX require an argument".to_string())
-                })?;
+                let arg = agg
+                    .arg
+                    .as_ref()
+                    .ok_or_else(|| Error::Analysis("MIN/MAX require an argument".to_string()))?;
                 // The aggregated expression must expose a single variable
                 // to key the support map on; plain columns do, complex
                 // expressions get a Lift binding.
@@ -236,15 +256,17 @@ impl Translator {
                         let val = self.value_expr(other)?;
                         (
                             v.clone(),
-                            Some(CalcExpr::Lift { var: v, body: Box::new(CalcExpr::Val(val)) }),
+                            Some(CalcExpr::Lift {
+                                var: v,
+                                body: Box::new(CalcExpr::Val(val)),
+                            }),
                         )
                     }
                 };
                 let mut keys = group_vars.to_vec();
                 keys.push(value_var);
-                let body = CalcExpr::product(
-                    std::iter::once(base_body.clone()).chain(extra).collect(),
-                );
+                let body =
+                    CalcExpr::product(std::iter::once(base_body.clone()).chain(extra).collect());
                 let map_name = format!("{base_name}_SUPP");
                 maps.push(AggSpec {
                     name: map_name.clone(),
@@ -265,12 +287,20 @@ impl Translator {
     fn predicate(&mut self, expr: &BoundExpr) -> Result<CalcExpr> {
         use dbtoaster_sql::BinaryOp as B;
         match expr {
-            BoundExpr::Binary { op: B::And, left, right } => {
+            BoundExpr::Binary {
+                op: B::And,
+                left,
+                right,
+            } => {
                 let l = self.predicate(left)?;
                 let r = self.predicate(right)?;
                 Ok(CalcExpr::product(vec![l, r]))
             }
-            BoundExpr::Binary { op: B::Or, left, right } => {
+            BoundExpr::Binary {
+                op: B::Or,
+                left,
+                right,
+            } => {
                 // a OR b = a + b - a*b for 0/1-valued a, b.
                 let l = self.predicate(left)?;
                 let r = self.predicate(right)?;
@@ -280,9 +310,15 @@ impl Translator {
                     CalcExpr::Neg(Box::new(CalcExpr::product(vec![l, r]))),
                 ]))
             }
-            BoundExpr::Unary { op: dbtoaster_sql::UnaryOp::Not, expr } => {
+            BoundExpr::Unary {
+                op: dbtoaster_sql::UnaryOp::Not,
+                expr,
+            } => {
                 let inner = self.predicate(expr)?;
-                Ok(CalcExpr::sum(vec![CalcExpr::one(), CalcExpr::Neg(Box::new(inner))]))
+                Ok(CalcExpr::sum(vec![
+                    CalcExpr::one(),
+                    CalcExpr::Neg(Box::new(inner)),
+                ]))
             }
             BoundExpr::Binary { op, left, right } if op.is_comparison() => {
                 self.comparison(*op, left, right)
@@ -291,7 +327,11 @@ impl Translator {
                 let body = self.scalar_subquery_body(sub)?;
                 Ok(CalcExpr::Exists(Box::new(body)))
             }
-            BoundExpr::Literal(v) => Ok(if v.as_bool() { CalcExpr::one() } else { CalcExpr::zero() }),
+            BoundExpr::Literal(v) => Ok(if v.as_bool() {
+                CalcExpr::one()
+            } else {
+                CalcExpr::zero()
+            }),
             other => Err(Error::Unsupported(format!(
                 "predicate form not supported in WHERE clause: {other:?}"
             ))),
@@ -315,13 +355,19 @@ impl Translator {
             B::Gt => CmpOp::Gt,
             B::GtEq => CmpOp::GtEq,
             other => {
-                return Err(Error::Compile(format!("{other} is not a comparison operator")))
+                return Err(Error::Compile(format!(
+                    "{other} is not a comparison operator"
+                )))
             }
         };
         let mut lifts = Vec::new();
         let l = self.operand(left, &mut lifts)?;
         let r = self.operand(right, &mut lifts)?;
-        let cmp = CalcExpr::Cmp { op: cmp_op, left: l, right: r };
+        let cmp = CalcExpr::Cmp {
+            op: cmp_op,
+            left: l,
+            right: r,
+        };
         lifts.push(cmp);
         Ok(CalcExpr::product(lifts))
     }
@@ -333,7 +379,10 @@ impl Translator {
             BoundExpr::Subquery(sub) => {
                 let body = self.scalar_subquery_body(sub)?;
                 let v = self.fresh_var("nested");
-                lifts.push(CalcExpr::Lift { var: v.clone(), body: Box::new(body) });
+                lifts.push(CalcExpr::Lift {
+                    var: v.clone(),
+                    body: Box::new(body),
+                });
                 Ok(ValExpr::Var(v))
             }
             BoundExpr::Binary { op, left, right } if op.is_arithmetic() => {
@@ -341,9 +390,10 @@ impl Translator {
                 let r = self.operand(right, lifts)?;
                 Ok(arith(*op, l, r))
             }
-            BoundExpr::Unary { op: dbtoaster_sql::UnaryOp::Neg, expr } => {
-                Ok(ValExpr::Neg(Box::new(self.operand(expr, lifts)?)))
-            }
+            BoundExpr::Unary {
+                op: dbtoaster_sql::UnaryOp::Neg,
+                expr,
+            } => Ok(ValExpr::Neg(Box::new(self.operand(expr, lifts)?))),
             other => self.value_expr(other),
         }
     }
@@ -354,7 +404,9 @@ impl Translator {
         let agg = sub.aggregates()[0];
         let body = match (agg.kind, &agg.arg) {
             (AggKind::Sum, Some(arg)) => CalcExpr::product(
-                std::iter::once(base).chain(self.value_factors(arg)?).collect(),
+                std::iter::once(base)
+                    .chain(self.value_factors(arg)?)
+                    .collect(),
             ),
             (AggKind::Count, _) => base,
             (kind, _) => {
@@ -373,7 +425,11 @@ impl Translator {
     fn value_factors(&mut self, expr: &BoundExpr) -> Result<Vec<CalcExpr>> {
         use dbtoaster_sql::BinaryOp as B;
         match expr {
-            BoundExpr::Binary { op: B::Mul, left, right } => {
+            BoundExpr::Binary {
+                op: B::Mul,
+                left,
+                right,
+            } => {
                 let mut l = self.value_factors(left)?;
                 let r = self.value_factors(right)?;
                 l.extend(r);
@@ -388,9 +444,10 @@ impl Translator {
         match expr {
             BoundExpr::Column(c) => Ok(ValExpr::Var(c.var.clone())),
             BoundExpr::Literal(v) => Ok(ValExpr::Const(v.clone())),
-            BoundExpr::Unary { op: dbtoaster_sql::UnaryOp::Neg, expr } => {
-                Ok(ValExpr::Neg(Box::new(self.value_expr(expr)?)))
-            }
+            BoundExpr::Unary {
+                op: dbtoaster_sql::UnaryOp::Neg,
+                expr,
+            } => Ok(ValExpr::Neg(Box::new(self.value_expr(expr)?))),
             BoundExpr::Binary { op, left, right } if op.is_arithmetic() => {
                 let l = self.value_expr(left)?;
                 let r = self.value_expr(right)?;
@@ -425,9 +482,18 @@ mod tests {
 
     fn rst_catalog() -> Catalog {
         Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ))
     }
 
     fn bids_catalog() -> Catalog {
@@ -451,7 +517,10 @@ mod tests {
 
     #[test]
     fn figure2_query_translates_to_a_single_scalar_map() {
-        let qc = calc("select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C", &rst_catalog());
+        let qc = calc(
+            "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C",
+            &rst_catalog(),
+        );
         assert_eq!(qc.maps.len(), 1);
         let m = &qc.maps[0];
         assert_eq!(m.name, "Q");
@@ -485,9 +554,15 @@ mod tests {
 
     #[test]
     fn min_produces_a_support_map_keyed_by_the_value() {
-        let qc = calc("select BROKER_ID, min(PRICE) from BIDS group by BROKER_ID", &bids_catalog());
+        let qc = calc(
+            "select BROKER_ID, min(PRICE) from BIDS group by BROKER_ID",
+            &bids_catalog(),
+        );
         let supp = qc.maps.iter().find(|m| m.name.ends_with("_SUPP")).unwrap();
-        assert_eq!(supp.keys, vec!["BIDS_BROKER_ID".to_string(), "BIDS_PRICE".to_string()]);
+        assert_eq!(
+            supp.keys,
+            vec!["BIDS_BROKER_ID".to_string(), "BIDS_PRICE".to_string()]
+        );
         assert!(matches!(
             qc.columns[1],
             ResultColumn::Extremum { is_min: true, .. }
@@ -496,10 +571,7 @@ mod tests {
 
     #[test]
     fn or_predicates_use_inclusion_exclusion() {
-        let qc = calc(
-            "select sum(A) from R where B = 1 or B = 2",
-            &rst_catalog(),
-        );
+        let qc = calc("select sum(A) from R where B = 1 or B = 2", &rst_catalog());
         let s = qc.maps[0].definition.to_string();
         // a + b - a*b
         assert!(s.contains("[R_B = 1]"));
@@ -563,7 +635,10 @@ mod tests {
             ))
             .with(Schema::new(
                 "SUPPLIER",
-                vec![("S_SUPPKEY", ColumnType::Int), ("S_REGION", ColumnType::Str)],
+                vec![
+                    ("S_SUPPKEY", ColumnType::Int),
+                    ("S_REGION", ColumnType::Str),
+                ],
             ))
             .with(Schema::new(
                 "PART",

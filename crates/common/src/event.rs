@@ -48,11 +48,19 @@ pub struct Event {
 
 impl Event {
     pub fn insert(relation: impl Into<String>, tuple: Tuple) -> Event {
-        Event { relation: relation.into().to_ascii_uppercase(), kind: EventKind::Insert, tuple }
+        Event {
+            relation: relation.into().to_ascii_uppercase(),
+            kind: EventKind::Insert,
+            tuple,
+        }
     }
 
     pub fn delete(relation: impl Into<String>, tuple: Tuple) -> Event {
-        Event { relation: relation.into().to_ascii_uppercase(), kind: EventKind::Delete, tuple }
+        Event {
+            relation: relation.into().to_ascii_uppercase(),
+            kind: EventKind::Delete,
+            tuple,
+        }
     }
 
     /// An in-place update expands to a delete of `old` then an insert of
@@ -60,8 +68,16 @@ impl Event {
     pub fn update(relation: impl Into<String>, old: Tuple, new: Tuple) -> [Event; 2] {
         let relation = relation.into().to_ascii_uppercase();
         [
-            Event { relation: relation.clone(), kind: EventKind::Delete, tuple: old },
-            Event { relation, kind: EventKind::Insert, tuple: new },
+            Event {
+                relation: relation.clone(),
+                kind: EventKind::Delete,
+                tuple: old,
+            },
+            Event {
+                relation,
+                kind: EventKind::Insert,
+                tuple: new,
+            },
         ]
     }
 }
@@ -115,6 +131,118 @@ impl UpdateStream {
     }
 }
 
+impl UpdateStream {
+    /// Split the stream into contiguous [`EventBatch`]es of at most
+    /// `batch_size` events (the batched-ingestion path of the view
+    /// server). The final batch may be shorter.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = EventBatch> + '_ {
+        let size = batch_size.max(1);
+        self.events
+            .chunks(size)
+            .map(|c| EventBatch { events: c.to_vec() })
+    }
+}
+
+/// A contiguous run of events ingested as one unit.
+///
+/// Batching amortizes per-event overhead across the runtime: the view
+/// server takes each engine's write lock once per batch instead of once
+/// per event, and [`relations`](EventBatch::relations) lets the
+/// dispatcher skip engines whose triggers reference none of the batch's
+/// relations. Order within a batch is preserved exactly — a batch is a
+/// window onto the update stream, not a reordering of it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventBatch {
+    pub events: Vec<Event>,
+}
+
+impl EventBatch {
+    pub fn new() -> EventBatch {
+        EventBatch::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> EventBatch {
+        EventBatch {
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The distinct relations touched by this batch, in first-occurrence
+    /// order (the dispatch key of the view server).
+    pub fn relations(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for e in &self.events {
+            if !out.contains(&e.relation.as_str()) {
+                out.push(&e.relation);
+            }
+        }
+        out
+    }
+}
+
+/// Batches read as event slices, so consumers taking `&[Event]` (the
+/// zero-copy ingestion surface) accept `&EventBatch` directly.
+impl std::ops::Deref for EventBatch {
+    type Target = [Event];
+    fn deref(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl From<UpdateStream> for EventBatch {
+    fn from(stream: UpdateStream) -> EventBatch {
+        EventBatch {
+            events: stream.events,
+        }
+    }
+}
+
+impl From<Vec<Event>> for EventBatch {
+    fn from(events: Vec<Event>) -> EventBatch {
+        EventBatch { events }
+    }
+}
+
+impl IntoIterator for EventBatch {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a EventBatch {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<Event> for EventBatch {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        EventBatch {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
 impl IntoIterator for UpdateStream {
     type Item = Event;
     type IntoIter = std::vec::IntoIter<Event>;
@@ -133,7 +261,9 @@ impl<'a> IntoIterator for &'a UpdateStream {
 
 impl FromIterator<Event> for UpdateStream {
     fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
-        UpdateStream { events: iter.into_iter().collect() }
+        UpdateStream {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -161,6 +291,31 @@ mod tests {
     fn relation_names_are_normalized() {
         let e = Event::insert("bids", tuple![1i64]);
         assert_eq!(e.relation, "BIDS");
+    }
+
+    #[test]
+    fn batches_cover_the_stream_in_order() {
+        let mut s = UpdateStream::new();
+        for i in 0..10i64 {
+            s.push(Event::insert(if i % 2 == 0 { "R" } else { "S" }, tuple![i]));
+        }
+        let batches: Vec<EventBatch> = s.batches(4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let rejoined: Vec<Event> = batches.into_iter().flatten().collect();
+        assert_eq!(rejoined, s.events);
+    }
+
+    #[test]
+    fn batch_relations_are_distinct_in_first_occurrence_order() {
+        let batch: EventBatch = vec![
+            Event::insert("S", tuple![1i64]),
+            Event::insert("R", tuple![2i64]),
+            Event::delete("S", tuple![1i64]),
+        ]
+        .into();
+        assert_eq!(batch.relations(), vec!["S", "R"]);
     }
 
     #[test]

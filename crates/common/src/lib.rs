@@ -18,12 +18,14 @@ pub mod error;
 pub mod event;
 pub mod hash;
 pub mod schema;
+pub mod source;
 pub mod tuple;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use event::{Event, EventKind, UpdateStream};
+pub use event::{Event, EventBatch, EventKind, UpdateStream};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use schema::{Catalog, Column, ColumnType, Schema};
+pub use source::{EventSource, StreamSource};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -74,7 +74,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(name: impl Into<String>, ty: ColumnType) -> Column {
-        Column { name: name.into().to_ascii_uppercase(), ty }
+        Column {
+            name: name.into().to_ascii_uppercase(),
+            ty,
+        }
     }
 }
 
@@ -93,14 +96,20 @@ impl Schema {
     pub fn new(name: impl Into<String>, columns: Vec<(&str, ColumnType)>) -> Schema {
         Schema {
             name: name.into().to_ascii_uppercase(),
-            columns: columns.into_iter().map(|(n, t)| Column::new(n, t)).collect(),
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| Column::new(n, t))
+                .collect(),
             is_static: false,
         }
     }
 
     /// Create a static (table) relation schema.
     pub fn new_static(name: impl Into<String>, columns: Vec<(&str, ColumnType)>) -> Schema {
-        Schema { is_static: true, ..Schema::new(name, columns) }
+        Schema {
+            is_static: true,
+            ..Schema::new(name, columns)
+        }
     }
 
     /// Number of columns.
@@ -194,9 +203,18 @@ mod tests {
 
     fn rst_catalog() -> Catalog {
         Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ))
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Pluggable stream sources.
+//!
+//! The paper's standalone runtime accepts input "over a network interface
+//! or archived stream". [`EventSource`] is the seam those inputs plug
+//! into: anything that can hand out successive [`EventBatch`]es — an
+//! archived CSV stream, a workload generator, eventually a network
+//! socket — can feed a view server. Sources are *pull-based*: the
+//! ingestion loop asks for the next batch, so back-pressure is inherent
+//! and batch size is chosen by the consumer, not the producer.
+
+use crate::error::Result;
+use crate::event::{EventBatch, UpdateStream};
+
+/// A producer of successive event batches (an update-stream input).
+pub trait EventSource {
+    /// Human-readable source name for reports and logs.
+    fn name(&self) -> &str;
+
+    /// Pull the next batch of at most `max_events` events.
+    ///
+    /// Returns `Ok(None)` when the source is exhausted. A returned batch
+    /// is never empty. Sources are not required to fill `max_events`;
+    /// a network source, for instance, would return whatever is buffered.
+    fn next_batch(&mut self, max_events: usize) -> Result<Option<EventBatch>>;
+
+    /// Drain the remainder of the source into one stream (convenient for
+    /// tests and for feeding non-batched consumers).
+    fn drain(&mut self, max_events: usize) -> Result<UpdateStream> {
+        let mut out = UpdateStream::new();
+        while let Some(batch) = self.next_batch(max_events)? {
+            out.events.extend(batch.events);
+        }
+        Ok(out)
+    }
+}
+
+/// An in-memory [`EventSource`] replaying an [`UpdateStream`] — the
+/// adapter between workload generators (which build whole streams) and
+/// the batched ingestion path.
+#[derive(Debug, Clone)]
+pub struct StreamSource {
+    name: String,
+    events: Vec<crate::event::Event>,
+    cursor: usize,
+}
+
+impl StreamSource {
+    pub fn new(name: impl Into<String>, stream: UpdateStream) -> StreamSource {
+        StreamSource {
+            name: name.into(),
+            events: stream.events,
+            cursor: 0,
+        }
+    }
+
+    /// Events not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+}
+
+impl EventSource for StreamSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_batch(&mut self, max_events: usize) -> Result<Option<EventBatch>> {
+        if self.cursor >= self.events.len() {
+            return Ok(None);
+        }
+        let take = max_events.max(1).min(self.events.len() - self.cursor);
+        let batch: EventBatch = self.events[self.cursor..self.cursor + take].to_vec().into();
+        self.cursor += take;
+        Ok(Some(batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::tuple;
+
+    fn ten_events() -> UpdateStream {
+        (0..10i64).map(|i| Event::insert("R", tuple![i])).collect()
+    }
+
+    #[test]
+    fn stream_source_replays_everything_in_order() {
+        let mut source = StreamSource::new("ten", ten_events());
+        assert_eq!(source.remaining(), 10);
+        let mut seen = Vec::new();
+        while let Some(batch) = source.next_batch(3).unwrap() {
+            assert!(!batch.is_empty() && batch.len() <= 3);
+            seen.extend(batch.events);
+        }
+        assert_eq!(seen, ten_events().events);
+        assert!(source.next_batch(3).unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn drain_collects_the_remainder() {
+        let mut source = StreamSource::new("ten", ten_events());
+        source.next_batch(4).unwrap();
+        let rest = source.drain(4).unwrap();
+        assert_eq!(rest.len(), 6);
+    }
+}

@@ -307,7 +307,7 @@ impl Hash for Value {
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -332,9 +332,10 @@ impl Value {
         match (self, other) {
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Date(a), Value::Date(b)) => a.cmp(b),
-            (a, b) if rank(a) == 1 && rank(b) == 1 => {
-                a.as_f64().partial_cmp(&b.as_f64()).unwrap_or(Ordering::Equal)
-            }
+            (a, b) if rank(a) == 1 && rank(b) == 1 => a
+                .as_f64()
+                .partial_cmp(&b.as_f64())
+                .unwrap_or(Ordering::Equal),
             (a, b) => rank(a).cmp(&rank(b)),
         }
     }
@@ -514,7 +515,7 @@ mod tests {
 
     #[test]
     fn total_order_is_deterministic_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("z"),
             Value::Int(3),
             Value::Null,

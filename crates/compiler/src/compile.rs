@@ -31,10 +31,10 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
-use dbtoaster_common::{Catalog, Error, EventKind, FxHashMap, Result, Value};
 use dbtoaster_calculus::{
     canonical_form, delta, to_polynomial, translate_query, CalcExpr, QueryCalc, Term, ValExpr, Var,
 };
+use dbtoaster_common::{Catalog, Error, EventKind, FxHashMap, Result, Value};
 use dbtoaster_sql::{analyze, parse_query, BoundQuery};
 
 use crate::program::{MapDecl, Statement, StatementKind, Trigger, TriggerProgram};
@@ -60,17 +60,27 @@ impl CompileOptions {
 
     /// Classical first-order IVM: a single level of maps.
     pub fn first_order() -> CompileOptions {
-        CompileOptions { max_depth: Some(1), ..Default::default() }
+        CompileOptions {
+            max_depth: Some(1),
+            ..Default::default()
+        }
     }
 
     /// Limit compilation to `depth` map levels.
     pub fn with_depth(depth: usize) -> CompileOptions {
-        CompileOptions { max_depth: Some(depth), ..Default::default() }
+        CompileOptions {
+            max_depth: Some(depth),
+            ..Default::default()
+        }
     }
 }
 
 /// Compile a SQL string against a catalog.
-pub fn compile_sql(sql: &str, catalog: &Catalog, options: &CompileOptions) -> Result<TriggerProgram> {
+pub fn compile_sql(
+    sql: &str,
+    catalog: &Catalog,
+    options: &CompileOptions,
+) -> Result<TriggerProgram> {
     let parsed = parse_query(sql)?;
     let bound = analyze(&parsed, catalog)?;
     let mut program = compile_query(&bound, catalog, options)?;
@@ -84,7 +94,10 @@ pub fn compile_query(
     catalog: &Catalog,
     options: &CompileOptions,
 ) -> Result<TriggerProgram> {
-    let prefix = options.result_prefix.clone().unwrap_or_else(|| "Q".to_string());
+    let prefix = options
+        .result_prefix
+        .clone()
+        .unwrap_or_else(|| "Q".to_string());
     let qc = translate_query(query, &prefix)?;
     let mut compiler = Compiler {
         catalog: catalog.clone(),
@@ -123,7 +136,8 @@ impl Compiler {
         // Register the top-level result maps.
         for spec in &qc.maps {
             let canonical = canonical_form(&spec.keys, &spec.definition);
-            self.by_canonical.insert(canonical.clone(), spec.name.clone());
+            self.by_canonical
+                .insert(canonical.clone(), spec.name.clone());
             self.maps.push(MapDecl {
                 name: spec.name.clone(),
                 keys: spec.keys.clone(),
@@ -143,6 +157,16 @@ impl Compiler {
             (a.relation.clone(), a.event != EventKind::Insert)
                 .cmp(&(b.relation.clone(), b.event != EventKind::Insert))
         });
+        // Within a trigger, delta (`Update`) statements run against the
+        // pre-event state, but `Replace` statements *re-evaluate* their
+        // target from materialized inputs (the BASE_* maps) and must
+        // therefore observe the post-event state. Stably move them after
+        // every update so re-evaluation sees maintained inputs that
+        // already absorbed the current event.
+        for t in &mut self.triggers {
+            t.statements
+                .sort_by_key(|s| s.kind == StatementKind::Replace);
+        }
         Ok(())
     }
 
@@ -298,7 +322,10 @@ impl Compiler {
         };
         let canonical = canonical_form(&keys, &inner);
         if let Some(existing) = self.by_canonical.get(&canonical) {
-            return Ok(CalcExpr::MapRef { name: existing.clone(), keys });
+            return Ok(CalcExpr::MapRef {
+                name: existing.clone(),
+                keys,
+            });
         }
 
         // New map: give it canonical internal key names so that its own
@@ -307,8 +334,11 @@ impl Compiler {
         let rel_hint: Vec<String> = inner.relations().into_iter().collect();
         let name = format!("M{}_{}", self.counter, rel_hint.join("_"));
         let decl_keys: Vec<Var> = (0..keys.len()).map(|i| format!("{name}_K{i}")).collect();
-        let renaming: FxHashMap<Var, Var> =
-            keys.iter().cloned().zip(decl_keys.iter().cloned()).collect();
+        let renaming: FxHashMap<Var, Var> = keys
+            .iter()
+            .cloned()
+            .zip(decl_keys.iter().cloned())
+            .collect();
         let renamed_body = inner.rename(&|v| renaming.get(v).cloned());
         let definition = CalcExpr::agg_sum(decl_keys.clone(), renamed_body);
 
@@ -343,7 +373,10 @@ impl Compiler {
         Ok(match expr {
             CalcExpr::Rel { name, vars } => {
                 let map_name = self.ensure_base_map(name)?;
-                CalcExpr::MapRef { name: map_name, keys: vars.clone() }
+                CalcExpr::MapRef {
+                    name: map_name,
+                    keys: vars.clone(),
+                }
             }
             CalcExpr::Val(_) | CalcExpr::Cmp { .. } | CalcExpr::MapRef { .. } => expr.clone(),
             CalcExpr::Prod(es) => CalcExpr::Prod(
@@ -356,9 +389,7 @@ impl Compiler {
                     .map(|e| self.replace_relations_with_base_maps(e))
                     .collect::<Result<Vec<_>>>()?,
             ),
-            CalcExpr::Neg(e) => {
-                CalcExpr::Neg(Box::new(self.replace_relations_with_base_maps(e)?))
-            }
+            CalcExpr::Neg(e) => CalcExpr::Neg(Box::new(self.replace_relations_with_base_maps(e)?)),
             CalcExpr::AggSum { group, body } => CalcExpr::AggSum {
                 group: group.clone(),
                 body: Box::new(self.replace_relations_with_base_maps(body)?),
@@ -381,11 +412,17 @@ impl Compiler {
             return Ok(name);
         }
         let schema = self.catalog.expect(relation)?.clone();
-        let keys: Vec<Var> =
-            schema.columns.iter().map(|c| format!("{name}_{}", c.name)).collect();
+        let keys: Vec<Var> = schema
+            .columns
+            .iter()
+            .map(|c| format!("{name}_{}", c.name))
+            .collect();
         let definition = CalcExpr::agg_sum(
             keys.clone(),
-            CalcExpr::Rel { name: relation.to_string(), vars: keys.clone() },
+            CalcExpr::Rel {
+                name: relation.to_string(),
+                vars: keys.clone(),
+            },
         );
         let canonical = canonical_form(&keys, &definition);
         self.maps.push(MapDecl {
@@ -465,9 +502,10 @@ fn ordered_occurrences(expr: &CalcExpr) -> Vec<Var> {
 fn contains_nested(expr: &CalcExpr) -> bool {
     match expr {
         CalcExpr::Lift { .. } | CalcExpr::Exists(_) => true,
-        CalcExpr::Val(_) | CalcExpr::Rel { .. } | CalcExpr::MapRef { .. } | CalcExpr::Cmp { .. } => {
-            false
-        }
+        CalcExpr::Val(_)
+        | CalcExpr::Rel { .. }
+        | CalcExpr::MapRef { .. }
+        | CalcExpr::Cmp { .. } => false,
         CalcExpr::Prod(es) | CalcExpr::Sum(es) => es.iter().any(contains_nested),
         CalcExpr::Neg(e) => contains_nested(e),
         CalcExpr::AggSum { body, .. } => contains_nested(body),
@@ -481,9 +519,18 @@ mod tests {
 
     fn rst_catalog() -> Catalog {
         Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ))
     }
 
     const RST: &str = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
@@ -526,12 +573,20 @@ mod tests {
             .triggers
             .iter()
             .filter(|t| {
-                t.statements.iter().any(|s| s.update.map_refs().contains(&q1.name))
+                t.statements
+                    .iter()
+                    .any(|s| s.update.map_refs().contains(&q1.name))
             })
             .map(|t| t.handler_name())
             .collect();
-        assert!(referenced_by.iter().any(|h| h.ends_with("_R")), "{referenced_by:?}");
-        assert!(referenced_by.iter().any(|h| h.ends_with("_T")), "{referenced_by:?}");
+        assert!(
+            referenced_by.iter().any(|h| h.ends_with("_R")),
+            "{referenced_by:?}"
+        );
+        assert!(
+            referenced_by.iter().any(|h| h.ends_with("_T")),
+            "{referenced_by:?}"
+        );
     }
 
     #[test]
@@ -594,7 +649,10 @@ mod tests {
         .unwrap();
         assert!(p.maps.iter().any(|m| m.is_base_relation));
         let on_ins = p.trigger("BIDS", EventKind::Insert).unwrap();
-        assert!(on_ins.statements.iter().any(|s| s.kind == StatementKind::Replace));
+        assert!(on_ins
+            .statements
+            .iter()
+            .any(|s| s.kind == StatementKind::Replace));
         // The base-relation map itself is maintained incrementally.
         assert!(on_ins
             .statements
@@ -623,7 +681,11 @@ mod tests {
 
     #[test]
     fn unknown_relations_are_rejected() {
-        let err = compile_sql("select sum(X) from NOPE", &rst_catalog(), &CompileOptions::full());
+        let err = compile_sql(
+            "select sum(X) from NOPE",
+            &rst_catalog(),
+            &CompileOptions::full(),
+        );
         assert!(err.is_err());
     }
 }

@@ -8,8 +8,8 @@
 //! slot-based executable form; [`crate::codegen`] pretty-prints it as
 //! Rust source.
 
-use dbtoaster_common::{Catalog, EventKind};
 use dbtoaster_calculus::{CalcExpr, QueryCalc, Var};
+use dbtoaster_common::{Catalog, EventKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -64,7 +64,14 @@ impl fmt::Display for Statement {
             StatementKind::Update => "+=",
             StatementKind::Replace => ":=",
         };
-        write!(f, "{}[{}] {} {}", self.target, self.target_keys.join(", "), op, self.update)
+        write!(
+            f,
+            "{}[{}] {} {}",
+            self.target,
+            self.target_keys.join(", "),
+            op,
+            self.update
+        )
     }
 }
 
@@ -150,7 +157,12 @@ impl TriggerProgram {
         let mut out = String::new();
         out.push_str("-- maps\n");
         for m in &self.maps {
-            out.push_str(&format!("map {}[{}] := {}\n", m.name, m.keys.join(", "), m.definition));
+            out.push_str(&format!(
+                "map {}[{}] := {}\n",
+                m.name,
+                m.keys.join(", "),
+                m.definition
+            ));
         }
         out.push_str("\n-- triggers\n");
         for t in &self.triggers {

@@ -157,7 +157,9 @@ pub fn assemble_from_maps(
                 ResultColumn::Sum { map, .. } => {
                     maps[map].get(&key).cloned().unwrap_or(Value::ZERO)
                 }
-                ResultColumn::Avg { sum_map, count_map, .. } => {
+                ResultColumn::Avg {
+                    sum_map, count_map, ..
+                } => {
                     let s = maps[sum_map].get(&key).cloned().unwrap_or(Value::ZERO);
                     let c = maps[count_map].get(&key).cloned().unwrap_or(Value::ZERO);
                     s.div(&c)
@@ -190,9 +192,9 @@ pub fn assemble_from_maps(
     // empty groups (all aggregates zero) to mirror SQL semantics.
     if !qc.group_vars.is_empty() {
         rows.retain(|(_, vals)| {
-            vals.iter().zip(&qc.columns).any(|(v, c)| {
-                !matches!(c, ResultColumn::Group { .. }) && !v.is_zero()
-            })
+            vals.iter()
+                .zip(&qc.columns)
+                .any(|(v, c)| !matches!(c, ResultColumn::Group { .. }) && !v.is_zero())
         });
     }
     Ok(rows)
@@ -253,8 +255,7 @@ fn enumerate(
         }
         CalcExpr::Rel { name, vars } => {
             // Enumerate tuples consistent with the current bindings.
-            let snapshot: Vec<(Tuple, i64)> =
-                db.table(name).map(|(t, m)| (t.clone(), m)).collect();
+            let snapshot: Vec<(Tuple, i64)> = db.table(name).map(|(t, m)| (t.clone(), m)).collect();
             'tuples: for (tuple, mult) in snapshot {
                 let mut added: Vec<Var> = Vec::new();
                 for (var, value) in vars.iter().zip(tuple.iter()) {
@@ -442,15 +443,24 @@ fn eval_val(v: &ValExpr, env: &Env) -> Result<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbtoaster_common::{tuple, Catalog, ColumnType, Schema};
     use dbtoaster_calculus::translate_query;
+    use dbtoaster_common::{tuple, Catalog, ColumnType, Schema};
     use dbtoaster_sql::{analyze, parse_query};
 
     fn rst_catalog() -> Catalog {
         Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ))
     }
 
     fn qc(sql: &str, cat: &Catalog) -> dbtoaster_calculus::QueryCalc {
@@ -478,7 +488,10 @@ mod tests {
     #[test]
     fn interpreter_computes_the_three_way_join_aggregate() {
         let cat = rst_catalog();
-        let q = qc("select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C", &cat);
+        let q = qc(
+            "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C",
+            &cat,
+        );
         let mut db = Database::new();
         load(&mut db, "R", &[(5, 1), (2, 1)]);
         load(&mut db, "S", &[(1, 10), (1, 20)]);
@@ -497,7 +510,10 @@ mod tests {
         let mut rows = evaluate_query(&q, &db).unwrap();
         rows.sort();
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].1, vec![Value::Int(1), Value::Int(30), Value::Int(15)]);
+        assert_eq!(
+            rows[0].1,
+            vec![Value::Int(1), Value::Int(30), Value::Int(15)]
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //!   per-binding `+=` performs the summation, so no separate aggregation
 //!   machinery runs at event time.
 
-use dbtoaster_common::{Error, EventKind, Result, Value};
 use dbtoaster_calculus::{CalcExpr, CmpOp, ResultColumn, ValExpr, Var};
+use dbtoaster_common::{Error, EventKind, Result, Value};
 use dbtoaster_compiler::{Statement, StatementKind, TriggerProgram};
 
 /// Scalar expressions over environment slots.
@@ -30,9 +30,16 @@ pub enum Scalar {
     Neg(Box<Scalar>),
     Div(Box<Scalar>, Box<Scalar>),
     /// 1 if the comparison holds, else 0.
-    Cmp { op: CmpOp, left: Box<Scalar>, right: Box<Scalar> },
+    Cmp {
+        op: CmpOp,
+        left: Box<Scalar>,
+        right: Box<Scalar>,
+    },
     /// Point lookup into a map with fully-computable keys.
-    Lookup { map: usize, keys: Vec<Scalar> },
+    Lookup {
+        map: usize,
+        keys: Vec<Scalar>,
+    },
     /// Sum of a nested block (used for `Lift` bodies).
     Aggregate(Box<Block>),
     /// 1 if the nested block sums to a non-zero value (used for EXISTS).
@@ -93,10 +100,24 @@ pub struct CompiledTrigger {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResultColumnSpec {
     /// The i-th component of the group key.
-    Group { name: String, index: usize },
-    Sum { name: String, map: usize },
-    Avg { name: String, sum: usize, count: usize },
-    Extremum { name: String, map: usize, is_min: bool },
+    Group {
+        name: String,
+        index: usize,
+    },
+    Sum {
+        name: String,
+        map: usize,
+    },
+    Avg {
+        name: String,
+        sum: usize,
+        count: usize,
+    },
+    Extremum {
+        name: String,
+        map: usize,
+        is_min: bool,
+    },
 }
 
 /// Result-assembly description.
@@ -160,7 +181,8 @@ pub fn lower_program(program: &TriggerProgram) -> Result<ExecProgram> {
         if !exec.relations.contains(&trigger.relation) {
             exec.relations.push(trigger.relation.clone());
         }
-        exec.triggers.push(((trigger.relation.clone(), trigger.event), compiled));
+        exec.triggers
+            .push(((trigger.relation.clone(), trigger.event), compiled));
     }
 
     exec.result = lower_result(program, &exec)?;
@@ -184,18 +206,32 @@ fn lower_result(program: &TriggerProgram, exec: &ExecProgram) -> Result<ResultSp
                     .iter()
                     .position(|g| g == var)
                     .ok_or_else(|| Error::Compile(format!("group column {var} not in keys")))?;
-                columns.push(ResultColumnSpec::Group { name: name.clone(), index });
+                columns.push(ResultColumnSpec::Group {
+                    name: name.clone(),
+                    index,
+                });
             }
             ResultColumn::Sum { name, map } => {
                 let id = map_id(map)?;
                 driver_maps.push(id);
-                columns.push(ResultColumnSpec::Sum { name: name.clone(), map: id });
+                columns.push(ResultColumnSpec::Sum {
+                    name: name.clone(),
+                    map: id,
+                });
             }
-            ResultColumn::Avg { name, sum_map, count_map } => {
+            ResultColumn::Avg {
+                name,
+                sum_map,
+                count_map,
+            } => {
                 let sum = map_id(sum_map)?;
                 let count = map_id(count_map)?;
                 driver_maps.push(count);
-                columns.push(ResultColumnSpec::Avg { name: name.clone(), sum, count });
+                columns.push(ResultColumnSpec::Avg {
+                    name: name.clone(),
+                    sum,
+                    count,
+                });
             }
             ResultColumn::Extremum { name, map, is_min } => {
                 let id = map_id(map)?;
@@ -207,7 +243,11 @@ fn lower_result(program: &TriggerProgram, exec: &ExecProgram) -> Result<ResultSp
             }
         }
     }
-    Ok(ResultSpec { group_arity, columns, driver_maps })
+    Ok(ResultSpec {
+        group_arity,
+        columns,
+        driver_maps,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -273,7 +313,11 @@ fn lower_statement(
 
     let mut out = Vec::new();
     for (i, term) in terms.iter().enumerate() {
-        let mut lowerer = Lowerer { exec, slots: Vec::new(), bound: Vec::new() };
+        let mut lowerer = Lowerer {
+            exec,
+            slots: Vec::new(),
+            bound: Vec::new(),
+        };
         for a in args {
             let s = lowerer.slot_of(a);
             lowerer.bound[s] = true;
@@ -425,9 +469,14 @@ fn build_block(
             if keys.iter().all(|k| lowerer.is_bound(k)) {
                 let (name, keys) = pending_maps.remove(i);
                 let map = lowerer.map_id(&name)?;
-                let key_scalars =
-                    keys.iter().map(|k| Scalar::Slot(lowerer.slot_of(k))).collect();
-                value_factors.push(Scalar::Lookup { map, keys: key_scalars });
+                let key_scalars = keys
+                    .iter()
+                    .map(|k| Scalar::Slot(lowerer.slot_of(k)))
+                    .collect();
+                value_factors.push(Scalar::Lookup {
+                    map,
+                    keys: key_scalars,
+                });
                 progress = true;
                 continue;
             }
@@ -450,9 +499,7 @@ fn build_block(
         let (best_idx, _) = pending_maps
             .iter()
             .enumerate()
-            .max_by_key(|(_, (_, keys))| {
-                keys.iter().filter(|k| lowerer.is_bound(k)).count()
-            })
+            .max_by_key(|(_, (_, keys))| keys.iter().filter(|k| lowerer.is_bound(k)).count())
             .expect("pending_maps is non-empty");
         let (name, keys) = pending_maps.remove(best_idx);
         let map = lowerer.map_id(&name)?;
@@ -485,14 +532,24 @@ fn build_block(
             lowerer.bound[*slot] = true;
         }
         value_factors.push(Scalar::Slot(value_slot));
-        block.loops.push(LoopStep { map, bound_positions, bound_values, bind, value_slot });
+        block.loops.push(LoopStep {
+            map,
+            bound_positions,
+            bound_values,
+            bind,
+            value_slot,
+        });
     }
 
     // Whatever comparisons remain are guards; they must now be evaluable.
     for (op, l, r) in pending_cmps {
         let left = lower_val(lowerer, &l)?;
         let right = lower_val(lowerer, &r)?;
-        block.guards.push(Scalar::Cmp { op, left: Box::new(left), right: Box::new(right) });
+        block.guards.push(Scalar::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        });
     }
 
     // Resolve the deferred value factors (variables must be bound now).
@@ -557,13 +614,17 @@ fn build_nested_scalar(lowerer: &mut Lowerer<'_>, body: &CalcExpr) -> Result<Sca
 fn lower_val_deferred(v: &ValExpr) -> Scalar {
     match v {
         ValExpr::Const(c) => Scalar::Const(c.clone()),
-        ValExpr::Var(x) => Scalar::Lookup { map: usize::MAX, keys: vec![Scalar::Const(Value::Str(x.clone()))] },
+        ValExpr::Var(x) => Scalar::Lookup {
+            map: usize::MAX,
+            keys: vec![Scalar::Const(Value::Str(x.clone()))],
+        },
         ValExpr::Add(es) => Scalar::Add(es.iter().map(lower_val_deferred).collect()),
         ValExpr::Mul(es) => Scalar::Mul(es.iter().map(lower_val_deferred).collect()),
         ValExpr::Neg(e) => Scalar::Neg(Box::new(lower_val_deferred(e))),
-        ValExpr::Div(a, b) => {
-            Scalar::Div(Box::new(lower_val_deferred(a)), Box::new(lower_val_deferred(b)))
-        }
+        ValExpr::Div(a, b) => Scalar::Div(
+            Box::new(lower_val_deferred(a)),
+            Box::new(lower_val_deferred(b)),
+        ),
     }
 }
 
@@ -579,10 +640,14 @@ fn resolve_deferred(lowerer: &mut Lowerer<'_>, s: Scalar) -> Result<Scalar> {
             Scalar::Slot(lowerer.slot_of(&var))
         }
         Scalar::Add(es) => Scalar::Add(
-            es.into_iter().map(|e| resolve_deferred(lowerer, e)).collect::<Result<_>>()?,
+            es.into_iter()
+                .map(|e| resolve_deferred(lowerer, e))
+                .collect::<Result<_>>()?,
         ),
         Scalar::Mul(es) => Scalar::Mul(
-            es.into_iter().map(|e| resolve_deferred(lowerer, e)).collect::<Result<_>>()?,
+            es.into_iter()
+                .map(|e| resolve_deferred(lowerer, e))
+                .collect::<Result<_>>()?,
         ),
         Scalar::Neg(e) => Scalar::Neg(Box::new(resolve_deferred(lowerer, *e)?)),
         Scalar::Div(a, b) => Scalar::Div(
@@ -603,16 +668,21 @@ fn lower_val(lowerer: &mut Lowerer<'_>, v: &ValExpr) -> Result<Scalar> {
     Ok(match v {
         ValExpr::Const(c) => Scalar::Const(c.clone()),
         ValExpr::Var(x) => Scalar::Slot(lowerer.slot_of(x)),
-        ValExpr::Add(es) => {
-            Scalar::Add(es.iter().map(|e| lower_val(lowerer, e)).collect::<Result<_>>()?)
-        }
-        ValExpr::Mul(es) => {
-            Scalar::Mul(es.iter().map(|e| lower_val(lowerer, e)).collect::<Result<_>>()?)
-        }
+        ValExpr::Add(es) => Scalar::Add(
+            es.iter()
+                .map(|e| lower_val(lowerer, e))
+                .collect::<Result<_>>()?,
+        ),
+        ValExpr::Mul(es) => Scalar::Mul(
+            es.iter()
+                .map(|e| lower_val(lowerer, e))
+                .collect::<Result<_>>()?,
+        ),
         ValExpr::Neg(e) => Scalar::Neg(Box::new(lower_val(lowerer, e)?)),
-        ValExpr::Div(a, b) => {
-            Scalar::Div(Box::new(lower_val(lowerer, a)?), Box::new(lower_val(lowerer, b)?))
-        }
+        ValExpr::Div(a, b) => Scalar::Div(
+            Box::new(lower_val(lowerer, a)?),
+            Box::new(lower_val(lowerer, b)?),
+        ),
     })
 }
 
@@ -624,9 +694,18 @@ mod tests {
 
     fn rst_catalog() -> Catalog {
         Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ))
     }
 
     #[test]
@@ -647,7 +726,11 @@ mod tests {
         assert!(on_r.statements.iter().any(|s| s.block.loops.is_empty()));
         assert!(on_r.statements.iter().any(|s| !s.block.loops.is_empty()));
         // The foreach loop registered a secondary-index pattern on q1.
-        let q1 = exec.map_names.iter().position(|n| n.starts_with("M5")).unwrap();
+        let q1 = exec
+            .map_names
+            .iter()
+            .position(|n| n.starts_with("M5"))
+            .unwrap();
         assert!(!exec.patterns[q1].is_empty());
     }
 
@@ -692,7 +775,13 @@ mod tests {
         let exec = lower_program(&p).unwrap();
         assert_eq!(exec.result.group_arity, 1);
         assert_eq!(exec.result.columns.len(), 3);
-        assert!(matches!(exec.result.columns[0], ResultColumnSpec::Group { .. }));
-        assert!(matches!(exec.result.columns[2], ResultColumnSpec::Avg { .. }));
+        assert!(matches!(
+            exec.result.columns[0],
+            ResultColumnSpec::Group { .. }
+        ));
+        assert!(matches!(
+            exec.result.columns[2],
+            ResultColumnSpec::Avg { .. }
+        ));
     }
 }

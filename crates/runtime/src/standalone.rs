@@ -52,7 +52,11 @@ impl StandaloneServer {
                 }
             }
         });
-        Ok(StandaloneServer { sender, engine, worker: Some(worker) })
+        Ok(StandaloneServer {
+            sender,
+            engine,
+            worker: Some(worker),
+        })
     }
 
     /// Enqueue one event (blocks when the queue is full).
@@ -119,9 +123,18 @@ mod tests {
     #[test]
     fn standalone_server_processes_a_stream_and_serves_results() {
         let cat = Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]));
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ));
         let p = compile_sql(
             "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C",
             &cat,

@@ -11,6 +11,10 @@
 
 use dbtoaster_common::{FxHashMap, Tuple, Value};
 
+/// A secondary index: the sorted key positions it covers, and the map
+/// from projected keys to the full keys sharing that projection.
+type SecondaryIndex = (Vec<usize>, FxHashMap<Tuple, Vec<Tuple>>);
+
 /// One maintained map (in-memory view).
 #[derive(Debug, Clone, Default)]
 pub struct MapStorage {
@@ -19,13 +23,17 @@ pub struct MapStorage {
     /// Primary storage.
     data: FxHashMap<Tuple, Value>,
     /// Secondary indexes: `(bound key positions, projected key -> full keys)`.
-    indexes: Vec<(Vec<usize>, FxHashMap<Tuple, Vec<Tuple>>)>,
+    indexes: Vec<SecondaryIndex>,
 }
 
 impl MapStorage {
     /// Create a map with the given key arity.
     pub fn new(arity: usize) -> MapStorage {
-        MapStorage { arity, data: FxHashMap::default(), indexes: Vec::new() }
+        MapStorage {
+            arity,
+            data: FxHashMap::default(),
+            indexes: Vec::new(),
+        }
     }
 
     /// Key arity.
@@ -58,9 +66,19 @@ impl MapStorage {
         }
         let mut index: FxHashMap<Tuple, Vec<Tuple>> = FxHashMap::default();
         for key in self.data.keys() {
-            index.entry(key.project(&pat)).or_default().push(key.clone());
+            index
+                .entry(key.project(&pat))
+                .or_default()
+                .push(key.clone());
         }
         self.indexes.push((pat, index));
+    }
+
+    /// Number of registered secondary indexes (introspection for tests
+    /// and the memory report; patterns covering all or no positions are
+    /// served by primary storage and register nothing).
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
     }
 
     /// The value stored under `key` (zero if absent).
@@ -154,9 +172,7 @@ impl MapStorage {
             // for ad-hoc snapshot queries only).
             self.data
                 .iter()
-                .filter(|(k, _)| {
-                    positions.iter().enumerate().all(|(i, &p)| k[p] == bound[i])
-                })
+                .filter(|(k, _)| positions.iter().enumerate().all(|(i, &p)| k[p] == bound[i]))
                 .collect()
         }
     }
@@ -241,6 +257,78 @@ mod tests {
         m.add(tuple![1i64, 5i64, 3i64], Value::Int(1));
         let s = m.slice(&[0, 2], &tuple![1i64, 3i64]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn register_pattern_is_idempotent_and_normalizes() {
+        let mut m = MapStorage::new(3);
+        m.register_pattern(&[1, 0]);
+        m.register_pattern(&[0, 1]);
+        m.register_pattern(&[0, 1, 1]); // duplicates collapse to {0, 1}
+        assert_eq!(m.index_count(), 1, "equivalent patterns share one index");
+        m.register_pattern(&[2]);
+        assert_eq!(m.index_count(), 2);
+        // Degenerate patterns register nothing: the empty pattern is a
+        // full scan, and a pattern covering every position is a point
+        // lookup — both served by primary storage.
+        m.register_pattern(&[]);
+        m.register_pattern(&[0, 1, 2]);
+        assert_eq!(m.index_count(), 2);
+        // The shared index answers slices regardless of the order the
+        // pattern was first registered in.
+        m.add(tuple![1i64, 2i64, 3i64], Value::Int(1));
+        m.add(tuple![1i64, 2i64, 4i64], Value::Int(1));
+        m.add(tuple![1i64, 9i64, 3i64], Value::Int(1));
+        assert_eq!(m.slice(&[0, 1], &tuple![1i64, 2i64]).len(), 2);
+    }
+
+    #[test]
+    fn slices_track_inserts_updates_and_deletes_to_zero() {
+        let mut m = MapStorage::new(2);
+        m.register_pattern(&[0]);
+
+        // Insert: new keys appear in the slice.
+        m.add(tuple![1i64, 10i64], Value::Int(3));
+        m.add(tuple![1i64, 11i64], Value::Int(4));
+        m.add(tuple![2i64, 10i64], Value::Int(5));
+        assert_eq!(m.slice(&[0], &tuple![1i64]).len(), 2);
+
+        // Update (delta on an existing key): entry stays, value changes,
+        // and no duplicate index posting appears.
+        m.add(tuple![1i64, 10i64], Value::Int(7));
+        let slice = m.slice(&[0], &tuple![1i64]);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(m.get(&tuple![1i64, 10i64]), Value::Int(10));
+
+        // Delete-to-zero: the key vanishes from the slice...
+        m.add(tuple![1i64, 10i64], Value::Int(-10));
+        let slice = m.slice(&[0], &tuple![1i64]);
+        assert_eq!(slice.len(), 1);
+        assert_eq!(*slice[0].0, tuple![1i64, 11i64]);
+
+        // ...and when the last key of a projected group goes, the whole
+        // group disappears (no stale empty postings serve lookups).
+        m.add(tuple![1i64, 11i64], Value::Int(-4));
+        assert!(m.slice(&[0], &tuple![1i64]).is_empty());
+        assert_eq!(m.slice(&[0], &tuple![2i64]).len(), 1);
+
+        // Re-insert after delete-to-zero works like a fresh key.
+        m.add(tuple![1i64, 12i64], Value::Int(1));
+        assert_eq!(m.slice(&[0], &tuple![1i64]).len(), 1);
+    }
+
+    #[test]
+    fn clear_resets_indexes_consistently() {
+        let mut m = MapStorage::new(2);
+        m.register_pattern(&[1]);
+        for i in 0..5i64 {
+            m.add(tuple![i, i % 2], Value::Int(1));
+        }
+        assert_eq!(m.slice(&[1], &tuple![0i64]).len(), 3);
+        m.clear();
+        assert!(m.slice(&[1], &tuple![0i64]).is_empty());
+        m.add(tuple![9i64, 0i64], Value::Int(1));
+        assert_eq!(m.slice(&[1], &tuple![0i64]).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! Archived-stream replay: a CSV [`EventSource`] and its writer.
+//!
+//! The paper's standalone processor can be fed from an "archived stream";
+//! this module defines the archive format and replays it. One event per
+//! line:
+//!
+//! ```text
+//! # comment lines and blank lines are skipped
+//! RELATION,insert,v1,v2,...
+//! RELATION,delete,v1,v2,...
+//! ```
+//!
+//! `+`/`-` are accepted as shorthand for `insert`/`delete`. Values are
+//! parsed by position against the relation's schema in the catalog
+//! (`INT`, `FLOAT`, `VARCHAR`, `BOOLEAN`, `DATE` as `YYYY-MM-DD`, and
+//! `NULL`). Strings are written raw — embedded commas or newlines are
+//! rejected by [`write_csv`] rather than quoted, keeping the format
+//! trivially splittable by any tool.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::path::Path;
+
+use dbtoaster_common::{
+    Catalog, ColumnType, Error, Event, EventBatch, EventKind, EventSource, Result, Tuple, Value,
+};
+
+/// An [`EventSource`] replaying an archived CSV stream. Parsing is lazy:
+/// each `next_batch` call reads at most `max_events` lines, so archives
+/// larger than memory replay fine.
+pub struct CsvReplaySource<R> {
+    name: String,
+    reader: R,
+    catalog: Catalog,
+    line_number: usize,
+    exhausted: bool,
+}
+
+impl CsvReplaySource<BufReader<std::fs::File>> {
+    /// Replay an archive file.
+    pub fn from_path(path: impl AsRef<Path>, catalog: &Catalog) -> Result<Self> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path)
+            .map_err(|e| Error::Runtime(format!("cannot open archive {}: {e}", path.display())))?;
+        Ok(CsvReplaySource::from_reader(
+            path.file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default(),
+            BufReader::new(file),
+            catalog,
+        ))
+    }
+}
+
+impl CsvReplaySource<Cursor<String>> {
+    /// Replay an in-memory archive (tests, examples, network payloads).
+    pub fn from_string(
+        name: impl Into<String>,
+        archive: impl Into<String>,
+        catalog: &Catalog,
+    ) -> Self {
+        CsvReplaySource::from_reader(name, Cursor::new(archive.into()), catalog)
+    }
+}
+
+impl<R: BufRead> CsvReplaySource<R> {
+    /// Replay from any buffered reader.
+    pub fn from_reader(name: impl Into<String>, reader: R, catalog: &Catalog) -> Self {
+        CsvReplaySource {
+            name: name.into(),
+            reader,
+            catalog: catalog.clone(),
+            line_number: 0,
+            exhausted: false,
+        }
+    }
+
+    fn parse_line(&self, line: &str) -> Result<Event> {
+        let err =
+            |msg: String| Error::Runtime(format!("{}:{}: {msg}", self.name, self.line_number));
+        let mut fields = line.split(',');
+        let relation = fields
+            .next()
+            .filter(|r| !r.trim().is_empty())
+            .ok_or_else(|| err("missing relation".into()))?
+            .trim();
+        let kind = match fields.next().map(str::trim) {
+            Some("insert") | Some("+") => EventKind::Insert,
+            Some("delete") | Some("-") => EventKind::Delete,
+            other => {
+                return Err(err(format!(
+                    "bad operation {:?} (expected insert/delete/+/-)",
+                    other.unwrap_or("")
+                )))
+            }
+        };
+        let schema = self
+            .catalog
+            .get(relation)
+            .ok_or_else(|| err(format!("unknown relation '{relation}'")))?;
+        let raw: Vec<&str> = fields.collect();
+        if raw.len() != schema.arity() {
+            return Err(err(format!(
+                "relation {} expects {} values, got {}",
+                schema.name,
+                schema.arity(),
+                raw.len()
+            )));
+        }
+        let values: Vec<Value> = raw
+            .iter()
+            .zip(&schema.columns)
+            .map(|(field, column)| {
+                parse_value(field.trim(), column.ty).ok_or_else(|| {
+                    err(format!(
+                        "bad {} value '{field}' for column {}",
+                        column.ty, column.name
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        Ok(Event {
+            relation: schema.name.clone(),
+            kind,
+            tuple: Tuple::new(values),
+        })
+    }
+}
+
+impl<R: BufRead> EventSource for CsvReplaySource<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_batch(&mut self, max_events: usize) -> Result<Option<EventBatch>> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        let mut batch = EventBatch::with_capacity(max_events.min(4096));
+        let mut line = String::new();
+        while batch.len() < max_events.max(1) {
+            line.clear();
+            let read = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| Error::Runtime(format!("{}: read failed: {e}", self.name)))?;
+            if read == 0 {
+                self.exhausted = true;
+                break;
+            }
+            self.line_number += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            batch.push(self.parse_line(trimmed)?);
+        }
+        Ok(if batch.is_empty() { None } else { Some(batch) })
+    }
+}
+
+fn parse_value(field: &str, ty: ColumnType) -> Option<Value> {
+    if field.eq_ignore_ascii_case("null") {
+        return Some(Value::Null);
+    }
+    match ty {
+        ColumnType::Int => field.parse::<i64>().ok().map(Value::Int),
+        ColumnType::Float => field.parse::<f64>().ok().map(Value::Float),
+        ColumnType::Str => Some(Value::Str(field.to_string())),
+        ColumnType::Bool => match field.to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Some(Value::Bool(true)),
+            "false" | "f" | "0" => Some(Value::Bool(false)),
+            _ => None,
+        },
+        ColumnType::Date => {
+            let mut parts = field.splitn(3, '-');
+            let y = parts.next()?.parse::<i32>().ok()?;
+            let m = parts.next()?.parse::<u32>().ok()?;
+            let d = parts.next()?.parse::<u32>().ok()?;
+            if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+                return None;
+            }
+            Some(Value::date(y, m, d))
+        }
+    }
+}
+
+fn format_value(value: &Value, out: &mut String) -> Result<()> {
+    match value {
+        Value::Int(i) => out.push_str(&i.to_string()),
+        // `{}` on f64 prints the shortest representation that round-trips.
+        Value::Float(f) => out.push_str(&f.to_string()),
+        Value::Str(s) => {
+            // A string spelled "null" would replay as Value::Null (the
+            // parser checks the NULL literal before the column type), so
+            // it is as unarchivable as embedded separators.
+            if s.contains(',') || s.contains('\n') || s.trim() != s {
+                return Err(Error::Runtime(format!(
+                    "string value {s:?} cannot be archived (commas/newlines/padding unsupported)"
+                )));
+            }
+            if s.eq_ignore_ascii_case("null") {
+                return Err(Error::Runtime(format!(
+                    "string value {s:?} cannot be archived (would replay as NULL)"
+                )));
+            }
+            out.push_str(s);
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Date(_) => out.push_str(&value.to_string()),
+        Value::Null => out.push_str("NULL"),
+    }
+    Ok(())
+}
+
+/// Archive events in the replayable CSV format (the inverse of
+/// [`CsvReplaySource`]).
+pub fn write_csv<'a>(
+    events: impl IntoIterator<Item = &'a Event>,
+    out: &mut impl Write,
+) -> Result<()> {
+    let mut line = String::new();
+    for event in events {
+        line.clear();
+        line.push_str(&event.relation);
+        line.push(',');
+        line.push_str(event.kind.label());
+        for value in event.tuple.iter() {
+            line.push(',');
+            format_value(value, &mut line)?;
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())
+            .map_err(|e| Error::Runtime(format!("archive write failed: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Convenience: archive events into a `String`.
+pub fn to_csv_string<'a>(events: impl IntoIterator<Item = &'a Event>) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(events, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| Error::Runtime(format!("archive not UTF-8: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{tuple, Schema, UpdateStream};
+
+    fn catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "TRADES",
+                vec![
+                    ("SYM", ColumnType::Str),
+                    ("PRICE", ColumnType::Float),
+                    ("OK", ColumnType::Bool),
+                    ("DAY", ColumnType::Date),
+                ],
+            ))
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_both_operation_spellings() {
+        let archive = "\
+# archived stream
+R,insert,1,2
+
+r,+,3,4
+R,-,1,2
+TRADES,delete,IBM,101.25,true,2009-08-24
+";
+        let mut source = CsvReplaySource::from_string("test.csv", archive, &catalog());
+        let batch = source.next_batch(100).unwrap().unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.events[0], Event::insert("R", tuple![1i64, 2i64]));
+        assert_eq!(batch.events[1], Event::insert("R", tuple![3i64, 4i64]));
+        assert_eq!(batch.events[2], Event::delete("R", tuple![1i64, 2i64]));
+        let trade = &batch.events[3];
+        assert_eq!(trade.kind, EventKind::Delete);
+        assert_eq!(trade.tuple[0], Value::str("IBM"));
+        assert_eq!(trade.tuple[1], Value::Float(101.25));
+        assert_eq!(trade.tuple[2], Value::Bool(true));
+        assert_eq!(trade.tuple[3], Value::date(2009, 8, 24));
+        assert!(source.next_batch(100).unwrap().is_none());
+    }
+
+    #[test]
+    fn batches_respect_max_events() {
+        let archive = (0..10).map(|i| format!("R,+,{i},0\n")).collect::<String>();
+        let mut source = CsvReplaySource::from_string("test.csv", archive, &catalog());
+        let mut sizes = Vec::new();
+        while let Some(batch) = source.next_batch(4).unwrap() {
+            sizes.push(batch.len());
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("R,+,1\n", "expects 2 values"),
+            ("R,sideways,1,2\n", "bad operation"),
+            ("NOPE,+,1,2\n", "unknown relation"),
+            ("R,+,one,2\n", "bad INT value"),
+            ("TRADES,+,IBM,1.0,maybe,2009-08-24\n", "bad BOOLEAN value"),
+            ("TRADES,+,IBM,1.0,true,2009-13-24\n", "bad DATE value"),
+        ];
+        for (line, expected) in cases {
+            let archive = format!("# header\nR,+,1,2\n{line}");
+            let mut source = CsvReplaySource::from_string("bad.csv", archive, &catalog());
+            let got = source.next_batch(100).unwrap_err().to_string();
+            assert!(got.contains(expected), "{line:?}: {got}");
+            assert!(
+                got.contains("bad.csv:3"),
+                "{line:?} should blame line 3: {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_then_replay_round_trips() {
+        let mut stream = UpdateStream::new();
+        stream.push(Event::insert("R", tuple![1i64, -7i64]));
+        stream.push(Event::insert(
+            "TRADES",
+            Tuple::new(vec![
+                Value::str("MSFT"),
+                Value::Float(30.125),
+                Value::Bool(false),
+                Value::date(2009, 1, 2),
+            ]),
+        ));
+        stream.push(Event::delete("R", tuple![1i64, -7i64]));
+        let archive = to_csv_string(&stream).unwrap();
+        let mut source = CsvReplaySource::from_string("rt.csv", archive, &catalog());
+        let replayed = source.drain(100).unwrap();
+        assert_eq!(replayed, stream);
+    }
+
+    #[test]
+    fn unarchivable_strings_are_rejected() {
+        let event = Event::insert(
+            "TRADES",
+            Tuple::new(vec![
+                Value::str("A,B"),
+                Value::Float(1.0),
+                Value::Bool(true),
+                Value::date(2009, 1, 2),
+            ]),
+        );
+        assert!(to_csv_string(std::iter::once(&event)).is_err());
+        // Strings spelled like the NULL literal would replay as NULL.
+        let null_like = Event::insert(
+            "TRADES",
+            Tuple::new(vec![
+                Value::str("null"),
+                Value::Float(1.0),
+                Value::Bool(true),
+                Value::date(2009, 1, 2),
+            ]),
+        );
+        let err = to_csv_string(std::iter::once(&null_like)).unwrap_err();
+        assert!(err.to_string().contains("NULL"), "{err}");
+    }
+}

@@ -1,0 +1,559 @@
+//! Multi-query view server.
+//!
+//! The paper's standalone mode is not a one-query toy: it is a query
+//! processor maintaining *many* standing aggregate views at once,
+//! "accepting input over a network interface or archived stream". This
+//! crate is that deployment shape for the reproduction:
+//!
+//! * [`ViewServer`] — compiles N standing queries against one shared
+//!   [`Catalog`] into N trigger programs and routes each incoming event
+//!   only to the views whose triggers reference the event's relation
+//!   (a relation → interested-views dispatch index, built at
+//!   registration time).
+//! * **Batched ingestion** — [`ViewServer::apply_batch`] partitions an
+//!   event batch across the dispatch index and takes each affected
+//!   engine's write lock once per batch (calling the engine's
+//!   `process_batch`) instead of once per event.
+//! * **Pluggable sources** — [`ViewServer::run_source`] drains any
+//!   [`EventSource`] (an archived CSV stream via [`CsvReplaySource`], a
+//!   workload generator adapter, eventually a network socket) through
+//!   the batched path.
+//!
+//! Reads are consistent: [`ViewServer::snapshot_all`] and
+//! [`ViewServer::apply_batch`] acquire the per-view locks in one global
+//! order (registration order), so a snapshot never observes half of a
+//! batch. Ingestion methods take `&self`, so an `Arc<ViewServer>` can be
+//! fed from one thread while other threads read results — the
+//! multi-view generalization of the runtime's single-query
+//! `StandaloneServer`.
+
+pub mod csv;
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dbtoaster_common::{
+    Catalog, Error, Event, EventSource, FxHashMap, FxHashSet, Result, Tuple, Value,
+};
+use dbtoaster_compiler::{compile_sql, CompileOptions, TriggerProgram};
+use dbtoaster_runtime::{Engine, ProfileReport, ResultRow};
+
+pub use csv::{to_csv_string, write_csv, CsvReplaySource};
+
+/// Stable handle to a registered view (its registration index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ViewId(pub usize);
+
+/// One registered standing query.
+struct View {
+    name: String,
+    sql: String,
+    /// Stream relations this view's triggers react to (the dispatch key).
+    relations: FxHashSet<String>,
+    program: TriggerProgram,
+    engine: Arc<RwLock<Engine>>,
+}
+
+/// A consistent per-view result capture from [`ViewServer::snapshot_all`].
+#[derive(Debug, Clone)]
+pub struct ViewSnapshot {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<ResultRow>,
+    pub events_processed: u64,
+}
+
+/// Counters returned by [`ViewServer::run_source`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Batches pulled from the source.
+    pub batches: usize,
+    /// Events pulled from the source.
+    pub events: usize,
+    /// Sum over views of events delivered to that view (one event
+    /// delivered to k interested views counts k times).
+    pub deliveries: usize,
+}
+
+/// A server maintaining many standing aggregate views over one shared
+/// update stream.
+pub struct ViewServer {
+    catalog: Catalog,
+    views: Vec<View>,
+    /// relation name → indices of views whose triggers reference it.
+    dispatch: FxHashMap<String, Vec<usize>>,
+}
+
+impl ViewServer {
+    /// Create an empty server over a catalog of stream relations.
+    pub fn new(catalog: &Catalog) -> ViewServer {
+        ViewServer {
+            catalog: catalog.clone(),
+            views: Vec::new(),
+            dispatch: FxHashMap::default(),
+        }
+    }
+
+    /// The shared catalog every view is compiled against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a standing query under `name` with full recursive
+    /// compilation.
+    pub fn register(&mut self, name: &str, sql: &str) -> Result<ViewId> {
+        self.register_with(name, sql, &CompileOptions::full())
+    }
+
+    /// Register a standing query with explicit compile options.
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        sql: &str,
+        options: &CompileOptions,
+    ) -> Result<ViewId> {
+        if self.views.iter().any(|v| v.name == name) {
+            return Err(Error::Runtime(format!(
+                "view '{name}' is already registered"
+            )));
+        }
+        let program = compile_sql(sql, &self.catalog, options)?;
+        let engine = Engine::new(&program)?;
+        let relations: FxHashSet<String> = program
+            .triggers
+            .iter()
+            .map(|t| t.relation.clone())
+            .collect();
+        let id = self.views.len();
+        for rel in &relations {
+            self.dispatch.entry(rel.clone()).or_default().push(id);
+        }
+        self.views.push(View {
+            name: name.to_string(),
+            sql: sql.to_string(),
+            relations,
+            program,
+            engine: Arc::new(RwLock::new(engine)),
+        });
+        Ok(ViewId(id))
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when no view is registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Registered view names, in registration order.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.iter().map(|v| v.name.as_str()).collect()
+    }
+
+    /// Handle of a view by name.
+    pub fn id(&self, name: &str) -> Option<ViewId> {
+        self.views.iter().position(|v| v.name == name).map(ViewId)
+    }
+
+    /// Name of a view by handle.
+    pub fn name_of(&self, id: ViewId) -> Option<&str> {
+        self.views.get(id.0).map(|v| v.name.as_str())
+    }
+
+    /// The SQL a view was registered with.
+    pub fn sql_of(&self, name: &str) -> Result<&str> {
+        Ok(self.resolve(name)?.sql.as_str())
+    }
+
+    /// The compiled trigger program of a view.
+    pub fn program(&self, name: &str) -> Result<&TriggerProgram> {
+        Ok(&self.resolve(name)?.program)
+    }
+
+    /// Names of views whose triggers reference `relation` (dispatch
+    /// introspection). Relation names are upper-case throughout the
+    /// runtime — the `Event` constructors normalize them — and dispatch
+    /// matches exactly, so this lookup is deliberately not normalized:
+    /// it answers precisely the question `apply` asks.
+    pub fn interested_views(&self, relation: &str) -> Vec<&str> {
+        match self.dispatch.get(relation) {
+            Some(ids) => ids.iter().map(|&i| self.views[i].name.as_str()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// All relations at least one view listens to.
+    pub fn dispatched_relations(&self) -> Vec<&str> {
+        let mut rels: Vec<&str> = self.dispatch.keys().map(String::as_str).collect();
+        rels.sort_unstable();
+        rels
+    }
+
+    fn resolve(&self, name: &str) -> Result<&View> {
+        self.views
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| Error::Runtime(format!("unknown view '{name}'")))
+    }
+
+    /// Apply one event, routed only to interested views. Returns the
+    /// number of views the event was delivered to. Dispatch matches the
+    /// event's relation exactly; the `Event` constructors upper-case
+    /// relation names, so hand-built events must do the same.
+    pub fn apply(&self, event: &Event) -> Result<usize> {
+        let Some(ids) = self.dispatch.get(&event.relation) else {
+            return Ok(0);
+        };
+        for &i in ids {
+            self.views[i].engine.write().on_event(event)?;
+        }
+        Ok(ids.len())
+    }
+
+    /// Apply a whole batch through the dispatch index: each affected
+    /// view's write lock is taken once, and each view processes only the
+    /// sub-sequence of events whose relation its triggers reference
+    /// (in stream order). Returns the total number of deliveries.
+    ///
+    /// Locks are acquired for all affected views up front, in
+    /// registration order, so concurrent [`ViewServer::snapshot_all`]
+    /// calls see either none or all of the batch.
+    pub fn apply_batch(&self, batch: &[Event]) -> Result<usize> {
+        // Accepts any event slice; `&EventBatch` coerces via Deref, and
+        // `UpdateStream::events.chunks(n)` feeds it zero-copy.
+        let mut affected: Vec<usize> = Vec::new();
+        let mut seen_relations: Vec<&str> = Vec::new();
+        for event in batch {
+            if seen_relations.contains(&event.relation.as_str()) {
+                continue;
+            }
+            seen_relations.push(&event.relation);
+            if let Some(ids) = self.dispatch.get(&event.relation) {
+                for &i in ids {
+                    if !affected.contains(&i) {
+                        affected.push(i);
+                    }
+                }
+            }
+        }
+        if affected.is_empty() {
+            return Ok(0);
+        }
+        // Global lock order (ascending view index) — same order as
+        // snapshot_all — keeps the cut consistent and deadlock-free.
+        affected.sort_unstable();
+        let mut guards: Vec<(usize, parking_lot::RwLockWriteGuard<'_, Engine>)> = affected
+            .iter()
+            .map(|&i| (i, self.views[i].engine.write()))
+            .collect();
+
+        let mut deliveries = 0usize;
+        for (i, guard) in &mut guards {
+            let view = &self.views[*i];
+            deliveries += guard.process_batch(
+                batch
+                    .iter()
+                    .filter(|e| view.relations.contains(&e.relation)),
+            )?;
+        }
+        Ok(deliveries)
+    }
+
+    /// Drain an [`EventSource`] through the batched ingestion path,
+    /// pulling batches of at most `batch_size` events.
+    pub fn run_source(
+        &self,
+        source: &mut dyn EventSource,
+        batch_size: usize,
+    ) -> Result<IngestReport> {
+        let mut report = IngestReport::default();
+        while let Some(batch) = source.next_batch(batch_size)? {
+            report.batches += 1;
+            report.events += batch.len();
+            report.deliveries += self.apply_batch(&batch)?;
+        }
+        Ok(report)
+    }
+
+    /// The current result rows of one view.
+    pub fn result(&self, name: &str) -> Result<Vec<ResultRow>> {
+        Ok(self.resolve(name)?.engine.read().result())
+    }
+
+    /// The single value of a scalar view.
+    pub fn scalar(&self, name: &str) -> Result<Value> {
+        Ok(self.resolve(name)?.engine.read().scalar_result())
+    }
+
+    /// Output column names of one view, in `SELECT` order.
+    pub fn column_names(&self, name: &str) -> Result<Vec<String>> {
+        Ok(self.resolve(name)?.engine.read().column_names())
+    }
+
+    /// Read-only snapshot of one internal map of a view (the ad-hoc
+    /// query interface).
+    pub fn map_snapshot(&self, name: &str, map: &str) -> Result<Option<Vec<(Tuple, Value)>>> {
+        Ok(self.resolve(name)?.engine.read().map_snapshot(map))
+    }
+
+    /// Events delivered to (and absorbed by) one view so far.
+    pub fn events_processed(&self, name: &str) -> Result<u64> {
+        Ok(self.resolve(name)?.engine.read().events_processed())
+    }
+
+    /// Profiling report of one view.
+    pub fn profile(&self, name: &str) -> Result<ProfileReport> {
+        Ok(self.resolve(name)?.engine.read().profile())
+    }
+
+    /// Profiling reports of every view, in registration order.
+    pub fn profiles(&self) -> Vec<(String, ProfileReport)> {
+        self.views
+            .iter()
+            .map(|v| (v.name.clone(), v.engine.read().profile()))
+            .collect()
+    }
+
+    /// Approximate bytes held by all views' maps.
+    pub fn memory_bytes(&self) -> usize {
+        self.views
+            .iter()
+            .map(|v| v.engine.read().memory_bytes())
+            .sum()
+    }
+
+    /// A consistent capture of every view's result.
+    ///
+    /// All read locks are acquired (in registration order) before any
+    /// result is read, so the snapshot reflects one cut of the event
+    /// stream even while another thread is applying batches.
+    pub fn snapshot_all(&self) -> Vec<ViewSnapshot> {
+        let guards: Vec<parking_lot::RwLockReadGuard<'_, Engine>> =
+            self.views.iter().map(|v| v.engine.read()).collect();
+        self.views
+            .iter()
+            .zip(&guards)
+            .map(|(v, g)| ViewSnapshot {
+                name: v.name.clone(),
+                columns: g.column_names(),
+                rows: g.result(),
+                events_processed: g.events_processed(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{
+        tuple, ColumnType, EventBatch, EventKind, Schema, StreamSource, UpdateStream,
+    };
+
+    fn rst_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ))
+    }
+
+    const FIGURE2: &str = "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C";
+
+    fn three_view_server() -> ViewServer {
+        let mut server = ViewServer::new(&rst_catalog());
+        server.register("figure2", FIGURE2).unwrap();
+        server
+            .register("r_by_b", "select B, sum(A) from R group by B")
+            .unwrap();
+        server
+            .register("s_count", "select count(*) from S")
+            .unwrap();
+        server
+    }
+
+    #[test]
+    fn registration_builds_the_dispatch_index() {
+        let server = three_view_server();
+        assert_eq!(server.len(), 3);
+        assert_eq!(server.interested_views("R"), vec!["figure2", "r_by_b"]);
+        // Dispatch is exact-match on the normalized (upper-case) names
+        // the Event constructors produce; both APIs agree on misses.
+        assert!(server.interested_views("r").is_empty());
+        assert_eq!(
+            server
+                .apply(&Event {
+                    relation: "r".into(),
+                    kind: EventKind::Insert,
+                    tuple: tuple![1i64, 1i64]
+                })
+                .unwrap(),
+            0
+        );
+        assert_eq!(server.interested_views("S"), vec!["figure2", "s_count"]);
+        assert_eq!(server.interested_views("T"), vec!["figure2"]);
+        assert_eq!(server.dispatched_relations(), vec!["R", "S", "T"]);
+        assert_eq!(server.id("figure2"), Some(ViewId(0)));
+        assert_eq!(server.name_of(ViewId(2)), Some("s_count"));
+        assert!(server.sql_of("r_by_b").unwrap().contains("group by B"));
+    }
+
+    #[test]
+    fn duplicate_names_and_bad_sql_are_rejected() {
+        let mut server = three_view_server();
+        assert!(server
+            .register("figure2", "select count(*) from R")
+            .is_err());
+        assert!(server
+            .register("broken", "select nothing from NOWHERE")
+            .is_err());
+        assert_eq!(server.len(), 3, "failed registrations leave no residue");
+    }
+
+    #[test]
+    fn events_are_routed_only_to_interested_views() {
+        let server = three_view_server();
+        assert_eq!(
+            server
+                .apply(&Event::insert("R", tuple![2i64, 1i64]))
+                .unwrap(),
+            2
+        );
+        assert_eq!(
+            server
+                .apply(&Event::insert("T", tuple![3i64, 10i64]))
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            server
+                .apply(&Event::insert("UNKNOWN", tuple![1i64]))
+                .unwrap(),
+            0
+        );
+        assert_eq!(server.events_processed("figure2").unwrap(), 2);
+        assert_eq!(server.events_processed("r_by_b").unwrap(), 1);
+        assert_eq!(server.events_processed("s_count").unwrap(), 0);
+    }
+
+    #[test]
+    fn apply_batch_matches_per_event_application() {
+        let per_event = three_view_server();
+        let batched = three_view_server();
+        let events = vec![
+            Event::insert("R", tuple![2i64, 1i64]),
+            Event::insert("S", tuple![1i64, 3i64]),
+            Event::insert("T", tuple![3i64, 10i64]),
+            Event::insert("R", tuple![7i64, 1i64]),
+            Event::delete("R", tuple![7i64, 1i64]),
+        ];
+        let mut per_event_deliveries = 0;
+        for e in &events {
+            per_event_deliveries += per_event.apply(e).unwrap();
+        }
+        let batch: EventBatch = events.into();
+        let batched_deliveries = batched.apply_batch(&batch).unwrap();
+        assert_eq!(batched_deliveries, per_event_deliveries);
+        for name in ["figure2", "r_by_b", "s_count"] {
+            assert_eq!(
+                per_event.result(name).unwrap(),
+                batched.result(name).unwrap(),
+                "view {name} diverged between ingestion paths"
+            );
+            assert_eq!(
+                per_event.events_processed(name).unwrap(),
+                batched.events_processed(name).unwrap()
+            );
+        }
+        assert_eq!(batched.scalar("figure2").unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn run_source_drains_a_stream_source_in_batches() {
+        let server = three_view_server();
+        let mut stream = UpdateStream::new();
+        for i in 0..25i64 {
+            stream.push(Event::insert("R", tuple![i, i % 3]));
+            stream.push(Event::insert("S", tuple![i % 3, i]));
+        }
+        let mut source = StreamSource::new("unit", stream);
+        let report = server.run_source(&mut source, 8).unwrap();
+        assert_eq!(report.events, 50);
+        assert_eq!(report.batches, 50usize.div_ceil(8));
+        // R events reach figure2 + r_by_b, S events reach figure2 + s_count.
+        assert_eq!(report.deliveries, 100);
+        assert_eq!(server.events_processed("figure2").unwrap(), 50);
+        assert_eq!(server.events_processed("r_by_b").unwrap(), 25);
+        assert_eq!(server.scalar("s_count").unwrap(), Value::Int(25));
+    }
+
+    #[test]
+    fn snapshot_all_reports_every_view_consistently() {
+        let server = three_view_server();
+        server
+            .apply_batch(&[
+                Event::insert("R", tuple![2i64, 1i64]),
+                Event::insert("S", tuple![1i64, 3i64]),
+                Event::insert("T", tuple![3i64, 10i64]),
+            ])
+            .unwrap();
+        let snapshots = server.snapshot_all();
+        assert_eq!(snapshots.len(), 3);
+        assert_eq!(snapshots[0].name, "figure2");
+        assert_eq!(snapshots[0].rows[0].values[0], Value::Int(20));
+        assert_eq!(snapshots[2].events_processed, 1);
+    }
+
+    #[test]
+    fn concurrent_feeder_and_snapshot_readers_agree_at_the_end() {
+        let server = Arc::new(three_view_server());
+        let feeder = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                for chunk in 0..20i64 {
+                    let batch: EventBatch = (0..10i64)
+                        .map(|i| Event::insert("R", tuple![chunk * 10 + i, chunk % 4]))
+                        .collect();
+                    server.apply_batch(&batch).unwrap();
+                }
+            })
+        };
+        // Both figure2 and r_by_b listen to R and batches are applied
+        // under all affected locks at once, so any consistent snapshot
+        // sees them at the same event count.
+        for _ in 0..50 {
+            let snap = server.snapshot_all();
+            assert_eq!(snap[0].events_processed, snap[1].events_processed);
+        }
+        feeder.join().unwrap();
+        assert_eq!(server.events_processed("r_by_b").unwrap(), 200);
+        let rows = server.result("r_by_b").unwrap();
+        assert_eq!(rows.len(), 4, "four groups of chunk % 4");
+    }
+
+    #[test]
+    fn profiles_cover_every_view() {
+        let server = three_view_server();
+        server
+            .apply(&Event::insert("R", tuple![1i64, 1i64]))
+            .unwrap();
+        let profiles = server.profiles();
+        assert_eq!(profiles.len(), 3);
+        assert!(profiles[0].1.statement_count > 0);
+        assert_eq!(server.profile("s_count").unwrap().events_processed, 0);
+        assert!(server.profile("nope").is_err());
+        assert!(server.memory_bytes() > 0);
+    }
+}

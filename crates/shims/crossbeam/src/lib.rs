@@ -1,0 +1,113 @@
+//! Offline shim for `crossbeam` (the `channel` module only).
+//!
+//! Backs `crossbeam::channel::bounded` with `std::sync::mpsc`'s
+//! `sync_channel`. The subset implemented — bounded/unbounded
+//! construction, blocking `send`/`recv`, `try_recv`, sender cloning — is
+//! what the standalone server and view server use. `select!` and the
+//! scoped-thread APIs are not provided.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, TryRecvError};
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The sending half of a channel. mpsc's bounded and unbounded
+    /// senders are distinct types, so this wraps either.
+    pub enum Sender<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            match self {
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send (applies back-pressure when a bounded buffer is
+        /// full).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Bounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Sender::Unbounded(tx) => tx.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors once all senders are gone and the
+        /// buffer is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// A bounded channel with `capacity` in-flight messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+
+    /// An unbounded channel, backed by mpsc's genuinely unbounded
+    /// flavour (std's bounded channel allocates its slot buffer
+    /// eagerly, so a huge capacity is not a substitute).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_round_trips_in_order() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(rx.recv().is_err(), "all senders dropped");
+    }
+
+    #[test]
+    fn unbounded_channel_works_without_eager_allocation() {
+        let (tx, rx) = channel::unbounded::<u64>();
+        for i in 0..10_000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 10_000);
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(channel::SendError(9)));
+    }
+}

@@ -1,0 +1,269 @@
+//! Offline shim for `proptest`.
+//!
+//! Provides the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies,
+//! `any::<bool>()`, `collection::vec`, `ProptestConfig`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros. Cases are
+//! generated from a deterministic per-case RNG (seeded by the case
+//! index), so failures reproduce exactly. There is no shrinking: a
+//! failing case panics with the generated inputs Debug-printed by the
+//! assertion itself.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies (deterministic per case).
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn for_case(case: u64) -> TestRng {
+        TestRng(SmallRng::seed_from_u64(
+            0xdb70_a57e ^ case.wrapping_mul(0x9e37_79b9),
+        ))
+    }
+
+    fn int_in(&mut self, range: Range<i128>) -> i128 {
+        let span = (range.end - range.start) as u128;
+        range.start + (self.0.next_u64() as u128 % span) as i128
+    }
+}
+
+/// A generator of values (proptest's core abstraction, minus shrinking).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.int_in(self.start as i128..self.end as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64, i32, u64, u32, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// `any::<T>()` — an arbitrary value of `T` (implemented for the
+/// primitives the tests use).
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.0.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        rng.0.next_u64() as i64
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` of values from `element` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        vec_strategy(element, size)
+    }
+
+    fn vec_strategy<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.int_in(self.size.start as i128..self.size.end as i128) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Expands `#[test]` functions whose arguments are drawn from strategies.
+/// Each case reconstructs the strategy expressions (so stateful
+/// strategies start fresh) and generates inputs from a per-case RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::TestRng::for_case(case);
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Forwarders to std assertions (no shrinking, so a plain panic is the
+/// failure report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds((a, b) in (0..10i64, 3..5usize), flip in any::<bool>()) {
+            assert!((0..10).contains(&a));
+            assert!((3..5).contains(&b));
+            let _ = flip;
+        }
+
+        #[test]
+        fn mapped_vec_strategies_compose(xs in crate::collection::vec((0..4i64).prop_map(|v| v * 2), 1..9)) {
+            prop_assert!(!xs.is_empty() && xs.len() < 9);
+            prop_assert!(xs.iter().all(|x| [0, 2, 4, 6].contains(x)));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = (0..100i64, 0..100i64);
+        let a: Vec<_> = (0..8u64)
+            .map(|c| Strategy::generate(&s, &mut crate::TestRng::for_case(c)))
+            .collect();
+        let b: Vec<_> = (0..8u64)
+            .map(|c| Strategy::generate(&s, &mut crate::TestRng::for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

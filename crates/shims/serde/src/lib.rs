@@ -1,0 +1,24 @@
+//! Offline shim for `serde`.
+//!
+//! The container cannot reach a crate registry, so this stand-in keeps
+//! `#[derive(Serialize, Deserialize)]` annotations across the workspace
+//! compiling without pulling in the real dependency. The traits are pure
+//! markers with blanket implementations; the derive macros (re-exported
+//! from the `serde_derive` shim) expand to nothing. No serialization is
+//! performed anywhere in the workspace today — when a wire format is
+//! needed (e.g. the view server's future network protocol), replace this
+//! shim with the real `serde` and the annotations become functional as-is.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in: the `serde` shim's `Serialize` /
+//! `Deserialize` traits have blanket implementations for every type, and
+//! these derive macros therefore expand to nothing. Swap the shims for
+//! the real crates (and delete `crates/shims`) once a registry is
+//! reachable.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -97,8 +97,15 @@ pub struct BoundAgg {
 pub enum BoundExpr {
     Column(BoundColumn),
     Literal(Value),
-    Unary { op: UnaryOp, expr: Box<BoundExpr> },
-    Binary { op: BinaryOp, left: Box<BoundExpr>, right: Box<BoundExpr> },
+    Unary {
+        op: UnaryOp,
+        expr: Box<BoundExpr>,
+    },
+    Binary {
+        op: BinaryOp,
+        left: Box<BoundExpr>,
+        right: Box<BoundExpr>,
+    },
     /// A scalar subquery (single aggregate, no group-by), possibly
     /// correlated with enclosing scopes.
     Subquery(Box<BoundQuery>),
@@ -177,8 +184,11 @@ impl BoundQuery {
     /// Variables referenced by this query that belong to enclosing scopes
     /// (non-empty only for correlated subqueries).
     pub fn correlated_vars(&self) -> Vec<String> {
-        let own: Vec<&String> =
-            self.relations.iter().flat_map(|r| r.column_vars.iter()).collect();
+        let own: Vec<&String> = self
+            .relations
+            .iter()
+            .flat_map(|r| r.column_vars.iter())
+            .collect();
         let mut all = Vec::new();
         if let Some(p) = &self.predicate {
             p.collect_vars(&mut all);
@@ -188,14 +198,17 @@ impl BoundQuery {
                 a.collect_vars(&mut all);
             }
         }
-        all.retain(|v| !own.iter().any(|o| *o == v));
+        all.retain(|v| !own.contains(&v));
         all
     }
 }
 
 /// Analyze a parsed query against the catalog.
 pub fn analyze(query: &SelectQuery, catalog: &Catalog) -> Result<BoundQuery> {
-    let mut ctx = Analyzer { catalog, used_aliases: Vec::new() };
+    let mut ctx = Analyzer {
+        catalog,
+        used_aliases: Vec::new(),
+    };
     ctx.analyze_query(query, &[])
 }
 
@@ -242,8 +255,7 @@ impl<'a> Analyzer<'a> {
         }
 
         // Scope chain: current relations first, then outer relations.
-        let scope: Vec<&BoundRelation> =
-            relations.iter().chain(outer.iter()).collect();
+        let scope: Vec<&BoundRelation> = relations.iter().chain(outer.iter()).collect();
 
         // Bind GROUP BY (plain columns only).
         let mut group_by = Vec::new();
@@ -284,8 +296,10 @@ impl<'a> Analyzer<'a> {
                     Some(a) => Some(self.bind_expr(a, &scope, relations.len(), false)?),
                     None => None,
                 };
-                if matches!(kind, AggKind::Sum | AggKind::Avg | AggKind::Min | AggKind::Max)
-                    && arg.is_none()
+                if matches!(
+                    kind,
+                    AggKind::Sum | AggKind::Avg | AggKind::Min | AggKind::Max
+                ) && arg.is_none()
                 {
                     return Err(Error::Analysis(format!("{kind:?} requires an argument")));
                 }
@@ -317,13 +331,21 @@ impl<'a> Analyzer<'a> {
             }
         }
 
-        if select.iter().all(|s| matches!(s, BoundSelectItem::GroupColumn { .. })) {
+        if select
+            .iter()
+            .all(|s| matches!(s, BoundSelectItem::GroupColumn { .. }))
+        {
             return Err(Error::Unsupported(
                 "standing queries must compute at least one aggregate".into(),
             ));
         }
 
-        Ok(BoundQuery { relations, select, group_by, predicate })
+        Ok(BoundQuery {
+            relations,
+            select,
+            group_by,
+            predicate,
+        })
     }
 
     fn bind_column(
@@ -334,7 +356,9 @@ impl<'a> Analyzer<'a> {
     ) -> Result<BoundColumn> {
         match expr {
             SqlExpr::Column { qualifier, name } => self.resolve(qualifier.as_deref(), name, scope),
-            other => Err(Error::Analysis(format!("expected a column reference, found {other}"))),
+            other => Err(Error::Analysis(format!(
+                "expected a column reference, found {other}"
+            ))),
         }
     }
 
@@ -379,8 +403,10 @@ impl<'a> Analyzer<'a> {
             _ => {
                 // Ambiguity within the innermost scope is an error; if the
                 // only matches are one local and one outer, prefer local.
-                let local_matches: Vec<_> =
-                    matches.iter().filter(|(idx, _, _)| *idx < scopelen_local(scope)).collect();
+                let local_matches: Vec<_> = matches
+                    .iter()
+                    .filter(|(idx, _, _)| *idx < scopelen_local(scope))
+                    .collect();
                 match local_matches.len() {
                     1 => {
                         let (idx, rel, pos) = *local_matches[0];
@@ -444,7 +470,10 @@ impl<'a> Analyzer<'a> {
                 // count aggregate over the subquery body.
                 let rewritten = SelectQuery {
                     select: vec![crate::ast::SelectItem {
-                        expr: SqlExpr::Agg { func: AggFunc::Count, arg: None },
+                        expr: SqlExpr::Agg {
+                            func: AggFunc::Count,
+                            arg: None,
+                        },
                         alias: Some("EXISTS_COUNT".into()),
                     }],
                     from: q.from.clone(),
@@ -455,7 +484,11 @@ impl<'a> Analyzer<'a> {
                 let bound = self.analyze_query(&rewritten, &outer)?;
                 Ok(BoundExpr::Exists(Box::new(bound)))
             }
-            SqlExpr::InList { expr, list, negated } => {
+            SqlExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 // Rewrite `x IN (a, b, c)` into `x=a OR x=b OR x=c`.
                 let bound_x = self.bind_expr(expr, scope, local, _in_agg)?;
                 let mut disjunction: Option<BoundExpr> = None;
@@ -475,11 +508,13 @@ impl<'a> Analyzer<'a> {
                         },
                     });
                 }
-                let result = disjunction.ok_or_else(|| {
-                    Error::Analysis("IN list must not be empty".into())
-                })?;
+                let result = disjunction
+                    .ok_or_else(|| Error::Analysis("IN list must not be empty".into()))?;
                 if *negated {
-                    Ok(BoundExpr::Unary { op: UnaryOp::Not, expr: Box::new(result) })
+                    Ok(BoundExpr::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(result),
+                    })
                 } else {
                     Ok(result)
                 }
@@ -532,9 +567,18 @@ mod tests {
 
     fn rst_catalog() -> Catalog {
         Catalog::new()
-            .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-            .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-            .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "T",
+                vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+            ))
     }
 
     fn bids_catalog() -> Catalog {
@@ -604,10 +648,8 @@ mod tests {
 
     #[test]
     fn self_join_aliases_are_distinguished() {
-        let q = parse_query(
-            "select sum(b1.PRICE) from BIDS b1, BIDS b2 where b1.PRICE < b2.PRICE",
-        )
-        .unwrap();
+        let q = parse_query("select sum(b1.PRICE) from BIDS b1, BIDS b2 where b1.PRICE < b2.PRICE")
+            .unwrap();
         let b = analyze(&q, &bids_catalog()).unwrap();
         assert_eq!(b.relations[0].alias, "B1");
         assert_eq!(b.relations[1].alias, "B2");
@@ -639,8 +681,11 @@ mod tests {
         let mut subs = Vec::new();
         find_subqueries(pred, &mut subs);
         assert_eq!(subs.len(), 2);
-        let correlated: Vec<_> =
-            subs.iter().map(|s| s.correlated_vars()).filter(|v| !v.is_empty()).collect();
+        let correlated: Vec<_> = subs
+            .iter()
+            .map(|s| s.correlated_vars())
+            .filter(|v| !v.is_empty())
+            .collect();
         assert_eq!(correlated.len(), 1);
         assert_eq!(correlated[0], vec!["B1_PRICE".to_string()]);
     }

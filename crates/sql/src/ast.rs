@@ -100,7 +100,10 @@ impl BinaryOp {
     }
 
     pub fn is_arithmetic(&self) -> bool {
-        matches!(self, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div)
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div
+        )
     }
 }
 
@@ -135,29 +138,50 @@ pub enum UnaryOp {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SqlExpr {
     /// `alias.column` or bare `column`.
-    Column { qualifier: Option<String>, name: String },
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
     /// A literal constant.
     Literal(Value),
     /// Unary negation / NOT.
     Unary { op: UnaryOp, expr: Box<SqlExpr> },
     /// Binary arithmetic, comparison or boolean connective.
-    Binary { op: BinaryOp, left: Box<SqlExpr>, right: Box<SqlExpr> },
+    Binary {
+        op: BinaryOp,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
     /// Aggregate call. `arg` is `None` for `COUNT(*)`.
-    Agg { func: AggFunc, arg: Option<Box<SqlExpr>> },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<SqlExpr>>,
+    },
     /// A scalar subquery usable as an operand (nested aggregate).
     Subquery(Box<SelectQuery>),
     /// `EXISTS (subquery)`.
     Exists(Box<SelectQuery>),
     /// `expr [NOT] IN (v1, v2, ...)` with literal list members.
-    InList { expr: Box<SqlExpr>, list: Vec<SqlExpr>, negated: bool },
+    InList {
+        expr: Box<SqlExpr>,
+        list: Vec<SqlExpr>,
+        negated: bool,
+    },
     /// `expr BETWEEN low AND high`.
-    Between { expr: Box<SqlExpr>, low: Box<SqlExpr>, high: Box<SqlExpr> },
+    Between {
+        expr: Box<SqlExpr>,
+        low: Box<SqlExpr>,
+        high: Box<SqlExpr>,
+    },
 }
 
 impl SqlExpr {
     /// Convenience constructor for a bare column reference.
     pub fn col(name: &str) -> SqlExpr {
-        SqlExpr::Column { qualifier: None, name: name.to_ascii_uppercase() }
+        SqlExpr::Column {
+            qualifier: None,
+            name: name.to_ascii_uppercase(),
+        }
     }
 
     /// Convenience constructor for a qualified column reference.
@@ -175,7 +199,11 @@ impl SqlExpr {
 
     /// Convenience constructor for a binary expression.
     pub fn binary(op: BinaryOp, left: SqlExpr, right: SqlExpr) -> SqlExpr {
-        SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        SqlExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Does this expression (transitively) contain an aggregate call?
@@ -200,17 +228,33 @@ impl SqlExpr {
 impl fmt::Display for SqlExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SqlExpr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
-            SqlExpr::Column { qualifier: None, name } => write!(f, "{name}"),
+            SqlExpr::Column {
+                qualifier: Some(q),
+                name,
+            } => write!(f, "{q}.{name}"),
+            SqlExpr::Column {
+                qualifier: None,
+                name,
+            } => write!(f, "{name}"),
             SqlExpr::Literal(v) => write!(f, "{v}"),
-            SqlExpr::Unary { op: UnaryOp::Neg, expr } => write!(f, "-({expr})"),
-            SqlExpr::Unary { op: UnaryOp::Not, expr } => write!(f, "NOT ({expr})"),
+            SqlExpr::Unary {
+                op: UnaryOp::Neg,
+                expr,
+            } => write!(f, "-({expr})"),
+            SqlExpr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => write!(f, "NOT ({expr})"),
             SqlExpr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
             SqlExpr::Agg { func, arg: Some(a) } => write!(f, "{func}({a})"),
             SqlExpr::Agg { func, arg: None } => write!(f, "{func}(*)"),
             SqlExpr::Subquery(_) => write!(f, "(<subquery>)"),
             SqlExpr::Exists(_) => write!(f, "EXISTS (<subquery>)"),
-            SqlExpr::InList { expr, list, negated } => {
+            SqlExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
                 for (i, e) in list.iter().enumerate() {
                     if i > 0 {
@@ -231,10 +275,16 @@ mod tests {
 
     #[test]
     fn aggregate_detection_stops_at_subquery_boundaries() {
-        let agg = SqlExpr::Agg { func: AggFunc::Sum, arg: Some(Box::new(SqlExpr::col("a"))) };
+        let agg = SqlExpr::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(SqlExpr::col("a"))),
+        };
         assert!(agg.contains_aggregate());
         let sub = SqlExpr::Subquery(Box::new(SelectQuery {
-            select: vec![SelectItem { expr: agg.clone(), alias: None }],
+            select: vec![SelectItem {
+                expr: agg.clone(),
+                alias: None,
+            }],
             from: vec![],
             where_clause: None,
             group_by: vec![],

@@ -85,7 +85,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     (Symbol::Lt, 1)
                 };
-                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: i,
+                });
                 i += len;
             }
             '>' => {
@@ -94,11 +97,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     (Symbol::Gt, 1)
                 };
-                tokens.push(Token { kind: TokenKind::Symbol(sym), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: i,
+                });
                 i += len;
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                tokens.push(Token { kind: TokenKind::Symbol(Symbol::NotEq), offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(Symbol::NotEq),
+                    offset: i,
+                });
                 i += 2;
             }
             '\'' => {
@@ -124,7 +133,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
@@ -166,7 +178,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         Error::Parse(format!("invalid integer literal '{text}' at byte {start}"))
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -187,12 +202,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: input.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
     Ok(tokens)
 }
 
 fn push_sym(tokens: &mut Vec<Token>, sym: Symbol, i: &mut usize) {
-    tokens.push(Token { kind: TokenKind::Symbol(sym), offset: *i });
+    tokens.push(Token {
+        kind: TokenKind::Symbol(sym),
+        offset: *i,
+    });
     *i += 1;
 }
 

@@ -87,7 +87,10 @@ impl Parser {
     }
 
     fn error(&self, msg: &str) -> Error {
-        Error::Parse(format!("{msg} (near byte {})", self.tokens[self.pos].offset))
+        Error::Parse(format!(
+            "{msg} (near byte {})",
+            self.tokens[self.pos].offset
+        ))
     }
 
     fn expect_eof(&self) -> Result<()> {
@@ -143,7 +146,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.bump() {
             TokenKind::Ident(s) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -196,7 +201,11 @@ impl Parser {
             }
         }
         self.expect_symbol(Symbol::RParen)?;
-        Ok(CreateRelation { name, columns, is_stream })
+        Ok(CreateRelation {
+            name,
+            columns,
+            is_stream,
+        })
     }
 
     fn parse_select(&mut self) -> Result<SelectQuery> {
@@ -208,9 +217,7 @@ impl Parser {
                 Some(self.expect_ident()?)
             } else {
                 match self.peek() {
-                    TokenKind::Ident(s)
-                        if !is_reserved(s) && !self.peek_symbol(Symbol::Comma) =>
-                    {
+                    TokenKind::Ident(s) if !is_reserved(s) && !self.peek_symbol(Symbol::Comma) => {
                         Some(self.expect_ident()?)
                     }
                     _ => None,
@@ -238,8 +245,11 @@ impl Parser {
                 break;
             }
         }
-        let where_clause =
-            if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_keyword("GROUP") {
             self.expect_keyword("BY")?;
@@ -250,7 +260,12 @@ impl Parser {
                 }
             }
         }
-        Ok(SelectQuery { select, from, where_clause, group_by })
+        Ok(SelectQuery {
+            select,
+            from,
+            where_clause,
+            group_by,
+        })
     }
 
     // ---- expressions ----------------------------------------------------
@@ -280,7 +295,10 @@ impl Parser {
     fn parse_not(&mut self) -> Result<SqlExpr> {
         if self.eat_keyword("NOT") {
             let inner = self.parse_not()?;
-            Ok(SqlExpr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+            Ok(SqlExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
         } else {
             self.parse_comparison()
         }
@@ -315,7 +333,11 @@ impl Parser {
                 }
             }
             self.expect_symbol(Symbol::RParen)?;
-            return Ok(SqlExpr::InList { expr: Box::new(left), list, negated });
+            return Ok(SqlExpr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if negated {
             return Err(self.error("expected IN after NOT"));
@@ -385,7 +407,10 @@ impl Parser {
     fn parse_unary(&mut self) -> Result<SqlExpr> {
         if self.eat_symbol(Symbol::Minus) {
             let inner = self.parse_unary()?;
-            Ok(SqlExpr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) })
+            Ok(SqlExpr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            })
         } else {
             self.parse_primary()
         }
@@ -441,9 +466,9 @@ impl Parser {
                                     _ => Err(Error::Parse(format!("invalid date literal '{s}'"))),
                                 }
                             }
-                            other => {
-                                Err(Error::Parse(format!("expected date string, found {other:?}")))
-                            }
+                            other => Err(Error::Parse(format!(
+                                "expected date string, found {other:?}"
+                            ))),
                         }
                     }
                     "SUM" | "COUNT" | "AVG" | "MIN" | "MAX" => {
@@ -482,14 +507,22 @@ impl Parser {
                     _ => {
                         if self.eat_symbol(Symbol::Dot) {
                             let col = self.expect_ident()?;
-                            Ok(SqlExpr::Column { qualifier: Some(ident), name: col })
+                            Ok(SqlExpr::Column {
+                                qualifier: Some(ident),
+                                name: col,
+                            })
                         } else {
-                            Ok(SqlExpr::Column { qualifier: None, name: ident })
+                            Ok(SqlExpr::Column {
+                                qualifier: None,
+                                name: ident,
+                            })
                         }
                     }
                 }
             }
-            other => Err(Error::Parse(format!("unexpected token {other:?} in expression"))),
+            other => Err(Error::Parse(format!(
+                "unexpected token {other:?} in expression"
+            ))),
         }
     }
 }
@@ -570,11 +603,18 @@ mod tests {
         .unwrap();
         let w = q.where_clause.unwrap();
         match w {
-            SqlExpr::Binary { op: BinaryOp::Gt, left, right } => {
+            SqlExpr::Binary {
+                op: BinaryOp::Gt,
+                left,
+                right,
+            } => {
                 assert!(matches!(*right, SqlExpr::Subquery(_)));
                 assert!(matches!(
                     *left,
-                    SqlExpr::Binary { op: BinaryOp::Mul, .. }
+                    SqlExpr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
                 ));
             }
             other => panic!("unexpected where clause {other:?}"),
@@ -599,11 +639,17 @@ mod tests {
         let q = parse_query("select count(*), avg(price) from BIDS").unwrap();
         assert!(matches!(
             q.select[0].expr,
-            SqlExpr::Agg { func: AggFunc::Count, arg: None }
+            SqlExpr::Agg {
+                func: AggFunc::Count,
+                arg: None
+            }
         ));
         assert!(matches!(
             q.select[1].expr,
-            SqlExpr::Agg { func: AggFunc::Avg, arg: Some(_) }
+            SqlExpr::Agg {
+                func: AggFunc::Avg,
+                arg: Some(_)
+            }
         ));
     }
 

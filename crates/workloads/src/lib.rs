@@ -13,10 +13,15 @@
 //!   (VWAP components, the full nested-aggregate VWAP, an order-book
 //!   imbalance query and a per-broker market-maker query),
 //! * [`tpch`] — a scaled-down TPC-H-shaped generator, the warehouse
-//!   loading transform into the SSB star schema, and SSB query 4.1.
+//!   loading transform into the SSB star schema, and SSB query 4.1,
+//! * [`source`] — adapters putting the generated streams behind the
+//!   pull-based `EventSource` seam (including a deterministic
+//!   interleaver for mixed multi-workload streams).
 
 pub mod orderbook;
+pub mod source;
 pub mod tpch;
 
 pub use orderbook::{OrderBookConfig, OrderBookGenerator};
+pub use source::GeneratorSource;
 pub use tpch::{transform_to_ssb, TpchConfig, TpchData};

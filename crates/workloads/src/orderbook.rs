@@ -29,8 +29,7 @@ pub fn orderbook_catalog() -> Catalog {
 
 /// VWAP numerator and denominator over the bid book; the client divides
 /// the two sums (volume-weighted average price).
-pub const VWAP_COMPONENTS: &str =
-    "select sum(PRICE * VOLUME), sum(VOLUME) from BIDS";
+pub const VWAP_COMPONENTS: &str = "select sum(PRICE * VOLUME), sum(VOLUME) from BIDS";
 
 /// The full nested-aggregate VWAP of the DBToaster finance suite: the
 /// price-volume mass of the bids that sit above the 25%-volume quantile
@@ -108,7 +107,14 @@ pub struct OrderBookGenerator {
 impl OrderBookGenerator {
     pub fn new(config: OrderBookConfig) -> OrderBookGenerator {
         let rng = SmallRng::seed_from_u64(config.seed);
-        OrderBookGenerator { config, rng, next_id: 1, time: 0.0, bids: Vec::new(), asks: Vec::new() }
+        OrderBookGenerator {
+            config,
+            rng,
+            next_id: 1,
+            time: 0.0,
+            bids: Vec::new(),
+            asks: Vec::new(),
+        }
     }
 
     fn new_order(&mut self, is_bid: bool) -> Tuple {
@@ -139,23 +145,35 @@ impl OrderBookGenerator {
         while produced < self.config.messages {
             let is_bid = self.rng.gen_bool(0.5);
             let relation = if is_bid { "BIDS" } else { "ASKS" };
-            let book_len = if is_bid { self.bids.len() } else { self.asks.len() };
+            let book_len = if is_bid {
+                self.bids.len()
+            } else {
+                self.asks.len()
+            };
             let action: f64 = self.rng.gen();
 
             if book_len > 0 && action < self.config.delete_ratio {
                 // Withdraw a random resident order.
                 let idx = self.rng.gen_range(0..book_len);
-                let order =
-                    if is_bid { self.bids.swap_remove(idx) } else { self.asks.swap_remove(idx) };
+                let order = if is_bid {
+                    self.bids.swap_remove(idx)
+                } else {
+                    self.asks.swap_remove(idx)
+                };
                 stream.push(Event::delete(relation, order));
                 produced += 1;
-            } else if book_len > 0 && action < self.config.delete_ratio + self.config.modify_ratio
-            {
+            } else if book_len > 0 && action < self.config.delete_ratio + self.config.modify_ratio {
                 // Modify: delete + insert with a new volume (partial fill).
                 let idx = self.rng.gen_range(0..book_len);
-                let old = if is_bid { self.bids[idx].clone() } else { self.asks[idx].clone() };
+                let old = if is_bid {
+                    self.bids[idx].clone()
+                } else {
+                    self.asks[idx].clone()
+                };
                 let mut new = old.clone();
-                let new_volume = (old[3].as_f64() * self.rng.gen_range(0.1..0.9)).max(1.0).round();
+                let new_volume = (old[3].as_f64() * self.rng.gen_range(0.1..0.9))
+                    .max(1.0)
+                    .round();
                 new.0[3] = Value::Float(new_volume);
                 if is_bid {
                     self.bids[idx] = new.clone();
@@ -169,8 +187,11 @@ impl OrderBookGenerator {
                 // is at capacity (keeps state bounded, as real books are).
                 if book_len >= self.config.book_depth {
                     let idx = self.rng.gen_range(0..book_len);
-                    let retired =
-                        if is_bid { self.bids.swap_remove(idx) } else { self.asks.swap_remove(idx) };
+                    let retired = if is_bid {
+                        self.bids.swap_remove(idx)
+                    } else {
+                        self.asks.swap_remove(idx)
+                    };
                     stream.push(Event::delete(relation, retired));
                     produced += 1;
                 }
@@ -194,10 +215,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_and_balanced() {
-        let a = OrderBookGenerator::new(OrderBookConfig { messages: 500, ..Default::default() })
-            .generate();
-        let b = OrderBookGenerator::new(OrderBookConfig { messages: 500, ..Default::default() })
-            .generate();
+        let a = OrderBookGenerator::new(OrderBookConfig {
+            messages: 500,
+            ..Default::default()
+        })
+        .generate();
+        let b = OrderBookGenerator::new(OrderBookConfig {
+            messages: 500,
+            ..Default::default()
+        })
+        .generate();
         assert_eq!(a, b);
         assert!(a.len() >= 500);
         let counts = a.counts_by_relation();

@@ -1,0 +1,130 @@
+//! [`EventSource`] adapters over the workload generators.
+//!
+//! The generators build whole [`UpdateStream`]s; these adapters put them
+//! behind the pull-based [`EventSource`] seam so a view server (or any
+//! batched consumer) can ingest them exactly like an archived or network
+//! stream. [`GeneratorSource::interleave`] additionally merges several
+//! generated streams into one deterministic round-robin mix — the
+//! "portfolio of views over one shared stream" deployment shape, where
+//! order-book messages and warehouse loading records arrive through the
+//! same pipe.
+
+use dbtoaster_common::{EventBatch, EventSource, Result, StreamSource, UpdateStream};
+
+use crate::orderbook::{OrderBookConfig, OrderBookGenerator};
+use crate::tpch::{transform_to_ssb, TpchConfig, TpchData};
+
+/// A workload generator's stream behind the [`EventSource`] seam.
+pub struct GeneratorSource {
+    inner: StreamSource,
+}
+
+impl GeneratorSource {
+    /// Adapt an already-generated stream.
+    pub fn new(name: impl Into<String>, stream: UpdateStream) -> GeneratorSource {
+        GeneratorSource {
+            inner: StreamSource::new(name, stream),
+        }
+    }
+
+    /// The order-book message stream for `config`.
+    pub fn orderbook(config: OrderBookConfig) -> GeneratorSource {
+        GeneratorSource::new("orderbook", OrderBookGenerator::new(config).generate())
+    }
+
+    /// The warehouse-loading stream (TPC-H-shaped data transformed into
+    /// the SSB star schema) for `config`.
+    pub fn warehouse(config: &TpchConfig) -> GeneratorSource {
+        GeneratorSource::new("warehouse", transform_to_ssb(&TpchData::generate(config)))
+    }
+
+    /// Merge several named streams into one source by deterministic
+    /// round-robin: one event is drawn from each live stream in turn
+    /// until all are exhausted. Relative order *within* each input
+    /// stream is preserved, which is what correctness requires — deletes
+    /// still follow the inserts they revoke.
+    pub fn interleave(
+        name: impl Into<String>,
+        streams: impl IntoIterator<Item = UpdateStream>,
+    ) -> GeneratorSource {
+        let mut queues: Vec<std::vec::IntoIter<dbtoaster_common::Event>> =
+            streams.into_iter().map(|s| s.events.into_iter()).collect();
+        let total: usize = queues.iter().map(|q| q.len()).sum();
+        let mut merged = UpdateStream {
+            events: Vec::with_capacity(total),
+        };
+        while !queues.is_empty() {
+            queues.retain_mut(|q| match q.next() {
+                Some(e) => {
+                    merged.push(e);
+                    true
+                }
+                None => false,
+            });
+        }
+        GeneratorSource::new(name, merged)
+    }
+
+    /// Events not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.inner.remaining()
+    }
+}
+
+impl EventSource for GeneratorSource {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn next_batch(&mut self, max_events: usize) -> Result<Option<EventBatch>> {
+        self.inner.next_batch(max_events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{tuple, Event};
+
+    #[test]
+    fn orderbook_source_replays_the_generated_stream() {
+        let config = OrderBookConfig {
+            messages: 300,
+            book_depth: 100,
+            ..Default::default()
+        };
+        let direct = OrderBookGenerator::new(config.clone()).generate();
+        let mut source = GeneratorSource::orderbook(config);
+        assert_eq!(source.name(), "orderbook");
+        let replayed = source.drain(64).unwrap();
+        assert_eq!(replayed, direct, "adapter must not perturb the stream");
+    }
+
+    #[test]
+    fn warehouse_source_emits_dimensions_then_facts() {
+        let mut source = GeneratorSource::warehouse(&TpchConfig {
+            orders: 20,
+            ..Default::default()
+        });
+        let first = source.next_batch(10).unwrap().unwrap();
+        assert!(first.iter().all(|e| e.relation == "DATES"));
+    }
+
+    #[test]
+    fn interleave_round_robins_but_preserves_per_stream_order() {
+        let a: UpdateStream = (0..5i64).map(|i| Event::insert("A", tuple![i])).collect();
+        let b: UpdateStream = (0..2i64).map(|i| Event::insert("B", tuple![i])).collect();
+        let mut source = GeneratorSource::interleave("mix", [a.clone(), b.clone()]);
+        let merged = source.drain(100).unwrap();
+        assert_eq!(merged.len(), 7);
+        // Round-robin head, then the longer stream's tail.
+        let relations: Vec<&str> = merged.iter().map(|e| e.relation.as_str()).collect();
+        assert_eq!(relations, vec!["A", "B", "A", "B", "A", "A", "A"]);
+        let a_events: Vec<_> = merged
+            .iter()
+            .filter(|e| e.relation == "A")
+            .cloned()
+            .collect();
+        assert_eq!(a_events, a.events, "per-stream order preserved");
+    }
+}

@@ -18,7 +18,15 @@ use rand::{Rng, SeedableRng};
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 /// A nation sample per region (index i belongs to region i % 5).
 pub const NATIONS: [&str; 10] = [
-    "ALGERIA", "ARGENTINA", "CHINA", "FRANCE", "EGYPT", "KENYA", "BRAZIL", "JAPAN", "GERMANY",
+    "ALGERIA",
+    "ARGENTINA",
+    "CHINA",
+    "FRANCE",
+    "EGYPT",
+    "KENYA",
+    "BRAZIL",
+    "JAPAN",
+    "GERMANY",
     "IRAN",
 ];
 
@@ -189,7 +197,10 @@ pub fn transform_to_ssb(data: &TpchData) -> UpdateStream {
     let region_of = |idx: usize| REGIONS[idx % REGIONS.len()].to_string();
 
     for (key, year) in &data.dates {
-        stream.push(Event::insert("DATES", Tuple::new(vec![Value::Int(*key), Value::Int(*year)])));
+        stream.push(Event::insert(
+            "DATES",
+            Tuple::new(vec![Value::Int(*key), Value::Int(*year)]),
+        ));
     }
     for (key, nation) in &data.customers {
         stream.push(Event::insert(
@@ -253,7 +264,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_and_respects_scale() {
-        let c = TpchConfig { orders: 100, ..Default::default() };
+        let c = TpchConfig {
+            orders: 100,
+            ..Default::default()
+        };
         let a = TpchData::generate(&c);
         let b = TpchData::generate(&c);
         assert_eq!(a.orders.len(), 100);
@@ -264,7 +278,10 @@ mod tests {
 
     #[test]
     fn transform_emits_dimensions_before_facts() {
-        let data = TpchData::generate(&TpchConfig { orders: 20, ..Default::default() });
+        let data = TpchData::generate(&TpchConfig {
+            orders: 20,
+            ..Default::default()
+        });
         let stream = transform_to_ssb(&data);
         let first_fact = stream
             .iter()
@@ -291,11 +308,17 @@ mod tests {
         )
         .unwrap();
         let mut engine = dbtoaster_runtime::Engine::new(&program).unwrap();
-        let data = TpchData::generate(&TpchConfig { orders: 200, ..Default::default() });
+        let data = TpchData::generate(&TpchConfig {
+            orders: 200,
+            ..Default::default()
+        });
         let stream = transform_to_ssb(&data);
         engine.process(&stream).unwrap();
         let rows = engine.result();
-        assert!(!rows.is_empty(), "expected at least one (year, nation) group");
+        assert!(
+            !rows.is_empty(),
+            "expected at least one (year, nation) group"
+        );
         // Profit = revenue - cost is positive by construction.
         assert!(rows.iter().all(|r| r.values[2].as_f64() > 0.0));
     }

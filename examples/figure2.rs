@@ -13,16 +13,30 @@ use dbtoaster::prelude::*;
 
 fn main() {
     let catalog = Catalog::new()
-        .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-        .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-        .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]));
+        .with(Schema::new(
+            "R",
+            vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "S",
+            vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "T",
+            vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+        ));
     let sql = "select sum(A*D) from R, S, T where R.B = S.B and S.C = T.C";
     let query = dbtoaster::StandingQuery::compile(sql, &catalog).expect("compiles");
     let program = query.program();
 
     println!("== Figure 2: maps created by recursive compilation ==");
     for map in &program.maps {
-        println!("  {:<10} [{}] := {}", map.name, map.keys.join(", "), map.definition);
+        println!(
+            "  {:<10} [{}] := {}",
+            map.name,
+            map.keys.join(", "),
+            map.definition
+        );
     }
 
     println!("\n== Figure 2: event handlers (delta statements) ==");

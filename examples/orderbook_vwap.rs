@@ -6,7 +6,6 @@
 //! cargo run --release --example orderbook_vwap [messages]
 //! ```
 
-use dbtoaster::prelude::*;
 use dbtoaster::workloads::orderbook::{
     orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, SOBI, VWAP_COMPONENTS,
 };
@@ -23,7 +22,11 @@ fn main() {
         ..Default::default()
     })
     .generate();
-    println!("order book stream: {} messages {:?}", stream.len(), stream.counts_by_relation());
+    println!(
+        "order book stream: {} messages {:?}",
+        stream.len(),
+        stream.counts_by_relation()
+    );
 
     // VWAP: maintain numerator and denominator, divide on read.
     let mut vwap = dbtoaster::StandingQuery::compile(VWAP_COMPONENTS, &catalog).unwrap();
@@ -41,16 +44,27 @@ fn main() {
 
     let row = &vwap.result()[0];
     let (pv, volume) = (row.values[0].as_f64(), row.values[1].as_f64());
-    println!("\nafter {} events ({elapsed:?}, {:.0} events/sec across 3 standing queries):",
-        stream.len(), stream.len() as f64 / elapsed.as_secs_f64());
+    println!(
+        "\nafter {} events ({elapsed:?}, {:.0} events/sec across 3 standing queries):",
+        stream.len(),
+        stream.len() as f64 / elapsed.as_secs_f64()
+    );
     println!("  VWAP                = {:.4}", pv / volume.max(1.0));
     println!("  SOBI signal         = {}", sobi.scalar());
-    println!("  market-maker groups = {} brokers", market_maker.result().len());
+    println!(
+        "  market-maker groups = {} brokers",
+        market_maker.result().len()
+    );
     for row in market_maker.result().iter().take(5) {
-        println!("    broker {:>3} imbalance {}", row.values[0], row.values[1]);
+        println!(
+            "    broker {:>3} imbalance {}",
+            row.values[0], row.values[1]
+        );
     }
 
-    println!("\ncompiled state (VWAP query): {:.1} KiB across {} maps",
+    println!(
+        "\ncompiled state (VWAP query): {:.1} KiB across {} maps",
         vwap.profile().total_bytes as f64 / 1024.0,
-        vwap.profile().per_map.len());
+        vwap.profile().per_map.len()
+    );
 }

@@ -9,9 +9,18 @@ use dbtoaster::prelude::*;
 fn main() {
     // The three-relation schema of the paper's Section 3 example.
     let catalog = Catalog::new()
-        .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-        .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-        .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]));
+        .with(Schema::new(
+            "R",
+            vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "S",
+            vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "T",
+            vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+        ));
 
     let sql = "select sum(A*D) from R, S, T where R.B = S.B and S.C = T.C";
     let mut query = dbtoaster::StandingQuery::compile(sql, &catalog).expect("compiles");
@@ -19,7 +28,12 @@ fn main() {
     println!("standing query: {sql}\n");
     println!("maps maintained by the compiled trigger program:");
     for map in &query.program().maps {
-        println!("  {}[{}] := {}", map.name, map.keys.join(", "), map.definition);
+        println!(
+            "  {}[{}] := {}",
+            map.name,
+            map.keys.join(", "),
+            map.definition
+        );
     }
 
     println!("\nstreaming deltas:");

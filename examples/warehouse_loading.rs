@@ -5,10 +5,7 @@
 //! cargo run --release --example warehouse_loading [scale_percent]
 //! ```
 
-use dbtoaster::prelude::*;
-use dbtoaster::workloads::tpch::{
-    ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41,
-};
+use dbtoaster::workloads::tpch::{ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41};
 
 fn main() {
     let scale: f64 = std::env::args()

@@ -16,9 +16,13 @@
 //!   generator,
 //! * [`runtime`] — map storage, the statement VM, the embedded-mode
 //!   [`Engine`] and the standalone server,
+//! * [`server`] — the multi-query view server: N standing views over one
+//!   catalog, relation-based event dispatch, batched ingestion and
+//!   pluggable stream sources,
 //! * [`exec`] — the reference interpreter used by baselines and tests,
 //! * [`baselines`] — the bakeoff baseline engines,
-//! * [`workloads`] — order-book and TPC-H/SSB workload generators.
+//! * [`workloads`] — order-book and TPC-H/SSB workload generators and
+//!   their `EventSource` adapters.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +47,37 @@
 //! engine.delete("R", tuple![2i64, 1i64]).unwrap();
 //! assert_eq!(engine.scalar(), Value::Int(0));
 //! ```
+//!
+//! ## Serving many views from one stream
+//!
+//! The [`ViewServer`](server::ViewServer) maintains a portfolio of
+//! standing queries over one catalog. Events are routed only to the
+//! views whose triggers reference the event's relation, and ingestion is
+//! batched: each view's write lock is taken once per batch. Any
+//! [`EventSource`] can feed it — below, an archived CSV stream.
+//!
+//! ```
+//! use dbtoaster::prelude::*;
+//! use dbtoaster::server::CsvReplaySource;
+//!
+//! let catalog = Catalog::new()
+//!     .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
+//!     .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]));
+//!
+//! let mut server = ViewServer::new(&catalog);
+//! server.register("totals", "select sum(A) from R").unwrap();
+//! server.register("joined", "select count(*) from R, S where R.B = S.B").unwrap();
+//!
+//! let archive = "R,insert,2,1\nS,insert,1,5\nR,insert,3,1\nR,delete,2,1\n";
+//! let mut source = CsvReplaySource::from_string("archive.csv", archive, &catalog);
+//! let report = server.run_source(&mut source, 1024).unwrap();
+//!
+//! assert_eq!(report.events, 4);
+//! assert_eq!(server.scalar("totals").unwrap(), Value::Int(3));
+//! assert_eq!(server.scalar("joined").unwrap(), Value::Int(1));
+//! // S events never touch the R-only view:
+//! assert_eq!(server.events_processed("totals").unwrap(), 3);
+//! ```
 
 pub use dbtoaster_baselines as baselines;
 pub use dbtoaster_calculus as calculus;
@@ -50,6 +85,7 @@ pub use dbtoaster_common as common;
 pub use dbtoaster_compiler as compiler;
 pub use dbtoaster_exec as exec;
 pub use dbtoaster_runtime as runtime;
+pub use dbtoaster_server as server;
 pub use dbtoaster_sql as sql;
 pub use dbtoaster_workloads as workloads;
 
@@ -61,10 +97,12 @@ use dbtoaster_runtime::{Engine, ProfileReport, ResultRow};
 pub mod prelude {
     pub use crate::StandingQuery;
     pub use dbtoaster_common::{
-        tuple, Catalog, ColumnType, Event, EventKind, Schema, Tuple, UpdateStream, Value,
+        tuple, Catalog, ColumnType, Event, EventBatch, EventKind, EventSource, Schema,
+        StreamSource, Tuple, UpdateStream, Value,
     };
     pub use dbtoaster_compiler::{CompileOptions, TriggerProgram};
     pub use dbtoaster_runtime::{Engine, ResultRow, StandaloneServer};
+    pub use dbtoaster_server::{IngestReport, ViewId, ViewServer, ViewSnapshot};
 }
 
 /// A compiled standing query with its embedded-mode engine — the

@@ -16,28 +16,39 @@ use dbtoaster::prelude::*;
 
 fn catalog() -> Catalog {
     Catalog::new()
-        .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-        .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-        .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+        .with(Schema::new(
+            "R",
+            vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "S",
+            vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "T",
+            vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+        ))
 }
 
 /// A random event on R, S or T with small value domains (so joins and
 /// deletions of existing tuples actually happen).
 fn arb_event(live: std::rc::Rc<std::cell::RefCell<Vec<Event>>>) -> impl Strategy<Value = Event> {
-    (0..3usize, 0..8i64, 0..4i64, any::<bool>(), 0..10usize).prop_map(move |(rel, x, y, del, pick)| {
-        let relation = ["R", "S", "T"][rel];
-        let mut live = live.borrow_mut();
-        if del && !live.is_empty() {
-            // Delete a previously inserted tuple (events stay meaningful).
-            let e = live[pick % live.len()].clone();
-            live.retain(|x| x != &e);
-            Event::delete(e.relation, e.tuple)
-        } else {
-            let event = Event::insert(relation, tuple![x, y]);
-            live.push(event.clone());
-            event
-        }
-    })
+    (0..3usize, 0..8i64, 0..4i64, any::<bool>(), 0..10usize).prop_map(
+        move |(rel, x, y, del, pick)| {
+            let relation = ["R", "S", "T"][rel];
+            let mut live = live.borrow_mut();
+            if del && !live.is_empty() {
+                // Delete a previously inserted tuple (events stay meaningful).
+                let e = live[pick % live.len()].clone();
+                live.retain(|x| x != &e);
+                Event::delete(e.relation, e.tuple)
+            } else {
+                let event = Event::insert(relation, tuple![x, y]);
+                live.push(event.clone());
+                event
+            }
+        },
+    )
 }
 
 fn event_stream(len: usize) -> impl Strategy<Value = Vec<Event>> {

@@ -6,14 +6,23 @@
 //! auxiliary maps `qD[b]`, `qA[b]`, `qD[c]`, `qA[c]`, the shared count
 //! map `q1[b,c]`, and the handler statements that update them.
 
-use dbtoaster::prelude::*;
 use dbtoaster::compiler::StatementKind;
+use dbtoaster::prelude::*;
 
 fn catalog() -> Catalog {
     Catalog::new()
-        .with(Schema::new("R", vec![("A", ColumnType::Int), ("B", ColumnType::Int)]))
-        .with(Schema::new("S", vec![("B", ColumnType::Int), ("C", ColumnType::Int)]))
-        .with(Schema::new("T", vec![("C", ColumnType::Int), ("D", ColumnType::Int)]))
+        .with(Schema::new(
+            "R",
+            vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "S",
+            vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "T",
+            vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+        ))
 }
 
 const SQL: &str = "select sum(A*D) from R, S, T where R.B = S.B and S.C = T.C";
@@ -38,14 +47,23 @@ fn figure2_map_inventory_matches_the_paper() {
     // One two-key count map over S only (q1[b, c]).
     let q1: Vec<_> = program.maps.iter().filter(|m| m.keys.len() == 2).collect();
     assert_eq!(q1.len(), 1);
-    assert_eq!(q1[0].definition.relations().into_iter().collect::<Vec<_>>(), vec!["S"]);
+    assert_eq!(
+        q1[0].definition.relations().into_iter().collect::<Vec<_>>(),
+        vec!["S"]
+    );
 
     // Map definitions partition by the relations they summarize:
     // one map over {S, T}, one over {R, S}, one over {R}, one over {T}.
     let rel_sets: Vec<String> = program
         .maps
         .iter()
-        .map(|m| m.definition.relations().into_iter().collect::<Vec<_>>().join(","))
+        .map(|m| {
+            m.definition
+                .relations()
+                .into_iter()
+                .collect::<Vec<_>>()
+                .join(",")
+        })
         .collect();
     assert!(rel_sets.contains(&"S,T".to_string()));
     assert!(rel_sets.contains(&"R,S".to_string()));
@@ -96,9 +114,14 @@ fn figure2_handlers_have_the_papers_statement_structure() {
 fn figure2_generated_source_mirrors_the_papers_listing() {
     let q = dbtoaster::StandingQuery::compile(SQL, &catalog()).unwrap();
     let src = q.generated_source();
-    for handler in
-        ["on_insert_R", "on_insert_S", "on_insert_T", "on_delete_R", "on_delete_S", "on_delete_T"]
-    {
+    for handler in [
+        "on_insert_R",
+        "on_insert_S",
+        "on_insert_T",
+        "on_delete_R",
+        "on_delete_S",
+        "on_delete_T",
+    ] {
         assert!(src.contains(handler), "missing handler {handler}");
     }
     // The result update is straight-line code over map entries.
@@ -107,8 +130,8 @@ fn figure2_generated_source_mirrors_the_papers_listing() {
 
 #[test]
 fn figure2_runtime_matches_a_brute_force_oracle() {
-    use dbtoaster::exec::{evaluate_query, Database};
     use dbtoaster::calculus::translate_query;
+    use dbtoaster::exec::{evaluate_query, Database};
     use dbtoaster::sql::{analyze, parse_query};
 
     let cat = catalog();

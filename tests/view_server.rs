@@ -1,0 +1,243 @@
+//! End-to-end integration of the multi-query view server: a portfolio of
+//! standing views (the paper's Figure-2 query, order-book VWAP, a
+//! per-broker market-maker signal and an SSB warehouse view) maintained
+//! over ONE mixed event stream replayed through the pluggable
+//! `EventSource` path, with every view's answer checked against the
+//! reference interpreter in `exec` and dispatch checked via per-view
+//! event counters.
+
+use dbtoaster::calculus::translate_query;
+use dbtoaster::exec::{evaluate_query, Database};
+use dbtoaster::prelude::*;
+use dbtoaster::server::{to_csv_string, CsvReplaySource};
+use dbtoaster::sql::{analyze, parse_query};
+use dbtoaster::workloads::orderbook::{
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, VWAP_COMPONENTS,
+};
+use dbtoaster::workloads::tpch::{
+    ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_REVENUE_BY_YEAR,
+};
+use dbtoaster::workloads::GeneratorSource;
+
+const FIGURE2: &str = "select sum(A*D) from R, S, T where R.B = S.B and S.C = T.C";
+
+/// One catalog covering all three workloads (relation names are
+/// disjoint, so the portfolio shares a single stream namespace).
+fn shared_catalog() -> Catalog {
+    let mut catalog = Catalog::new()
+        .with(Schema::new(
+            "R",
+            vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "S",
+            vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+        ))
+        .with(Schema::new(
+            "T",
+            vec![("C", ColumnType::Int), ("D", ColumnType::Int)],
+        ));
+    for schema in orderbook_catalog().relations() {
+        catalog.add(schema.clone());
+    }
+    for schema in ssb_catalog().relations() {
+        catalog.add(schema.clone());
+    }
+    catalog
+}
+
+fn figure2_stream() -> UpdateStream {
+    let mut stream = UpdateStream::new();
+    for i in 0..40i64 {
+        stream.push(Event::insert("R", tuple![i % 7, i % 3]));
+        stream.push(Event::insert("S", tuple![i % 3, i % 5]));
+        stream.push(Event::insert("T", tuple![i % 5, i]));
+        if i % 4 == 0 {
+            stream.push(Event::delete("R", tuple![i % 7, i % 3]));
+        }
+    }
+    stream
+}
+
+/// The mixed update stream: order-book messages, warehouse loading
+/// records and Figure-2 deltas arriving through one pipe.
+fn mixed_source() -> GeneratorSource {
+    let orderbook = OrderBookGenerator::new(OrderBookConfig {
+        messages: 600,
+        book_depth: 150,
+        ..Default::default()
+    })
+    .generate();
+    let warehouse = transform_to_ssb(&TpchData::generate(&TpchConfig {
+        orders: 150,
+        ..Default::default()
+    }));
+    GeneratorSource::interleave("mixed", [figure2_stream(), orderbook, warehouse])
+}
+
+fn registered_views() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("figure2", FIGURE2),
+        ("vwap", VWAP_COMPONENTS),
+        ("market_maker", MARKET_MAKER),
+        ("ssb_revenue", SSB_REVENUE_BY_YEAR),
+    ]
+}
+
+/// Evaluate one view's SQL from scratch with the reference interpreter.
+fn oracle_result(sql: &str, catalog: &Catalog, db: &Database) -> Vec<(Tuple, Vec<Value>)> {
+    let qc = translate_query(&analyze(&parse_query(sql).unwrap(), catalog).unwrap(), "Q").unwrap();
+    let mut rows = evaluate_query(&qc, db).unwrap();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+fn assert_rows_close(name: &str, got: &[ResultRow], oracle: &[(Tuple, Vec<Value>)]) {
+    assert_eq!(got.len(), oracle.len(), "{name}: row count diverged");
+    for (g, (ok, ov)) in got.iter().zip(oracle) {
+        assert_eq!(&g.key, ok, "{name}: group keys diverged");
+        assert_eq!(g.values.len(), ov.len(), "{name}: column count diverged");
+        for (gv, ev) in g.values.iter().zip(ov) {
+            // Aggregates accumulate in different orders in the two
+            // engines, so floats get a relative tolerance.
+            let (g, e) = (gv.as_f64(), ev.as_f64());
+            let scale = g.abs().max(e.abs()).max(1.0);
+            assert!((g - e).abs() / scale < 1e-9, "{name}: {gv} vs {ev}");
+        }
+    }
+}
+
+#[test]
+fn a_view_portfolio_over_one_replayed_stream_matches_the_interpreter() {
+    let catalog = shared_catalog();
+    let mut server = ViewServer::new(&catalog);
+    for (name, sql) in registered_views() {
+        server.register(name, sql).unwrap();
+    }
+
+    // Replay the mixed stream through the EventSource path (batched).
+    let mut source = mixed_source();
+    let report = server.run_source(&mut source, 256).unwrap();
+    assert!(report.events > 1_500, "mixed stream should be substantial");
+    assert_eq!(report.batches, report.events.div_ceil(256));
+
+    // Reference: load the same events into the interpreter's database
+    // and re-evaluate each view from scratch.
+    let mut db = Database::new();
+    let mut by_relation: Vec<(String, u64)> = Vec::new();
+    for event in &mixed_source().drain(1 << 20).unwrap() {
+        db.apply(event);
+        match by_relation.iter_mut().find(|(r, _)| r == &event.relation) {
+            Some((_, n)) => *n += 1,
+            None => by_relation.push((event.relation.clone(), 1)),
+        }
+    }
+
+    for (name, sql) in registered_views() {
+        let oracle = oracle_result(sql, &catalog, &db);
+        let got = server.result(name).unwrap();
+        assert!(!got.is_empty(), "{name} should have results");
+        assert_rows_close(name, &got, &oracle);
+    }
+
+    // Dispatch: each view absorbed exactly the events of the relations
+    // its triggers reference — nothing more.
+    let events_of = |rels: &[&str]| -> u64 {
+        by_relation
+            .iter()
+            .filter(|(r, _)| rels.contains(&r.as_str()))
+            .map(|(_, n)| n)
+            .sum()
+    };
+    assert_eq!(
+        server.events_processed("figure2").unwrap(),
+        events_of(&["R", "S", "T"])
+    );
+    assert_eq!(
+        server.events_processed("vwap").unwrap(),
+        events_of(&["BIDS"])
+    );
+    assert_eq!(
+        server.events_processed("market_maker").unwrap(),
+        events_of(&["BIDS", "ASKS"])
+    );
+    assert_eq!(
+        server.events_processed("ssb_revenue").unwrap(),
+        events_of(&["DATES", "LINEORDER"])
+    );
+    // The mixed stream genuinely exercises partial routing.
+    assert!(server.events_processed("vwap").unwrap() > 0);
+    assert!(
+        server.events_processed("vwap").unwrap() < report.events as u64,
+        "vwap must not see the whole stream"
+    );
+}
+
+#[test]
+fn batched_and_per_event_ingestion_agree_on_the_mixed_stream() {
+    let catalog = shared_catalog();
+    let mut batched = ViewServer::new(&catalog);
+    let mut per_event = ViewServer::new(&catalog);
+    for (name, sql) in registered_views() {
+        batched.register(name, sql).unwrap();
+        per_event.register(name, sql).unwrap();
+    }
+
+    let stream = mixed_source().drain(1 << 20).unwrap();
+    for event in &stream {
+        per_event.apply(event).unwrap();
+    }
+    for chunk in stream.events.chunks(113) {
+        batched.apply_batch(chunk).unwrap();
+    }
+
+    for (name, _) in registered_views() {
+        assert_eq!(
+            per_event.result(name).unwrap(),
+            batched.result(name).unwrap(),
+            "{name} diverged between ingestion paths"
+        );
+        assert_eq!(
+            per_event.events_processed(name).unwrap(),
+            batched.events_processed(name).unwrap()
+        );
+    }
+}
+
+#[test]
+fn archived_csv_replay_reproduces_the_live_results() {
+    let catalog = shared_catalog();
+    let mut live = ViewServer::new(&catalog);
+    let mut replayed = ViewServer::new(&catalog);
+    for (name, sql) in registered_views() {
+        live.register(name, sql).unwrap();
+        replayed.register(name, sql).unwrap();
+    }
+
+    // Live ingestion, then archive the stream and replay the archive.
+    let stream = mixed_source().drain(1 << 20).unwrap();
+    for chunk in stream.events.chunks(512) {
+        live.apply_batch(chunk).unwrap();
+    }
+    let archive = to_csv_string(&stream).unwrap();
+    let mut source = CsvReplaySource::from_string("mixed.csv", archive, &catalog);
+    let report = replayed.run_source(&mut source, 512).unwrap();
+
+    assert_eq!(report.events, stream.len());
+    let live_snap = live.snapshot_all();
+    let replay_snap = replayed.snapshot_all();
+    assert_eq!(live_snap.len(), replay_snap.len());
+    for (a, b) in live_snap.iter().zip(&replay_snap) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.events_processed, b.events_processed, "{}", a.name);
+        assert_eq!(a.rows.len(), b.rows.len(), "{}", a.name);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.key, rb.key, "{}", a.name);
+            for (va, vb) in ra.values.iter().zip(&rb.values) {
+                let (x, y) = (va.as_f64(), vb.as_f64());
+                let scale = x.abs().max(y.abs()).max(1.0);
+                assert!((x - y).abs() / scale < 1e-12, "{}: {va} vs {vb}", a.name);
+            }
+        }
+    }
+}

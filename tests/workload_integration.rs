@@ -32,11 +32,17 @@ fn orderbook_queries_run_over_the_generated_stream() {
         maker.on_event(e).unwrap();
     }
     let row = &vwap.result()[0];
-    assert!(row.values[0].as_f64() > 0.0, "price-volume mass must be positive");
+    assert!(
+        row.values[0].as_f64() > 0.0,
+        "price-volume mass must be positive"
+    );
     assert!(row.values[1].as_f64() > 0.0, "volume must be positive");
     // VWAP lands inside the generator's price band.
     let vwap_value = row.values[0].as_f64() / row.values[1].as_f64();
-    assert!((90.0..=110.0).contains(&vwap_value), "VWAP {vwap_value} outside the band");
+    assert!(
+        (90.0..=110.0).contains(&vwap_value),
+        "VWAP {vwap_value} outside the band"
+    );
     assert!(!maker.result().is_empty());
 }
 
@@ -56,8 +62,11 @@ fn orderbook_results_match_the_stream_baseline() {
             compiled.on_event(e).unwrap();
             baseline.on_event(e).unwrap();
         }
-        let compiled_rows: Vec<_> =
-            compiled.result().into_iter().map(|r| (r.key, r.values)).collect();
+        let compiled_rows: Vec<_> = compiled
+            .result()
+            .into_iter()
+            .map(|r| (r.key, r.values))
+            .collect();
         let expected = sorted_result(baseline.result());
         let got = sorted_result(compiled_rows);
         // Floating-point aggregates are accumulated in different orders by
@@ -88,8 +97,11 @@ fn nested_vwap_matches_the_reference_interpreter() {
     })
     .generate();
     let mut compiled = dbtoaster::StandingQuery::compile(VWAP_NESTED, &cat).unwrap();
-    let qc =
-        translate_query(&analyze(&parse_query(VWAP_NESTED).unwrap(), &cat).unwrap(), "Q").unwrap();
+    let qc = translate_query(
+        &analyze(&parse_query(VWAP_NESTED).unwrap(), &cat).unwrap(),
+        "Q",
+    )
+    .unwrap();
     let mut db = Database::new();
     for e in &stream {
         compiled.on_event(e).unwrap();
@@ -106,7 +118,10 @@ fn nested_vwap_matches_the_reference_interpreter() {
 #[test]
 fn warehouse_loading_maintains_ssb_q41() {
     let cat = ssb_catalog();
-    let data = TpchData::generate(&TpchConfig { orders: 400, ..Default::default() });
+    let data = TpchData::generate(&TpchConfig {
+        orders: 400,
+        ..Default::default()
+    });
     let stream = transform_to_ssb(&data);
 
     let mut q41 = dbtoaster::StandingQuery::compile(SSB_Q41, &cat).unwrap();
@@ -143,7 +158,7 @@ fn standalone_server_handles_the_financial_workload() {
     .unwrap();
     let server = StandaloneServer::start(&program, 256).unwrap();
     let total = stream.len() as u64;
-    server.send_all(stream.into_iter());
+    server.send_all(stream);
     while server.events_processed() < total {
         std::thread::yield_now();
     }
