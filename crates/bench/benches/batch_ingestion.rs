@@ -1,24 +1,37 @@
-//! Batched vs. per-event ingestion on the order-book workload.
+//! Batched vs. per-event ingestion on the order-book workload, plus the
+//! shared-map-store dividend on a four-view portfolio.
 //!
 //! Measures the view server's two ingestion paths over the same
 //! generated message stream and view portfolio (VWAP components + the
 //! per-broker market-maker view, so BIDS events fan out to two views):
 //!
 //! * `per_event` — `ViewServer::apply` per message: every event takes
-//!   each interested engine's write lock and pays the per-event
-//!   bookkeeping (two clock reads, a per-trigger stat update).
-//! * `batch{N}` — `ViewServer::apply_batch` over batches of N: each
-//!   affected engine's lock is taken once per batch and the bookkeeping
+//!   the affected map-group locks and pays the per-event bookkeeping.
+//! * `batch{N}` — `ViewServer::apply_batch` over batches of N: the
+//!   affected group locks are taken once per batch and the bookkeeping
 //!   is amortized across the batch.
 //!
 //! The expected shape: batching wins, with diminishing returns once the
 //! per-batch overhead is amortized (a few hundred events per batch).
+//!
+//! The `emit_json` stage re-measures each configuration once and writes
+//! `BENCH_batch_ingestion.json` (events/s per mode, approximate bytes,
+//! view count), then ingests the same stream into a four-view portfolio
+//! whose first-order views share `BASE_BIDS`/`BASE_ASKS`, recording the
+//! shared-store memory (1×) against the unshared baseline (~N× on the
+//! shared maps) and the statement executions the maintainer-view dedup
+//! skipped.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use dbtoaster_bench::json::{write_bench_json, Json};
+use dbtoaster_common::UpdateStream;
+use dbtoaster_compiler::CompileOptions;
 use dbtoaster_server::ViewServer;
 use dbtoaster_workloads::orderbook::{
-    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, VWAP_COMPONENTS,
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, SOBI, VWAP_COMPONENTS,
 };
 
 fn portfolio() -> ViewServer {
@@ -28,13 +41,32 @@ fn portfolio() -> ViewServer {
     server
 }
 
-fn batch_ingestion(c: &mut Criterion) {
-    let stream = OrderBookGenerator::new(OrderBookConfig {
+/// Four views over the two books: the full-compilation pair above plus
+/// first-order SOBI and market-maker variants, whose depth-limited
+/// statements materialize `BASE_BIDS` / `BASE_ASKS` — shared slots with
+/// one maintainer each.
+fn shared_portfolio() -> ViewServer {
+    let mut server = portfolio();
+    server
+        .register_with("sobi_fo", SOBI, &CompileOptions::first_order())
+        .unwrap();
+    server
+        .register_with("mm_fo", MARKET_MAKER, &CompileOptions::first_order())
+        .unwrap();
+    server
+}
+
+fn stream() -> UpdateStream {
+    OrderBookGenerator::new(OrderBookConfig {
         messages: 10_000,
         book_depth: 2_000,
         ..Default::default()
     })
-    .generate();
+    .generate()
+}
+
+fn batch_ingestion(c: &mut Criterion) {
+    let stream = stream();
 
     let mut group = c.benchmark_group("batch_ingestion");
     group.sample_size(10);
@@ -72,5 +104,70 @@ fn batch_ingestion(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, batch_ingestion);
+fn emit_json(_c: &mut Criterion) {
+    let stream = stream();
+    let events = stream.len();
+
+    let mut modes = Vec::new();
+    let timed = |server: &ViewServer, batch: usize| -> f64 {
+        let started = Instant::now();
+        if batch <= 1 {
+            for event in &stream {
+                server.apply(event).unwrap();
+            }
+        } else {
+            for chunk in stream.events.chunks(batch) {
+                server.apply_batch(chunk).unwrap();
+            }
+        }
+        events as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+    for (mode, batch) in [
+        ("per_event", 1usize),
+        ("batch64", 64),
+        ("batch256", 256),
+        ("batch1024", 1024),
+    ] {
+        let server = portfolio();
+        let rate = timed(&server, batch);
+        modes.push(Json::obj([
+            ("mode", Json::str(mode)),
+            ("events_per_sec", Json::from(rate)),
+            ("memory_bytes", Json::from(server.memory_bytes())),
+        ]));
+    }
+
+    // Shared-store dividend on the four-view portfolio.
+    let server = shared_portfolio();
+    let shared_rate = timed(&server, 1024);
+    let store = server.store_report();
+    let shared = Json::obj([
+        ("view_count", Json::from(server.len())),
+        ("events_per_sec", Json::from(shared_rate)),
+        ("memory_bytes", Json::from(server.memory_bytes())),
+        (
+            "memory_bytes_if_unshared",
+            Json::from(server.memory_bytes_if_unshared()),
+        ),
+        ("shared_slots", Json::from(store.shared_slots)),
+        (
+            "dedup_skipped_statements",
+            Json::from(store.dedup_skipped_statements),
+        ),
+    ]);
+
+    let report = Json::obj([
+        ("bench", Json::str("batch_ingestion")),
+        ("events", Json::from(events)),
+        ("view_count", Json::from(2usize)),
+        ("modes", Json::Arr(modes)),
+        ("shared4", shared),
+    ]);
+    match write_bench_json("batch_ingestion", &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_batch_ingestion.json: {e}"),
+    }
+}
+
+criterion_group!(benches, batch_ingestion, emit_json);
 criterion_main!(benches);

@@ -6,7 +6,8 @@
 //! magnitude claim). Usage: `cargo run --release -p dbtoaster-bench --bin
 //! bakeoff [messages]`.
 
-use dbtoaster_bench::{measure, render_table, speedups, EngineKind};
+use dbtoaster_bench::json::{write_bench_json, Json};
+use dbtoaster_bench::{measure, render_table, speedups, BakeoffRow, EngineKind};
 use dbtoaster_workloads::orderbook::{
     finance_queries, orderbook_catalog, OrderBookConfig, OrderBookGenerator,
 };
@@ -71,5 +72,41 @@ fn main() {
     println!("== dbtoaster speed-up over baselines ==");
     for (query, engine, factor) in speedups(&rows) {
         println!("{query:<18} vs {engine:<18} {factor:>10.1}x");
+    }
+
+    // Machine-readable trajectory (tracked across PRs).
+    let row_json = |r: &BakeoffRow| {
+        Json::obj([
+            ("query", Json::str(r.query.clone())),
+            ("engine", Json::str(r.engine)),
+            ("events", Json::from(r.events)),
+            ("seconds", Json::from(r.seconds)),
+            ("events_per_sec", Json::from(r.tuples_per_second)),
+            ("memory_bytes", Json::from(r.memory_bytes)),
+        ])
+    };
+    let report = Json::obj([
+        ("bench", Json::str("bakeoff")),
+        ("messages", Json::from(messages)),
+        ("rows", Json::Arr(rows.iter().map(row_json).collect())),
+        (
+            "speedups",
+            Json::Arr(
+                speedups(&rows)
+                    .into_iter()
+                    .map(|(query, engine, factor)| {
+                        Json::obj([
+                            ("query", Json::str(query)),
+                            ("vs", Json::str(engine)),
+                            ("factor", Json::from(factor)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    match write_bench_json("bakeoff", &report) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_bakeoff.json: {e}"),
     }
 }

@@ -1,20 +1,166 @@
-//! E4 — memory usage comparison (the bakeoff's memory panel).
+//! E4 — memory usage comparison (the bakeoff's memory panel), plus the
+//! shared-map-store panel.
 //!
 //! Loads the same workloads into every engine and reports the approximate
 //! resident bytes of each engine's state (maps for the compiled engine,
-//! base tables and operator synopses for the baselines).
+//! base tables and operator synopses for the baselines). The shared-store
+//! section registers a four-view portfolio whose views all materialize
+//! `BASE_BIDS` (and two of them `BASE_ASKS`), and shows the N× → 1×
+//! collapse of the shared maps against the same views run as independent
+//! engines, plus the per-event write amplification the maintainer-view
+//! dedup removes.
+//!
+//! `--dedupe-check` runs only the shared-store section with a small
+//! stream and exits non-zero unless every `BASE_*` map is materialized
+//! exactly once and each shared view matches an independent engine — the
+//! CI regression guard for cross-view map sharing.
 
 use dbtoaster_bench::EngineKind;
+use dbtoaster_compiler::CompileOptions;
+use dbtoaster_runtime::Engine;
+use dbtoaster_server::ViewServer;
 use dbtoaster_workloads::orderbook::{
-    orderbook_catalog, OrderBookConfig, OrderBookGenerator, SOBI,
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, SOBI, VWAP_NESTED,
 };
 use dbtoaster_workloads::tpch::{ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_Q41};
 
+/// The nested VWAP with a different quantile constant: same `BASE_BIDS`
+/// dependency, different result map — shares the base, not the query.
+const VWAP_NESTED_Q50: &str = "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 \
+     where 0.5 * (select sum(b3.VOLUME) from BIDS b3) > \
+           (select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE)";
+
+/// The shared-store portfolio: `(name, sql, options)`. All four views
+/// materialize `BASE_BIDS`; the two first-order views also share
+/// `BASE_ASKS`.
+fn shared_portfolio() -> Vec<(&'static str, &'static str, CompileOptions)> {
+    vec![
+        ("sobi_fo", SOBI, CompileOptions::first_order()),
+        ("mm_fo", MARKET_MAKER, CompileOptions::first_order()),
+        ("vwap_q25", VWAP_NESTED, CompileOptions::full()),
+        ("vwap_q50", VWAP_NESTED_Q50, CompileOptions::full()),
+    ]
+}
+
+/// Run the shared-store section; returns an error string on any failed
+/// dedupe invariant (the `--dedupe-check` exit condition).
+fn shared_store_section(messages: usize) -> Result<(), String> {
+    let catalog = orderbook_catalog();
+    let stream = OrderBookGenerator::new(OrderBookConfig {
+        messages,
+        book_depth: (messages / 5).max(50),
+        ..Default::default()
+    })
+    .generate();
+
+    let mut server = ViewServer::new(&catalog);
+    let mut engines = Vec::new();
+    for (name, sql, options) in shared_portfolio() {
+        server
+            .register_with(name, sql, &options)
+            .map_err(|e| format!("{name} failed to register: {e}"))?;
+        let program = dbtoaster_compiler::compile_sql(sql, &catalog, &options)
+            .map_err(|e| format!("{name} failed to compile: {e}"))?;
+        engines.push((name, Engine::new(&program).unwrap()));
+    }
+    for chunk in stream.events.chunks(512) {
+        server.apply_batch(chunk).unwrap();
+    }
+    let independent_bytes: usize = engines
+        .iter_mut()
+        .map(|(_, e)| {
+            e.process(&stream).unwrap();
+            e.memory_bytes()
+        })
+        .sum();
+
+    let report = server.store_report();
+    println!(
+        "\n== shared map store ({} views, {} events) ==",
+        server.len(),
+        stream.len()
+    );
+    println!(
+        "{:<24} {:>7} {:<10} {:>8} {:>12}",
+        "map (aliases)", "sharers", "maintainer", "entries", "bytes"
+    );
+    for m in report.maps.iter().filter(|m| m.sharers > 1) {
+        println!(
+            "{:<24} {:>7} {:<10} {:>8} {:>12}",
+            m.aliases[0].1, m.sharers, m.maintainer, m.entries, m.bytes
+        );
+    }
+    println!(
+        "store bytes (each map once):      {:>12}",
+        report.total_bytes
+    );
+    println!(
+        "unshared baseline (per sharer):   {:>12}",
+        report.bytes_if_unshared
+    );
+    println!("independent engines (reference):  {independent_bytes:>12}");
+    println!(
+        "statement runs skipped by dedup:  {:>12}",
+        report.dedup_skipped_statements
+    );
+
+    // Invariants the CI smoke step guards.
+    let slots_named = |name: &str| {
+        report
+            .maps
+            .iter()
+            .filter(|m| m.aliases.iter().any(|(_, n)| n == name))
+            .collect::<Vec<_>>()
+    };
+    let base_bids = slots_named("BASE_BIDS");
+    if base_bids.len() != 1 {
+        return Err(format!(
+            "BASE_BIDS materialized {} times, expected once",
+            base_bids.len()
+        ));
+    }
+    if base_bids[0].sharers != server.len() {
+        return Err(format!(
+            "BASE_BIDS shared by {} of {} views",
+            base_bids[0].sharers,
+            server.len()
+        ));
+    }
+    let base_asks = slots_named("BASE_ASKS");
+    if base_asks.len() != 1 || base_asks[0].sharers < 2 {
+        return Err("BASE_ASKS should be one slot with at least two sharers".into());
+    }
+    if report.dedup_skipped_statements == 0 {
+        return Err("dedup skipped no statement runs — shared maps are being multi-written".into());
+    }
+    for (name, engine) in &engines {
+        if server.result(name).unwrap() != engine.result() {
+            return Err(format!("{name} diverged from its independent engine"));
+        }
+    }
+    println!("dedupe invariants: OK (BASE_BIDS x1 shared by all views, results match)");
+    Ok(())
+}
+
 fn main() {
-    let messages: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
+    let mut messages: usize = 20_000;
+    let mut dedupe_check = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--dedupe-check" {
+            dedupe_check = true;
+        } else if let Ok(n) = arg.parse() {
+            messages = n;
+        }
+    }
+
+    if dedupe_check {
+        // Small stream: the nested views re-evaluate per event.
+        if let Err(e) = shared_store_section(messages.min(600)) {
+            eprintln!("dedupe check FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     println!(
         "{:<14} {:<18} {:>14} {:>12}",
@@ -29,10 +175,6 @@ fn main() {
     })
     .generate();
     for kind in EngineKind::all() {
-        if kind == EngineKind::NaiveReeval && messages > 5_000 {
-            // Re-evaluating a cross-broker join per event at this size is
-            // pointless for a memory report; load the state only.
-        }
         let mut engine = kind.build(SOBI, &finance_catalog).unwrap();
         let events: Vec<_> = if kind == EngineKind::NaiveReeval {
             stream.events.iter().take(2_000).cloned().collect()
@@ -67,5 +209,12 @@ fn main() {
             events.len(),
             engine.memory_bytes() as f64 / 1024.0
         );
+    }
+
+    // The multi-view panel: N views over the same books cost ~1× on the
+    // shared maps, not N×.
+    if let Err(e) = shared_store_section(messages.min(2_000)) {
+        eprintln!("shared-store section: {e}");
+        std::process::exit(1);
     }
 }

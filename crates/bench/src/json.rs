@@ -1,0 +1,158 @@
+//! Machine-readable benchmark output.
+//!
+//! The report binaries and benches write `BENCH_<name>.json` files so the
+//! perf trajectory (events/s, approximate bytes, view counts) is tracked
+//! across PRs instead of living only in scrollback. The serde shim is a
+//! no-op in this offline environment, so this is a tiny hand-rolled JSON
+//! value — just enough for flat reports: objects, arrays, numbers,
+//! strings, booleans.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object from `(key, value)` pairs (order preserved).
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Int(n as i64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Num(n) if n.is_finite() => write!(f, "{n}"),
+            Json::Num(_) => write!(f, "null"),
+            Json::Str(s) => {
+                write!(f, "\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => write!(f, "\\\"")?,
+                        '\\' => write!(f, "\\\\")?,
+                        '\n' => write!(f, "\\n")?,
+                        '\r' => write!(f, "\\r")?,
+                        '\t' => write!(f, "\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                write!(f, "\"")
+            }
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Where `BENCH_*.json` files land: `$BENCH_JSON_DIR` when set, else the
+/// workspace root (stable whether the writer runs under `cargo run`,
+/// whose working directory is the invocation dir, or `cargo bench`,
+/// whose working directory is the package dir).
+pub fn bench_json_path(name: &str) -> PathBuf {
+    let dir = std::env::var_os("BENCH_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+    dir.join(format!("BENCH_{name}.json"))
+}
+
+/// Write a report to `BENCH_<name>.json` (pretty enough for diffs: one
+/// trailing newline) and return the path it landed at.
+pub fn write_bench_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let path = bench_json_path(name);
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "{value}")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_render_as_valid_json() {
+        let v = Json::obj([
+            ("name", Json::str("bakeoff \"fast\"\n")),
+            ("events", Json::from(10_000usize)),
+            ("rate", Json::from(1234.5f64)),
+            ("nan", Json::Num(f64::NAN)),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Null])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            "{\"name\":\"bakeoff \\\"fast\\\"\\n\",\"events\":10000,\
+             \"rate\":1234.5,\"nan\":null,\"ok\":true,\"rows\":[1,null]}"
+        );
+    }
+
+    #[test]
+    fn bench_json_files_round_trip_to_disk() {
+        let dir = std::env::temp_dir().join("dbtoaster_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BENCH_JSON_DIR", &dir);
+        let path = write_bench_json("unit", &Json::obj([("x", Json::Int(1))])).unwrap();
+        std::env::remove_var("BENCH_JSON_DIR");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "{\"x\":1}\n");
+    }
+}

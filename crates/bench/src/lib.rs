@@ -6,6 +6,8 @@
 //! provides the common plumbing: engine construction, throughput
 //! measurement, and the tabular report the bakeoff binaries print.
 
+pub mod json;
+
 use std::time::Instant;
 
 use dbtoaster_baselines::{

@@ -109,14 +109,17 @@ pub fn compile_query(
         counter: 0,
     };
     compiler.run(&qc)?;
-    Ok(TriggerProgram {
+    let mut program = TriggerProgram {
         sql: None,
         maps: compiler.maps,
         triggers: compiler.triggers,
         query: qc,
         catalog: catalog.clone(),
         max_depth: options.max_depth,
-    })
+        map_index: FxHashMap::default(),
+    };
+    program.rebuild_map_index();
+    Ok(program)
 }
 
 struct Compiler {

@@ -8,8 +8,8 @@
 //! slot-based executable form; [`crate::codegen`] pretty-prints it as
 //! Rust source.
 
-use dbtoaster_calculus::{CalcExpr, QueryCalc, Var};
-use dbtoaster_common::{Catalog, EventKind};
+use dbtoaster_calculus::{canonical_form, CalcExpr, QueryCalc, Var};
+use dbtoaster_common::{Catalog, EventKind, FxHashMap};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -28,6 +28,24 @@ pub struct MapDecl {
     /// materialized copies of stream relations used by depth-limited
     /// compilation and by nested-aggregate re-evaluation statements.
     pub is_base_relation: bool,
+}
+
+impl MapDecl {
+    /// Canonical fingerprint for map sharing *across* compiled programs.
+    ///
+    /// The stored [`MapDecl::canonical`] string is the compiler's
+    /// within-query sharing key and is computed at slightly different
+    /// stages for result maps, generated maps and base-relation maps
+    /// (before / after key renaming, with or without the outer `AggSum`).
+    /// The fingerprint instead recomputes the canonical form uniformly
+    /// from the *final* declaration — key list plus full definition — so
+    /// that alpha-equivalent maps from two independently compiled queries
+    /// produce identical strings. Map contents are a pure function of the
+    /// definition over the update stream, so equal fingerprints mean a
+    /// shared-store server may materialize the two maps once.
+    pub fn fingerprint(&self) -> String {
+        canonical_form(&self.keys, &self.definition)
+    }
 }
 
 /// How a statement modifies its target map.
@@ -120,12 +138,34 @@ pub struct TriggerProgram {
     /// Maximum recursion depth that was applied (`None` = unbounded, the
     /// full DBToaster behaviour).
     pub max_depth: Option<usize>,
+    /// Precomputed map-name → index lookup (hot on registration and
+    /// snapshot paths). Derived from `maps`; rebuild with
+    /// [`TriggerProgram::rebuild_map_index`] after editing `maps` by hand.
+    pub map_index: FxHashMap<String, usize>,
 }
 
 impl TriggerProgram {
+    /// Recompute the map-name index from `maps`. Called by the compiler;
+    /// programs assembled manually (tests, tools) may call it themselves
+    /// or rely on the linear fallback in [`TriggerProgram::map`].
+    pub fn rebuild_map_index(&mut self) {
+        self.map_index = self
+            .maps
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.clone(), i))
+            .collect();
+    }
+
     /// Find a map declaration by name.
     pub fn map(&self, name: &str) -> Option<&MapDecl> {
-        self.maps.iter().find(|m| m.name == name)
+        if self.map_index.len() == self.maps.len() {
+            self.map_index.get(name).map(|&i| &self.maps[i])
+        } else {
+            // Index is stale (program edited without a rebuild): stay
+            // correct with a scan.
+            self.maps.iter().find(|m| m.name == name)
+        }
     }
 
     /// Find the trigger for a (relation, event) pair.
@@ -198,5 +238,64 @@ mod tests {
         };
         assert_eq!(trig.handler_name(), "on_insert_R");
         assert!(trig.to_string().contains("on_insert_R(r_a, r_b):"));
+    }
+
+    #[test]
+    fn fingerprints_identify_alpha_equivalent_declarations() {
+        let decl = |keys: &[&str], rel_vars: &[&str]| MapDecl {
+            name: "X".into(),
+            keys: keys.iter().map(|k| k.to_string()).collect(),
+            definition: CalcExpr::agg_sum(
+                keys.iter().map(|k| k.to_string()).collect(),
+                CalcExpr::rel("R", rel_vars.to_vec()),
+            ),
+            canonical: String::new(),
+            is_base_relation: false,
+        };
+        // Same structure under different variable names: equal prints.
+        assert_eq!(
+            decl(&["A"], &["A", "B"]).fingerprint(),
+            decl(&["X"], &["X", "Y"]).fingerprint()
+        );
+        // Different key positions: different prints.
+        assert_ne!(
+            decl(&["A"], &["A", "B"]).fingerprint(),
+            decl(&["B"], &["A", "B"]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn map_lookup_uses_the_index_and_survives_manual_edits() {
+        let mk = |name: &str| MapDecl {
+            name: name.into(),
+            keys: vec![],
+            definition: CalcExpr::constant(1),
+            canonical: String::new(),
+            is_base_relation: false,
+        };
+        let mut p = TriggerProgram {
+            sql: None,
+            maps: vec![mk("Q"), mk("M1_R")],
+            triggers: vec![],
+            query: QueryCalc {
+                group_vars: vec![],
+                columns: vec![],
+                maps: vec![],
+                relations: vec![],
+            },
+            catalog: Catalog::new(),
+            max_depth: None,
+            map_index: FxHashMap::default(),
+        };
+        // Stale (empty) index: the scan fallback still answers.
+        assert_eq!(p.map("M1_R").unwrap().name, "M1_R");
+        p.rebuild_map_index();
+        assert_eq!(p.map_index.len(), 2);
+        assert_eq!(p.map("Q").unwrap().name, "Q");
+        assert!(p.map("NOPE").is_none());
+        // Manual push without rebuild: index length mismatches, fallback
+        // keeps the lookup correct.
+        p.maps.push(mk("M2_S"));
+        assert_eq!(p.map("M2_S").unwrap().name, "M2_S");
     }
 }

@@ -20,7 +20,7 @@ use dbtoaster_common::{Error, Event, EventKind, FxHashMap, Result, Tuple, Value}
 use dbtoaster_compiler::TriggerProgram;
 
 use crate::lower::{lower_program, Block, ExecProgram, ResultColumnSpec, Scalar};
-use crate::storage::MapStorage;
+use crate::storage::{MapRead, MapStorage, MapWrite};
 
 /// One row of the standing-query result.
 #[derive(Debug, Clone, PartialEq)]
@@ -208,56 +208,20 @@ impl Engine {
     /// looping over many events reuses one scratch to amortize the
     /// allocations.
     fn apply_event(&mut self, event: &Event, scratch: &mut EventScratch) -> Result<bool> {
-        let Some(trigger) = self.exec.trigger(&event.relation, event.kind) else {
-            return Ok(false);
+        let trace = if self.tracing {
+            Some(&mut self.trace)
+        } else {
+            None
         };
-        if event.tuple.arity() != trigger.event_args {
-            return Err(Error::Runtime(format!(
-                "event on {} has arity {}, expected {}",
-                event.relation,
-                event.tuple.arity(),
-                trigger.event_args
-            )));
-        }
-
-        let EventScratch { env, updates } = scratch;
-        for stmt in &trigger.statements {
-            env.clear();
-            env.resize(stmt.slots, Value::ZERO);
-            env[..event.tuple.arity()].clone_from_slice(&event.tuple);
-            if stmt.clear_target {
-                self.maps[stmt.target].clear();
-            }
-            updates.clear();
-            run_block(&self.maps, &stmt.block, env, 0, &mut |env, maps| {
-                let key: Tuple = stmt
-                    .keys
-                    .iter()
-                    .map(|k| eval_scalar(k, env, maps))
-                    .collect();
-                let value = match &stmt.block.value {
-                    Some(v) => eval_scalar(v, env, maps),
-                    None => Value::ONE,
-                };
-                if !value.is_zero() {
-                    updates.push((key, value));
-                }
-            });
-            let target = stmt.target;
-            for (key, value) in updates.drain(..) {
-                self.maps[target].add(key, value);
-            }
-            if self.tracing {
-                self.trace.push(format!(
-                    "  {} => {} now has {} entries",
-                    stmt.rendered,
-                    self.exec.map_names[target],
-                    self.maps[target].len()
-                ));
-            }
-        }
-
-        Ok(true)
+        apply_event_statements(
+            &self.exec,
+            self.maps.as_mut_slice(),
+            event,
+            scratch,
+            StatementPhase::All,
+            None,
+            trace,
+        )
     }
 
     /// Process every event of a stream, in order.
@@ -271,106 +235,12 @@ impl Engine {
     /// The current standing-query result, sorted by group key for
     /// deterministic output.
     pub fn result(&self) -> Vec<ResultRow> {
-        let spec = &self.exec.result;
-        // Collect the set of group keys from the driver maps (or the
-        // single empty key for scalar queries).
-        let mut keys: Vec<Tuple> = Vec::new();
-        if spec.group_arity == 0 {
-            keys.push(Tuple::empty());
-        } else {
-            for &m in &spec.driver_maps {
-                for (k, _) in self.maps[m].iter() {
-                    if !keys.contains(k) {
-                        keys.push(k.clone());
-                    }
-                }
-            }
-            // Extremum-only queries: derive groups from support maps.
-            if spec.driver_maps.is_empty() {
-                for col in &spec.columns {
-                    if let ResultColumnSpec::Extremum { map, .. } = col {
-                        for (k, _) in self.maps[*map].iter() {
-                            let prefix = Tuple::new(k.0[..spec.group_arity].to_vec());
-                            if !keys.contains(&prefix) {
-                                keys.push(prefix);
-                            }
-                        }
-                    }
-                }
-            }
-            keys.sort();
-        }
-
-        let mut rows = Vec::with_capacity(keys.len());
-        for key in keys {
-            let mut values = Vec::with_capacity(spec.columns.len());
-            let mut all_zero = true;
-            for col in &spec.columns {
-                let v = match col {
-                    ResultColumnSpec::Group { index, .. } => {
-                        all_zero = false;
-                        key[*index].clone()
-                    }
-                    ResultColumnSpec::Sum { map, .. } => {
-                        let v = self.maps[*map].get(&key);
-                        if !v.is_zero() {
-                            all_zero = false;
-                        }
-                        v
-                    }
-                    ResultColumnSpec::Avg { sum, count, .. } => {
-                        let s = self.maps[*sum].get(&key);
-                        let c = self.maps[*count].get(&key);
-                        if !c.is_zero() {
-                            all_zero = false;
-                        }
-                        s.div(&c)
-                    }
-                    ResultColumnSpec::Extremum { map, is_min, .. } => {
-                        let mut best: Option<Value> = None;
-                        for (k, v) in self.maps[*map].iter() {
-                            if k.0[..key.arity()] == key.0[..] && v.as_f64() > 0.0 {
-                                let candidate = k.0[key.arity()].clone();
-                                best = Some(match best {
-                                    None => candidate,
-                                    Some(b) => {
-                                        if *is_min {
-                                            b.min_of(&candidate)
-                                        } else {
-                                            b.max_of(&candidate)
-                                        }
-                                    }
-                                });
-                                all_zero = false;
-                            }
-                        }
-                        best.unwrap_or(Value::Null)
-                    }
-                };
-                values.push(v);
-            }
-            // For scalar queries we always report the single row; grouped
-            // queries drop groups whose aggregates have all vanished.
-            if spec.group_arity == 0 || !all_zero {
-                rows.push(ResultRow { key, values });
-            }
-        }
-        rows
+        assemble_result(&self.exec, self.maps.as_slice())
     }
 
     /// Output column names in `SELECT` order.
     pub fn column_names(&self) -> Vec<String> {
-        self.exec
-            .result
-            .columns
-            .iter()
-            .map(|c| match c {
-                ResultColumnSpec::Group { name, .. }
-                | ResultColumnSpec::Sum { name, .. }
-                | ResultColumnSpec::Avg { name, .. }
-                | ResultColumnSpec::Extremum { name, .. } => name.clone(),
-            })
-            .collect()
+        result_column_names(&self.exec)
     }
 
     /// Convenience accessor for scalar single-aggregate queries.
@@ -440,30 +310,241 @@ impl Engine {
 
 /// Reusable statement-evaluation buffers: the slot environment and the
 /// staging vector for computed `(key, delta)` updates. One event's worth
-/// of state — reused across a whole batch by `process_batch`.
+/// of state — reused across a whole batch by `process_batch` and by the
+/// view server's shared-store ingestion path.
 #[derive(Default)]
-struct EventScratch {
+pub struct EventScratch {
     env: Vec<Value>,
     updates: Vec<(Tuple, Value)>,
 }
 
+/// Which statements of a trigger to run.
+///
+/// Embedded engines run [`StatementPhase::All`]: the compiler already
+/// orders delta (`Update`) statements before re-evaluation (`Replace`)
+/// statements within each trigger. The shared-store server splits the
+/// two phases *across views*: for each event, every view's delta updates
+/// run first (so each shared map is written exactly once, by its
+/// maintainer), then every view's re-evaluations run against the fully
+/// post-event base maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementPhase {
+    All,
+    Updates,
+    Replaces,
+}
+
+impl StatementPhase {
+    fn runs(self, is_replace: bool) -> bool {
+        match self {
+            StatementPhase::All => true,
+            StatementPhase::Updates => !is_replace,
+            StatementPhase::Replaces => is_replace,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
-// statement evaluation
+// statement evaluation (generic over the map frame)
 // ---------------------------------------------------------------------
+
+/// Run one event's trigger statements against an arbitrary map frame.
+///
+/// This is the execution core shared by the embedded [`Engine`] (which
+/// passes its own `Vec<MapStorage>`) and the view server (which passes a
+/// write frame into the shared map store, a phase, and a skip list for
+/// statements whose shared target another view maintains). Returns
+/// `false` when no trigger references the event's relation; counters and
+/// clocks are the caller's business.
+pub fn apply_event_statements<M: MapWrite + ?Sized>(
+    exec: &ExecProgram,
+    maps: &mut M,
+    event: &Event,
+    scratch: &mut EventScratch,
+    phase: StatementPhase,
+    skip_targets: Option<&[bool]>,
+    mut trace: Option<&mut Vec<String>>,
+) -> Result<bool> {
+    let Some(trigger) = exec.trigger(&event.relation, event.kind) else {
+        return Ok(false);
+    };
+    if event.tuple.arity() != trigger.event_args {
+        return Err(Error::Runtime(format!(
+            "event on {} has arity {}, expected {}",
+            event.relation,
+            event.tuple.arity(),
+            trigger.event_args
+        )));
+    }
+
+    let EventScratch { env, updates } = scratch;
+    for stmt in &trigger.statements {
+        if !phase.runs(stmt.is_replace) {
+            continue;
+        }
+        if skip_targets.is_some_and(|s| s.get(stmt.target).copied().unwrap_or(false)) {
+            continue;
+        }
+        env.clear();
+        env.resize(stmt.slots, Value::ZERO);
+        env[..event.tuple.arity()].clone_from_slice(&event.tuple);
+        if stmt.clear_target {
+            maps.map_mut(stmt.target).clear();
+        }
+        updates.clear();
+        run_block(&*maps, &stmt.block, env, 0, &mut |env, maps| {
+            let key: Tuple = stmt
+                .keys
+                .iter()
+                .map(|k| eval_scalar(k, env, maps))
+                .collect();
+            let value = match &stmt.block.value {
+                Some(v) => eval_scalar(v, env, maps),
+                None => Value::ONE,
+            };
+            if !value.is_zero() {
+                updates.push((key, value));
+            }
+        });
+        let target = stmt.target;
+        for (key, value) in updates.drain(..) {
+            maps.map_mut(target).add(key, value);
+        }
+        if let Some(trace) = trace.as_deref_mut() {
+            trace.push(format!(
+                "  {} => {} now has {} entries",
+                stmt.rendered,
+                exec.map_names[target],
+                maps.map(target).len()
+            ));
+        }
+    }
+
+    Ok(true)
+}
+
+/// Output column names of a lowered program, in `SELECT` order.
+pub fn result_column_names(exec: &ExecProgram) -> Vec<String> {
+    exec.result
+        .columns
+        .iter()
+        .map(|c| match c {
+            ResultColumnSpec::Group { name, .. }
+            | ResultColumnSpec::Sum { name, .. }
+            | ResultColumnSpec::Avg { name, .. }
+            | ResultColumnSpec::Extremum { name, .. } => name.clone(),
+        })
+        .collect()
+}
+
+/// Assemble the standing-query result rows from an arbitrary map frame,
+/// sorted by group key for deterministic output.
+pub fn assemble_result<M: MapRead + ?Sized>(exec: &ExecProgram, maps: &M) -> Vec<ResultRow> {
+    let spec = &exec.result;
+    // Collect the set of group keys from the driver maps (or the
+    // single empty key for scalar queries).
+    let mut keys: Vec<Tuple> = Vec::new();
+    if spec.group_arity == 0 {
+        keys.push(Tuple::empty());
+    } else {
+        for &m in &spec.driver_maps {
+            for (k, _) in maps.map(m).iter() {
+                if !keys.contains(k) {
+                    keys.push(k.clone());
+                }
+            }
+        }
+        // Extremum-only queries: derive groups from support maps.
+        if spec.driver_maps.is_empty() {
+            for col in &spec.columns {
+                if let ResultColumnSpec::Extremum { map, .. } = col {
+                    for (k, _) in maps.map(*map).iter() {
+                        let prefix = Tuple::new(k.0[..spec.group_arity].to_vec());
+                        if !keys.contains(&prefix) {
+                            keys.push(prefix);
+                        }
+                    }
+                }
+            }
+        }
+        keys.sort();
+    }
+
+    let mut rows = Vec::with_capacity(keys.len());
+    for key in keys {
+        let mut values = Vec::with_capacity(spec.columns.len());
+        let mut all_zero = true;
+        for col in &spec.columns {
+            let v = match col {
+                ResultColumnSpec::Group { index, .. } => {
+                    all_zero = false;
+                    key[*index].clone()
+                }
+                ResultColumnSpec::Sum { map, .. } => {
+                    let v = maps.map(*map).get(&key);
+                    if !v.is_zero() {
+                        all_zero = false;
+                    }
+                    v
+                }
+                ResultColumnSpec::Avg { sum, count, .. } => {
+                    let s = maps.map(*sum).get(&key);
+                    let c = maps.map(*count).get(&key);
+                    if !c.is_zero() {
+                        all_zero = false;
+                    }
+                    s.div(&c)
+                }
+                ResultColumnSpec::Extremum { map, is_min, .. } => {
+                    let mut best: Option<Value> = None;
+                    for (k, v) in maps.map(*map).iter() {
+                        if k.0[..key.arity()] == key.0[..] && v.as_f64() > 0.0 {
+                            let candidate = k.0[key.arity()].clone();
+                            best = Some(match best {
+                                None => candidate,
+                                Some(b) => {
+                                    if *is_min {
+                                        b.min_of(&candidate)
+                                    } else {
+                                        b.max_of(&candidate)
+                                    }
+                                }
+                            });
+                            all_zero = false;
+                        }
+                    }
+                    best.unwrap_or(Value::Null)
+                }
+            };
+            values.push(v);
+        }
+        // For scalar queries we always report the single row; grouped
+        // queries drop groups whose aggregates have all vanished.
+        if spec.group_arity == 0 || !all_zero {
+            rows.push(ResultRow { key, values });
+        }
+    }
+    rows
+}
 
 /// Drive the nested loops of a block, invoking `emit` for every binding.
 /// Guards and assignments are evaluated innermost (per complete binding).
-fn run_block(
-    maps: &[MapStorage],
+fn run_block<M: MapRead + ?Sized>(
+    maps: &M,
     block: &Block,
     env: &mut Vec<Value>,
     level: usize,
-    emit: &mut dyn FnMut(&mut Vec<Value>, &[MapStorage]),
+    emit: &mut dyn FnMut(&mut Vec<Value>, &M),
 ) {
-    if level == block.loops.len() {
-        for (slot, scalar) in &block.assigns {
-            env[*slot] = eval_scalar(scalar, env, maps);
+    // Assignments run at the level where their inputs are bound —
+    // *before* this level's loop evaluates bound keys that may read the
+    // assigned slots (`None` = innermost, for untracked Lift bodies).
+    for a in &block.assigns {
+        if a.level.unwrap_or(block.loops.len()) == level {
+            env[a.slot] = eval_scalar(&a.value, env, maps);
         }
+    }
+    if level == block.loops.len() {
         for g in &block.guards {
             if !eval_scalar(g, env, maps).as_bool() {
                 return;
@@ -480,7 +561,8 @@ fn run_block(
         .collect();
     // Materialize the slice keys so the recursive call can freely evaluate
     // lookups against the maps.
-    let entries: Vec<(Tuple, Value)> = maps[step.map]
+    let entries: Vec<(Tuple, Value)> = maps
+        .map(step.map)
         .slice(&step.bound_positions, &bound)
         .into_iter()
         .map(|(k, v)| (k.clone(), v.clone()))
@@ -495,7 +577,7 @@ fn run_block(
 }
 
 /// Evaluate a scalar expression.
-fn eval_scalar(scalar: &Scalar, env: &[Value], maps: &[MapStorage]) -> Value {
+fn eval_scalar<M: MapRead + ?Sized>(scalar: &Scalar, env: &[Value], maps: &M) -> Value {
     match scalar {
         Scalar::Const(c) => c.clone(),
         Scalar::Slot(i) => env[*i].clone(),
@@ -521,7 +603,7 @@ fn eval_scalar(scalar: &Scalar, env: &[Value], maps: &[MapStorage]) -> Value {
         }
         Scalar::Lookup { map, keys } => {
             let key: Tuple = keys.iter().map(|k| eval_scalar(k, env, maps)).collect();
-            maps[*map].get(&key)
+            maps.map(*map).get(&key)
         }
         Scalar::Aggregate(block) => eval_block_sum(block, env, maps),
         Scalar::Exists(block) => {
@@ -532,7 +614,7 @@ fn eval_scalar(scalar: &Scalar, env: &[Value], maps: &[MapStorage]) -> Value {
 }
 
 /// Sum a nested block (Lift / EXISTS bodies).
-fn eval_block_sum(block: &Block, env: &[Value], maps: &[MapStorage]) -> Value {
+fn eval_block_sum<M: MapRead + ?Sized>(block: &Block, env: &[Value], maps: &M) -> Value {
     let mut scratch = env.to_vec();
     let mut total = Value::ZERO;
     run_block(maps, block, &mut scratch, 0, &mut |env, maps| {
@@ -651,6 +733,39 @@ mod tests {
                 "diverged at {e:?}"
             );
         }
+    }
+
+    #[test]
+    fn grouped_first_order_compilation_matches_full() {
+        // Regression: a grouped first-order statement loops over a BASE
+        // map whose bound key comes from an equality *assignment*
+        // (group var := trigger arg), not from a trigger-arg slot. The
+        // assignment must run before the loop evaluates its bound keys,
+        // or the slice probes a zeroed slot and matches nothing.
+        let sql = "select R.B, sum(A*D) from R, S, T where R.B=S.B and S.C=T.C group by R.B";
+        let mut full = engine_for(sql, &CompileOptions::full());
+        let mut first = engine_for(sql, &CompileOptions::first_order());
+        let events = [
+            Event::insert("S", tuple![1i64, 10i64]),
+            Event::insert("R", tuple![5i64, 1i64]),
+            Event::insert("T", tuple![10i64, 7i64]),
+            Event::insert("R", tuple![2i64, 2i64]),
+            Event::insert("S", tuple![2i64, 10i64]),
+            Event::delete("R", tuple![5i64, 1i64]),
+            Event::insert("T", tuple![10i64, 3i64]),
+        ];
+        for e in &events {
+            full.on_event(e).unwrap();
+            first.on_event(e).unwrap();
+            assert_eq!(full.result(), first.result(), "diverged at {e:?}");
+        }
+        // And both agree with the hand computation: after the deletion
+        // only R(2,2) remains, joining S(2,10) and T(10,{7,3}).
+        assert_eq!(full.result().len(), 1);
+        assert_eq!(
+            full.result()[0].values,
+            vec![Value::Int(2), Value::Int(2 * 7 + 2 * 3)]
+        );
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //! * [`engine`] — the query engine: applies update-stream events, exposes
 //!   the standing query result, read-only snapshots of internal maps
 //!   (the paper's ad-hoc client-side query interface), a per-map/
-//!   per-trigger profiler and a statement-level tracing debugger,
+//!   per-trigger profiler and a statement-level tracing debugger. The
+//!   evaluation core is generic over a map *frame* ([`storage::MapRead`]
+//!   / [`storage::MapWrite`]), so the same compiled statements run
+//!   against an engine's private maps or the shared store,
+//! * [`store`] — the shared map store: maps deduplicated across views by
+//!   canonical fingerprint, per-map-group locking, maintainer-view
+//!   bookkeeping (the server half of cross-query map sharing),
 //! * [`standalone`] — the standalone processing mode: an engine running
 //!   on its own thread, fed through a channel, mirroring the paper's
 //!   network-fed standalone runtime (embedded mode is simply using
@@ -25,8 +31,13 @@ pub mod engine;
 pub mod lower;
 pub mod standalone;
 pub mod storage;
+pub mod store;
 
-pub use engine::{Engine, ProfileReport, ResultRow};
+pub use engine::{
+    apply_event_statements, assemble_result, result_column_names, Engine, EventScratch,
+    ProfileReport, ResultRow, StatementPhase,
+};
 pub use lower::{lower_program, ExecProgram};
 pub use standalone::StandaloneServer;
-pub use storage::MapStorage;
+pub use storage::{MapRead, MapStorage, MapWrite};
+pub use store::{MapRegistration, ReadFrame, SharedMapStore, SlotMeta, ViewBinding, WriteFrame};

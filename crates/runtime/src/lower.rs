@@ -17,7 +17,7 @@
 //!   machinery runs at event time.
 
 use dbtoaster_calculus::{CalcExpr, CmpOp, ResultColumn, ValExpr, Var};
-use dbtoaster_common::{Error, EventKind, Result, Value};
+use dbtoaster_common::{Error, EventKind, FxHashMap, Result, Value};
 use dbtoaster_compiler::{Statement, StatementKind, TriggerProgram};
 
 /// Scalar expressions over environment slots.
@@ -62,13 +62,26 @@ pub struct LoopStep {
     pub value_slot: usize,
 }
 
+/// A slot assignment inside a block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// Destination environment slot.
+    pub slot: usize,
+    pub value: Scalar,
+    /// Loop level at which the assignment's inputs are all bound and the
+    /// assignment must run — *before* any deeper loop evaluates its
+    /// bound-key scalars (which may read this slot). `None` means the
+    /// innermost level (Lift bodies, whose dependencies are not tracked).
+    pub level: Option<usize>,
+}
+
 /// A block: nested loops, slot assignments, guards and a value.
 /// Its aggregate value is the sum over all loop bindings that pass the
 /// guards of the block's value expression.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Block {
     pub loops: Vec<LoopStep>,
-    pub assigns: Vec<(usize, Scalar)>,
+    pub assigns: Vec<Assign>,
     pub guards: Vec<Scalar>,
     pub value: Option<Scalar>,
 }
@@ -79,6 +92,11 @@ pub struct ExecStatement {
     pub target: usize,
     /// Clear the target before applying (Replace statements).
     pub clear_target: bool,
+    /// Lowered from a `Replace` (re-evaluation) statement. Replace
+    /// statements must observe post-event inputs, so multi-view
+    /// execution runs them in a second phase after every view's delta
+    /// updates for the event have been applied.
+    pub is_replace: bool,
     /// Target key expressions (one per key position).
     pub keys: Vec<Scalar>,
     pub block: Block,
@@ -140,20 +158,223 @@ pub struct ExecProgram {
     pub result: ResultSpec,
     /// Names of base relations that have at least one trigger.
     pub relations: Vec<String>,
+    /// Precomputed map-name → id lookup (hot on registration and
+    /// snapshot paths). Authoritative when non-empty; an empty index
+    /// falls back to a scan of `map_names`.
+    pub map_index: FxHashMap<String, usize>,
+    /// Precomputed (relation → [insert, delete]) trigger lookup into
+    /// `triggers` (hot on the per-event dispatch path).
+    pub trigger_index: FxHashMap<String, [Option<usize>; 2]>,
+}
+
+fn event_slot(event: EventKind) -> usize {
+    match event {
+        EventKind::Insert => 0,
+        EventKind::Delete => 1,
+    }
 }
 
 impl ExecProgram {
     /// Map id by name.
     pub fn map_id(&self, name: &str) -> Option<usize> {
-        self.map_names.iter().position(|n| n == name)
+        if self.map_index.is_empty() {
+            self.map_names.iter().position(|n| n == name)
+        } else {
+            self.map_index.get(name).copied()
+        }
     }
 
     /// The compiled trigger for an event, if any.
     pub fn trigger(&self, relation: &str, event: EventKind) -> Option<&CompiledTrigger> {
-        self.triggers
+        if self.trigger_index.is_empty() {
+            self.triggers
+                .iter()
+                .find(|((r, e), _)| r == relation && *e == event)
+                .map(|(_, t)| t)
+        } else {
+            let i = self.trigger_index.get(relation)?[event_slot(event)]?;
+            Some(&self.triggers[i].1)
+        }
+    }
+
+    /// Rebuild both lookup indexes from the current `map_names` and
+    /// `triggers` (lowering calls this; manual edits may re-call it).
+    pub fn rebuild_indexes(&mut self) {
+        self.map_index = self
+            .map_names
             .iter()
-            .find(|((r, e), _)| r == relation && *e == event)
-            .map(|(_, t)| t)
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        self.trigger_index = FxHashMap::default();
+        for (i, ((relation, event), _)) in self.triggers.iter().enumerate() {
+            self.trigger_index.entry(relation.clone()).or_default()[event_slot(*event)] = Some(i);
+        }
+    }
+
+    /// Rebind every map id through `slot_of` (local id → store slot),
+    /// producing a program whose statements address maps in a space of
+    /// `slot_count` shared-store slots. `map_names`, `map_arities` and
+    /// `patterns` become sparse (entries only at this view's slots); the
+    /// rebuilt `map_index` maps this view's names to store slots.
+    pub fn with_remapped_maps(&self, slot_of: &[usize], slot_count: usize) -> ExecProgram {
+        assert_eq!(slot_of.len(), self.map_names.len(), "binding arity");
+        let mut map_names = vec![String::new(); slot_count];
+        let mut map_arities = vec![0usize; slot_count];
+        let mut patterns = vec![Vec::new(); slot_count];
+        for (local, &slot) in slot_of.iter().enumerate() {
+            map_names[slot] = self.map_names[local].clone();
+            map_arities[slot] = self.map_arities[local];
+            patterns[slot] = self.patterns[local].clone();
+        }
+        let mut out = ExecProgram {
+            map_names,
+            map_arities,
+            patterns,
+            triggers: self
+                .triggers
+                .iter()
+                .map(|(key, t)| {
+                    (
+                        key.clone(),
+                        CompiledTrigger {
+                            relation: t.relation.clone(),
+                            event_args: t.event_args,
+                            statements: t
+                                .statements
+                                .iter()
+                                .map(|s| remap_statement(s, slot_of))
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+            result: ResultSpec {
+                group_arity: self.result.group_arity,
+                columns: self
+                    .result
+                    .columns
+                    .iter()
+                    .map(|c| match c {
+                        ResultColumnSpec::Group { name, index } => ResultColumnSpec::Group {
+                            name: name.clone(),
+                            index: *index,
+                        },
+                        ResultColumnSpec::Sum { name, map } => ResultColumnSpec::Sum {
+                            name: name.clone(),
+                            map: slot_of[*map],
+                        },
+                        ResultColumnSpec::Avg { name, sum, count } => ResultColumnSpec::Avg {
+                            name: name.clone(),
+                            sum: slot_of[*sum],
+                            count: slot_of[*count],
+                        },
+                        ResultColumnSpec::Extremum { name, map, is_min } => {
+                            ResultColumnSpec::Extremum {
+                                name: name.clone(),
+                                map: slot_of[*map],
+                                is_min: *is_min,
+                            }
+                        }
+                    })
+                    .collect(),
+                driver_maps: self
+                    .result
+                    .driver_maps
+                    .iter()
+                    .map(|&m| slot_of[m])
+                    .collect(),
+            },
+            relations: self.relations.clone(),
+            map_index: slot_of
+                .iter()
+                .enumerate()
+                .map(|(local, &slot)| (self.map_names[local].clone(), slot))
+                .collect(),
+            trigger_index: FxHashMap::default(),
+        };
+        // Trigger order is unchanged by rebinding; rebuild the index
+        // rather than trusting the source program had one.
+        for (i, ((relation, event), _)) in out.triggers.iter().enumerate() {
+            out.trigger_index.entry(relation.clone()).or_default()[event_slot(*event)] = Some(i);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// map-id rebinding (shared-store slot translation)
+// ---------------------------------------------------------------------
+
+fn remap_statement(stmt: &ExecStatement, slot_of: &[usize]) -> ExecStatement {
+    ExecStatement {
+        target: slot_of[stmt.target],
+        clear_target: stmt.clear_target,
+        is_replace: stmt.is_replace,
+        keys: stmt.keys.iter().map(|k| remap_scalar(k, slot_of)).collect(),
+        block: remap_block(&stmt.block, slot_of),
+        slots: stmt.slots,
+        rendered: stmt.rendered.clone(),
+    }
+}
+
+fn remap_block(block: &Block, slot_of: &[usize]) -> Block {
+    Block {
+        loops: block
+            .loops
+            .iter()
+            .map(|l| LoopStep {
+                map: slot_of[l.map],
+                bound_positions: l.bound_positions.clone(),
+                bound_values: l
+                    .bound_values
+                    .iter()
+                    .map(|s| remap_scalar(s, slot_of))
+                    .collect(),
+                bind: l.bind.clone(),
+                value_slot: l.value_slot,
+            })
+            .collect(),
+        assigns: block
+            .assigns
+            .iter()
+            .map(|a| Assign {
+                slot: a.slot,
+                value: remap_scalar(&a.value, slot_of),
+                level: a.level,
+            })
+            .collect(),
+        guards: block
+            .guards
+            .iter()
+            .map(|g| remap_scalar(g, slot_of))
+            .collect(),
+        value: block.value.as_ref().map(|v| remap_scalar(v, slot_of)),
+    }
+}
+
+fn remap_scalar(scalar: &Scalar, slot_of: &[usize]) -> Scalar {
+    match scalar {
+        Scalar::Const(c) => Scalar::Const(c.clone()),
+        Scalar::Slot(i) => Scalar::Slot(*i),
+        Scalar::Add(es) => Scalar::Add(es.iter().map(|e| remap_scalar(e, slot_of)).collect()),
+        Scalar::Mul(es) => Scalar::Mul(es.iter().map(|e| remap_scalar(e, slot_of)).collect()),
+        Scalar::Neg(e) => Scalar::Neg(Box::new(remap_scalar(e, slot_of))),
+        Scalar::Div(a, b) => Scalar::Div(
+            Box::new(remap_scalar(a, slot_of)),
+            Box::new(remap_scalar(b, slot_of)),
+        ),
+        Scalar::Cmp { op, left, right } => Scalar::Cmp {
+            op: *op,
+            left: Box::new(remap_scalar(left, slot_of)),
+            right: Box::new(remap_scalar(right, slot_of)),
+        },
+        Scalar::Lookup { map, keys } => Scalar::Lookup {
+            map: slot_of[*map],
+            keys: keys.iter().map(|k| remap_scalar(k, slot_of)).collect(),
+        },
+        Scalar::Aggregate(block) => Scalar::Aggregate(Box::new(remap_block(block, slot_of))),
+        Scalar::Exists(block) => Scalar::Exists(Box::new(remap_block(block, slot_of))),
     }
 }
 
@@ -167,6 +388,9 @@ pub fn lower_program(program: &TriggerProgram) -> Result<ExecProgram> {
         map_arities,
         ..Default::default()
     };
+    // Statement lowering resolves map names constantly; index them now
+    // (the trigger index is completed by the final rebuild below).
+    exec.rebuild_indexes();
 
     for trigger in &program.triggers {
         let mut compiled = CompiledTrigger {
@@ -186,6 +410,7 @@ pub fn lower_program(program: &TriggerProgram) -> Result<ExecProgram> {
     }
 
     exec.result = lower_result(program, &exec)?;
+    exec.rebuild_indexes();
     Ok(exec)
 }
 
@@ -326,6 +551,7 @@ fn lower_statement(
         out.push(ExecStatement {
             target,
             clear_target: clear_target && i == 0,
+            is_replace: statement.kind == StatementKind::Replace,
             keys: key_scalars,
             block,
             slots: lowerer.slots.len(),
@@ -410,7 +636,11 @@ fn build_block(
                 let inner = build_nested_scalar(lowerer, &body)?;
                 let slot = lowerer.slot_of(&var);
                 lowerer.bound[slot] = true;
-                block.assigns.push((slot, inner));
+                block.assigns.push(Assign {
+                    slot,
+                    value: inner,
+                    level: None,
+                });
             }
             CalcExpr::Exists(body) => {
                 let inner = build_nested_block(lowerer, &body)?;
@@ -453,7 +683,16 @@ fn build_block(
                     let scalar = lower_val(lowerer, &rhs)?;
                     let slot = lowerer.slot_of(&var);
                     lowerer.bound[slot] = true;
-                    block.assigns.push((slot, scalar));
+                    // The RHS is computable from what is bound *now* —
+                    // trigger args, earlier assignments and the loops
+                    // pushed so far — so the assignment runs at the
+                    // current loop depth, before any later loop
+                    // evaluates bound keys that may read this slot.
+                    block.assigns.push(Assign {
+                        slot,
+                        value: scalar,
+                        level: Some(block.loops.len()),
+                    });
                     pending_cmps.remove(i);
                     progress = true;
                     continue;

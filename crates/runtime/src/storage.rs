@@ -11,6 +11,44 @@
 
 use dbtoaster_common::{FxHashMap, Tuple, Value};
 
+/// Read access to a resolved set of maps, indexed by map id.
+///
+/// Statement evaluation and result assembly are generic over this trait
+/// so the same compiled code runs against two map layouts:
+///
+/// * an engine's privately owned `Vec<MapStorage>` (embedded mode, where
+///   map ids are dense `0..n`), and
+/// * a *frame* of borrowed references into the shared map store (server
+///   mode, where ids are store-wide slots and the storage behind a slot
+///   may be shared by several views).
+pub trait MapRead {
+    /// The map with the given id. Panics if the id is not resolved in
+    /// this frame — lowering resolves every id it emits, so an
+    /// unresolved id is a frame-construction bug, not a data error.
+    fn map(&self, id: usize) -> &MapStorage;
+}
+
+/// Write access to a resolved set of maps, indexed by map id.
+pub trait MapWrite: MapRead {
+    /// Mutable access to the map with the given id (same panic contract
+    /// as [`MapRead::map`]).
+    fn map_mut(&mut self, id: usize) -> &mut MapStorage;
+}
+
+impl MapRead for [MapStorage] {
+    #[inline]
+    fn map(&self, id: usize) -> &MapStorage {
+        &self[id]
+    }
+}
+
+impl MapWrite for [MapStorage] {
+    #[inline]
+    fn map_mut(&mut self, id: usize) -> &mut MapStorage {
+        &mut self[id]
+    }
+}
+
 /// A secondary index: the sorted key positions it covers, and the map
 /// from projected keys to the full keys sharing that projection.
 type SecondaryIndex = (Vec<usize>, FxHashMap<Tuple, Vec<Tuple>>);

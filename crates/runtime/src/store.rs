@@ -1,0 +1,477 @@
+//! The shared map store: deduplicated materialized maps across views.
+//!
+//! The paper's compiled engines are "a set of in-memory maps plus
+//! triggers". When one server hosts N standing queries over the same
+//! catalog, structurally identical maps recur constantly — every view
+//! that touches a relation through the re-evaluation or depth-limited
+//! path materializes the same `BASE_<REL>` multiplicity map, and
+//! independently compiled queries produce alpha-equivalent sub-aggregates
+//! (the cross-*handler* sharing of the paper, lifted across *queries*).
+//! This module is the storage half of that lift:
+//!
+//! * maps are interned by canonical **fingerprint**
+//!   (`MapDecl::fingerprint`): the first view to register a fingerprint
+//!   allocates storage and becomes the map's **maintainer**; later views
+//!   bind the existing slot and *skip* their own statements targeting it,
+//!   so a shared map is written once per event, not once per sharer;
+//! * storage is partitioned into **map groups** — one group per
+//!   registering view, holding the maps that view introduced — each
+//!   behind its own `RwLock`. Lock plans are deterministic (ascending
+//!   group id), which keeps multi-group acquisition deadlock-free and
+//!   snapshots consistent, and gives sharded dispatch a natural unit;
+//! * execution addresses maps by store-wide **slot** id: a view's lowered
+//!   program is rebound (`ExecProgram::with_remapped_maps`) from its
+//!   dense local ids to slots, and a [`WriteFrame`]/[`ReadFrame`] built
+//!   from the group guards serves slot lookups during evaluation.
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use dbtoaster_common::FxHashMap;
+
+use crate::storage::{MapRead, MapStorage, MapWrite};
+
+/// What a view asks the store for, per map of its compiled program
+/// (in local map-id order).
+#[derive(Debug, Clone)]
+pub struct MapRegistration {
+    /// The view-local map name (`Q`, `M3_ST`, `BASE_BIDS`, ...).
+    pub name: String,
+    /// Cross-program canonical fingerprint (`MapDecl::fingerprint`).
+    pub fingerprint: String,
+    /// Key arity.
+    pub arity: usize,
+    /// Base-relation multiplicity map?
+    pub is_base_relation: bool,
+    /// Secondary-index patterns this view's loops need on the map.
+    pub patterns: Vec<Vec<usize>>,
+    /// May this view bind an already-stored copy of the map instead of
+    /// materializing its own? False when the view requires *pre-event*
+    /// reads of the map — it has a delta (`Update`) statement that reads
+    /// the map in a trigger for a relation the map's definition depends
+    /// on (a self-join shape). Sharing would let the map's maintainer
+    /// update the storage earlier in the same event, so such views get a
+    /// private copy. `false` never prevents the view from *providing*
+    /// the map to later, hazard-free sharers (as maintainer, its own
+    /// statement order is intact).
+    pub shareable: bool,
+}
+
+/// Immutable metadata of one stored map.
+#[derive(Debug, Clone)]
+pub struct SlotMeta {
+    /// Group the storage lives in.
+    pub group: usize,
+    /// Index within the group.
+    pub index: usize,
+    pub fingerprint: String,
+    pub arity: usize,
+    pub is_base_relation: bool,
+    /// View id that allocated the slot and maintains its contents.
+    pub maintainer: usize,
+    /// `(view id, view-local map name)` for every view bound to the slot
+    /// (the maintainer first, in registration order).
+    pub aliases: Vec<(usize, String)>,
+}
+
+impl SlotMeta {
+    /// Number of views bound to this slot.
+    pub fn sharers(&self) -> usize {
+        self.aliases.len()
+    }
+}
+
+/// A view's binding into the store, in local map-id order.
+#[derive(Debug, Clone, Default)]
+pub struct ViewBinding {
+    /// Local map id → store slot.
+    pub slots: Vec<usize>,
+    /// Local map id → does this view maintain the slot? Statements
+    /// targeting non-maintained slots must be skipped at apply time.
+    pub maintains: Vec<bool>,
+    /// Sorted, deduplicated ids of every group this view touches (its
+    /// own group plus the groups of shared slots) — the view's lock plan.
+    pub groups: Vec<usize>,
+}
+
+impl ViewBinding {
+    /// Skip list indexed by store slot (`true` = statements targeting
+    /// the slot must not run in this view), sized to the given slot
+    /// count. Slots the view does not bind are never targeted by its
+    /// statements, so they stay `false`.
+    pub fn skip_targets(&self, slot_count: usize) -> Vec<bool> {
+        let mut skip = vec![false; slot_count];
+        for (local, &slot) in self.slots.iter().enumerate() {
+            if !self.maintains[local] {
+                skip[slot] = true;
+            }
+        }
+        skip
+    }
+}
+
+/// The deduplicated map storage shared by every view of a server.
+#[derive(Default)]
+pub struct SharedMapStore {
+    /// One lock per map group. Group 0 is the first registering view's.
+    groups: Vec<RwLock<Vec<MapStorage>>>,
+    /// Per-slot metadata (registration-time only; never changes during
+    /// event processing, so it is readable without any lock).
+    slots: Vec<SlotMeta>,
+    /// group id → index-in-group → slot id (frame construction table).
+    group_slots: Vec<Vec<usize>>,
+    /// fingerprint → slot.
+    by_fingerprint: FxHashMap<String, usize>,
+}
+
+impl SharedMapStore {
+    pub fn new() -> SharedMapStore {
+        SharedMapStore::default()
+    }
+
+    /// Number of stored (deduplicated) maps.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of map groups (= number of views that allocated at least
+    /// one new map).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Metadata of one slot.
+    pub fn slot(&self, slot: usize) -> &SlotMeta {
+        &self.slots[slot]
+    }
+
+    /// Metadata of every slot, in allocation order.
+    pub fn slots(&self) -> &[SlotMeta] {
+        &self.slots
+    }
+
+    /// All group ids (the lock plan of a full snapshot).
+    pub fn all_groups(&self) -> Vec<usize> {
+        (0..self.groups.len()).collect()
+    }
+
+    /// Bind a view's maps, deduplicating against every map already
+    /// stored. New fingerprints are allocated into one fresh group owned
+    /// by this view; known fingerprints are shared (and the view's
+    /// secondary-index patterns are registered on the existing storage,
+    /// which backfills them from live entries).
+    ///
+    /// Deduplication is strictly *across* views: if one program carries
+    /// two maps with equal fingerprints (the compiler's within-query
+    /// sharing missed them), both get their own slot — collapsing them
+    /// would make the view write the same storage twice per event.
+    pub fn register_view(&mut self, view: usize, maps: &[MapRegistration]) -> ViewBinding {
+        let mut binding = ViewBinding::default();
+        let mut fresh: Vec<MapStorage> = Vec::new();
+        let mut fresh_fingerprints: FxHashMap<&str, usize> = FxHashMap::default();
+        let group = self.groups.len();
+        for reg in maps {
+            let shared = match self.by_fingerprint.get(reg.fingerprint.as_str()) {
+                Some(&slot)
+                    if reg.shareable
+                        && !fresh_fingerprints.contains_key(reg.fingerprint.as_str()) =>
+                {
+                    debug_assert_eq!(self.slots[slot].arity, reg.arity, "fingerprint collision");
+                    Some(slot)
+                }
+                _ => None,
+            };
+            match shared {
+                Some(slot) => {
+                    let meta = &mut self.slots[slot];
+                    meta.aliases.push((view, reg.name.clone()));
+                    let mut storage = self.groups[meta.group].write();
+                    for p in &reg.patterns {
+                        storage[meta.index].register_pattern(p);
+                    }
+                    binding.slots.push(slot);
+                    binding.maintains.push(false);
+                }
+                None => {
+                    let slot = self.slots.len();
+                    let index = fresh.len();
+                    let mut storage = MapStorage::new(reg.arity);
+                    for p in &reg.patterns {
+                        storage.register_pattern(p);
+                    }
+                    fresh.push(storage);
+                    fresh_fingerprints.insert(reg.fingerprint.as_str(), slot);
+                    self.slots.push(SlotMeta {
+                        group,
+                        index,
+                        fingerprint: reg.fingerprint.clone(),
+                        arity: reg.arity,
+                        is_base_relation: reg.is_base_relation,
+                        maintainer: view,
+                        aliases: vec![(view, reg.name.clone())],
+                    });
+                    // First allocation wins the interning: a within-view
+                    // duplicate gets its own slot (above) but future
+                    // views keep sharing the original.
+                    self.by_fingerprint
+                        .entry(reg.fingerprint.clone())
+                        .or_insert(slot);
+                    binding.slots.push(slot);
+                    binding.maintains.push(true);
+                }
+            }
+        }
+        if !fresh.is_empty() {
+            self.group_slots.push(
+                self.slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.group == group)
+                    .map(|(slot, _)| slot)
+                    .collect(),
+            );
+            self.groups.push(RwLock::new(fresh));
+        }
+        binding.groups = binding.slots.iter().map(|&s| self.slots[s].group).collect();
+        binding.groups.sort_unstable();
+        binding.groups.dedup();
+        binding
+    }
+
+    /// Acquire read locks on the given groups. `groups` must be sorted
+    /// ascending (every lock plan in this module is) so that concurrent
+    /// acquisitions cannot deadlock.
+    pub fn lock_read<'a>(&'a self, groups: &[usize]) -> Vec<RwLockReadGuard<'a, Vec<MapStorage>>> {
+        debug_assert!(groups.windows(2).all(|w| w[0] < w[1]), "unsorted lock plan");
+        groups.iter().map(|&g| self.groups[g].read()).collect()
+    }
+
+    /// Acquire write locks on the given groups (sorted ascending).
+    pub fn lock_write<'a>(
+        &'a self,
+        groups: &[usize],
+    ) -> Vec<RwLockWriteGuard<'a, Vec<MapStorage>>> {
+        debug_assert!(groups.windows(2).all(|w| w[0] < w[1]), "unsorted lock plan");
+        groups.iter().map(|&g| self.groups[g].write()).collect()
+    }
+
+    /// Build a read frame over already-acquired group guards. `groups`
+    /// must be the exact lock plan the guards were acquired with.
+    pub fn read_frame<'a>(
+        &self,
+        groups: &[usize],
+        guards: &'a [RwLockReadGuard<'_, Vec<MapStorage>>],
+    ) -> ReadFrame<'a> {
+        let mut frame: Vec<Option<&'a MapStorage>> = (0..self.slots.len()).map(|_| None).collect();
+        for (&group, guard) in groups.iter().zip(guards) {
+            for (index, storage) in guard.iter().enumerate() {
+                frame[self.resolve(group, index)] = Some(storage);
+            }
+        }
+        ReadFrame { maps: frame }
+    }
+
+    /// Build a write frame over already-acquired group guards.
+    pub fn write_frame<'a>(
+        &self,
+        groups: &[usize],
+        guards: &'a mut [RwLockWriteGuard<'_, Vec<MapStorage>>],
+    ) -> WriteFrame<'a> {
+        let mut frame: Vec<Option<&'a mut MapStorage>> =
+            (0..self.slots.len()).map(|_| None).collect();
+        for (&group, guard) in groups.iter().zip(guards.iter_mut()) {
+            for (index, storage) in guard.iter_mut().enumerate() {
+                frame[self.resolve(group, index)] = Some(storage);
+            }
+        }
+        WriteFrame { maps: frame }
+    }
+
+    /// Read one map under its group lock.
+    pub fn with_map<R>(&self, slot: usize, f: impl FnOnce(&MapStorage) -> R) -> R {
+        let meta = &self.slots[slot];
+        let storage = self.groups[meta.group].read();
+        f(&storage[meta.index])
+    }
+
+    /// Approximate bytes held by all stored maps, each counted once
+    /// regardless of how many views share it.
+    pub fn approx_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.read().iter().map(MapStorage::approx_bytes).sum::<usize>())
+            .sum()
+    }
+
+    fn resolve(&self, group: usize, index: usize) -> usize {
+        self.group_slots[group][index]
+    }
+}
+
+/// Borrowed read access to stored maps, indexed by store slot.
+pub struct ReadFrame<'a> {
+    maps: Vec<Option<&'a MapStorage>>,
+}
+
+impl MapRead for ReadFrame<'_> {
+    #[inline]
+    fn map(&self, id: usize) -> &MapStorage {
+        self.maps[id].expect("slot not covered by this frame's lock plan")
+    }
+}
+
+/// Borrowed write access to stored maps, indexed by store slot.
+pub struct WriteFrame<'a> {
+    maps: Vec<Option<&'a mut MapStorage>>,
+}
+
+impl MapRead for WriteFrame<'_> {
+    #[inline]
+    fn map(&self, id: usize) -> &MapStorage {
+        self.maps[id]
+            .as_deref()
+            .expect("slot not covered by this frame's lock plan")
+    }
+}
+
+impl MapWrite for WriteFrame<'_> {
+    #[inline]
+    fn map_mut(&mut self, id: usize) -> &mut MapStorage {
+        self.maps[id]
+            .as_deref_mut()
+            .expect("slot not covered by this frame's lock plan")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{tuple, Value};
+
+    fn reg(name: &str, fingerprint: &str, arity: usize) -> MapRegistration {
+        MapRegistration {
+            name: name.to_string(),
+            fingerprint: fingerprint.to_string(),
+            arity,
+            is_base_relation: name.starts_with("BASE_"),
+            patterns: Vec::new(),
+            shareable: true,
+        }
+    }
+
+    #[test]
+    fn first_registrant_allocates_later_views_share() {
+        let mut store = SharedMapStore::new();
+        let a = store.register_view(0, &[reg("Q", "fp:q", 0), reg("BASE_R", "fp:base_r", 2)]);
+        assert_eq!(a.slots, vec![0, 1]);
+        assert_eq!(a.maintains, vec![true, true]);
+        assert_eq!(a.groups, vec![0]);
+
+        let b = store.register_view(1, &[reg("Q2", "fp:q2", 1), reg("BASE_R", "fp:base_r", 2)]);
+        assert_eq!(b.slots, vec![2, 1], "BASE_R reuses slot 1");
+        assert_eq!(b.maintains, vec![true, false]);
+        assert_eq!(b.groups, vec![0, 1], "lock plan covers the shared group");
+
+        assert_eq!(store.slot_count(), 3);
+        assert_eq!(store.group_count(), 2);
+        let base = store.slot(1);
+        assert_eq!(base.maintainer, 0);
+        assert_eq!(base.sharers(), 2);
+        assert!(base.is_base_relation);
+        assert_eq!(
+            base.aliases,
+            vec![(0, "BASE_R".into()), (1, "BASE_R".into())]
+        );
+    }
+
+    #[test]
+    fn duplicate_fingerprints_within_one_view_stay_separate() {
+        let mut store = SharedMapStore::new();
+        let b = store.register_view(0, &[reg("Q", "fp:same", 1), reg("M1_R", "fp:same", 1)]);
+        assert_eq!(b.slots, vec![0, 1], "no within-view collapse");
+        assert_eq!(b.maintains, vec![true, true]);
+        // A later view still shares the first of the two.
+        let c = store.register_view(1, &[reg("X", "fp:same", 1)]);
+        assert_eq!(c.slots, vec![0]);
+        assert_eq!(c.maintains, vec![false]);
+    }
+
+    #[test]
+    fn frames_resolve_shared_slots_and_apply_writes_once() {
+        let mut store = SharedMapStore::new();
+        let a = store.register_view(0, &[reg("BASE_R", "fp:base_r", 1)]);
+        let b = store.register_view(1, &[reg("OWN", "fp:own", 1), reg("BASE_R", "fp:base_r", 1)]);
+        assert!(b.groups.contains(&0));
+
+        // Write through view 1's lock plan (covers both groups).
+        let groups: Vec<usize> = {
+            let mut g = a.groups.clone();
+            g.extend(&b.groups);
+            g.sort_unstable();
+            g.dedup();
+            g
+        };
+        {
+            let mut guards = store.lock_write(&groups);
+            let mut frame = store.write_frame(&groups, &mut guards);
+            frame.map_mut(a.slots[0]).add(tuple![7i64], Value::Int(3));
+            frame.map_mut(b.slots[0]).add(tuple![1i64], Value::Int(1));
+        }
+        // Both views observe the same storage for BASE_R.
+        assert_eq!(
+            store.with_map(a.slots[0], |m| m.get(&tuple![7i64])),
+            Value::Int(3)
+        );
+        assert_eq!(b.slots[1], a.slots[0]);
+        let all = store.all_groups();
+        let guards = store.lock_read(&all);
+        let frame = store.read_frame(&all, &guards);
+        assert_eq!(frame.map(b.slots[1]).get(&tuple![7i64]), Value::Int(3));
+        assert_eq!(frame.map(b.slots[0]).get(&tuple![1i64]), Value::Int(1));
+    }
+
+    #[test]
+    fn shared_slots_backfill_new_patterns() {
+        let mut store = SharedMapStore::new();
+        let a = store.register_view(0, &[reg("BASE_R", "fp:base_r", 2)]);
+        {
+            let mut guards = store.lock_write(&a.groups);
+            let mut frame = store.write_frame(&a.groups, &mut guards);
+            frame
+                .map_mut(a.slots[0])
+                .add(tuple![1i64, 2i64], Value::Int(1));
+        }
+        // Second view needs a slice pattern the first never registered.
+        let mut shared = reg("BASE_R", "fp:base_r", 2);
+        shared.patterns = vec![vec![0]];
+        let b = store.register_view(1, &[shared]);
+        store.with_map(b.slots[0], |m| {
+            assert_eq!(m.index_count(), 1, "pattern registered on shared storage");
+            assert_eq!(m.slice(&[0], &tuple![1i64]).len(), 1, "and backfilled");
+        });
+    }
+
+    #[test]
+    fn unshareable_maps_get_private_slots_but_still_serve_later_sharers() {
+        let mut store = SharedMapStore::new();
+        store.register_view(0, &[reg("M1", "fp:m", 1)]);
+        // View 1 needs pre-event reads of its copy: private slot.
+        let mut hazarded = reg("M2", "fp:m", 1);
+        hazarded.shareable = false;
+        let b = store.register_view(1, &[hazarded]);
+        assert_eq!(b.slots, vec![1], "own copy despite the fingerprint hit");
+        assert_eq!(b.maintains, vec![true]);
+        // A later hazard-free view still shares the *first* copy.
+        let c = store.register_view(2, &[reg("M3", "fp:m", 1)]);
+        assert_eq!(c.slots, vec![0]);
+        assert_eq!(c.maintains, vec![false]);
+    }
+
+    #[test]
+    fn skip_targets_cover_only_non_maintained_slots() {
+        let mut store = SharedMapStore::new();
+        store.register_view(0, &[reg("A", "fp:a", 0)]);
+        let b = store.register_view(1, &[reg("B", "fp:b", 0), reg("A2", "fp:a", 0)]);
+        let skip = b.skip_targets(store.slot_count());
+        assert_eq!(skip, vec![true, false], "shared slot skipped, own slot not");
+    }
+}

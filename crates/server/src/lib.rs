@@ -1,4 +1,4 @@
-//! Multi-query view server.
+//! Multi-query view server over a shared map store.
 //!
 //! The paper's standalone mode is not a one-query toy: it is a query
 //! processor maintaining *many* standing aggregate views at once,
@@ -10,34 +10,67 @@
 //!   only to the views whose triggers reference the event's relation
 //!   (a relation → interested-views dispatch index, built at
 //!   registration time).
-//! * **Batched ingestion** — [`ViewServer::apply_batch`] partitions an
-//!   event batch across the dispatch index and takes each affected
-//!   engine's write lock once per batch (calling the engine's
-//!   `process_batch`) instead of once per event.
+//! * **Shared map store** — registration deduplicates maps *across*
+//!   views by canonical fingerprint: every `BASE_*` multiplicity map and
+//!   every alpha-equivalent sub-aggregate is materialized once, with the
+//!   first registering view designated its **maintainer**. Other views
+//!   bind the same storage read-only: their own statements targeting the
+//!   shared map are skipped, so a shared map is written once per event,
+//!   not once per interested view. Statements address maps through
+//!   store-wide slot handles (`ExecProgram::with_remapped_maps`) instead
+//!   of per-engine owned vectors.
+//! * **Per-map-group locking** — storage is partitioned into map groups
+//!   (the maps each view introduced), each behind its own lock. A batch
+//!   locks exactly the groups its affected views touch, in ascending
+//!   group order; [`ViewServer::snapshot_all`] read-locks every group in
+//!   the same order, so snapshots are one consistent cut of the stream
+//!   and acquisition is deadlock-free. This is also the seam for sharded
+//!   dispatch: disjoint group sets ingest in parallel.
+//! * **Batched ingestion** — [`ViewServer::apply_batch`] takes each
+//!   affected group's write lock once per batch. Within the batch each
+//!   event runs in two phases across its interested views: all delta
+//!   (`Update`) statements first — shared maps are written exactly once,
+//!   by their maintainer — then all re-evaluation (`Replace`)
+//!   statements, which thereby observe fully post-event base maps.
 //! * **Pluggable sources** — [`ViewServer::run_source`] drains any
 //!   [`EventSource`] (an archived CSV stream via [`CsvReplaySource`], a
 //!   workload generator adapter, eventually a network socket) through
 //!   the batched path.
 //!
-//! Reads are consistent: [`ViewServer::snapshot_all`] and
-//! [`ViewServer::apply_batch`] acquire the per-view locks in one global
-//! order (registration order), so a snapshot never observes half of a
-//! batch. Ingestion methods take `&self`, so an `Arc<ViewServer>` can be
-//! fed from one thread while other threads read results — the
-//! multi-view generalization of the runtime's single-query
-//! `StandaloneServer`.
+//! Ingestion methods take `&self`, so an `Arc<ViewServer>` can be fed
+//! from one thread while other threads read results.
+//!
+//! ## Sharing semantics (and one caveat)
+//!
+//! Two maps are shared when their definitions are alpha-equivalent
+//! ([`dbtoaster_compiler::MapDecl::fingerprint`]); a map's contents are a
+//! pure function of its definition over the event stream, so every
+//! sharer reads exactly what it would have maintained privately. One
+//! shape is excluded at registration: when a view's *delta* statement
+//! reads a map in a trigger for a relation the map itself depends on (a
+//! self-join on the update path), the read must observe the map
+//! *pre-event* — in the view's own engine the map's update is ordered
+//! after the read, but a shared map's maintainer would have updated it
+//! earlier in the same event. Such maps are materialized privately for
+//! that view (it can still *provide* them to later hazard-free
+//! sharers). `Replace` statements need no such guard: they want fully
+//! post-event inputs, which the two-phase schedule delivers.
 
 pub mod csv;
 
-use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
 use dbtoaster_common::{
-    Catalog, Error, Event, EventSource, FxHashMap, FxHashSet, Result, Tuple, Value,
+    Catalog, Error, Event, EventKind, EventSource, FxHashMap, FxHashSet, Result, Tuple, Value,
 };
 use dbtoaster_compiler::{compile_sql, CompileOptions, TriggerProgram};
-use dbtoaster_runtime::{Engine, ProfileReport, ResultRow};
+use dbtoaster_runtime::{
+    apply_event_statements, assemble_result, lower_program, result_column_names, EventScratch,
+    ExecProgram, MapRead, MapRegistration, ProfileReport, ResultRow, SharedMapStore,
+    StatementPhase, ViewBinding,
+};
 
 pub use csv::{to_csv_string, write_csv, CsvReplaySource};
 
@@ -45,14 +78,30 @@ pub use csv::{to_csv_string, write_csv, CsvReplaySource};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ViewId(pub usize);
 
+/// Per-view ingestion counters, updated under the group write locks so
+/// that snapshots (which hold the read locks) observe consistent values.
+#[derive(Default)]
+struct ViewStats {
+    events_processed: u64,
+    trigger_stats: FxHashMap<(String, EventKind), (u64, Duration)>,
+}
+
 /// One registered standing query.
 struct View {
     name: String,
     sql: String,
-    /// Stream relations this view's triggers react to (the dispatch key).
-    relations: FxHashSet<String>,
     program: TriggerProgram,
-    engine: Arc<RwLock<Engine>>,
+    /// Lowered program, rebound from view-local map ids to store slots.
+    exec: ExecProgram,
+    /// This view's slots/maintainer flags/lock plan in the shared store.
+    binding: ViewBinding,
+    /// Store slot → skip statements targeting it (non-maintained shares).
+    skip: Vec<bool>,
+    /// Per (relation, kind): how many statements the dedup skips each
+    /// time that trigger fires (static; × trigger count = writes saved).
+    skipped_per_trigger: FxHashMap<(String, EventKind), u64>,
+    compile_time: Duration,
+    stats: Mutex<ViewStats>,
 }
 
 /// A consistent per-view result capture from [`ViewServer::snapshot_all`].
@@ -76,13 +125,53 @@ pub struct IngestReport {
     pub deliveries: usize,
 }
 
+/// One deduplicated map in the [`StoreReport`].
+#[derive(Debug, Clone)]
+pub struct StoreMapReport {
+    /// Store slot id.
+    pub slot: usize,
+    /// `(view name, view-local map name)` for every sharer, maintainer
+    /// first.
+    pub aliases: Vec<(String, String)>,
+    /// Name of the view whose statements maintain the map.
+    pub maintainer: String,
+    pub arity: usize,
+    pub is_base_relation: bool,
+    /// Number of views bound to the slot.
+    pub sharers: usize,
+    /// Live entries.
+    pub entries: usize,
+    /// Approximate bytes (counted once, however many views share it).
+    pub bytes: usize,
+}
+
+/// Shared-store introspection: what deduplicated, who maintains what,
+/// and how much memory/write traffic the sharing saves.
+#[derive(Debug, Clone, Default)]
+pub struct StoreReport {
+    /// Every stored map, in slot order.
+    pub maps: Vec<StoreMapReport>,
+    /// Approximate bytes of the store (each map once).
+    pub total_bytes: usize,
+    /// What the same views would hold without sharing (each map once
+    /// per sharer) — the N× baseline.
+    pub bytes_if_unshared: usize,
+    /// Number of slots with more than one sharer.
+    pub shared_slots: usize,
+    /// Statement executions skipped so far because a map's maintainer
+    /// already performs them (the per-event write-amplification saving).
+    pub dedup_skipped_statements: u64,
+}
+
 /// A server maintaining many standing aggregate views over one shared
-/// update stream.
+/// update stream, with materialized maps deduplicated across views.
 pub struct ViewServer {
     catalog: Catalog,
     views: Vec<View>,
-    /// relation name → indices of views whose triggers reference it.
+    /// relation name → indices of views whose triggers reference it
+    /// (ascending registration order, so maintainers run before sharers).
     dispatch: FxHashMap<String, Vec<usize>>,
+    store: SharedMapStore,
 }
 
 impl ViewServer {
@@ -92,6 +181,7 @@ impl ViewServer {
             catalog: catalog.clone(),
             views: Vec::new(),
             dispatch: FxHashMap::default(),
+            store: SharedMapStore::new(),
         }
     }
 
@@ -106,7 +196,15 @@ impl ViewServer {
         self.register_with(name, sql, &CompileOptions::full())
     }
 
-    /// Register a standing query with explicit compile options.
+    /// Register a standing query with explicit compile options. Maps of
+    /// the new view whose canonical fingerprints match already-stored
+    /// maps are *not* materialized again: the view binds the existing
+    /// storage and leaves its maintenance to the map's maintainer view.
+    /// Exception: a map this view must read *pre-event* — a delta
+    /// statement reads it in a trigger for a relation the map itself
+    /// depends on, the self-join shape — is materialized privately, so
+    /// another view's earlier update within the same event can never
+    /// leak into this view's delta.
     pub fn register_with(
         &mut self,
         name: &str,
@@ -118,23 +216,75 @@ impl ViewServer {
                 "view '{name}' is already registered"
             )));
         }
+        let started = Instant::now();
         let program = compile_sql(sql, &self.catalog, options)?;
-        let engine = Engine::new(&program)?;
+        let local = lower_program(&program)?;
+        let id = self.views.len();
+
+        // Describe every map to the store; dedupe is by fingerprint,
+        // refused where a delta statement needs pre-event reads: in its
+        // own engine the map's update is ordered after that read, but a
+        // shared map's maintainer runs earlier in phase 1.
+        let needs_pre_event_read = |decl: &dbtoaster_compiler::MapDecl| {
+            let input_relations = decl.definition.relations();
+            program
+                .triggers
+                .iter()
+                .filter(|t| input_relations.contains(&t.relation))
+                .flat_map(|t| &t.statements)
+                .any(|s| {
+                    s.kind == dbtoaster_compiler::StatementKind::Update
+                        && s.update.map_refs().contains(&decl.name)
+                })
+        };
+        let registrations: Vec<MapRegistration> = program
+            .maps
+            .iter()
+            .enumerate()
+            .map(|(i, decl)| MapRegistration {
+                name: decl.name.clone(),
+                fingerprint: decl.fingerprint(),
+                arity: decl.keys.len(),
+                is_base_relation: decl.is_base_relation,
+                patterns: local.patterns[i].clone(),
+                shareable: !needs_pre_event_read(decl),
+            })
+            .collect();
+        let binding = self.store.register_view(id, &registrations);
+        let exec = local.with_remapped_maps(&binding.slots, self.store.slot_count());
+        let skip = binding.skip_targets(self.store.slot_count());
+
+        let mut skipped_per_trigger: FxHashMap<(String, EventKind), u64> = FxHashMap::default();
+        for (key, trigger) in &exec.triggers {
+            let skipped = trigger
+                .statements
+                .iter()
+                .filter(|s| skip.get(s.target).copied().unwrap_or(false))
+                .count() as u64;
+            if skipped > 0 {
+                skipped_per_trigger.insert(key.clone(), skipped);
+            }
+        }
+
+        // Dispatch: route events of each referenced relation here.
         let relations: FxHashSet<String> = program
             .triggers
             .iter()
             .map(|t| t.relation.clone())
             .collect();
-        let id = self.views.len();
-        for rel in &relations {
-            self.dispatch.entry(rel.clone()).or_default().push(id);
+        for rel in relations {
+            self.dispatch.entry(rel).or_default().push(id);
         }
         self.views.push(View {
             name: name.to_string(),
             sql: sql.to_string(),
-            relations,
             program,
-            engine: Arc::new(RwLock::new(engine)),
+            exec,
+            binding,
+            skip,
+            skipped_per_trigger,
+            compile_time: started.elapsed(),
+            stats: Mutex::new(ViewStats::default()),
         });
         Ok(ViewId(id))
     }
@@ -205,23 +355,18 @@ impl ViewServer {
     /// event's relation exactly; the `Event` constructors upper-case
     /// relation names, so hand-built events must do the same.
     pub fn apply(&self, event: &Event) -> Result<usize> {
-        let Some(ids) = self.dispatch.get(&event.relation) else {
-            return Ok(0);
-        };
-        for &i in ids {
-            self.views[i].engine.write().on_event(event)?;
-        }
-        Ok(ids.len())
+        self.apply_batch(std::slice::from_ref(event))
     }
 
-    /// Apply a whole batch through the dispatch index: each affected
-    /// view's write lock is taken once, and each view processes only the
-    /// sub-sequence of events whose relation its triggers reference
-    /// (in stream order). Returns the total number of deliveries.
-    ///
-    /// Locks are acquired for all affected views up front, in
-    /// registration order, so concurrent [`ViewServer::snapshot_all`]
-    /// calls see either none or all of the batch.
+    /// Apply a whole batch through the dispatch index: the groups of all
+    /// affected views are write-locked once (ascending group order, the
+    /// same order `snapshot_all` reads in, so concurrent snapshots see
+    /// either none or all of the batch), then each event runs in two
+    /// phases across its interested views — every view's delta updates,
+    /// then every view's re-evaluations. Statements targeting a shared
+    /// map are executed only by the map's maintainer view, so per event
+    /// each shared map is written once. Returns the total number of
+    /// deliveries.
     pub fn apply_batch(&self, batch: &[Event]) -> Result<usize> {
         // Accepts any event slice; `&EventBatch` coerces via Deref, and
         // `UpdateStream::events.chunks(n)` feeds it zero-copy.
@@ -243,24 +388,113 @@ impl ViewServer {
         if affected.is_empty() {
             return Ok(0);
         }
-        // Global lock order (ascending view index) — same order as
-        // snapshot_all — keeps the cut consistent and deadlock-free.
         affected.sort_unstable();
-        let mut guards: Vec<(usize, parking_lot::RwLockWriteGuard<'_, Engine>)> = affected
+        let mut groups: Vec<usize> = affected
             .iter()
-            .map(|&i| (i, self.views[i].engine.write()))
+            .flat_map(|&i| self.views[i].binding.groups.iter().copied())
             .collect();
+        groups.sort_unstable();
+        groups.dedup();
 
+        // Every lock plan in the server acquires groups in ascending id
+        // order, so concurrent batches and snapshots cannot deadlock,
+        // and a snapshot (which locks every group) observes either none
+        // or all of this batch.
+        let mut guards = self.store.lock_write(&groups);
+        let mut frame = self.store.write_frame(&groups, &mut guards);
+
+        let started = Instant::now();
+        let mut scratch = EventScratch::default();
         let mut deliveries = 0usize;
-        for (i, guard) in &mut guards {
-            let view = &self.views[*i];
-            deliveries += guard.process_batch(
-                batch
-                    .iter()
-                    .filter(|e| view.relations.contains(&e.relation)),
-            )?;
+        // Per affected view: (relation, kind) delivery counts, probed
+        // linearly (trigger keys are few; avoids per-event hashing).
+        let mut counts: Vec<Vec<((String, EventKind), u64)>> = vec![Vec::new(); affected.len()];
+        let mut failure: Option<Error> = None;
+
+        'events: for event in batch {
+            let Some(ids) = self.dispatch.get(&event.relation) else {
+                continue;
+            };
+            // Phase 1: delta updates, maintainers writing shared maps
+            // exactly once (dispatch order = registration order, so a
+            // map's maintainer runs before every view sharing it).
+            for &i in ids {
+                let view = &self.views[i];
+                match apply_event_statements(
+                    &view.exec,
+                    &mut frame,
+                    event,
+                    &mut scratch,
+                    StatementPhase::Updates,
+                    Some(&view.skip),
+                    None,
+                ) {
+                    Ok(true) => {
+                        deliveries += 1;
+                        let pos = affected
+                            .binary_search(&i)
+                            .expect("affected covers dispatch");
+                        match counts[pos]
+                            .iter_mut()
+                            .find(|((r, k), _)| *k == event.kind && *r == event.relation)
+                        {
+                            Some((_, n)) => *n += 1,
+                            None => counts[pos].push(((event.relation.clone(), event.kind), 1)),
+                        }
+                    }
+                    Ok(false) => {}
+                    Err(e) => {
+                        failure = Some(e);
+                        break 'events;
+                    }
+                }
+            }
+            // Phase 2: re-evaluations, against fully post-event inputs.
+            for &i in ids {
+                let view = &self.views[i];
+                if let Err(e) = apply_event_statements(
+                    &view.exec,
+                    &mut frame,
+                    event,
+                    &mut scratch,
+                    StatementPhase::Replaces,
+                    Some(&view.skip),
+                    None,
+                ) {
+                    failure = Some(e);
+                    break 'events;
+                }
+            }
         }
-        Ok(deliveries)
+
+        // Flush per-view counters while still holding the write locks so
+        // snapshot_all sees counts and maps move together. The batch is
+        // timed once; each view is charged by its delivery count, and
+        // the view's share is split across its trigger keys the same
+        // way, so per-trigger and per-view profile times both sum to
+        // the batch's wall clock (an estimate, not a per-trigger
+        // measurement — the price of one clock read per batch).
+        let elapsed = started.elapsed();
+        for (pos, &i) in affected.iter().enumerate() {
+            if counts[pos].is_empty() {
+                continue;
+            }
+            let per_delivery = elapsed.div_f64(deliveries.max(1) as f64);
+            let mut stats = self.views[i].stats.lock();
+            for (key, n) in counts[pos].drain(..) {
+                stats.events_processed += n;
+                let entry = stats
+                    .trigger_stats
+                    .entry(key)
+                    .or_insert((0, Duration::ZERO));
+                entry.0 += n;
+                entry.1 += per_delivery.mul_f64(n as f64);
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(deliveries),
+        }
     }
 
     /// Drain an [`EventSource`] through the batched ingestion path,
@@ -281,67 +515,172 @@ impl ViewServer {
 
     /// The current result rows of one view.
     pub fn result(&self, name: &str) -> Result<Vec<ResultRow>> {
-        Ok(self.resolve(name)?.engine.read().result())
+        let view = self.resolve(name)?;
+        let guards = self.store.lock_read(&view.binding.groups);
+        let frame = self.store.read_frame(&view.binding.groups, &guards);
+        Ok(assemble_result(&view.exec, &frame))
     }
 
     /// The single value of a scalar view.
     pub fn scalar(&self, name: &str) -> Result<Value> {
-        Ok(self.resolve(name)?.engine.read().scalar_result())
+        Ok(self
+            .result(name)?
+            .first()
+            .and_then(|r| r.values.first().cloned())
+            .unwrap_or(Value::ZERO))
     }
 
     /// Output column names of one view, in `SELECT` order.
     pub fn column_names(&self, name: &str) -> Result<Vec<String>> {
-        Ok(self.resolve(name)?.engine.read().column_names())
+        Ok(result_column_names(&self.resolve(name)?.exec))
     }
 
     /// Read-only snapshot of one internal map of a view (the ad-hoc
-    /// query interface).
+    /// query interface). The name is the view-local map name; the
+    /// storage read may be shared with other views.
     pub fn map_snapshot(&self, name: &str, map: &str) -> Result<Option<Vec<(Tuple, Value)>>> {
-        Ok(self.resolve(name)?.engine.read().map_snapshot(map))
+        let view = self.resolve(name)?;
+        let Some(slot) = view.exec.map_id(map) else {
+            return Ok(None);
+        };
+        let mut entries: Vec<(Tuple, Value)> = self.store.with_map(slot, |m| {
+            m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        });
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(Some(entries))
     }
 
     /// Events delivered to (and absorbed by) one view so far.
     pub fn events_processed(&self, name: &str) -> Result<u64> {
-        Ok(self.resolve(name)?.engine.read().events_processed())
+        Ok(self.resolve(name)?.stats.lock().events_processed)
     }
 
-    /// Profiling report of one view.
+    /// Profiling report of one view. `per_map` lists the view's maps
+    /// under their view-local names; entries and bytes are read from the
+    /// (possibly shared) store slots.
     pub fn profile(&self, name: &str) -> Result<ProfileReport> {
-        Ok(self.resolve(name)?.engine.read().profile())
+        let view = self.resolve(name)?;
+        Ok(self.profile_view(view))
+    }
+
+    fn profile_view(&self, view: &View) -> ProfileReport {
+        let guards = self.store.lock_read(&view.binding.groups);
+        let frame = self.store.read_frame(&view.binding.groups, &guards);
+        let per_map: Vec<(String, usize, usize)> = view
+            .program
+            .maps
+            .iter()
+            .zip(&view.binding.slots)
+            .map(|(decl, &slot)| {
+                let m = frame.map(slot);
+                (decl.name.clone(), m.len(), m.approx_bytes())
+            })
+            .collect();
+        let stats = view.stats.lock();
+        let mut per_trigger: Vec<(String, u64, Duration)> = stats
+            .trigger_stats
+            .iter()
+            .map(|((rel, kind), (count, time))| {
+                (format!("on_{}_{}", kind.label(), rel), *count, *time)
+            })
+            .collect();
+        per_trigger.sort();
+        ProfileReport {
+            events_processed: stats.events_processed,
+            per_trigger,
+            total_bytes: per_map.iter().map(|(_, _, b)| b).sum(),
+            per_map,
+            statement_count: view.program.statement_count(),
+            code_size: view.program.code_size(),
+            compile_time: view.compile_time,
+        }
     }
 
     /// Profiling reports of every view, in registration order.
     pub fn profiles(&self) -> Vec<(String, ProfileReport)> {
         self.views
             .iter()
-            .map(|v| (v.name.clone(), v.engine.read().profile()))
+            .map(|v| (v.name.clone(), self.profile_view(v)))
             .collect()
     }
 
-    /// Approximate bytes held by all views' maps.
+    /// Approximate bytes held by the shared store — every map counted
+    /// once, however many views share it.
     pub fn memory_bytes(&self) -> usize {
+        self.store.approx_bytes()
+    }
+
+    /// What the same portfolio would hold with per-view private maps
+    /// (every map counted once per sharer): the N× baseline the shared
+    /// store collapses.
+    pub fn memory_bytes_if_unshared(&self) -> usize {
+        let groups = self.store.all_groups();
+        let guards = self.store.lock_read(&groups);
+        let frame = self.store.read_frame(&groups, &guards);
         self.views
             .iter()
-            .map(|v| v.engine.read().memory_bytes())
+            .flat_map(|v| v.binding.slots.iter())
+            .map(|&slot| frame.map(slot).approx_bytes())
             .sum()
+    }
+
+    /// Shared-store introspection: per-map sharers/maintainer/footprint
+    /// plus the memory and write-amplification savings.
+    pub fn store_report(&self) -> StoreReport {
+        let groups = self.store.all_groups();
+        let guards = self.store.lock_read(&groups);
+        let frame = self.store.read_frame(&groups, &guards);
+        let mut report = StoreReport::default();
+        for (slot, meta) in self.store.slots().iter().enumerate() {
+            let m = frame.map(slot);
+            let bytes = m.approx_bytes();
+            report.total_bytes += bytes;
+            report.bytes_if_unshared += bytes * meta.sharers();
+            if meta.sharers() > 1 {
+                report.shared_slots += 1;
+            }
+            report.maps.push(StoreMapReport {
+                slot,
+                aliases: meta
+                    .aliases
+                    .iter()
+                    .map(|(v, n)| (self.views[*v].name.clone(), n.clone()))
+                    .collect(),
+                maintainer: self.views[meta.maintainer].name.clone(),
+                arity: meta.arity,
+                is_base_relation: meta.is_base_relation,
+                sharers: meta.sharers(),
+                entries: m.len(),
+                bytes,
+            });
+        }
+        for view in &self.views {
+            let stats = view.stats.lock();
+            for (key, skipped) in &view.skipped_per_trigger {
+                if let Some((count, _)) = stats.trigger_stats.get(key) {
+                    report.dedup_skipped_statements += count * skipped;
+                }
+            }
+        }
+        report
     }
 
     /// A consistent capture of every view's result.
     ///
-    /// All read locks are acquired (in registration order) before any
+    /// Every map group is read-locked (ascending order) before any
     /// result is read, so the snapshot reflects one cut of the event
     /// stream even while another thread is applying batches.
     pub fn snapshot_all(&self) -> Vec<ViewSnapshot> {
-        let guards: Vec<parking_lot::RwLockReadGuard<'_, Engine>> =
-            self.views.iter().map(|v| v.engine.read()).collect();
+        let groups = self.store.all_groups();
+        let guards = self.store.lock_read(&groups);
+        let frame = self.store.read_frame(&groups, &guards);
         self.views
             .iter()
-            .zip(&guards)
-            .map(|(v, g)| ViewSnapshot {
+            .map(|v| ViewSnapshot {
                 name: v.name.clone(),
-                columns: g.column_names(),
-                rows: g.result(),
-                events_processed: g.events_processed(),
+                columns: result_column_names(&v.exec),
+                rows: assemble_result(&v.exec, &frame),
+                events_processed: v.stats.lock().events_processed,
             })
             .collect()
     }
@@ -518,9 +857,9 @@ mod tests {
 
     #[test]
     fn concurrent_feeder_and_snapshot_readers_agree_at_the_end() {
-        let server = Arc::new(three_view_server());
+        let server = std::sync::Arc::new(three_view_server());
         let feeder = {
-            let server = Arc::clone(&server);
+            let server = std::sync::Arc::clone(&server);
             std::thread::spawn(move || {
                 for chunk in 0..20i64 {
                     let batch: EventBatch = (0..10i64)
@@ -555,5 +894,178 @@ mod tests {
         assert_eq!(server.profile("s_count").unwrap().events_processed, 0);
         assert!(server.profile("nope").is_err());
         assert!(server.memory_bytes() > 0);
+    }
+
+    // -----------------------------------------------------------------
+    // shared map store
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn identical_views_share_every_map_and_still_answer() {
+        let mut server = ViewServer::new(&rst_catalog());
+        server.register("a", FIGURE2).unwrap();
+        server.register("b", FIGURE2).unwrap();
+        let report = server.store_report();
+        // The second registration materialized nothing new.
+        assert!(report.maps.iter().all(|m| m.sharers == 2), "{report:#?}");
+        assert_eq!(report.shared_slots, report.maps.len());
+        assert!(report.maps.iter().all(|m| m.maintainer == "a"));
+
+        server
+            .apply_batch(&[
+                Event::insert("R", tuple![2i64, 1i64]),
+                Event::insert("S", tuple![1i64, 3i64]),
+                Event::insert("T", tuple![3i64, 10i64]),
+            ])
+            .unwrap();
+        assert_eq!(server.scalar("a").unwrap(), Value::Int(20));
+        assert_eq!(server.scalar("b").unwrap(), Value::Int(20));
+        // All of b's statements were skipped (a maintains everything),
+        // but b still counted its deliveries.
+        assert_eq!(server.events_processed("b").unwrap(), 3);
+        assert!(server.store_report().dedup_skipped_statements > 0);
+        // Memory: the pair costs 1×, the unshared baseline 2×.
+        assert_eq!(server.memory_bytes_if_unshared(), 2 * server.memory_bytes());
+    }
+
+    #[test]
+    fn overlapping_views_share_only_equivalent_maps() {
+        let mut server = ViewServer::new(&rst_catalog());
+        server.register("figure2", FIGURE2).unwrap();
+        server
+            .register("r_by_b", "select B, sum(A) from R group by B")
+            .unwrap();
+        let report = server.store_report();
+        assert!(report.maps.iter().any(|m| m.sharers == 1));
+        assert_eq!(
+            server.memory_bytes(),
+            server.memory_bytes_if_unshared(),
+            "disjoint structures share nothing, so both measures agree"
+        );
+    }
+
+    #[test]
+    fn base_maps_of_first_order_views_are_materialized_once() {
+        let mut server = ViewServer::new(&rst_catalog());
+        server
+            .register_with("q1", FIGURE2, &CompileOptions::first_order())
+            .unwrap();
+        server
+            .register_with(
+                "q2",
+                "select count(*) from R, S where R.B = S.B",
+                &CompileOptions::first_order(),
+            )
+            .unwrap();
+        let report = server.store_report();
+        let base_r: Vec<_> = report
+            .maps
+            .iter()
+            .filter(|m| m.aliases.iter().any(|(_, n)| n == "BASE_R"))
+            .collect();
+        assert_eq!(base_r.len(), 1, "one BASE_R slot: {report:#?}");
+        assert_eq!(base_r[0].sharers, 2);
+        assert_eq!(base_r[0].maintainer, "q1");
+
+        // Feed events; the shared base map is written once per event by
+        // q1 and both views agree with a reference engine.
+        let events = [
+            Event::insert("R", tuple![1i64, 1i64]),
+            Event::insert("S", tuple![1i64, 2i64]),
+            Event::insert("R", tuple![5i64, 1i64]),
+            Event::delete("R", tuple![1i64, 1i64]),
+            Event::insert("T", tuple![2i64, 4i64]),
+        ];
+        server.apply_batch(&events).unwrap();
+        assert_eq!(server.scalar("q2").unwrap(), Value::Int(1));
+        let base = server.map_snapshot("q2", "BASE_R").unwrap().unwrap();
+        assert_eq!(base.len(), 1);
+        assert_eq!(base[0].0, tuple![5i64, 1i64]);
+        assert!(server.store_report().dedup_skipped_statements > 0);
+    }
+
+    #[test]
+    fn self_join_views_keep_private_copies_of_pre_event_read_maps() {
+        use dbtoaster_runtime::Engine;
+        // Both self-join views materialize an alpha-equivalent
+        // sum-of-volume-by-price map over BIDS, but each reads it in
+        // its own BIDS triggers' *delta* statements — a pre-event read.
+        // Sharing it would let view A's update land before view B's
+        // read within one event; registration must give each view a
+        // private copy instead.
+        let catalog = Catalog::new().with(dbtoaster_common::Schema::new(
+            "BIDS",
+            vec![
+                ("PRICE", dbtoaster_common::ColumnType::Int),
+                ("VOLUME", dbtoaster_common::ColumnType::Int),
+            ],
+        ));
+        let a = "select sum(b1.VOLUME * b2.VOLUME) from BIDS b1, BIDS b2 \
+                 where b1.PRICE = b2.PRICE";
+        let b = "select sum(b1.VOLUME) from BIDS b1, BIDS b2 where b1.PRICE = b2.PRICE";
+        let mut server = ViewServer::new(&catalog);
+        server.register("a", a).unwrap();
+        server.register("b", b).unwrap();
+
+        let events = [
+            Event::insert("BIDS", tuple![10i64, 3i64]),
+            Event::insert("BIDS", tuple![10i64, 5i64]),
+            Event::insert("BIDS", tuple![20i64, 7i64]),
+        ];
+        server.apply_batch(&events).unwrap();
+        for (name, sql) in [("a", a), ("b", b)] {
+            let program = compile_sql(sql, &catalog, &CompileOptions::full()).unwrap();
+            let mut engine = Engine::new(&program).unwrap();
+            engine.process(&events).unwrap();
+            assert_eq!(
+                server.scalar(name).unwrap(),
+                engine.scalar_result(),
+                "{name} diverged from its private engine"
+            );
+        }
+        // sum(b1.V) over the self-join at equal prices: groups of sizes
+        // {2, 1} contribute (3+5)*2 + 7*1.
+        assert_eq!(server.scalar("b").unwrap(), Value::Int(23));
+    }
+
+    #[test]
+    fn shared_views_match_independent_engines_exactly() {
+        use dbtoaster_runtime::Engine;
+        let catalog = rst_catalog();
+        let queries = [
+            ("figure2", FIGURE2),
+            ("figure2_again", FIGURE2),
+            ("r_by_b", "select B, sum(A) from R group by B"),
+            ("joined", "select count(*) from R, S where R.B = S.B"),
+        ];
+        let mut server = ViewServer::new(&catalog);
+        let mut engines = Vec::new();
+        for (name, sql) in queries {
+            server.register(name, sql).unwrap();
+            let program = compile_sql(sql, &catalog, &CompileOptions::full()).unwrap();
+            engines.push(Engine::new(&program).unwrap());
+        }
+        let mut stream = UpdateStream::new();
+        for i in 0..60i64 {
+            stream.push(Event::insert("R", tuple![i % 11, i % 4]));
+            stream.push(Event::insert("S", tuple![i % 4, i % 6]));
+            stream.push(Event::insert("T", tuple![i % 6, i]));
+            if i % 3 == 0 {
+                stream.push(Event::delete("R", tuple![i % 11, i % 4]));
+            }
+        }
+        for chunk in stream.events.chunks(17) {
+            server.apply_batch(chunk).unwrap();
+        }
+        for engine in &mut engines {
+            engine.process(&stream).unwrap();
+        }
+        for ((name, _), engine) in queries.iter().zip(&engines) {
+            assert_eq!(
+                server.result(name).unwrap(),
+                engine.result(),
+                "{name} diverged from its private engine"
+            );
+        }
     }
 }

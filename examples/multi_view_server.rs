@@ -8,7 +8,7 @@
 
 use dbtoaster::prelude::*;
 use dbtoaster::workloads::orderbook::{
-    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, VWAP_COMPONENTS,
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, SOBI, VWAP_COMPONENTS,
 };
 use dbtoaster::workloads::tpch::{
     ssb_catalog, transform_to_ssb, TpchConfig, TpchData, SSB_REVENUE_BY_YEAR,
@@ -54,6 +54,15 @@ fn main() {
             "select sum(A*D) from R, S, T where R.B=S.B and S.C=T.C",
         )
         .expect("figure2 compiles");
+    // Two depth-limited views: their statements evaluate against
+    // BASE_BIDS / BASE_ASKS multiplicity maps, which the shared store
+    // materializes once and maintains through one view.
+    server
+        .register_with("sobi_fo", SOBI, &CompileOptions::first_order())
+        .expect("first-order SOBI compiles");
+    server
+        .register_with("mm_fo", MARKET_MAKER, &CompileOptions::first_order())
+        .expect("first-order market maker compiles");
 
     println!("registered views:");
     for name in server.view_names() {
@@ -143,4 +152,22 @@ fn main() {
             name, profile.events_processed, profile.statement_count, profile.total_bytes
         );
     }
+
+    // The shared map store: maps deduplicated across the portfolio.
+    let store = server.store_report();
+    println!("\nshared map store:");
+    for m in store.maps.iter().filter(|m| m.sharers > 1) {
+        println!(
+            "  {:<16} shared by {} views (maintainer {}) — {} entries",
+            m.aliases[0].1, m.sharers, m.maintainer, m.entries
+        );
+    }
+    println!(
+        "  {} maps, {} shared; {} bytes stored vs {} unshared; {} statement runs skipped",
+        store.maps.len(),
+        store.shared_slots,
+        store.total_bytes,
+        store.bytes_if_unshared,
+        store.dedup_skipped_statements
+    );
 }

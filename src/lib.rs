@@ -51,9 +51,12 @@
 //! ## Serving many views from one stream
 //!
 //! The [`ViewServer`](server::ViewServer) maintains a portfolio of
-//! standing queries over one catalog. Events are routed only to the
-//! views whose triggers reference the event's relation, and ingestion is
-//! batched: each view's write lock is taken once per batch. Any
+//! standing queries over one catalog, with materialized maps
+//! **deduplicated across views** (shared `BASE_*` maps and
+//! alpha-equivalent sub-aggregates are stored and written once, by one
+//! maintainer view). Events are routed only to the views whose triggers
+//! reference the event's relation, and ingestion is batched: the
+//! affected map-group locks are taken once per batch. Any
 //! [`EventSource`] can feed it — below, an archived CSV stream.
 //!
 //! ```
@@ -102,7 +105,9 @@ pub mod prelude {
     };
     pub use dbtoaster_compiler::{CompileOptions, TriggerProgram};
     pub use dbtoaster_runtime::{Engine, ResultRow, StandaloneServer};
-    pub use dbtoaster_server::{IngestReport, ViewId, ViewServer, ViewSnapshot};
+    pub use dbtoaster_server::{
+        IngestReport, StoreMapReport, StoreReport, ViewId, ViewServer, ViewSnapshot,
+    };
 }
 
 /// A compiled standing query with its embedded-mode engine — the
