@@ -57,6 +57,10 @@ pub struct Engine {
     compile_time: Duration,
     tracing: bool,
     trace: Vec<String>,
+    /// Statement-evaluation buffers, reused across every event this
+    /// engine processes (not just within one batch) so the per-event
+    /// path pays no allocation either.
+    scratch: EventScratch,
 }
 
 impl Engine {
@@ -84,6 +88,7 @@ impl Engine {
             compile_time: started.elapsed(),
             tracing: false,
             trace: Vec::new(),
+            scratch: EventScratch::default(),
         })
     }
 
@@ -120,8 +125,7 @@ impl Engine {
                 event.tuple
             ));
         }
-        let mut scratch = EventScratch::default();
-        if !self.apply_event(event, &mut scratch)? {
+        if !self.apply_event(event)? {
             // Relations unknown to the query are ignored (the paper's
             // runtime registers handlers only for referenced streams).
             self.events_processed += 1;
@@ -161,10 +165,9 @@ impl Engine {
         // String clone a hash-map entry key would cost.
         let mut counts: Vec<((String, EventKind), u64)> = Vec::new();
         let mut absorbed = 0usize;
-        let mut scratch = EventScratch::default();
         let mut failure = None;
         for event in events {
-            match self.apply_event(event, &mut scratch) {
+            match self.apply_event(event) {
                 Ok(true) => {
                     match counts
                         .iter_mut()
@@ -204,10 +207,9 @@ impl Engine {
 
     /// Run the trigger for one event, without touching counters or the
     /// clock. Returns `false` when no trigger references the relation.
-    /// `scratch` provides the statement-evaluation buffers; a caller
-    /// looping over many events reuses one scratch to amortize the
-    /// allocations.
-    fn apply_event(&mut self, event: &Event, scratch: &mut EventScratch) -> Result<bool> {
+    /// The engine's own scratch provides the statement-evaluation
+    /// buffers, so neither the per-event nor the batched path allocates.
+    fn apply_event(&mut self, event: &Event) -> Result<bool> {
         let trace = if self.tracing {
             Some(&mut self.trace)
         } else {
@@ -217,7 +219,7 @@ impl Engine {
             &self.exec,
             self.maps.as_mut_slice(),
             event,
-            scratch,
+            &mut self.scratch,
             StatementPhase::All,
             None,
             trace,

@@ -20,8 +20,11 @@
 //!   / [`storage::MapWrite`]), so the same compiled statements run
 //!   against an engine's private maps or the shared store,
 //! * [`store`] — the shared map store: maps deduplicated across views by
-//!   canonical fingerprint, per-map-group locking, maintainer-view
-//!   bookkeeping (the server half of cross-query map sharing),
+//!   canonical fingerprint, per-map-group locking (base maps grouped by
+//!   *relation*, derived maps by registering view), maintainer-view
+//!   bookkeeping, and cacheable [`store::FramePlan`] slot-resolution
+//!   tables so frame construction is allocation-free (the server half of
+//!   cross-query map sharing and sharded dispatch),
 //! * [`standalone`] — the standalone processing mode: an engine running
 //!   on its own thread, fed through a channel, mirroring the paper's
 //!   network-fed standalone runtime (embedded mode is simply using
@@ -40,4 +43,7 @@ pub use engine::{
 pub use lower::{lower_program, ExecProgram};
 pub use standalone::StandaloneServer;
 pub use storage::{MapRead, MapStorage, MapWrite};
-pub use store::{MapRegistration, ReadFrame, SharedMapStore, SlotMeta, ViewBinding, WriteFrame};
+pub use store::{
+    FramePlan, GroupKey, MapRegistration, ReadFrame, SharedMapStore, SlotMeta, ViewBinding,
+    WriteFrame,
+};

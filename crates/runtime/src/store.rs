@@ -14,15 +14,21 @@
 //!   allocates storage and becomes the map's **maintainer**; later views
 //!   bind the existing slot and *skip* their own statements targeting it,
 //!   so a shared map is written once per event, not once per sharer;
-//! * storage is partitioned into **map groups** — one group per
-//!   registering view, holding the maps that view introduced — each
-//!   behind its own `RwLock`. Lock plans are deterministic (ascending
-//!   group id), which keeps multi-group acquisition deadlock-free and
-//!   snapshots consistent, and gives sharded dispatch a natural unit;
+//! * storage is partitioned into **map groups** keyed by [`GroupKey`]:
+//!   every `BASE_<REL>` multiplicity map lives in the *relation's* group
+//!   (shared by whichever views materialize base maps of that relation),
+//!   while the non-base maps a view introduces live in that *view's*
+//!   group. Each group sits behind its own `RwLock`; two views sharing
+//!   `BASE_R` contend only on `R`'s lock, not on each other's derived
+//!   state. Lock plans are deterministic (ascending group id), which
+//!   keeps multi-group acquisition deadlock-free and snapshots
+//!   consistent, and gives sharded dispatch its unit of parallelism;
 //! * execution addresses maps by store-wide **slot** id: a view's lowered
 //!   program is rebound (`ExecProgram::with_remapped_maps`) from its
 //!   dense local ids to slots, and a [`WriteFrame`]/[`ReadFrame`] built
-//!   from the group guards serves slot lookups during evaluation.
+//!   over a reusable [`FramePlan`] (slot → guard-position table, computed
+//!   once per lock plan and cached by the server) serves slot lookups
+//!   during evaluation without any per-event allocation.
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -54,6 +60,33 @@ pub struct MapRegistration {
     /// the map to later, hazard-free sharers (as maintainer, its own
     /// statement order is intact).
     pub shareable: bool,
+}
+
+impl MapRegistration {
+    /// The lock-group key this map's storage belongs in: base-relation
+    /// maps go to their relation's group (the canonical `BASE_<REL>`
+    /// name carries the relation), everything else to the registering
+    /// view's group.
+    fn group_key(&self, view: usize) -> GroupKey {
+        if self.is_base_relation {
+            let rel = self.name.strip_prefix("BASE_").unwrap_or(&self.name);
+            GroupKey::Relation(rel.to_string())
+        } else {
+            GroupKey::View(view)
+        }
+    }
+}
+
+/// Identity of one lock group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// The `BASE_<REL>` multiplicity maps of one relation — including
+    /// private (hazarded) copies, so all base state of a relation sits
+    /// behind one lock however many views materialize it.
+    Relation(String),
+    /// The non-base maps one view introduced (its sub-aggregates and
+    /// result map).
+    View(usize),
 }
 
 /// Immutable metadata of one stored map.
@@ -89,7 +122,8 @@ pub struct ViewBinding {
     /// targeting non-maintained slots must be skipped at apply time.
     pub maintains: Vec<bool>,
     /// Sorted, deduplicated ids of every group this view touches (its
-    /// own group plus the groups of shared slots) — the view's lock plan.
+    /// own group, the relation groups of its base maps, and the groups
+    /// of shared slots) — the view's lock plan.
     pub groups: Vec<usize>,
 }
 
@@ -112,12 +146,16 @@ impl ViewBinding {
 /// The deduplicated map storage shared by every view of a server.
 #[derive(Default)]
 pub struct SharedMapStore {
-    /// One lock per map group. Group 0 is the first registering view's.
+    /// One lock per map group, allocated in key-first-seen order.
     groups: Vec<RwLock<Vec<MapStorage>>>,
+    /// group id → identity (registration-time only, lock-free to read).
+    group_keys: Vec<GroupKey>,
+    /// identity → group id.
+    by_key: FxHashMap<GroupKey, usize>,
     /// Per-slot metadata (registration-time only; never changes during
     /// event processing, so it is readable without any lock).
     slots: Vec<SlotMeta>,
-    /// group id → index-in-group → slot id (frame construction table).
+    /// group id → index-in-group → slot id (plan construction table).
     group_slots: Vec<Vec<usize>>,
     /// fingerprint → slot.
     by_fingerprint: FxHashMap<String, usize>,
@@ -133,10 +171,15 @@ impl SharedMapStore {
         self.slots.len()
     }
 
-    /// Number of map groups (= number of views that allocated at least
-    /// one new map).
+    /// Number of map groups (relation groups that hold at least one base
+    /// map, plus view groups that hold at least one derived map).
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Identity of one group.
+    pub fn group_key(&self, group: usize) -> &GroupKey {
+        &self.group_keys[group]
     }
 
     /// Metadata of one slot.
@@ -154,11 +197,26 @@ impl SharedMapStore {
         (0..self.groups.len()).collect()
     }
 
+    /// The existing group for `key`, or a fresh one.
+    fn group_for(&mut self, key: GroupKey) -> usize {
+        if let Some(&g) = self.by_key.get(&key) {
+            return g;
+        }
+        let g = self.groups.len();
+        self.groups.push(RwLock::new(Vec::new()));
+        self.group_slots.push(Vec::new());
+        self.group_keys.push(key.clone());
+        self.by_key.insert(key, g);
+        g
+    }
+
     /// Bind a view's maps, deduplicating against every map already
-    /// stored. New fingerprints are allocated into one fresh group owned
-    /// by this view; known fingerprints are shared (and the view's
-    /// secondary-index patterns are registered on the existing storage,
-    /// which backfills them from live entries).
+    /// stored. New fingerprints are allocated into the group their
+    /// [`GroupKey`] names — base maps into their relation's group
+    /// (created on first use, appended to thereafter), derived maps into
+    /// this view's own group; known fingerprints are shared (and the
+    /// view's secondary-index patterns are registered on the existing
+    /// storage, which backfills them from live entries).
     ///
     /// Deduplication is strictly *across* views: if one program carries
     /// two maps with equal fingerprints (the compiler's within-query
@@ -166,9 +224,7 @@ impl SharedMapStore {
     /// would make the view write the same storage twice per event.
     pub fn register_view(&mut self, view: usize, maps: &[MapRegistration]) -> ViewBinding {
         let mut binding = ViewBinding::default();
-        let mut fresh: Vec<MapStorage> = Vec::new();
         let mut fresh_fingerprints: FxHashMap<&str, usize> = FxHashMap::default();
-        let group = self.groups.len();
         for reg in maps {
             let shared = match self.by_fingerprint.get(reg.fingerprint.as_str()) {
                 Some(&slot)
@@ -184,21 +240,28 @@ impl SharedMapStore {
                 Some(slot) => {
                     let meta = &mut self.slots[slot];
                     meta.aliases.push((view, reg.name.clone()));
-                    let mut storage = self.groups[meta.group].write();
+                    let group = meta.group;
+                    let index = meta.index;
+                    let storage = self.groups[group].get_mut();
                     for p in &reg.patterns {
-                        storage[meta.index].register_pattern(p);
+                        storage[index].register_pattern(p);
                     }
                     binding.slots.push(slot);
                     binding.maintains.push(false);
                 }
                 None => {
                     let slot = self.slots.len();
-                    let index = fresh.len();
+                    let group = self.group_for(reg.group_key(view));
                     let mut storage = MapStorage::new(reg.arity);
                     for p in &reg.patterns {
                         storage.register_pattern(p);
                     }
-                    fresh.push(storage);
+                    let index = {
+                        let maps = self.groups[group].get_mut();
+                        maps.push(storage);
+                        maps.len() - 1
+                    };
+                    self.group_slots[group].push(slot);
                     fresh_fingerprints.insert(reg.fingerprint.as_str(), slot);
                     self.slots.push(SlotMeta {
                         group,
@@ -219,17 +282,6 @@ impl SharedMapStore {
                     binding.maintains.push(true);
                 }
             }
-        }
-        if !fresh.is_empty() {
-            self.group_slots.push(
-                self.slots
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, m)| m.group == group)
-                    .map(|(slot, _)| slot)
-                    .collect(),
-            );
-            self.groups.push(RwLock::new(fresh));
         }
         binding.groups = binding.slots.iter().map(|&s| self.slots[s].group).collect();
         binding.groups.sort_unstable();
@@ -254,38 +306,79 @@ impl SharedMapStore {
         groups.iter().map(|&g| self.groups[g].write()).collect()
     }
 
-    /// Build a read frame over already-acquired group guards. `groups`
-    /// must be the exact lock plan the guards were acquired with.
-    pub fn read_frame<'a>(
-        &self,
-        groups: &[usize],
-        guards: &'a [RwLockReadGuard<'_, Vec<MapStorage>>],
-    ) -> ReadFrame<'a> {
-        let mut frame: Vec<Option<&'a MapStorage>> = (0..self.slots.len()).map(|_| None).collect();
-        for (&group, guard) in groups.iter().zip(guards) {
-            for (index, storage) in guard.iter().enumerate() {
-                frame[self.resolve(group, index)] = Some(storage);
+    /// Build the reusable slot-resolution table for a lock plan. The
+    /// plan depends only on registration state (which slots live in
+    /// which group), so callers cache it across events and batches;
+    /// building a frame from a cached plan allocates nothing.
+    pub fn plan(&self, groups: &[usize]) -> FramePlan {
+        debug_assert!(groups.windows(2).all(|w| w[0] < w[1]), "unsorted lock plan");
+        let mut table: Vec<Option<(u32, u32)>> = vec![None; self.slots.len()];
+        for (position, &group) in groups.iter().enumerate() {
+            for (index, &slot) in self.group_slots[group].iter().enumerate() {
+                table[slot] = Some((position as u32, index as u32));
             }
         }
-        ReadFrame { maps: frame }
-    }
-
-    /// Build a write frame over already-acquired group guards.
-    pub fn write_frame<'a>(
-        &self,
-        groups: &[usize],
-        guards: &'a mut [RwLockWriteGuard<'_, Vec<MapStorage>>],
-    ) -> WriteFrame<'a> {
-        let mut frame: Vec<Option<&'a mut MapStorage>> =
-            (0..self.slots.len()).map(|_| None).collect();
-        for (&group, guard) in groups.iter().zip(guards.iter_mut()) {
-            for (index, storage) in guard.iter_mut().enumerate() {
-                frame[self.resolve(group, index)] = Some(storage);
-            }
+        FramePlan {
+            groups: groups.to_vec(),
+            table,
         }
-        WriteFrame { maps: frame }
+    }
+}
+
+/// A cached lock plan plus its slot-resolution table: for every store
+/// slot the plan covers, the position of its group among the acquired
+/// guards and its index within the group. Computed once per lock plan
+/// ([`SharedMapStore::plan`]), reused for every frame built over it —
+/// the store-wide `Vec<Option<&mut MapStorage>>` the old frames
+/// allocated per call is gone.
+#[derive(Debug, Clone, Default)]
+pub struct FramePlan {
+    /// The lock plan (ascending group ids) the table was built for.
+    groups: Vec<usize>,
+    /// slot → (position in `groups`, index within the group).
+    table: Vec<Option<(u32, u32)>>,
+}
+
+impl FramePlan {
+    /// The groups to lock (ascending) before building a frame.
+    pub fn groups(&self) -> &[usize] {
+        &self.groups
     }
 
+    /// Resolve a slot to (guard position, index within group).
+    #[inline]
+    fn resolve(&self, slot: usize) -> (usize, usize) {
+        let (position, index) = self
+            .table
+            .get(slot)
+            .copied()
+            .flatten()
+            .expect("slot not covered by this frame's lock plan");
+        (position as usize, index as usize)
+    }
+
+    /// Borrowed read access over guards acquired with exactly this
+    /// plan's groups ([`SharedMapStore::lock_read`]).
+    pub fn read_frame<'a, 'g>(
+        &'a self,
+        guards: &'a [RwLockReadGuard<'g, Vec<MapStorage>>],
+    ) -> ReadFrame<'a, 'g> {
+        debug_assert_eq!(guards.len(), self.groups.len(), "guards do not match plan");
+        ReadFrame { plan: self, guards }
+    }
+
+    /// Borrowed write access over guards acquired with exactly this
+    /// plan's groups ([`SharedMapStore::lock_write`]).
+    pub fn write_frame<'a, 'g>(
+        &'a self,
+        guards: &'a mut [RwLockWriteGuard<'g, Vec<MapStorage>>],
+    ) -> WriteFrame<'a, 'g> {
+        debug_assert_eq!(guards.len(), self.groups.len(), "guards do not match plan");
+        WriteFrame { plan: self, guards }
+    }
+}
+
+impl SharedMapStore {
     /// Read one map under its group lock.
     pub fn with_map<R>(&self, slot: usize, f: impl FnOnce(&MapStorage) -> R) -> R {
         let meta = &self.slots[slot];
@@ -301,44 +394,41 @@ impl SharedMapStore {
             .map(|g| g.read().iter().map(MapStorage::approx_bytes).sum::<usize>())
             .sum()
     }
-
-    fn resolve(&self, group: usize, index: usize) -> usize {
-        self.group_slots[group][index]
-    }
 }
 
 /// Borrowed read access to stored maps, indexed by store slot.
-pub struct ReadFrame<'a> {
-    maps: Vec<Option<&'a MapStorage>>,
+pub struct ReadFrame<'a, 'g> {
+    plan: &'a FramePlan,
+    guards: &'a [RwLockReadGuard<'g, Vec<MapStorage>>],
 }
 
-impl MapRead for ReadFrame<'_> {
+impl MapRead for ReadFrame<'_, '_> {
     #[inline]
     fn map(&self, id: usize) -> &MapStorage {
-        self.maps[id].expect("slot not covered by this frame's lock plan")
+        let (position, index) = self.plan.resolve(id);
+        &self.guards[position][index]
     }
 }
 
 /// Borrowed write access to stored maps, indexed by store slot.
-pub struct WriteFrame<'a> {
-    maps: Vec<Option<&'a mut MapStorage>>,
+pub struct WriteFrame<'a, 'g> {
+    plan: &'a FramePlan,
+    guards: &'a mut [RwLockWriteGuard<'g, Vec<MapStorage>>],
 }
 
-impl MapRead for WriteFrame<'_> {
+impl MapRead for WriteFrame<'_, '_> {
     #[inline]
     fn map(&self, id: usize) -> &MapStorage {
-        self.maps[id]
-            .as_deref()
-            .expect("slot not covered by this frame's lock plan")
+        let (position, index) = self.plan.resolve(id);
+        &self.guards[position][index]
     }
 }
 
-impl MapWrite for WriteFrame<'_> {
+impl MapWrite for WriteFrame<'_, '_> {
     #[inline]
     fn map_mut(&mut self, id: usize) -> &mut MapStorage {
-        self.maps[id]
-            .as_deref_mut()
-            .expect("slot not covered by this frame's lock plan")
+        let (position, index) = self.plan.resolve(id);
+        &mut self.guards[position][index]
     }
 }
 
@@ -364,15 +454,22 @@ mod tests {
         let a = store.register_view(0, &[reg("Q", "fp:q", 0), reg("BASE_R", "fp:base_r", 2)]);
         assert_eq!(a.slots, vec![0, 1]);
         assert_eq!(a.maintains, vec![true, true]);
-        assert_eq!(a.groups, vec![0]);
+        // Q lives in view 0's group, BASE_R in relation R's group.
+        assert_eq!(a.groups, vec![0, 1]);
+        assert_eq!(store.group_key(0), &GroupKey::View(0));
+        assert_eq!(store.group_key(1), &GroupKey::Relation("R".into()));
 
         let b = store.register_view(1, &[reg("Q2", "fp:q2", 1), reg("BASE_R", "fp:base_r", 2)]);
         assert_eq!(b.slots, vec![2, 1], "BASE_R reuses slot 1");
         assert_eq!(b.maintains, vec![true, false]);
-        assert_eq!(b.groups, vec![0, 1], "lock plan covers the shared group");
+        assert_eq!(
+            b.groups,
+            vec![1, 2],
+            "lock plan covers R's relation group + view 1's own group"
+        );
 
         assert_eq!(store.slot_count(), 3);
-        assert_eq!(store.group_count(), 2);
+        assert_eq!(store.group_count(), 3);
         let base = store.slot(1);
         assert_eq!(base.maintainer, 0);
         assert_eq!(base.sharers(), 2);
@@ -381,6 +478,34 @@ mod tests {
             base.aliases,
             vec![(0, "BASE_R".into()), (1, "BASE_R".into())]
         );
+    }
+
+    #[test]
+    fn base_maps_of_different_views_share_one_relation_group() {
+        let mut store = SharedMapStore::new();
+        // Two views with *different* base-map fingerprints over the same
+        // relation (e.g. a private hazarded copy): both copies land in
+        // the one relation group, so all base state of R is one lock.
+        let a = store.register_view(0, &[reg("BASE_R", "fp:base_r", 2), reg("QA", "fp:qa", 0)]);
+        let mut private = reg("BASE_R", "fp:base_r", 2);
+        private.shareable = false;
+        let b = store.register_view(1, &[private, reg("QB", "fp:qb", 0)]);
+        assert_eq!(store.slot(a.slots[0]).group, store.slot(b.slots[0]).group);
+        assert_ne!(a.slots[0], b.slots[0], "private copy kept its own slot");
+        assert_ne!(
+            store.slot(a.slots[1]).group,
+            store.slot(b.slots[1]).group,
+            "derived maps stay in per-view groups"
+        );
+        // Disjoint derived state + the shared relation group: the two
+        // views' plans overlap exactly on R's group.
+        let common: Vec<usize> = a
+            .groups
+            .iter()
+            .filter(|g| b.groups.contains(g))
+            .copied()
+            .collect();
+        assert_eq!(common, vec![store.slot(a.slots[0]).group]);
     }
 
     #[test]
@@ -400,9 +525,9 @@ mod tests {
         let mut store = SharedMapStore::new();
         let a = store.register_view(0, &[reg("BASE_R", "fp:base_r", 1)]);
         let b = store.register_view(1, &[reg("OWN", "fp:own", 1), reg("BASE_R", "fp:base_r", 1)]);
-        assert!(b.groups.contains(&0));
+        assert!(b.groups.contains(&store.slot(a.slots[0]).group));
 
-        // Write through view 1's lock plan (covers both groups).
+        // Write through the union of both views' lock plans.
         let groups: Vec<usize> = {
             let mut g = a.groups.clone();
             g.extend(&b.groups);
@@ -410,9 +535,10 @@ mod tests {
             g.dedup();
             g
         };
+        let plan = store.plan(&groups);
         {
-            let mut guards = store.lock_write(&groups);
-            let mut frame = store.write_frame(&groups, &mut guards);
+            let mut guards = store.lock_write(plan.groups());
+            let mut frame = plan.write_frame(&mut guards);
             frame.map_mut(a.slots[0]).add(tuple![7i64], Value::Int(3));
             frame.map_mut(b.slots[0]).add(tuple![1i64], Value::Int(1));
         }
@@ -423,8 +549,9 @@ mod tests {
         );
         assert_eq!(b.slots[1], a.slots[0]);
         let all = store.all_groups();
+        let all_plan = store.plan(&all);
         let guards = store.lock_read(&all);
-        let frame = store.read_frame(&all, &guards);
+        let frame = all_plan.read_frame(&guards);
         assert_eq!(frame.map(b.slots[1]).get(&tuple![7i64]), Value::Int(3));
         assert_eq!(frame.map(b.slots[0]).get(&tuple![1i64]), Value::Int(1));
     }
@@ -433,9 +560,10 @@ mod tests {
     fn shared_slots_backfill_new_patterns() {
         let mut store = SharedMapStore::new();
         let a = store.register_view(0, &[reg("BASE_R", "fp:base_r", 2)]);
+        let plan = store.plan(&a.groups);
         {
-            let mut guards = store.lock_write(&a.groups);
-            let mut frame = store.write_frame(&a.groups, &mut guards);
+            let mut guards = store.lock_write(plan.groups());
+            let mut frame = plan.write_frame(&mut guards);
             frame
                 .map_mut(a.slots[0])
                 .add(tuple![1i64, 2i64], Value::Int(1));
@@ -473,5 +601,18 @@ mod tests {
         let b = store.register_view(1, &[reg("B", "fp:b", 0), reg("A2", "fp:a", 0)]);
         let skip = b.skip_targets(store.slot_count());
         assert_eq!(skip, vec![true, false], "shared slot skipped, own slot not");
+    }
+
+    #[test]
+    fn plans_built_before_later_registrations_still_resolve_their_slots() {
+        let mut store = SharedMapStore::new();
+        let a = store.register_view(0, &[reg("Q", "fp:q", 1)]);
+        let plan = store.plan(&a.groups);
+        store.register_view(1, &[reg("Q2", "fp:q2", 1)]);
+        // The stale plan still serves the slots it covered.
+        let mut guards = store.lock_write(plan.groups());
+        let mut frame = plan.write_frame(&mut guards);
+        frame.map_mut(a.slots[0]).add(tuple![4i64], Value::Int(2));
+        assert_eq!(frame.map(a.slots[0]).get(&tuple![4i64]), Value::Int(2));
     }
 }

@@ -7,38 +7,48 @@
 //!
 //! * [`ViewServer`] — compiles N standing queries against one shared
 //!   [`Catalog`] into N trigger programs and routes each incoming event
-//!   only to the views whose triggers reference the event's relation
-//!   (a relation → interested-views dispatch index, built at
-//!   registration time).
+//!   only to the views whose triggers reference the event's relation.
+//!   Registration precomputes a **relation plan** per dispatched
+//!   relation: the interested views, their combined lock plan, and a
+//!   cached slot-resolution table ([`dbtoaster_runtime::FramePlan`]), so
+//!   the hot ingestion paths neither search nor allocate.
 //! * **Shared map store** — registration deduplicates maps *across*
 //!   views by canonical fingerprint: every `BASE_*` multiplicity map and
 //!   every alpha-equivalent sub-aggregate is materialized once, with the
 //!   first registering view designated its **maintainer**. Other views
 //!   bind the same storage read-only: their own statements targeting the
 //!   shared map are skipped, so a shared map is written once per event,
-//!   not once per interested view. Statements address maps through
-//!   store-wide slot handles (`ExecProgram::with_remapped_maps`) instead
-//!   of per-engine owned vectors.
-//! * **Per-map-group locking** — storage is partitioned into map groups
-//!   (the maps each view introduced), each behind its own lock. A batch
-//!   locks exactly the groups its affected views touch, in ascending
-//!   group order; [`ViewServer::snapshot_all`] read-locks every group in
-//!   the same order, so snapshots are one consistent cut of the stream
-//!   and acquisition is deadlock-free. This is also the seam for sharded
-//!   dispatch: disjoint group sets ingest in parallel.
-//! * **Batched ingestion** — [`ViewServer::apply_batch`] takes each
-//!   affected group's write lock once per batch. Within the batch each
-//!   event runs in two phases across its interested views: all delta
-//!   (`Update`) statements first — shared maps are written exactly once,
-//!   by their maintainer — then all re-evaluation (`Replace`)
-//!   statements, which thereby observe fully post-event base maps.
+//!   not once per interested view.
+//! * **Per-group locking, sharded by relation** — base-relation maps
+//!   live in per-*relation* groups, derived maps in per-*view* groups,
+//!   each behind its own lock. Two views sharing `BASE_BIDS` contend
+//!   only on that relation's lock, not on each other's derived state. A
+//!   batch locks exactly the groups its affected views touch, in
+//!   ascending group order; [`ViewServer::snapshot_all`] read-locks
+//!   every group in the same order, so snapshots are one consistent cut
+//!   of the stream and acquisition is deadlock-free. Batches over
+//!   disjoint group sets ingest in parallel — [`ShardedDispatcher`]
+//!   drives exactly that with a worker pool.
+//! * **Batched ingestion and a single-event fast path** —
+//!   [`ViewServer::apply_batch`] takes each affected group's write lock
+//!   once per batch; [`ViewServer::apply`] runs a dedicated one-event
+//!   path over the event's cached relation plan, reusing pooled
+//!   [`ApplyCtx`] buffers, so per-event cost tracks the *interested*
+//!   views, not the whole portfolio. Within the batch each event runs in
+//!   two phases across its interested views: all delta (`Update`)
+//!   statements first — shared maps are written exactly once, by their
+//!   maintainer — then all re-evaluation (`Replace`) statements, which
+//!   thereby observe fully post-event base maps.
 //! * **Pluggable sources** — [`ViewServer::run_source`] drains any
 //!   [`EventSource`] (an archived CSV stream via [`CsvReplaySource`], a
 //!   workload generator adapter, eventually a network socket) through
 //!   the batched path.
 //!
 //! Ingestion methods take `&self`, so an `Arc<ViewServer>` can be fed
-//! from one thread while other threads read results.
+//! from many threads while other threads read results; per-view
+//! statistics are atomics, updated while the group write locks are held
+//! so consistent snapshots still observe counts and maps moving
+//! together.
 //!
 //! ## Sharing semantics (and one caveat)
 //!
@@ -57,7 +67,9 @@
 //! post-event inputs, which the two-phase schedule delivers.
 
 pub mod csv;
+pub mod shard;
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -68,22 +80,26 @@ use dbtoaster_common::{
 use dbtoaster_compiler::{compile_sql, CompileOptions, TriggerProgram};
 use dbtoaster_runtime::{
     apply_event_statements, assemble_result, lower_program, result_column_names, EventScratch,
-    ExecProgram, MapRead, MapRegistration, ProfileReport, ResultRow, SharedMapStore,
+    ExecProgram, FramePlan, MapRead, MapRegistration, ProfileReport, ResultRow, SharedMapStore,
     StatementPhase, ViewBinding,
 };
 
 pub use csv::{to_csv_string, write_csv, CsvReplaySource};
+pub use shard::{DispatchReport, ShardedDispatcher};
 
 /// Stable handle to a registered view (its registration index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ViewId(pub usize);
 
-/// Per-view ingestion counters, updated under the group write locks so
-/// that snapshots (which hold the read locks) observe consistent values.
-#[derive(Default)]
-struct ViewStats {
-    events_processed: u64,
-    trigger_stats: FxHashMap<(String, EventKind), (u64, Duration)>,
+/// One per-(relation, kind) ingestion counter of a view. The set of
+/// trigger keys is fixed at registration, so updates are plain atomic
+/// adds — no lock, no map insertion — performed while the group write
+/// locks are held so snapshots observe counts and maps move together.
+struct TriggerStat {
+    relation: String,
+    kind: EventKind,
+    count: AtomicU64,
+    nanos: AtomicU64,
 }
 
 /// One registered standing query.
@@ -95,13 +111,75 @@ struct View {
     exec: ExecProgram,
     /// This view's slots/maintainer flags/lock plan in the shared store.
     binding: ViewBinding,
+    /// Cached slot-resolution table over `binding.groups` (the view's
+    /// own read plan, for `result`/`profile`).
+    plan: FramePlan,
     /// Store slot → skip statements targeting it (non-maintained shares).
     skip: Vec<bool>,
     /// Per (relation, kind): how many statements the dedup skips each
     /// time that trigger fires (static; × trigger count = writes saved).
     skipped_per_trigger: FxHashMap<(String, EventKind), u64>,
     compile_time: Duration,
-    stats: Mutex<ViewStats>,
+    /// Events delivered to (and absorbed by) this view.
+    events_processed: AtomicU64,
+    /// Fixed-key per-trigger counters (one per compiled trigger).
+    trigger_stats: Vec<TriggerStat>,
+}
+
+impl View {
+    /// Credit `n` absorbed events and `nanos` of processing time to the
+    /// (relation, kind) trigger. Called with the group write locks held.
+    fn record(&self, relation: &str, kind: EventKind, n: u64, nanos: u64) {
+        self.events_processed.fetch_add(n, Ordering::Relaxed);
+        if let Some(stat) = self
+            .trigger_stats
+            .iter()
+            .find(|s| s.kind == kind && s.relation == relation)
+        {
+            stat.count.fetch_add(n, Ordering::Relaxed);
+            stat.nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
+    }
+
+    fn trigger_count(&self, relation: &str, kind: EventKind) -> u64 {
+        self.trigger_stats
+            .iter()
+            .find(|s| s.kind == kind && s.relation == relation)
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// Everything the server precomputes about one dispatched relation: the
+/// views interested in its events (ascending registration order, so a
+/// shared map's maintainer runs before its sharers), their combined lock
+/// plan, and the cached frame table over it. Rebuilt on registration,
+/// read-only during ingestion — the single-event fast path is one hash
+/// lookup away from its locks.
+struct RelationPlan {
+    views: Vec<usize>,
+    groups: Vec<usize>,
+    frame: FramePlan,
+}
+
+/// Reusable per-caller ingestion state: the statement-evaluation scratch
+/// buffers plus the staging vector for per-view counters. [`ViewServer`]
+/// keeps a pool so plain [`ViewServer::apply`] / [`apply_batch`] calls
+/// allocate nothing in steady state; callers that ingest from their own
+/// threads (the sharded dispatcher's workers) own one ctx each and use
+/// [`ViewServer::apply_with`] / [`ViewServer::apply_batch_with`].
+///
+/// [`apply_batch`]: ViewServer::apply_batch
+#[derive(Default)]
+pub struct ApplyCtx {
+    scratch: EventScratch,
+    /// Staged (view, relation, kind, absorbed) counter rows of the
+    /// current batch, flushed into the views' atomics at the end.
+    counts: Vec<(usize, String, EventKind, u64)>,
+    /// Scratch for the batch lock plan (union of relation groups).
+    groups: Vec<usize>,
+    /// Views of the current single event that absorbed it (fast path).
+    delivered: Vec<usize>,
 }
 
 /// A consistent per-view result capture from [`ViewServer::snapshot_all`].
@@ -168,10 +246,14 @@ pub struct StoreReport {
 pub struct ViewServer {
     catalog: Catalog,
     views: Vec<View>,
-    /// relation name → indices of views whose triggers reference it
-    /// (ascending registration order, so maintainers run before sharers).
-    dispatch: FxHashMap<String, Vec<usize>>,
+    /// relation name → precomputed dispatch plan (interested views,
+    /// lock plan, frame table).
+    dispatch: FxHashMap<String, RelationPlan>,
     store: SharedMapStore,
+    /// Cached frame table over every group (snapshots, reports).
+    all_plan: FramePlan,
+    /// Pool of reusable ingestion contexts for `apply`/`apply_batch`.
+    ctx_pool: Mutex<Vec<ApplyCtx>>,
 }
 
 impl ViewServer {
@@ -182,6 +264,8 @@ impl ViewServer {
             views: Vec::new(),
             dispatch: FxHashMap::default(),
             store: SharedMapStore::new(),
+            all_plan: FramePlan::default(),
+            ctx_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -255,6 +339,7 @@ impl ViewServer {
         let skip = binding.skip_targets(self.store.slot_count());
 
         let mut skipped_per_trigger: FxHashMap<(String, EventKind), u64> = FxHashMap::default();
+        let mut trigger_stats = Vec::new();
         for (key, trigger) in &exec.triggers {
             let skipped = trigger
                 .statements
@@ -264,6 +349,12 @@ impl ViewServer {
             if skipped > 0 {
                 skipped_per_trigger.insert(key.clone(), skipped);
             }
+            trigger_stats.push(TriggerStat {
+                relation: key.0.clone(),
+                kind: key.1,
+                count: AtomicU64::new(0),
+                nanos: AtomicU64::new(0),
+            });
         }
 
         // Dispatch: route events of each referenced relation here.
@@ -273,20 +364,51 @@ impl ViewServer {
             .map(|t| t.relation.clone())
             .collect();
         for rel in relations {
-            self.dispatch.entry(rel).or_default().push(id);
+            self.dispatch
+                .entry(rel)
+                .or_insert_with(|| RelationPlan {
+                    views: Vec::new(),
+                    groups: Vec::new(),
+                    frame: FramePlan::default(),
+                })
+                .views
+                .push(id);
         }
+        let plan = self.store.plan(&binding.groups);
         self.views.push(View {
             name: name.to_string(),
             sql: sql.to_string(),
             program,
             exec,
             binding,
+            plan,
             skip,
             skipped_per_trigger,
             compile_time: started.elapsed(),
-            stats: Mutex::new(ViewStats::default()),
+            events_processed: AtomicU64::new(0),
+            trigger_stats,
         });
+        self.rebuild_plans();
         Ok(ViewId(id))
+    }
+
+    /// Recompute every cached dispatch plan. Registration-time only:
+    /// a new view can extend a relation group another plan covers and
+    /// grows the slot table every plan resolves against.
+    fn rebuild_plans(&mut self) {
+        for plan in self.dispatch.values_mut() {
+            plan.groups.clear();
+            for &i in &plan.views {
+                plan.groups.extend(&self.views[i].binding.groups);
+            }
+            plan.groups.sort_unstable();
+            plan.groups.dedup();
+            plan.frame = self.store.plan(&plan.groups);
+        }
+        for view in &mut self.views {
+            view.plan = self.store.plan(&view.binding.groups);
+        }
+        self.all_plan = self.store.plan(&self.store.all_groups());
     }
 
     /// Number of registered views.
@@ -331,7 +453,11 @@ impl ViewServer {
     /// it answers precisely the question `apply` asks.
     pub fn interested_views(&self, relation: &str) -> Vec<&str> {
         match self.dispatch.get(relation) {
-            Some(ids) => ids.iter().map(|&i| self.views[i].name.as_str()).collect(),
+            Some(plan) => plan
+                .views
+                .iter()
+                .map(|&i| self.views[i].name.as_str())
+                .collect(),
             None => Vec::new(),
         }
     }
@@ -343,6 +469,13 @@ impl ViewServer {
         rels
     }
 
+    /// The lock plan (ascending group ids) of one dispatched relation —
+    /// the sharded dispatcher partitions batches by overlap of exactly
+    /// these sets.
+    pub fn relation_groups(&self, relation: &str) -> Option<&[usize]> {
+        self.dispatch.get(relation).map(|p| p.groups.as_slice())
+    }
+
     fn resolve(&self, name: &str) -> Result<&View> {
         self.views
             .iter()
@@ -350,12 +483,100 @@ impl ViewServer {
             .ok_or_else(|| Error::Runtime(format!("unknown view '{name}'")))
     }
 
+    /// Check out a reusable ingestion context (returned on the next
+    /// `apply`/`apply_batch` via the internal pool, or owned by callers
+    /// using the `_with` variants from their own threads).
+    pub fn make_ctx(&self) -> ApplyCtx {
+        self.ctx_pool.lock().pop().unwrap_or_default()
+    }
+
+    fn return_ctx(&self, ctx: ApplyCtx) {
+        self.ctx_pool.lock().push(ctx);
+    }
+
     /// Apply one event, routed only to interested views. Returns the
     /// number of views the event was delivered to. Dispatch matches the
     /// event's relation exactly; the `Event` constructors upper-case
     /// relation names, so hand-built events must do the same.
+    ///
+    /// This is the dedicated single-event fast path: one dispatch
+    /// lookup reaches the relation's cached plan (interested views, lock
+    /// plan, frame table), locks are taken over exactly those groups,
+    /// and all buffers come from a pooled [`ApplyCtx`] — per-event cost
+    /// tracks the relation's views, not the portfolio size.
     pub fn apply(&self, event: &Event) -> Result<usize> {
-        self.apply_batch(std::slice::from_ref(event))
+        let mut ctx = self.make_ctx();
+        let result = self.apply_with(event, &mut ctx);
+        self.return_ctx(ctx);
+        result
+    }
+
+    /// [`ViewServer::apply`] with a caller-owned context (for threads
+    /// that ingest continuously and want zero pool traffic).
+    pub fn apply_with(&self, event: &Event, ctx: &mut ApplyCtx) -> Result<usize> {
+        let Some(plan) = self.dispatch.get(&event.relation) else {
+            return Ok(0);
+        };
+        let mut guards = self.store.lock_write(&plan.groups);
+        let started = Instant::now();
+        ctx.delivered.clear();
+        let mut failure: Option<Error> = None;
+        {
+            let mut frame = plan.frame.write_frame(&mut guards);
+            // Phase 1: delta updates, maintainers writing shared maps
+            // exactly once (dispatch order = registration order, so a
+            // map's maintainer runs before every view sharing it).
+            for &i in &plan.views {
+                let view = &self.views[i];
+                match apply_event_statements(
+                    &view.exec,
+                    &mut frame,
+                    event,
+                    &mut ctx.scratch,
+                    StatementPhase::Updates,
+                    Some(&view.skip),
+                    None,
+                ) {
+                    Ok(true) => ctx.delivered.push(i),
+                    Ok(false) => {}
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            // Phase 2: re-evaluations, against fully post-event inputs.
+            if failure.is_none() {
+                for &i in &plan.views {
+                    let view = &self.views[i];
+                    if let Err(e) = apply_event_statements(
+                        &view.exec,
+                        &mut frame,
+                        event,
+                        &mut ctx.scratch,
+                        StatementPhase::Replaces,
+                        Some(&view.skip),
+                        None,
+                    ) {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        // Credit stats while still holding the write locks, so a
+        // consistent snapshot sees counts and maps move together. The
+        // event's wall clock is split evenly across its deliveries.
+        let deliveries = ctx.delivered.len();
+        let nanos = started.elapsed().as_nanos() as u64 / deliveries.max(1) as u64;
+        for &i in &ctx.delivered {
+            self.views[i].record(&event.relation, event.kind, 1, nanos);
+        }
+        drop(guards);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(deliveries),
+        }
     }
 
     /// Apply a whole batch through the dispatch index: the groups of all
@@ -368,129 +589,127 @@ impl ViewServer {
     /// each shared map is written once. Returns the total number of
     /// deliveries.
     pub fn apply_batch(&self, batch: &[Event]) -> Result<usize> {
+        let mut ctx = self.make_ctx();
+        let result = self.apply_batch_with(batch, &mut ctx);
+        self.return_ctx(ctx);
+        result
+    }
+
+    /// [`ViewServer::apply_batch`] with a caller-owned context.
+    pub fn apply_batch_with(&self, batch: &[Event], ctx: &mut ApplyCtx) -> Result<usize> {
         // Accepts any event slice; `&EventBatch` coerces via Deref, and
         // `UpdateStream::events.chunks(n)` feeds it zero-copy.
-        let mut affected: Vec<usize> = Vec::new();
-        let mut seen_relations: Vec<&str> = Vec::new();
+        //
+        // The batch lock plan is the union of the cached relation plans
+        // of the distinct relations present.
+        let mut relations: Vec<&str> = Vec::new();
+        ctx.groups.clear();
         for event in batch {
-            if seen_relations.contains(&event.relation.as_str()) {
+            if relations.contains(&event.relation.as_str()) {
                 continue;
             }
-            seen_relations.push(&event.relation);
-            if let Some(ids) = self.dispatch.get(&event.relation) {
-                for &i in ids {
-                    if !affected.contains(&i) {
-                        affected.push(i);
-                    }
-                }
+            if let Some(plan) = self.dispatch.get(&event.relation) {
+                relations.push(&event.relation);
+                ctx.groups.extend(&plan.groups);
             }
         }
-        if affected.is_empty() {
+        if relations.is_empty() {
             return Ok(0);
         }
-        affected.sort_unstable();
-        let mut groups: Vec<usize> = affected
-            .iter()
-            .flat_map(|&i| self.views[i].binding.groups.iter().copied())
-            .collect();
-        groups.sort_unstable();
-        groups.dedup();
+        ctx.groups.sort_unstable();
+        ctx.groups.dedup();
+
+        // Single-relation batches (the sharded dispatcher's partitions
+        // are often exactly that) reuse the relation's cached frame
+        // table; mixed batches build one table for the whole batch.
+        let built;
+        let frame_plan: &FramePlan = if relations.len() == 1 {
+            &self.dispatch[relations[0]].frame
+        } else {
+            built = self.store.plan(&ctx.groups);
+            &built
+        };
 
         // Every lock plan in the server acquires groups in ascending id
         // order, so concurrent batches and snapshots cannot deadlock,
         // and a snapshot (which locks every group) observes either none
         // or all of this batch.
-        let mut guards = self.store.lock_write(&groups);
-        let mut frame = self.store.write_frame(&groups, &mut guards);
+        let mut guards = self.store.lock_write(frame_plan.groups());
 
         let started = Instant::now();
-        let mut scratch = EventScratch::default();
         let mut deliveries = 0usize;
-        // Per affected view: (relation, kind) delivery counts, probed
-        // linearly (trigger keys are few; avoids per-event hashing).
-        let mut counts: Vec<Vec<((String, EventKind), u64)>> = vec![Vec::new(); affected.len()];
+        ctx.counts.clear();
         let mut failure: Option<Error> = None;
-
-        'events: for event in batch {
-            let Some(ids) = self.dispatch.get(&event.relation) else {
-                continue;
-            };
-            // Phase 1: delta updates, maintainers writing shared maps
-            // exactly once (dispatch order = registration order, so a
-            // map's maintainer runs before every view sharing it).
-            for &i in ids {
-                let view = &self.views[i];
-                match apply_event_statements(
-                    &view.exec,
-                    &mut frame,
-                    event,
-                    &mut scratch,
-                    StatementPhase::Updates,
-                    Some(&view.skip),
-                    None,
-                ) {
-                    Ok(true) => {
-                        deliveries += 1;
-                        let pos = affected
-                            .binary_search(&i)
-                            .expect("affected covers dispatch");
-                        match counts[pos]
-                            .iter_mut()
-                            .find(|((r, k), _)| *k == event.kind && *r == event.relation)
-                        {
-                            Some((_, n)) => *n += 1,
-                            None => counts[pos].push(((event.relation.clone(), event.kind), 1)),
+        {
+            let mut frame = frame_plan.write_frame(&mut guards);
+            'events: for event in batch {
+                let Some(plan) = self.dispatch.get(&event.relation) else {
+                    continue;
+                };
+                // Phase 1: delta updates, maintainers writing shared
+                // maps exactly once (dispatch order = registration
+                // order, so a map's maintainer runs before every view
+                // sharing it).
+                for &i in &plan.views {
+                    let view = &self.views[i];
+                    match apply_event_statements(
+                        &view.exec,
+                        &mut frame,
+                        event,
+                        &mut ctx.scratch,
+                        StatementPhase::Updates,
+                        Some(&view.skip),
+                        None,
+                    ) {
+                        Ok(true) => {
+                            deliveries += 1;
+                            match ctx.counts.iter_mut().find(|(v, r, k, _)| {
+                                *v == i && *k == event.kind && *r == event.relation
+                            }) {
+                                Some((_, _, _, n)) => *n += 1,
+                                None => {
+                                    ctx.counts.push((i, event.relation.clone(), event.kind, 1));
+                                }
+                            }
+                        }
+                        Ok(false) => {}
+                        Err(e) => {
+                            failure = Some(e);
+                            break 'events;
                         }
                     }
-                    Ok(false) => {}
-                    Err(e) => {
+                }
+                // Phase 2: re-evaluations, against fully post-event
+                // inputs.
+                for &i in &plan.views {
+                    let view = &self.views[i];
+                    if let Err(e) = apply_event_statements(
+                        &view.exec,
+                        &mut frame,
+                        event,
+                        &mut ctx.scratch,
+                        StatementPhase::Replaces,
+                        Some(&view.skip),
+                        None,
+                    ) {
                         failure = Some(e);
                         break 'events;
                     }
-                }
-            }
-            // Phase 2: re-evaluations, against fully post-event inputs.
-            for &i in ids {
-                let view = &self.views[i];
-                if let Err(e) = apply_event_statements(
-                    &view.exec,
-                    &mut frame,
-                    event,
-                    &mut scratch,
-                    StatementPhase::Replaces,
-                    Some(&view.skip),
-                    None,
-                ) {
-                    failure = Some(e);
-                    break 'events;
                 }
             }
         }
 
         // Flush per-view counters while still holding the write locks so
         // snapshot_all sees counts and maps move together. The batch is
-        // timed once; each view is charged by its delivery count, and
-        // the view's share is split across its trigger keys the same
-        // way, so per-trigger and per-view profile times both sum to
-        // the batch's wall clock (an estimate, not a per-trigger
-        // measurement — the price of one clock read per batch).
-        let elapsed = started.elapsed();
-        for (pos, &i) in affected.iter().enumerate() {
-            if counts[pos].is_empty() {
-                continue;
-            }
-            let per_delivery = elapsed.div_f64(deliveries.max(1) as f64);
-            let mut stats = self.views[i].stats.lock();
-            for (key, n) in counts[pos].drain(..) {
-                stats.events_processed += n;
-                let entry = stats
-                    .trigger_stats
-                    .entry(key)
-                    .or_insert((0, Duration::ZERO));
-                entry.0 += n;
-                entry.1 += per_delivery.mul_f64(n as f64);
-            }
+        // timed once; each view is charged by its delivery count, so
+        // per-trigger and per-view profile times both sum to the batch's
+        // wall clock (an estimate, not a per-trigger measurement — the
+        // price of one clock read per batch).
+        let per_delivery = started.elapsed().as_nanos() as u64 / deliveries.max(1) as u64;
+        for (view, relation, kind, n) in ctx.counts.drain(..) {
+            self.views[view].record(&relation, kind, n, per_delivery * n);
         }
+        drop(guards);
         match failure {
             Some(e) => Err(e),
             None => Ok(deliveries),
@@ -505,19 +724,28 @@ impl ViewServer {
         batch_size: usize,
     ) -> Result<IngestReport> {
         let mut report = IngestReport::default();
+        let mut ctx = self.make_ctx();
         while let Some(batch) = source.next_batch(batch_size)? {
             report.batches += 1;
             report.events += batch.len();
-            report.deliveries += self.apply_batch(&batch)?;
+            let applied = self.apply_batch_with(&batch, &mut ctx);
+            match applied {
+                Ok(deliveries) => report.deliveries += deliveries,
+                Err(e) => {
+                    self.return_ctx(ctx);
+                    return Err(e);
+                }
+            }
         }
+        self.return_ctx(ctx);
         Ok(report)
     }
 
     /// The current result rows of one view.
     pub fn result(&self, name: &str) -> Result<Vec<ResultRow>> {
         let view = self.resolve(name)?;
-        let guards = self.store.lock_read(&view.binding.groups);
-        let frame = self.store.read_frame(&view.binding.groups, &guards);
+        let guards = self.store.lock_read(view.plan.groups());
+        let frame = view.plan.read_frame(&guards);
         Ok(assemble_result(&view.exec, &frame))
     }
 
@@ -552,7 +780,7 @@ impl ViewServer {
 
     /// Events delivered to (and absorbed by) one view so far.
     pub fn events_processed(&self, name: &str) -> Result<u64> {
-        Ok(self.resolve(name)?.stats.lock().events_processed)
+        Ok(self.resolve(name)?.events_processed.load(Ordering::Relaxed))
     }
 
     /// Profiling report of one view. `per_map` lists the view's maps
@@ -564,8 +792,8 @@ impl ViewServer {
     }
 
     fn profile_view(&self, view: &View) -> ProfileReport {
-        let guards = self.store.lock_read(&view.binding.groups);
-        let frame = self.store.read_frame(&view.binding.groups, &guards);
+        let guards = self.store.lock_read(view.plan.groups());
+        let frame = view.plan.read_frame(&guards);
         let per_map: Vec<(String, usize, usize)> = view
             .program
             .maps
@@ -576,17 +804,21 @@ impl ViewServer {
                 (decl.name.clone(), m.len(), m.approx_bytes())
             })
             .collect();
-        let stats = view.stats.lock();
-        let mut per_trigger: Vec<(String, u64, Duration)> = stats
+        let mut per_trigger: Vec<(String, u64, Duration)> = view
             .trigger_stats
             .iter()
-            .map(|((rel, kind), (count, time))| {
-                (format!("on_{}_{}", kind.label(), rel), *count, *time)
+            .filter(|s| s.count.load(Ordering::Relaxed) > 0)
+            .map(|s| {
+                (
+                    format!("on_{}_{}", s.kind.label(), s.relation),
+                    s.count.load(Ordering::Relaxed),
+                    Duration::from_nanos(s.nanos.load(Ordering::Relaxed)),
+                )
             })
             .collect();
         per_trigger.sort();
         ProfileReport {
-            events_processed: stats.events_processed,
+            events_processed: view.events_processed.load(Ordering::Relaxed),
             per_trigger,
             total_bytes: per_map.iter().map(|(_, _, b)| b).sum(),
             per_map,
@@ -614,9 +846,8 @@ impl ViewServer {
     /// (every map counted once per sharer): the N× baseline the shared
     /// store collapses.
     pub fn memory_bytes_if_unshared(&self) -> usize {
-        let groups = self.store.all_groups();
-        let guards = self.store.lock_read(&groups);
-        let frame = self.store.read_frame(&groups, &guards);
+        let guards = self.store.lock_read(self.all_plan.groups());
+        let frame = self.all_plan.read_frame(&guards);
         self.views
             .iter()
             .flat_map(|v| v.binding.slots.iter())
@@ -627,9 +858,8 @@ impl ViewServer {
     /// Shared-store introspection: per-map sharers/maintainer/footprint
     /// plus the memory and write-amplification savings.
     pub fn store_report(&self) -> StoreReport {
-        let groups = self.store.all_groups();
-        let guards = self.store.lock_read(&groups);
-        let frame = self.store.read_frame(&groups, &guards);
+        let guards = self.store.lock_read(self.all_plan.groups());
+        let frame = self.all_plan.read_frame(&guards);
         let mut report = StoreReport::default();
         for (slot, meta) in self.store.slots().iter().enumerate() {
             let m = frame.map(slot);
@@ -655,11 +885,8 @@ impl ViewServer {
             });
         }
         for view in &self.views {
-            let stats = view.stats.lock();
-            for (key, skipped) in &view.skipped_per_trigger {
-                if let Some((count, _)) = stats.trigger_stats.get(key) {
-                    report.dedup_skipped_statements += count * skipped;
-                }
+            for ((relation, kind), skipped) in &view.skipped_per_trigger {
+                report.dedup_skipped_statements += view.trigger_count(relation, *kind) * skipped;
             }
         }
         report
@@ -671,16 +898,15 @@ impl ViewServer {
     /// result is read, so the snapshot reflects one cut of the event
     /// stream even while another thread is applying batches.
     pub fn snapshot_all(&self) -> Vec<ViewSnapshot> {
-        let groups = self.store.all_groups();
-        let guards = self.store.lock_read(&groups);
-        let frame = self.store.read_frame(&groups, &guards);
+        let guards = self.store.lock_read(self.all_plan.groups());
+        let frame = self.all_plan.read_frame(&guards);
         self.views
             .iter()
             .map(|v| ViewSnapshot {
                 name: v.name.clone(),
                 columns: result_column_names(&v.exec),
                 rows: assemble_result(&v.exec, &frame),
-                events_processed: v.stats.lock().events_processed,
+                events_processed: v.events_processed.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -747,6 +973,18 @@ mod tests {
         assert_eq!(server.id("figure2"), Some(ViewId(0)));
         assert_eq!(server.name_of(ViewId(2)), Some("s_count"));
         assert!(server.sql_of("r_by_b").unwrap().contains("group by B"));
+    }
+
+    #[test]
+    fn relation_plans_cover_interested_views_lock_plans() {
+        let server = three_view_server();
+        // R's plan must include figure2's and r_by_b's groups; T's only
+        // figure2's.
+        let r = server.relation_groups("R").unwrap();
+        let t = server.relation_groups("T").unwrap();
+        assert!(t.iter().all(|g| r.contains(g)), "r={r:?} t={t:?}");
+        assert!(server.relation_groups("NOPE").is_none());
+        assert!(r.windows(2).all(|w| w[0] < w[1]), "ascending lock plan");
     }
 
     #[test]

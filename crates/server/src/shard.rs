@@ -1,0 +1,472 @@
+//! Sharded parallel dispatch over the view server's group locks.
+//!
+//! PR 2's locking design made disjoint-group batches *safe* to run
+//! concurrently; this module is the driver that actually does it. A
+//! [`ShardedDispatcher`] wraps an `Arc<ViewServer>` and a pool of plain
+//! `std::thread` workers (the container shims have no async runtime, and
+//! none is needed: ingestion is CPU-bound):
+//!
+//! * **Partition planning is static.** Every dispatched relation has a
+//!   precomputed lock plan (`ViewServer::relation_groups`). At
+//!   construction the dispatcher runs union–find over those plans:
+//!   relations whose group sets overlap — directly or transitively —
+//!   land in one **partition** (connected component). Two relations in
+//!   different partitions can never touch the same map group, so their
+//!   events commute perfectly.
+//! * **Per batch, events are bucketed by partition** (original order
+//!   preserved within each bucket) and every non-empty bucket becomes
+//!   one job: `apply_batch` over the bucket, taking exactly that
+//!   partition's locks. Non-overlapping plans run concurrently on the
+//!   pool; overlapping relations were merged into the *same* bucket, so
+//!   their events run sequentially in arrival order — the fallback that
+//!   keeps results exactly equal to a sequential [`ViewServer::apply_batch`]
+//!   over the whole batch.
+//! * **Workers own their [`ApplyCtx`]**, so steady-state ingestion
+//!   performs no per-batch allocation beyond the bucket vectors.
+//!
+//! Equivalence argument: the final contents of every map are a pure
+//! function of the multiset of events each interested view absorbed
+//! (incremental maintenance is exact), per-view event order is preserved
+//! within a bucket, and a view's relations always share a group (the
+//! view's own group is in every one of its relations' plans) — so all
+//! events of one view are in one bucket, in batch order. Hence every
+//! view sees exactly the sequence it would have seen sequentially, and
+//! snapshots after the batch are identical. Error semantics differ in
+//! one corner: a malformed event aborts only its own bucket's remainder,
+//! not the whole batch (the first failing partition's error is
+//! returned).
+//!
+//! [`ViewServer::apply_batch`]: crate::ViewServer::apply_batch
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use dbtoaster_common::{Error, Event, EventSource, FxHashMap, Result};
+
+use crate::{ApplyCtx, IngestReport, ViewServer};
+
+/// A unit of work for the pool: runs with the worker's own [`ApplyCtx`].
+type Job = Box<dyn FnOnce(&mut ApplyCtx) + Send + 'static>;
+
+/// A fixed-size pool of std threads draining one shared job queue.
+struct WorkerPool {
+    /// `Some` until drop; dropping the sender stops the workers.
+    tx: Option<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|w| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("dbtoaster-shard-{w}"))
+                    .spawn(move || {
+                        let mut ctx = ApplyCtx::default();
+                        loop {
+                            // Hold the queue lock only for the dequeue,
+                            // never while running the job.
+                            let job = rx.lock().recv();
+                            match job {
+                                Ok(job) => job(&mut ctx),
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn sharded-dispatch worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool is live until drop")
+            .send(job)
+            .expect("dispatch workers outlive the pool handle");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Dispatch counters, cheap enough to keep always-on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchReport {
+    /// Batches accepted.
+    pub batches: u64,
+    /// Events accepted (including events no view listens to).
+    pub events: u64,
+    /// Batches that ran on the worker pool (≥ 2 independent buckets).
+    pub parallel_batches: u64,
+    /// Batches applied inline because every event shared one partition
+    /// (or the dispatcher runs without a pool).
+    pub sequential_batches: u64,
+    /// Jobs handed to the pool across all parallel batches.
+    pub jobs: u64,
+}
+
+/// Parallel ingestion driver: partitions each batch by relation-group
+/// overlap and runs independent partitions concurrently on a std-thread
+/// worker pool. See the module docs for the equivalence argument.
+pub struct ShardedDispatcher {
+    server: Arc<ViewServer>,
+    pool: Option<WorkerPool>,
+    workers: usize,
+    /// relation name → partition id (dense, `0..partitions`).
+    partition_of: FxHashMap<String, usize>,
+    /// Number of partitions (connected components of group overlap).
+    partitions: usize,
+    batches: AtomicU64,
+    events: AtomicU64,
+    parallel_batches: AtomicU64,
+    sequential_batches: AtomicU64,
+    jobs: AtomicU64,
+}
+
+impl ShardedDispatcher {
+    /// Build a dispatcher over a fully registered server. `workers` is
+    /// the pool size; `0` or `1` disables the pool (every batch applies
+    /// inline, still through the partition bookkeeping). Registration
+    /// must be complete: the partition plan is computed here, once.
+    pub fn new(server: Arc<ViewServer>, workers: usize) -> ShardedDispatcher {
+        // Union–find over dispatched relations: relations sharing any
+        // map group merge into one partition.
+        let relations: Vec<String> = server
+            .dispatched_relations()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut parent: Vec<usize> = (0..relations.len()).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut group_owner: FxHashMap<usize, usize> = FxHashMap::default();
+        for (ri, rel) in relations.iter().enumerate() {
+            let groups = server
+                .relation_groups(rel)
+                .expect("dispatched relation has a plan");
+            for &g in groups {
+                match group_owner.get(&g) {
+                    Some(&owner) => {
+                        let (a, b) = (find(&mut parent, ri), find(&mut parent, owner));
+                        parent[a] = b;
+                    }
+                    None => {
+                        group_owner.insert(g, ri);
+                    }
+                }
+            }
+        }
+        // Densify component representatives into partition ids.
+        let mut dense: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut partition_of: FxHashMap<String, usize> = FxHashMap::default();
+        for (ri, rel) in relations.iter().enumerate() {
+            let root = find(&mut parent, ri);
+            let next = dense.len();
+            let id = *dense.entry(root).or_insert(next);
+            partition_of.insert(rel.clone(), id);
+        }
+        let partitions = dense.len();
+        let pool = (workers > 1).then(|| WorkerPool::new(workers));
+        ShardedDispatcher {
+            server,
+            pool,
+            workers: workers.max(1),
+            partition_of,
+            partitions,
+            batches: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            parallel_batches: AtomicU64::new(0),
+            sequential_batches: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped server.
+    pub fn server(&self) -> &Arc<ViewServer> {
+        &self.server
+    }
+
+    /// Worker-pool size (1 = inline).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of independent partitions the registered portfolio
+    /// splits into — the maximum parallelism any batch can reach.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Partition id of one relation (None when no view listens to it).
+    pub fn partition_of(&self, relation: &str) -> Option<usize> {
+        self.partition_of.get(relation).copied()
+    }
+
+    /// Dispatch counters so far.
+    pub fn report(&self) -> DispatchReport {
+        DispatchReport {
+            batches: self.batches.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+            parallel_batches: self.parallel_batches.load(Ordering::Relaxed),
+            sequential_batches: self.sequential_batches.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Apply a batch, running independent partitions concurrently.
+    /// Returns the total number of deliveries, exactly as the
+    /// sequential [`ViewServer::apply_batch`] would.
+    ///
+    /// [`ViewServer::apply_batch`]: crate::ViewServer::apply_batch
+    pub fn apply_batch(&self, batch: &[Event]) -> Result<usize> {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // First pass, no copying: count the partitions this batch
+        // occupies. Events on relations no view listens to don't count —
+        // sequential apply_batch ignores them identically.
+        let mut bucket_of: Vec<Option<usize>> = vec![None; self.partitions];
+        let mut occupied = 0usize;
+        if self.pool.is_some() {
+            for event in batch {
+                let Some(&p) = self.partition_of.get(&event.relation) else {
+                    continue;
+                };
+                if bucket_of[p].is_none() {
+                    bucket_of[p] = Some(occupied);
+                    occupied += 1;
+                    if occupied == self.partitions {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // One occupied partition (or no pool): the parallel machinery
+        // has nothing to win — apply the original slice in place,
+        // uncloned.
+        if occupied <= 1 {
+            self.sequential_batches.fetch_add(1, Ordering::Relaxed);
+            return self.server.apply_batch(batch);
+        }
+
+        // Second pass: bucket the events by partition, preserving order
+        // within each bucket. The pool's jobs are `'static`, so buckets
+        // own their events.
+        let mut buckets: Vec<Vec<Event>> = (0..occupied).map(|_| Vec::new()).collect();
+        for event in batch {
+            if let Some(b) = self.partition_of.get(&event.relation).map(|&p| {
+                bucket_of[p].expect("first pass visited every dispatched relation present")
+            }) {
+                buckets[b].push(event.clone());
+            }
+        }
+
+        self.parallel_batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(buckets.len() as u64, Ordering::Relaxed);
+        let pool = self.pool.as_ref().expect("occupied buckets imply a pool");
+        let jobs = buckets.len();
+        let (rtx, rrx) = mpsc::channel::<(usize, Result<usize>)>();
+        for (index, events) in buckets.into_iter().enumerate() {
+            let server = Arc::clone(&self.server);
+            let rtx = rtx.clone();
+            pool.submit(Box::new(move |ctx| {
+                let result = server.apply_batch_with(&events, ctx);
+                let _ = rtx.send((index, result));
+            }));
+        }
+        drop(rtx);
+
+        let mut received = 0usize;
+        let mut deliveries = 0usize;
+        let mut failure: Option<(usize, Error)> = None;
+        for (index, result) in rrx.iter() {
+            received += 1;
+            match result {
+                Ok(d) => deliveries += d,
+                // Deterministic error choice: the earliest bucket's.
+                Err(e) => match &failure {
+                    Some((seen, _)) if *seen < index => {}
+                    _ => failure = Some((index, e)),
+                },
+            }
+        }
+        // A job that panicked (a library invariant bug, not a data
+        // error) drops its sender without reporting; silently returning
+        // a partial Ok would break the exact-equivalence contract, so
+        // surface the shortfall.
+        if received != jobs && failure.is_none() {
+            return Err(Error::Runtime(format!(
+                "sharded dispatch lost {} of {jobs} partition jobs (worker panicked)",
+                jobs - received
+            )));
+        }
+        match failure {
+            Some((_, e)) => Err(e),
+            None => Ok(deliveries),
+        }
+    }
+
+    /// Drain an [`EventSource`] through the sharded path, pulling
+    /// batches of at most `batch_size` events.
+    pub fn run_source(
+        &self,
+        source: &mut dyn EventSource,
+        batch_size: usize,
+    ) -> Result<IngestReport> {
+        let mut report = IngestReport::default();
+        while let Some(batch) = source.next_batch(batch_size)? {
+            report.batches += 1;
+            report.events += batch.len();
+            report.deliveries += self.apply_batch(&batch)?;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::{tuple, Catalog, ColumnType, Schema};
+
+    /// Four disjoint single-relation views + one view joining two of the
+    /// relations, so the partition structure is non-trivial.
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for rel in ["A", "B", "C", "D"] {
+            c.add(Schema::new(
+                rel,
+                vec![("X", ColumnType::Int), ("Y", ColumnType::Int)],
+            ));
+        }
+        c
+    }
+
+    fn server() -> Arc<ViewServer> {
+        let mut s = ViewServer::new(&catalog());
+        for rel in ["A", "B", "C", "D"] {
+            s.register(
+                &format!("sum_{rel}"),
+                &format!("select Y, sum(X) from {rel} group by Y"),
+            )
+            .unwrap();
+        }
+        // Ties A and B into one partition.
+        s.register("ab", "select count(*) from A, B where A.Y = B.Y")
+            .unwrap();
+        Arc::new(s)
+    }
+
+    fn mixed_batch(n: i64) -> Vec<Event> {
+        (0..n)
+            .flat_map(|i| {
+                ["A", "B", "C", "D"]
+                    .into_iter()
+                    .map(move |rel| Event::insert(rel, tuple![i, i % 5]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_planning_merges_overlapping_relations() {
+        let dispatcher = ShardedDispatcher::new(server(), 4);
+        // A and B overlap through the join view; C and D are alone.
+        assert_eq!(dispatcher.partitions(), 3);
+        assert_eq!(
+            dispatcher.partition_of("A"),
+            dispatcher.partition_of("B"),
+            "join view merges A and B"
+        );
+        assert_ne!(dispatcher.partition_of("C"), dispatcher.partition_of("D"));
+        assert_eq!(dispatcher.partition_of("NOPE"), None);
+    }
+
+    #[test]
+    fn sharded_ingestion_matches_sequential_exactly() {
+        let sequential = server();
+        let sharded = ShardedDispatcher::new(server(), 4);
+        let batch = mixed_batch(40);
+        let expected = sequential.apply_batch(&batch).unwrap();
+        let got = sharded.apply_batch(&batch).unwrap();
+        assert_eq!(got, expected);
+        let a = sequential.snapshot_all();
+        let b = sharded.server().snapshot_all();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.rows, y.rows, "{} diverged", x.name);
+            assert_eq!(x.events_processed, y.events_processed);
+        }
+        let report = sharded.report();
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.parallel_batches, 1);
+        assert_eq!(report.jobs, 3, "one job per occupied partition");
+    }
+
+    #[test]
+    fn single_partition_batches_fall_back_to_inline_sequential() {
+        let sharded = ShardedDispatcher::new(server(), 4);
+        let batch: Vec<Event> = (0..10i64)
+            .flat_map(|i| {
+                [
+                    Event::insert("A", tuple![i, i % 3]),
+                    Event::insert("B", tuple![i % 3, i]),
+                ]
+            })
+            .collect();
+        sharded.apply_batch(&batch).unwrap();
+        let report = sharded.report();
+        assert_eq!(report.sequential_batches, 1, "A+B share a partition");
+        assert_eq!(report.parallel_batches, 0);
+    }
+
+    #[test]
+    fn no_pool_means_every_batch_is_sequential() {
+        let sharded = ShardedDispatcher::new(server(), 1);
+        assert_eq!(sharded.workers(), 1);
+        sharded.apply_batch(&mixed_batch(10)).unwrap();
+        let report = sharded.report();
+        assert_eq!(report.sequential_batches, 1);
+        assert_eq!(report.jobs, 0);
+    }
+
+    #[test]
+    fn unknown_relations_are_dropped_like_sequential_ingestion() {
+        let sharded = ShardedDispatcher::new(server(), 4);
+        let mut batch = mixed_batch(5);
+        batch.push(Event::insert("UNKNOWN", tuple![1i64]));
+        let deliveries = sharded.apply_batch(&batch).unwrap();
+        let sequential = server();
+        assert_eq!(deliveries, sequential.apply_batch(&batch).unwrap());
+    }
+
+    #[test]
+    fn bad_events_surface_the_earliest_bucket_error() {
+        let sharded = ShardedDispatcher::new(server(), 4);
+        let mut batch = mixed_batch(3);
+        batch.push(Event::insert("C", tuple![1i64])); // wrong arity
+        assert!(sharded.apply_batch(&batch).is_err());
+    }
+}

@@ -17,8 +17,8 @@
 //! * [`runtime`] — map storage, the statement VM, the embedded-mode
 //!   [`Engine`] and the standalone server,
 //! * [`server`] — the multi-query view server: N standing views over one
-//!   catalog, relation-based event dispatch, batched ingestion and
-//!   pluggable stream sources,
+//!   catalog, relation-based event dispatch, batched ingestion, sharded
+//!   parallel dispatch over a worker pool and pluggable stream sources,
 //! * [`exec`] — the reference interpreter used by baselines and tests,
 //! * [`baselines`] — the bakeoff baseline engines,
 //! * [`workloads`] — order-book and TPC-H/SSB workload generators and
@@ -106,7 +106,8 @@ pub mod prelude {
     pub use dbtoaster_compiler::{CompileOptions, TriggerProgram};
     pub use dbtoaster_runtime::{Engine, ResultRow, StandaloneServer};
     pub use dbtoaster_server::{
-        IngestReport, StoreMapReport, StoreReport, ViewId, ViewServer, ViewSnapshot,
+        ApplyCtx, DispatchReport, IngestReport, ShardedDispatcher, StoreMapReport, StoreReport,
+        ViewId, ViewServer, ViewSnapshot,
     };
 }
 
