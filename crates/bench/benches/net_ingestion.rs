@@ -1,0 +1,184 @@
+//! Loopback network ingestion vs. in-process ingestion.
+//!
+//! How much does the wire cost? One order-book portfolio (VWAP
+//! components + per-broker market maker), one generated message stream,
+//! three ingestion paths:
+//!
+//! * `in_process` — sequential `ViewServer::apply_batch` on the caller
+//!   thread: the zero-wire baseline.
+//! * `loopback_rpc` — a `NetClient` issuing one `apply_batch` round
+//!   trip per batch against a `NetServer` on 127.0.0.1: pays
+//!   encode + syscalls + decode + queue handoff + a full RTT per batch.
+//! * `loopback_feed` — a `FeedWriter` streaming feed-plane frames with
+//!   one acknowledgement at the end: pays the wire but amortizes the
+//!   round trip away, the intended high-rate ingestion mode.
+//!
+//! Batch sizes {1, 64, 1024} span per-message RPC to bulk streaming.
+//! Every mode's final snapshot is asserted bit-equal to the baseline
+//! before its rate is reported. The `emit_json` stage writes
+//! `BENCH_net_ingestion.json` with events/s per (mode, batch size) and
+//! the wire/in-process ratio, so the network tax is tracked across PRs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dbtoaster_bench::json::{write_bench_json, Json};
+use dbtoaster_common::UpdateStream;
+use dbtoaster_net::{FeedWriter, NetClient, NetConfig, NetServer};
+use dbtoaster_server::{ViewServer, ViewSnapshot};
+use dbtoaster_workloads::orderbook::{
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, VWAP_COMPONENTS,
+};
+
+const MESSAGES: usize = 12_000;
+const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+
+fn views() -> Vec<(&'static str, &'static str)> {
+    vec![("vwap", VWAP_COMPONENTS), ("market_maker", MARKET_MAKER)]
+}
+
+fn stream() -> UpdateStream {
+    OrderBookGenerator::new(OrderBookConfig {
+        messages: MESSAGES,
+        book_depth: 500,
+        seed: 0xbe7,
+        ..Default::default()
+    })
+    .generate()
+}
+
+fn in_process(stream: &UpdateStream, batch: usize) -> (Vec<ViewSnapshot>, f64) {
+    let mut server = ViewServer::new(&orderbook_catalog());
+    for (name, sql) in views() {
+        server.register(name, sql).unwrap();
+    }
+    let started = Instant::now();
+    for chunk in stream.events.chunks(batch) {
+        server.apply_batch(chunk).unwrap();
+    }
+    let rate = stream.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    (server.snapshot_all(), rate)
+}
+
+fn spawn_server() -> NetServer {
+    let server = NetServer::bind(&orderbook_catalog(), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    for (name, sql) in views() {
+        server.register(name, sql).unwrap();
+    }
+    server
+}
+
+/// One `apply_batch` round trip per chunk.
+fn loopback_rpc(stream: &UpdateStream, batch: usize) -> (Vec<ViewSnapshot>, f64) {
+    let server = spawn_server();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    let started = Instant::now();
+    for chunk in stream.events.chunks(batch) {
+        client.apply_batch(chunk).unwrap();
+    }
+    let rate = stream.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    (client.snapshot_all().unwrap(), rate)
+}
+
+/// Feed-plane streaming: frames flow without per-batch replies; the
+/// single ack at the end is the completion barrier the timer includes.
+fn loopback_feed(stream: &UpdateStream, batch: usize) -> (Vec<ViewSnapshot>, f64) {
+    let server = spawn_server();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    // Connection setup stays outside the timer: the rate claimed is
+    // steady-state ingestion, and the polling accept loop adds a few
+    // milliseconds of one-time accept latency.
+    let mut feeder = FeedWriter::connect(server.local_addr()).unwrap();
+    let started = Instant::now();
+    for chunk in stream.events.chunks(batch) {
+        feeder.send(chunk).unwrap();
+    }
+    let report = feeder.finish_and_ack().unwrap();
+    let rate = stream.len() as f64 / started.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(report.events, stream.len());
+    (client.snapshot_all().unwrap(), rate)
+}
+
+fn assert_equal(name: &str, got: &[ViewSnapshot], reference: &[ViewSnapshot]) {
+    assert_eq!(
+        got, reference,
+        "{name} diverged from the in-process baseline"
+    );
+}
+
+fn net_ingestion(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("net_ingestion");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    // The criterion stage sticks to the bulk batch size; emit_json
+    // below covers the full matrix once.
+    let batch = 1024usize;
+    group.bench_with_input(
+        BenchmarkId::new("in_process", batch),
+        &stream,
+        |b, stream| b.iter(|| in_process(stream, batch).1),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("loopback_feed", batch),
+        &stream,
+        |b, stream| b.iter(|| loopback_feed(stream, batch).1),
+    );
+    group.finish();
+}
+
+fn emit_json(_c: &mut Criterion) {
+    let stream = stream();
+    let mut batches = Vec::new();
+    for batch in BATCH_SIZES {
+        let (reference, base_rate) = in_process(&stream, batch);
+        let (rpc_snaps, rpc_rate) = loopback_rpc(&stream, batch);
+        assert_equal("loopback_rpc", &rpc_snaps, &reference);
+        let (feed_snaps, feed_rate) = loopback_feed(&stream, batch);
+        assert_equal("loopback_feed", &feed_snaps, &reference);
+        batches.push(Json::obj([
+            ("batch_size", Json::from(batch)),
+            (
+                "in_process",
+                Json::obj([("events_per_sec", Json::from(base_rate))]),
+            ),
+            (
+                "loopback_rpc",
+                Json::obj([
+                    ("events_per_sec", Json::from(rpc_rate)),
+                    ("fraction_of_in_process", Json::from(rpc_rate / base_rate)),
+                ]),
+            ),
+            (
+                "loopback_feed",
+                Json::obj([
+                    ("events_per_sec", Json::from(feed_rate)),
+                    ("fraction_of_in_process", Json::from(feed_rate / base_rate)),
+                ]),
+            ),
+        ]));
+    }
+    let report = Json::obj([
+        ("bench", Json::str("net_ingestion")),
+        ("events", Json::from(MESSAGES)),
+        ("view_count", Json::from(views().len())),
+        (
+            "available_cores",
+            Json::from(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
+        ),
+        ("batches", Json::Arr(batches)),
+    ]);
+    match write_bench_json("net_ingestion", &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_net_ingestion.json: {e}"),
+    }
+}
+
+criterion_group!(benches, net_ingestion, emit_json);
+criterion_main!(benches);

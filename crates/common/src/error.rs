@@ -21,6 +21,13 @@ pub enum Error {
     Compile(String),
     /// Runtime execution problem (bad event, missing map, ...).
     Runtime(String),
+    /// Malformed wire-protocol data (bad tag, truncated frame,
+    /// oversized length, invalid UTF-8, ...). Decoders return this
+    /// instead of panicking, so a hostile peer cannot crash a server.
+    Wire(String),
+    /// Transport failure (socket read/write, connect, bind). Kept as a
+    /// string so the workspace error stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -32,11 +39,19 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => write!(f, "unsupported query: {m}"),
             Error::Compile(m) => write!(f, "compiler error: {m}"),
             Error::Runtime(m) => write!(f, "runtime error: {m}"),
+            Error::Wire(m) => write!(f, "wire error: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e.to_string())
+    }
+}
 
 /// Workspace-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,139 @@
+//! `dbtoasterd` — the standalone view server daemon.
+//!
+//! The paper's "network interface" operating mode as a process: declare
+//! the streamed relations, optionally pre-register standing queries,
+//! and serve the wire protocol until a client sends `shutdown` (or the
+//! process is killed).
+//!
+//! ```text
+//! dbtoasterd --listen 127.0.0.1:9090 \
+//!     --schema "BIDS(T FLOAT, ID INT, BROKER_ID INT, VOLUME FLOAT, PRICE FLOAT)" \
+//!     --schema "ASKS(T FLOAT, ID INT, BROKER_ID INT, VOLUME FLOAT, PRICE FLOAT)" \
+//!     --view "vwap=select sum(PRICE * VOLUME), sum(VOLUME) from BIDS" \
+//!     --workers 4 --queue-depth 64
+//! ```
+//!
+//! Flags:
+//!
+//! * `--listen ADDR` — bind address (default `127.0.0.1:9090`; port 0
+//!   picks an ephemeral port, printed at startup).
+//! * `--schema "NAME(COL TYPE, ...)"` — declare a stream relation
+//!   (repeatable; at least one required).
+//! * `--view "NAME=SQL"` — register a standing query at startup
+//!   (repeatable; clients can also `register` over the wire until the
+//!   first batch arrives).
+//! * `--workers N` — dispatcher worker-pool size (default: autotuned
+//!   from available parallelism and the portfolio's partitions).
+//! * `--queue-depth N` — bound of the ingest queue, in batches
+//!   (default 64).
+//! * `--feed-batch N` — max events per batch pulled from a feed
+//!   connection (default 1024).
+
+use std::process::ExitCode;
+
+use dbtoaster_common::Catalog;
+use dbtoaster_net::{parse_schema_spec, NetConfig, NetServer};
+
+fn usage() -> &'static str {
+    "usage: dbtoasterd [--listen ADDR] --schema \"NAME(COL TYPE, ...)\" \
+     [--schema ...] [--view \"NAME=SQL\" ...] [--workers N] \
+     [--queue-depth N] [--feed-batch N]"
+}
+
+struct Flags {
+    listen: String,
+    schemas: Vec<String>,
+    views: Vec<(String, String)>,
+    config: NetConfig,
+}
+
+fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
+    let mut flags = Flags {
+        listen: "127.0.0.1:9090".to_string(),
+        schemas: Vec::new(),
+        views: Vec::new(),
+        config: NetConfig::default(),
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} expects {what}\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--listen" => flags.listen = value("an address")?,
+            "--schema" => flags.schemas.push(value("a relation spec")?),
+            "--view" => {
+                let spec = value("NAME=SQL")?;
+                let (name, sql) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--view expects NAME=SQL, got '{spec}'"))?;
+                flags
+                    .views
+                    .push((name.trim().to_string(), sql.trim().to_string()));
+            }
+            "--workers" => {
+                let n: usize = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                flags.config.workers = Some(n);
+            }
+            "--queue-depth" => {
+                flags.config.queue_depth = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--feed-batch" => {
+                flags.config.feed_batch_size = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("--feed-batch: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    if flags.schemas.is_empty() {
+        return Err(format!("at least one --schema is required\n{}", usage()));
+    }
+    Ok(flags)
+}
+
+fn run() -> Result<(), String> {
+    let flags = parse_flags(std::env::args().skip(1))?;
+    let mut catalog = Catalog::new();
+    for spec in &flags.schemas {
+        catalog.add(parse_schema_spec(spec).map_err(|e| e.to_string())?);
+    }
+    let server = NetServer::bind(&catalog, flags.listen.as_str(), flags.config.clone())
+        .map_err(|e| e.to_string())?;
+    for (name, sql) in &flags.views {
+        server.register(name, sql).map_err(|e| e.to_string())?;
+        eprintln!("dbtoasterd: registered view '{name}'");
+    }
+    eprintln!(
+        "dbtoasterd: serving {} relation(s), {} view(s) on {} \
+         (queue depth {}, workers {})",
+        catalog.relations().len(),
+        flags.views.len(),
+        server.local_addr(),
+        flags.config.queue_depth,
+        flags
+            .config
+            .workers
+            .map(|w| w.to_string())
+            .unwrap_or_else(|| "auto".to_string()),
+    );
+    server.wait();
+    eprintln!("dbtoasterd: shut down");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

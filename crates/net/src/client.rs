@@ -1,0 +1,120 @@
+//! A small blocking client for the request/response plane.
+//!
+//! One [`NetClient`] wraps one TCP connection; every method sends one
+//! request frame and blocks for the matching response frame. Server-side
+//! failures come back as the same typed [`Error`] the server computed
+//! (a bad query fails with `Error::Analysis`, a late registration with
+//! `Error::Runtime`, ...), so remote and embedded use read identically.
+//! For streaming ingestion — many batches, one acknowledgement — use
+//! [`FeedWriter`](crate::FeedWriter) instead of repeated
+//! [`apply_batch`](NetClient::apply_batch) round trips.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dbtoaster_common::{Error, Event, Result};
+use dbtoaster_server::{ViewId, ViewSnapshot};
+
+use crate::wire::{self, Response, ServerStats};
+
+/// A blocking connection to a [`NetServer`](crate::NetServer) /
+/// `dbtoasterd`.
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connect to a server's listen address.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| Error::Io(format!("connect failed: {e}")))?;
+        // Request/response over multi-segment frames stalls badly under
+        // Nagle + delayed ACK; this is a latency-bound protocol.
+        let _ = stream.set_nodelay(true);
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| Error::Io(format!("connect failed: {e}")))?;
+        Ok(NetClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+            buf: Vec::new(),
+        })
+    }
+
+    /// One request/response round trip. A `Response::Error` unwraps to
+    /// the typed error it carries.
+    fn call(&mut self, payload: &[u8]) -> Result<Response> {
+        wire::write_frame(&mut self.writer, payload)?;
+        self.writer
+            .flush()
+            .map_err(|e| Error::Io(format!("request flush failed: {e}")))?;
+        if !wire::read_frame(&mut self.reader, &mut self.buf)? {
+            return Err(Error::Io(
+                "server closed the connection before replying".into(),
+            ));
+        }
+        match wire::decode_response(&self.buf)? {
+            Response::Error(e) => Err(e),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Register a standing query on the server. Only valid before the
+    /// server's first batch (the portfolio freezes at promotion).
+    pub fn register(&mut self, name: &str, sql: &str) -> Result<ViewId> {
+        match self.call(&wire::encode_register(name, sql))? {
+            Response::Registered { view } => Ok(ViewId(view as usize)),
+            other => Err(unexpected("register", &other)),
+        }
+    }
+
+    /// Apply one batch of events; returns the delivery count, exactly
+    /// as the in-process [`ViewServer::apply_batch`] would.
+    ///
+    /// [`ViewServer::apply_batch`]: dbtoaster_server::ViewServer::apply_batch
+    pub fn apply_batch(&mut self, events: &[Event]) -> Result<usize> {
+        match self.call(&wire::encode_apply_batch(events))? {
+            Response::Applied { deliveries } => Ok(deliveries as usize),
+            other => Err(unexpected("apply_batch", &other)),
+        }
+    }
+
+    /// Fetch one view's snapshot by name.
+    pub fn snapshot(&mut self, name: &str) -> Result<ViewSnapshot> {
+        match self.call(&wire::encode_snapshot(name))? {
+            Response::Snapshot(s) => Ok(s),
+            other => Err(unexpected("snapshot", &other)),
+        }
+    }
+
+    /// Fetch a consistent cut of every view.
+    pub fn snapshot_all(&mut self) -> Result<Vec<ViewSnapshot>> {
+        match self.call(&wire::encode_snapshot_all())? {
+            Response::Snapshots(all) => Ok(all),
+            other => Err(unexpected("snapshot_all", &other)),
+        }
+    }
+
+    /// Fetch server/dispatcher counters.
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        match self.call(&wire::encode_stats())? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Ask the server to shut down (drains already-admitted batches
+    /// first).
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.call(&wire::encode_shutdown())? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+fn unexpected(what: &str, resp: &Response) -> Error {
+    Error::Wire(format!("unexpected response to {what}: {resp:?}"))
+}

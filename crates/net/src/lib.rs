@@ -1,0 +1,129 @@
+//! The network data plane: the paper's "network interface" operating
+//! mode.
+//!
+//! The paper's standalone runtime "accept[s] input over a network
+//! interface or archived stream"; until this crate, the reproduction
+//! only had the archived half. This crate turns the embedded library
+//! into a deployable process:
+//!
+//! * [`wire`] — a compact length-prefixed binary format for
+//!   `Value`/`Tuple`/`Event`/`EventBatch` plus request/response frames
+//!   (`register`, `apply_batch`, `snapshot`, `snapshot_all`, `stats`,
+//!   `shutdown`) and feed-plane batch frames. Floats travel as IEEE bit
+//!   patterns, so snapshots are **bit-exact** across the wire; decoding
+//!   is total (typed [`Error::Wire`] on malformed input, never a
+//!   panic).
+//! * [`NetServer`] / the `dbtoasterd` binary — a tokio-free standalone
+//!   server: a std-thread accept loop feeds a **bounded MPSC ingest
+//!   queue** that drains through a
+//!   [`ShardedDispatcher`](dbtoaster_server::ShardedDispatcher) (worker
+//!   count autotuned), while snapshots are served concurrently from the
+//!   shared map store's group locks — one consistent cut, never behind
+//!   the ingest queue.
+//! * [`SocketSource`] — an [`EventSource`](dbtoaster_common::EventSource)
+//!   over a `TcpStream` (poll loop + bounded queue, graceful EOF,
+//!   inherent back-pressure), so `run_source` paths ingest live feeds
+//!   exactly like archives. [`FeedWriter`] is the matching feeder side.
+//! * [`NetClient`] — a small blocking client used by examples, tests
+//!   and the loopback benchmark.
+//!
+//! Error variants: transport problems surface as
+//! [`Error::Io`](dbtoaster_common::Error::Io), malformed frames as
+//! [`Error::Wire`](dbtoaster_common::Error::Wire); server-side failures
+//! round-trip with their original category.
+//!
+//! [`Error::Wire`]: dbtoaster_common::Error::Wire
+
+pub mod client;
+pub mod server;
+pub mod source;
+pub mod wire;
+
+pub use client::NetClient;
+pub use server::{NetConfig, NetServer};
+pub use source::{FeedWriter, SocketSource, DEFAULT_SOURCE_QUEUE_DEPTH};
+pub use wire::{Message, Request, Response, ServerStats, ViewStat, MAX_FRAME_LEN};
+
+use dbtoaster_common::{ColumnType, Error, Result, Schema};
+
+/// Parse a `dbtoasterd --schema` relation spec:
+/// `NAME(COL TYPE, COL TYPE, ...)`, e.g.
+/// `BIDS(T FLOAT, ID INT, BROKER_ID INT, VOLUME FLOAT, PRICE FLOAT)`.
+///
+/// Types: `INT`/`INTEGER`, `FLOAT`/`DOUBLE`, `VARCHAR`/`STRING`/`TEXT`,
+/// `BOOLEAN`/`BOOL`, `DATE`. Names are upper-cased like everything else
+/// in the catalog.
+pub fn parse_schema_spec(spec: &str) -> Result<Schema> {
+    let err = |msg: String| Error::Schema(format!("bad schema spec '{spec}': {msg}"));
+    let spec_trim = spec.trim();
+    let open = spec_trim
+        .find('(')
+        .ok_or_else(|| err("expected NAME(COL TYPE, ...)".into()))?;
+    let close = spec_trim
+        .rfind(')')
+        .filter(|&c| c > open && spec_trim[c + 1..].trim().is_empty())
+        .ok_or_else(|| err("unbalanced parentheses".into()))?;
+    let name = spec_trim[..open].trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(err(format!("bad relation name '{name}'")));
+    }
+    let mut columns = Vec::new();
+    for part in spec_trim[open + 1..close].split(',') {
+        let mut words = part.split_whitespace();
+        let (Some(col), Some(ty), None) = (words.next(), words.next(), words.next()) else {
+            return Err(err(format!("bad column spec '{}'", part.trim())));
+        };
+        let ty = match ty.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" => ColumnType::Int,
+            "FLOAT" | "DOUBLE" => ColumnType::Float,
+            "VARCHAR" | "STRING" | "TEXT" => ColumnType::Str,
+            "BOOLEAN" | "BOOL" => ColumnType::Bool,
+            "DATE" => ColumnType::Date,
+            other => return Err(err(format!("unknown column type '{other}'"))),
+        };
+        columns.push((col, ty));
+    }
+    if columns.is_empty() {
+        return Err(err("a relation needs at least one column".into()));
+    }
+    Ok(Schema::new(name, columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_specs_parse() {
+        let s =
+            parse_schema_spec("bids(T float, ID int, BROKER_ID INT, VOLUME double, PRICE FLOAT)")
+                .unwrap();
+        assert_eq!(s.name, "BIDS");
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.columns[0].ty, ColumnType::Float);
+        assert_eq!(s.columns[1].ty, ColumnType::Int);
+
+        let s = parse_schema_spec("TRADES(SYM VARCHAR, OK BOOLEAN, DAY DATE)").unwrap();
+        assert_eq!(s.columns[2].ty, ColumnType::Date);
+    }
+
+    #[test]
+    fn bad_schema_specs_fail_typed() {
+        for bad in [
+            "",
+            "R",
+            "R()",
+            "R(A)",
+            "R(A INT",
+            "R(A INT) extra",
+            "R(A BLOB)",
+            "R(A INT B INT)",
+            "R!(A INT)",
+        ] {
+            match parse_schema_spec(bad) {
+                Err(Error::Schema(_)) => {}
+                other => panic!("{bad:?} should fail with a schema error, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,706 @@
+//! The serving core of `dbtoasterd`: a tokio-free standalone network
+//! server around a [`ViewServer`].
+//!
+//! ```text
+//!  clients ──TCP──▶ accept loop (std thread per connection)
+//!                      │ request plane          │ feed plane
+//!                      │ (one frame in,         │ (batch frames until
+//!                      │  one frame out)        │  EOF, then one ack)
+//!                      ▼                        ▼
+//!                 handle_request          SocketSource poll loop
+//!                      │  apply_batch           │
+//!                      └───────┬────────────────┘
+//!                              ▼
+//!              bounded MPSC ingest queue (back-pressure)
+//!                              ▼
+//!               ingest thread → ShardedDispatcher
+//!                              ▼
+//!              shared map store (group RwLocks)
+//!                              ▲
+//!        snapshot/stats requests read concurrently (consistent cut)
+//! ```
+//!
+//! Ordering and consistency: every ingested batch — request-plane or
+//! feed-plane — funnels through **one** bounded queue drained by **one**
+//! ingest thread, so batches apply in admission order and the final
+//! state is exactly what a sequential [`ViewServer::apply_batch`] over
+//! the same stream computes (the dispatcher's own equivalence guarantee
+//! covers the parallel partitions within each batch). Snapshots never
+//! enter the queue: they read the shared store's group locks directly,
+//! concurrent with ingestion, and observe a consistent cut.
+//!
+//! Lifecycle: a server starts in the **registering** phase (views may be
+//! added locally or over the wire). The first batch **promotes** it to
+//! the running phase — the portfolio is frozen, the
+//! [`ShardedDispatcher`] is built (worker count autotuned unless
+//! configured), and further registrations are refused with a typed
+//! error, matching the dispatcher's static partition plan.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use dbtoaster_common::{Catalog, Error, EventBatch, Result};
+use dbtoaster_server::{IngestReport, ShardedDispatcher, ViewId, ViewServer, ViewSnapshot};
+
+use crate::source::{SocketSource, DEFAULT_SOURCE_QUEUE_DEPTH};
+use crate::wire::{self, Message, Request, Response, ServerStats, ViewStat};
+
+/// Tunables of a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Dispatcher worker-pool size; `None` autotunes from the machine's
+    /// available parallelism and the portfolio's partition count.
+    pub workers: Option<usize>,
+    /// Bound of the central ingest queue, in batches. Admission blocks
+    /// when full — the back-pressure that keeps memory flat when
+    /// feeders outrun the dispatcher.
+    pub queue_depth: usize,
+    /// Maximum events per batch pulled from a feed connection.
+    pub feed_batch_size: usize,
+    /// Bound of each feed connection's decoded-batch queue.
+    pub feed_queue_depth: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            workers: None,
+            queue_depth: 64,
+            feed_batch_size: 1024,
+            feed_queue_depth: DEFAULT_SOURCE_QUEUE_DEPTH,
+        }
+    }
+}
+
+/// Server lifecycle: registration is open until the first batch
+/// arrives, then the dispatcher is built and the portfolio is frozen.
+enum Phase {
+    Registering(Box<ViewServer>),
+    Running(Arc<ShardedDispatcher>),
+    /// Transient placeholder during promotion; never observable.
+    Promoting,
+}
+
+/// One unit on the ingest queue.
+enum IngestJob {
+    Batch {
+        batch: EventBatch,
+        reply: std::sync::mpsc::Sender<Result<usize>>,
+    },
+    Stop,
+}
+
+struct Inner {
+    config: NetConfig,
+    addr: SocketAddr,
+    phase: Mutex<Phase>,
+    /// Mirrors `matches!(phase, Phase::Running(_))` so the hot ingest
+    /// path can skip the phase mutex entirely once promoted.
+    running: AtomicBool,
+    ingest_tx: SyncSender<IngestJob>,
+    stopping: AtomicBool,
+}
+
+impl Inner {
+    /// The running dispatcher, building it (and freezing registration)
+    /// on first use.
+    fn promote(&self) -> Arc<ShardedDispatcher> {
+        let mut phase = self.phase.lock();
+        if let Phase::Running(d) = &*phase {
+            return Arc::clone(d);
+        }
+        let Phase::Registering(server) = std::mem::replace(&mut *phase, Phase::Promoting) else {
+            unreachable!("Promoting is never left in place");
+        };
+        let server = Arc::new(*server);
+        let dispatcher = Arc::new(match self.config.workers {
+            Some(workers) => ShardedDispatcher::new(server, workers),
+            None => ShardedDispatcher::new_auto(server),
+        });
+        *phase = Phase::Running(Arc::clone(&dispatcher));
+        self.running.store(true, Ordering::Release);
+        dispatcher
+    }
+
+    /// The dispatcher if already running.
+    fn dispatcher(&self) -> Option<Arc<ShardedDispatcher>> {
+        match &*self.phase.lock() {
+            Phase::Running(d) => Some(Arc::clone(d)),
+            _ => None,
+        }
+    }
+
+    fn register(&self, name: &str, sql: &str) -> Result<ViewId> {
+        match &mut *self.phase.lock() {
+            Phase::Registering(server) => server.register(name, sql),
+            _ => Err(Error::Runtime(format!(
+                "cannot register view '{name}': ingestion has started and the \
+                 portfolio is frozen (register every view before the first batch)"
+            ))),
+        }
+    }
+
+    /// Admit one batch: promote if needed, enqueue, wait for the apply
+    /// result. Blocking on a full queue is the back-pressure contract.
+    /// Once running, admission touches no lock — just the queue.
+    fn ingest(&self, batch: EventBatch) -> Result<usize> {
+        if self.stopping.load(Ordering::SeqCst) {
+            return Err(Error::Runtime("server is shutting down".into()));
+        }
+        if !self.running.load(Ordering::Acquire) {
+            self.promote();
+        }
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        self.ingest_tx
+            .send(IngestJob::Batch {
+                batch,
+                reply: reply_tx,
+            })
+            .map_err(|_| Error::Runtime("ingest queue is closed".into()))?;
+        reply_rx
+            .recv()
+            .map_err(|_| Error::Runtime("ingest thread exited before replying".into()))?
+    }
+
+    /// A consistent cut of every view, concurrent with ingestion.
+    fn snapshot_all(&self) -> Vec<ViewSnapshot> {
+        let phase = self.phase.lock();
+        match &*phase {
+            Phase::Registering(server) => server.snapshot_all(),
+            Phase::Running(d) => {
+                let d = Arc::clone(d);
+                drop(phase);
+                d.server().snapshot_all()
+            }
+            Phase::Promoting => unreachable!("Promoting is never left in place"),
+        }
+    }
+
+    /// One view's snapshot via the cheap path: only that view's own
+    /// map groups are locked and copied, whatever the portfolio size.
+    fn snapshot(&self, name: &str) -> Result<ViewSnapshot> {
+        let phase = self.phase.lock();
+        match &*phase {
+            Phase::Registering(server) => server.snapshot(name),
+            Phase::Running(d) => {
+                let d = Arc::clone(d);
+                drop(phase);
+                d.server().snapshot(name)
+            }
+            Phase::Promoting => unreachable!("Promoting is never left in place"),
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        fn view_stats(server: &ViewServer) -> Vec<ViewStat> {
+            server
+                .view_names()
+                .iter()
+                .map(|name| ViewStat {
+                    name: name.to_string(),
+                    events_processed: server.events_processed(name).unwrap_or(0),
+                })
+                .collect()
+        }
+        let phase = self.phase.lock();
+        match &*phase {
+            Phase::Registering(server) => ServerStats {
+                views: view_stats(server),
+                running: false,
+                queue_depth: self.config.queue_depth as u64,
+                ..ServerStats::default()
+            },
+            Phase::Running(d) => {
+                let d = Arc::clone(d);
+                drop(phase);
+                let report = d.report();
+                ServerStats {
+                    views: view_stats(d.server()),
+                    running: true,
+                    workers: report.workers,
+                    partitions: d.partitions() as u64,
+                    batches: report.batches,
+                    events: report.events,
+                    parallel_batches: report.parallel_batches,
+                    sequential_batches: report.sequential_batches,
+                    jobs: report.jobs,
+                    queue_depth: self.config.queue_depth as u64,
+                }
+            }
+            Phase::Promoting => unreachable!("Promoting is never left in place"),
+        }
+    }
+
+    /// Stop accepting and drain: set the flag (the polling accept loop
+    /// observes it within one [`ACCEPT_POLL`] interval, whatever the
+    /// bind address) and stop the ingest thread after the jobs already
+    /// admitted.
+    fn begin_shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = self.ingest_tx.send(IngestJob::Stop);
+    }
+
+    fn handle_request(self: &Arc<Inner>, req: Request) -> Response {
+        match req {
+            Request::Register { name, sql } => match self.register(&name, &sql) {
+                Ok(id) => Response::Registered { view: id.0 as u64 },
+                Err(e) => Response::Error(e),
+            },
+            Request::ApplyBatch(batch) => match self.ingest(batch) {
+                Ok(deliveries) => Response::Applied {
+                    deliveries: deliveries as u64,
+                },
+                Err(e) => Response::Error(e),
+            },
+            Request::Snapshot(name) => match self.snapshot(&name) {
+                Ok(s) => Response::Snapshot(s),
+                Err(e) => Response::Error(e),
+            },
+            Request::SnapshotAll => Response::Snapshots(self.snapshot_all()),
+            Request::Stats => Response::Stats(self.stats()),
+            // Unreachable from handle_connection, which intercepts
+            // Shutdown to write the reply *before* stopping the service
+            // threads. Any other caller must do the same if it relays
+            // the response over a socket the process is about to leave.
+            Request::Shutdown => {
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+}
+
+fn write_response(writer: &mut BufWriter<TcpStream>, resp: &Response) -> Result<()> {
+    wire::write_frame(writer, &wire::encode_response(resp))?;
+    writer
+        .flush()
+        .map_err(|e| Error::Io(format!("response flush failed: {e}")))
+}
+
+/// One accepted connection: requests get responses until the peer
+/// hangs up; the first batch frame switches the connection into feed
+/// mode for the rest of its life.
+fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    let mut first_frame = true;
+    loop {
+        match wire::read_frame(&mut reader, &mut buf) {
+            Ok(true) => {}
+            Ok(false) => {
+                // EOF before any frame could be a feeder that had
+                // nothing to send but still awaits its ack; answering
+                // an already-gone request client is harmless. EOF
+                // after request traffic is a clean hang-up.
+                if first_frame {
+                    let _ =
+                        write_response(&mut writer, &Response::FeedAck(IngestReport::default()));
+                }
+                return;
+            }
+            Err(e) => {
+                // Tell the peer what was malformed, then drop the
+                // connection — after a framing error the stream cannot
+                // be re-synchronized.
+                let _ = write_response(&mut writer, &Response::Error(e));
+                return;
+            }
+        }
+        first_frame = false;
+        match wire::decode_message(&buf) {
+            Ok(Message::Batch(first)) => {
+                feed_connection(&inner, first, reader, writer);
+                return;
+            }
+            // Shutdown replies *before* stopping the service threads:
+            // once they stop, the process may exit, and the reply must
+            // already be in the kernel's send buffer by then.
+            Ok(Message::Request(Request::Shutdown)) => {
+                let _ = write_response(&mut writer, &Response::ShuttingDown);
+                inner.begin_shutdown();
+                return;
+            }
+            Ok(Message::Request(req)) => {
+                let resp = inner.handle_request(req);
+                if write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = write_response(&mut writer, &Response::Error(e));
+                return;
+            }
+        }
+    }
+}
+
+/// Feed mode: pump the connection's remaining batch frames through a
+/// [`SocketSource`] into the ingest queue, then acknowledge the whole
+/// feed (the barrier that makes a subsequent snapshot observe it all).
+fn feed_connection(
+    inner: &Arc<Inner>,
+    first: EventBatch,
+    reader: BufReader<TcpStream>,
+    mut writer: BufWriter<TcpStream>,
+) {
+    let mut report = IngestReport::default();
+    let outcome = (|| -> Result<()> {
+        // The frame that identified this connection as a feed was
+        // already consumed; account for it, then the shared drain loop
+        // covers the rest of the stream.
+        if !first.is_empty() {
+            report.batches += 1;
+            report.events += first.len();
+            report.deliveries += inner.ingest(first)?;
+        }
+        let mut source = SocketSource::from_reader("feed", reader, inner.config.feed_queue_depth)?;
+        report.absorb(dbtoaster_server::drain_source(
+            &mut source,
+            inner.config.feed_batch_size,
+            |batch| inner.ingest(batch),
+        )?);
+        Ok(())
+    })();
+    let resp = match outcome {
+        Ok(()) => Response::FeedAck(report),
+        Err(e) => Response::Error(e),
+    };
+    let _ = write_response(&mut writer, &resp);
+}
+
+/// The single ingest thread: drains the bounded queue through the
+/// sharded dispatcher, in admission order.
+fn ingest_loop(inner: Arc<Inner>, rx: Receiver<IngestJob>) {
+    // The dispatcher never changes once Running; resolve it through the
+    // phase mutex once, then the drain loop is lock-free.
+    let mut dispatcher: Option<Arc<ShardedDispatcher>> = None;
+    for job in rx {
+        match job {
+            IngestJob::Stop => return,
+            IngestJob::Batch { batch, reply } => {
+                if dispatcher.is_none() {
+                    dispatcher = inner.dispatcher();
+                }
+                let result = match &dispatcher {
+                    Some(d) => d.apply_batch(&batch),
+                    None => Err(Error::Runtime(
+                        "ingest job before promotion (admission bug)".into(),
+                    )),
+                };
+                let _ = reply.send(result);
+            }
+        }
+    }
+}
+
+/// The accept loop polls a non-blocking listener so shutdown liveness
+/// never depends on the self-poke connection succeeding: even if the
+/// poke is filtered or ports are exhausted, the loop observes the
+/// `stopping` flag within one poll interval.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(5);
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        // Cannot guarantee shutdown liveness without it; serve nothing
+        // rather than risk a permanently wedged join.
+        return;
+    }
+    loop {
+        if inner.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            // Transient accept failure (per-connection, e.g.
+            // ECONNABORTED): keep serving.
+            Err(_) => continue,
+        };
+        // On some platforms the accepted socket inherits the listener's
+        // non-blocking mode; connection handlers expect blocking I/O.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        // Responses and acks must not sit in Nagle's buffer waiting for
+        // a delayed ACK.
+        let _ = stream.set_nodelay(true);
+        let inner = Arc::clone(&inner);
+        let spawned = std::thread::Builder::new()
+            .name("dbtoaster-conn".into())
+            .spawn(move || handle_connection(inner, stream));
+        if spawned.is_err() {
+            // Out of threads: drop the connection rather than the
+            // server.
+            continue;
+        }
+    }
+}
+
+/// A running standalone server: accept loop, bounded ingest queue,
+/// sharded dispatch, concurrent snapshots. Binding returns immediately;
+/// the handle can register views locally (the `--view` flags of
+/// `dbtoasterd`), inspect state, and [`shutdown`](NetServer::shutdown)
+/// or [`wait`](NetServer::wait).
+pub struct NetServer {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    ingest: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind and start serving `catalog` on `addr` (use port 0 for an
+    /// ephemeral port; read it back with
+    /// [`local_addr`](NetServer::local_addr)).
+    pub fn bind(
+        catalog: &Catalog,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<NetServer> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| Error::Io(format!("bind failed: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::Io(format!("local_addr failed: {e}")))?;
+        let (ingest_tx, ingest_rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
+        let inner = Arc::new(Inner {
+            config,
+            addr,
+            phase: Mutex::new(Phase::Registering(Box::new(ViewServer::new(catalog)))),
+            running: AtomicBool::new(false),
+            ingest_tx,
+            stopping: AtomicBool::new(false),
+        });
+        let ingest = std::thread::Builder::new()
+            .name("dbtoaster-ingest".into())
+            .spawn({
+                let inner = Arc::clone(&inner);
+                move || ingest_loop(inner, ingest_rx)
+            })
+            .map_err(|e| Error::Io(format!("spawn ingest thread: {e}")))?;
+        let accept = match std::thread::Builder::new()
+            .name("dbtoaster-accept".into())
+            .spawn({
+                let inner = Arc::clone(&inner);
+                move || accept_loop(inner, listener)
+            }) {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Unwind the already-running ingest thread, or it would
+                // block on its queue forever (Inner keeps the sender
+                // alive).
+                let _ = inner.ingest_tx.send(IngestJob::Stop);
+                let _ = ingest.join();
+                return Err(Error::Io(format!("spawn accept thread: {e}")));
+            }
+        };
+        Ok(NetServer {
+            inner,
+            accept: Some(accept),
+            ingest: Some(ingest),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Register a view from the hosting process (how `dbtoasterd`
+    /// applies its `--view` flags). Same freezing rule as wire
+    /// registration: only before the first batch.
+    pub fn register(&self, name: &str, sql: &str) -> Result<ViewId> {
+        self.inner.register(name, sql)
+    }
+
+    /// A consistent cut of every view, concurrent with ingestion.
+    pub fn snapshot_all(&self) -> Vec<ViewSnapshot> {
+        self.inner.snapshot_all()
+    }
+
+    /// Server counters (same payload the wire `stats` request serves).
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Stop accepting, drain admitted batches, and join the service
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until the server shuts down (a wire `shutdown` request or
+    /// process signal) — the `dbtoasterd` main loop.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.ingest.take() {
+            let _ = handle.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.begin_shutdown();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.ingest.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NetClient;
+    use crate::source::FeedWriter;
+    use dbtoaster_common::{tuple, ColumnType, Event, Schema};
+
+    fn rs_catalog() -> Catalog {
+        Catalog::new()
+            .with(Schema::new(
+                "R",
+                vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+            ))
+            .with(Schema::new(
+                "S",
+                vec![("B", ColumnType::Int), ("C", ColumnType::Int)],
+            ))
+    }
+
+    fn spawn_server() -> NetServer {
+        NetServer::bind(&rs_catalog(), "127.0.0.1:0", NetConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip_against_a_live_server() {
+        let server = spawn_server();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+
+        let a = client.register("totals", "select sum(A) from R").unwrap();
+        let b = client
+            .register("joined", "select count(*) from R, S where R.B = S.B")
+            .unwrap();
+        assert_eq!((a.0, b.0), (0, 1));
+
+        // Typed compile errors travel back typed.
+        match client.register("broken", "select nothing from NOWHERE") {
+            Err(Error::Schema(_)) | Err(Error::Analysis(_)) => {}
+            other => panic!("expected a typed failure, got {other:?}"),
+        }
+
+        let deliveries = client
+            .apply_batch(&[
+                Event::insert("R", tuple![2i64, 1i64]),
+                Event::insert("S", tuple![1i64, 5i64]),
+                Event::insert("R", tuple![3i64, 1i64]),
+            ])
+            .unwrap();
+        assert_eq!(deliveries, 5, "2 R events hit both views, 1 S event one");
+
+        // Registration is frozen after the first batch.
+        match client.register("late", "select count(*) from R") {
+            Err(Error::Runtime(m)) => assert!(m.contains("frozen"), "{m}"),
+            other => panic!("late registration must fail typed: {other:?}"),
+        }
+
+        let snap = client.snapshot("totals").unwrap();
+        assert_eq!(snap.rows[0].values[0], dbtoaster_common::Value::Int(5));
+        assert_eq!(snap.events_processed, 2);
+        assert!(client.snapshot("nope").is_err());
+
+        let all = client.snapshot_all().unwrap();
+        assert_eq!(
+            all,
+            server.snapshot_all(),
+            "wire snapshot == local snapshot"
+        );
+
+        let stats = client.stats().unwrap();
+        assert!(stats.running);
+        assert_eq!(stats.views.len(), 2);
+        assert_eq!(stats.batches, 1);
+        assert!(stats.workers >= 1);
+
+        client.shutdown_server().unwrap();
+        server.wait();
+    }
+
+    #[test]
+    fn feed_connections_ack_after_the_last_event_is_applied() {
+        let server = spawn_server();
+        server.register("totals", "select sum(A) from R").unwrap();
+        let events: Vec<Event> = (0..100i64)
+            .map(|i| Event::insert("R", tuple![i, i % 3]))
+            .collect();
+
+        let mut feeder = FeedWriter::connect(server.local_addr()).unwrap();
+        for chunk in events.chunks(9) {
+            feeder.send(chunk).unwrap();
+        }
+        let report = feeder.finish_and_ack().unwrap();
+        assert_eq!(report.events, 100);
+        assert_eq!(report.deliveries, 100);
+
+        // The ack is the barrier: the snapshot taken after it sees
+        // every event.
+        let snap = server.snapshot_all();
+        assert_eq!(snap[0].events_processed, 100);
+        assert_eq!(
+            snap[0].rows[0].values[0],
+            dbtoaster_common::Value::Int((0..100i64).sum::<i64>())
+        );
+    }
+
+    #[test]
+    fn an_empty_feed_is_acknowledged_with_zeros() {
+        let server = spawn_server();
+        let feeder = FeedWriter::connect(server.local_addr()).unwrap();
+        let report = feeder.finish_and_ack().unwrap();
+        assert_eq!(report, IngestReport::default());
+    }
+
+    #[test]
+    fn malformed_frames_get_a_typed_error_and_the_connection_drops() {
+        use std::io::{Read, Write};
+        let server = spawn_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // An oversized length prefix.
+        stream.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+        stream.write_all(&[1, 2, 3]).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut buf = Vec::new();
+        assert!(wire::read_frame(&mut reader, &mut buf).unwrap());
+        match wire::decode_response(&buf).unwrap() {
+            Response::Error(Error::Wire(m)) => assert!(m.contains("oversized"), "{m}"),
+            other => panic!("expected a wire error, got {other:?}"),
+        }
+        // ... and the server closed the connection afterwards.
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+    }
+}

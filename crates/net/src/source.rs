@@ -1,0 +1,435 @@
+//! Socket-backed streaming: [`SocketSource`] (the server side of a live
+//! feed) and [`FeedWriter`] (the feeder side).
+//!
+//! A `SocketSource` adapts one feed connection to the workspace-wide
+//! [`EventSource`] trait, so the existing ingestion paths —
+//! [`ViewServer::run_source`], [`ShardedDispatcher::run_source`] and the
+//! `dbtoasterd` ingest queue — consume live network feeds exactly like
+//! archived streams. It is deliberately tokio-free: a dedicated reader
+//! thread decodes frames in a poll loop and hands finished batches
+//! through a **bounded** queue.
+//!
+//! Back-pressure is inherent at every hop: when the consumer falls
+//! behind, the queue fills, the reader thread blocks on `send`, stops
+//! reading the socket, the kernel receive buffer fills, the TCP window
+//! closes, and the *feeder's* writes block — the stream slows to the
+//! consumer's pace with no unbounded buffering anywhere.
+//!
+//! End-of-stream is graceful: the feeder closes its write half
+//! ([`FeedWriter::finish`]); the reader sees EOF exactly at a frame
+//! boundary, the queue drains, and `next_batch` returns `Ok(None)` — the
+//! same contract every other [`EventSource`] honors. A mid-frame EOF or
+//! malformed frame instead surfaces as one typed error after the batches
+//! that preceded it.
+//!
+//! [`ViewServer::run_source`]: dbtoaster_server::ViewServer::run_source
+//! [`ShardedDispatcher::run_source`]: dbtoaster_server::ShardedDispatcher::run_source
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+use dbtoaster_common::{Error, Event, EventBatch, EventSource, Result};
+use dbtoaster_server::IngestReport;
+
+use crate::wire::{self, Message, Response};
+
+/// Default bound of the decoded-batch queue between the reader thread
+/// and the consumer.
+pub const DEFAULT_SOURCE_QUEUE_DEPTH: usize = 16;
+
+/// What the reader thread hands over: decoded batches, then at most one
+/// terminal error (a clean EOF just closes the channel).
+type Handoff = Result<EventBatch>;
+
+/// An [`EventSource`] over a live socket feed.
+pub struct SocketSource {
+    name: String,
+    rx: Receiver<Handoff>,
+    /// Events of an oversized network batch not yet handed out
+    /// (`next_batch` honors the consumer's `max_events`, whatever the
+    /// feeder's framing was).
+    leftover: VecDeque<Event>,
+    exhausted: bool,
+    /// Reaped on drop when already finished; a reader blocked on a
+    /// silent socket is detached instead (it exits on the next frame,
+    /// EOF, or failed enqueue) so dropping a source never hangs.
+    reader: Option<JoinHandle<()>>,
+}
+
+impl SocketSource {
+    /// Wrap an accepted (or connected) TCP stream.
+    pub fn from_stream(
+        name: impl Into<String>,
+        stream: TcpStream,
+        queue_depth: usize,
+    ) -> Result<SocketSource> {
+        SocketSource::from_reader(name, BufReader::new(stream), queue_depth)
+    }
+
+    /// Connect to a remote feed and stream from it.
+    pub fn connect(
+        name: impl Into<String>,
+        addr: impl ToSocketAddrs,
+        queue_depth: usize,
+    ) -> Result<SocketSource> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| Error::Io(format!("feed connect failed: {e}")))?;
+        SocketSource::from_stream(name, stream, queue_depth)
+    }
+
+    /// Wrap any readable byte stream of batch frames. This is how a
+    /// server hands a half-consumed connection to the source (the first
+    /// frame identified the connection as a feed), and how tests drive
+    /// the poll loop without sockets.
+    pub fn from_reader<R: Read + Send + 'static>(
+        name: impl Into<String>,
+        mut reader: R,
+        queue_depth: usize,
+    ) -> Result<SocketSource> {
+        let name = name.into();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Handoff>(queue_depth.max(1));
+        let thread_name = format!("dbtoaster-feed-{name}");
+        let reader = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || feed_poll_loop(&mut reader, &tx))
+            // Thread exhaustion is exactly the regime a loaded server
+            // hits; fail typed so the feeder hears an error, not a
+            // reset.
+            .map_err(|e| Error::Io(format!("spawn feed reader thread: {e}")))?;
+        Ok(SocketSource {
+            name,
+            rx,
+            leftover: VecDeque::new(),
+            exhausted: false,
+            reader: Some(reader),
+        })
+    }
+
+    /// Take up to `max_events` events out of the leftover buffer.
+    fn take_leftover(&mut self, max_events: usize) -> EventBatch {
+        let take = max_events.max(1).min(self.leftover.len());
+        self.leftover.drain(..take).collect()
+    }
+}
+
+/// The reader half: decode frames until EOF or error, pushing batches
+/// into the bounded queue (blocking there is the back-pressure).
+fn feed_poll_loop(reader: &mut impl Read, tx: &SyncSender<Handoff>) {
+    let mut buf = Vec::new();
+    loop {
+        let outcome = match wire::read_frame(reader, &mut buf) {
+            Ok(false) => return, // clean EOF: drop tx, consumer sees None
+            Ok(true) => match wire::decode_message(&buf) {
+                Ok(Message::Batch(batch)) => Ok(batch),
+                Ok(other) => Err(Error::Wire(format!(
+                    "unexpected {} frame on a feed connection",
+                    message_kind(&other)
+                ))),
+                Err(e) => Err(e),
+            },
+            Err(e) => Err(e),
+        };
+        let is_err = outcome.is_err();
+        // An empty batch frame is legal but carries nothing to enqueue.
+        if matches!(&outcome, Ok(b) if b.is_empty()) {
+            continue;
+        }
+        if tx.send(outcome).is_err() || is_err {
+            // Receiver dropped (source discarded) or terminal error:
+            // either way the feed is over.
+            return;
+        }
+    }
+}
+
+fn message_kind(msg: &Message) -> &'static str {
+    match msg {
+        Message::Batch(_) => "batch",
+        Message::Request(_) => "request",
+    }
+}
+
+impl EventSource for SocketSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_batch(&mut self, max_events: usize) -> Result<Option<EventBatch>> {
+        if !self.leftover.is_empty() {
+            return Ok(Some(self.take_leftover(max_events)));
+        }
+        if self.exhausted {
+            return Ok(None);
+        }
+        match self.rx.recv() {
+            Ok(Ok(batch)) => {
+                if batch.len() <= max_events.max(1) {
+                    Ok(Some(batch))
+                } else {
+                    self.leftover.extend(batch);
+                    Ok(Some(self.take_leftover(max_events)))
+                }
+            }
+            Ok(Err(e)) => {
+                self.exhausted = true;
+                Err(e)
+            }
+            // Sender dropped after a clean EOF.
+            Err(_) => {
+                self.exhausted = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Drop for SocketSource {
+    fn drop(&mut self) {
+        // Disconnect the queue so a reader blocked on `send` (full
+        // queue) exits immediately.
+        let (_tx, dummy) = std::sync::mpsc::sync_channel(1);
+        drop(std::mem::replace(&mut self.rx, dummy));
+        // Reap the thread if it is already done; a reader blocked on a
+        // silent socket is detached rather than awaited, so dropping a
+        // source never hangs the consumer.
+        if let Some(handle) = self.reader.take() {
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The feeder side of the feed plane: frames event batches onto a TCP
+/// stream. Create one, [`send`](FeedWriter::send) batches, then either
+/// [`finish`](FeedWriter::finish) (close the write half — the peer's
+/// `SocketSource` sees a graceful EOF) or
+/// [`finish_and_ack`](FeedWriter::finish_and_ack) (additionally wait for
+/// the server's [`Response::FeedAck`] — the barrier that makes a
+/// subsequent snapshot observe every event of this feed).
+pub struct FeedWriter {
+    writer: BufWriter<TcpStream>,
+    batches: usize,
+    events: usize,
+}
+
+impl FeedWriter {
+    /// Connect to a server's listen address as a feeder.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<FeedWriter> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| Error::Io(format!("feed connect failed: {e}")))?;
+        Ok(FeedWriter::from_stream(stream))
+    }
+
+    /// Feed over an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> FeedWriter {
+        let _ = stream.set_nodelay(true);
+        FeedWriter {
+            writer: BufWriter::new(stream),
+            batches: 0,
+            events: 0,
+        }
+    }
+
+    /// Frame and send one batch (order-preserving; an empty slice is a
+    /// no-op).
+    pub fn send(&mut self, events: &[Event]) -> Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        wire::write_frame(&mut self.writer, &wire::encode_batch(events))?;
+        self.batches += 1;
+        self.events += events.len();
+        Ok(())
+    }
+
+    /// Batches and events sent so far.
+    pub fn sent(&self) -> (usize, usize) {
+        (self.batches, self.events)
+    }
+
+    /// Flush and close the write half: the peer sees a graceful EOF
+    /// after the last batch.
+    pub fn finish(self) -> Result<()> {
+        self.close().map(|_| ())
+    }
+
+    /// Flush, close the write half, then block for the server's
+    /// [`Response::FeedAck`] — returned once every event of this feed
+    /// has been applied, so snapshots taken afterwards observe all of
+    /// it.
+    pub fn finish_and_ack(self) -> Result<IngestReport> {
+        let stream = self.close()?;
+        let mut reader = BufReader::new(stream);
+        let mut buf = Vec::new();
+        if !wire::read_frame(&mut reader, &mut buf)? {
+            return Err(Error::Io(
+                "feed peer closed without acknowledging the stream".into(),
+            ));
+        }
+        match wire::decode_response(&buf)? {
+            Response::FeedAck(report) => Ok(report),
+            Response::Error(e) => Err(e),
+            other => Err(Error::Wire(format!("expected a feed ack, got {other:?}"))),
+        }
+    }
+
+    fn close(mut self) -> Result<TcpStream> {
+        self.writer
+            .flush()
+            .map_err(|e| Error::Io(format!("feed flush failed: {e}")))?;
+        let stream = self
+            .writer
+            .into_inner()
+            .map_err(|e| Error::Io(format!("feed flush failed: {e}")))?;
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| Error::Io(format!("feed shutdown failed: {e}")))?;
+        Ok(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::tuple;
+    use std::net::TcpListener;
+
+    fn events(n: i64) -> Vec<Event> {
+        (0..n)
+            .map(|i| Event::insert("R", tuple![i, i % 5]))
+            .collect()
+    }
+
+    /// An in-memory frame stream: the poll loop works over any reader.
+    fn framed(batches: &[&[Event]]) -> Vec<u8> {
+        let mut wire_bytes = Vec::new();
+        for batch in batches {
+            wire::write_frame(&mut wire_bytes, &wire::encode_batch(batch)).unwrap();
+        }
+        wire_bytes
+    }
+
+    #[test]
+    fn replays_everything_in_order_and_honors_max_events() {
+        let all = events(10);
+        let bytes = framed(&[&all[..4], &all[4..9], &all[9..]]);
+        let mut source = SocketSource::from_reader("unit", std::io::Cursor::new(bytes), 4).unwrap();
+        let mut seen = Vec::new();
+        while let Some(batch) = source.next_batch(3).unwrap() {
+            assert!(!batch.is_empty() && batch.len() <= 3);
+            seen.extend(batch.events);
+        }
+        assert_eq!(seen, all);
+        assert!(source.next_batch(3).unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn empty_batches_are_skipped_and_eof_is_graceful() {
+        let all = events(2);
+        let bytes = framed(&[&[], &all[..], &[]]);
+        let mut source = SocketSource::from_reader("unit", std::io::Cursor::new(bytes), 4).unwrap();
+        let batch = source.next_batch(100).unwrap().unwrap();
+        assert_eq!(batch.events, all);
+        assert!(source.next_batch(100).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_frame_eof_surfaces_after_preceding_batches() {
+        let all = events(4);
+        let mut bytes = framed(&[&all[..2]]);
+        let mut partial = framed(&[&all[2..]]);
+        partial.truncate(partial.len() - 3); // cut inside the 2nd frame
+        bytes.extend_from_slice(&partial);
+        let mut source = SocketSource::from_reader("unit", std::io::Cursor::new(bytes), 4).unwrap();
+        assert_eq!(source.next_batch(100).unwrap().unwrap().len(), 2);
+        match source.next_batch(100) {
+            Err(Error::Wire(m)) => assert!(m.contains("truncated"), "{m}"),
+            other => panic!("expected a truncation error, got {other:?}"),
+        }
+        assert!(source.next_batch(100).unwrap().is_none(), "terminal");
+    }
+
+    #[test]
+    fn request_frames_on_a_feed_are_rejected() {
+        let mut bytes = Vec::new();
+        wire::write_frame(&mut bytes, &wire::encode_stats()).unwrap();
+        let mut source = SocketSource::from_reader("unit", std::io::Cursor::new(bytes), 4).unwrap();
+        match source.next_batch(10) {
+            Err(Error::Wire(m)) => assert!(m.contains("feed"), "{m}"),
+            other => panic!("expected a wire error, got {other:?}"),
+        }
+    }
+
+    /// A reader that yields framed batches forever — for the
+    /// back-pressure test below.
+    struct Endless {
+        frame: Vec<u8>,
+        at: usize,
+        produced: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+    impl Read for Endless {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.at == self.frame.len() {
+                self.at = 0;
+                self.produced
+                    .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+            let n = out.len().min(self.frame.len() - self.at);
+            out[..n].copy_from_slice(&self.frame[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_to_the_reader() {
+        let produced = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut frame = Vec::new();
+        wire::write_frame(&mut frame, &wire::encode_batch(&events(1))).unwrap();
+        let endless = Endless {
+            frame,
+            at: 0,
+            produced: std::sync::Arc::clone(&produced),
+        };
+        let mut source = SocketSource::from_reader("unit", endless, 2).unwrap();
+        // Let the reader run without consuming: it can buffer at most
+        // queue_depth batches plus the one blocked in `send`.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let stalled = produced.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(stalled <= 2 + 2, "reader ran ahead of the queue: {stalled}");
+        // Consuming resumes it.
+        for _ in 0..8 {
+            assert!(source.next_batch(1).unwrap().is_some());
+        }
+        assert!(produced.load(std::sync::atomic::Ordering::SeqCst) >= stalled);
+        // Dropping the source must not hang even though the feed is
+        // endless (the Drop impl unblocks and joins the reader).
+    }
+
+    #[test]
+    fn feed_writer_round_trips_over_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let all = events(25);
+        let feeder = {
+            let all = all.clone();
+            std::thread::spawn(move || {
+                let mut w = FeedWriter::connect(addr).unwrap();
+                for chunk in all.chunks(7) {
+                    w.send(chunk).unwrap();
+                }
+                assert_eq!(w.sent(), (4, 25));
+                w.finish().unwrap();
+            })
+        };
+        let (stream, _) = listener.accept().unwrap();
+        let mut source = SocketSource::from_stream("loopback", stream, 4).unwrap();
+        let drained = source.drain(8).unwrap();
+        assert_eq!(drained.events, all);
+        feeder.join().unwrap();
+    }
+}

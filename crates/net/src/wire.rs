@@ -1,0 +1,1022 @@
+//! The length-prefixed binary wire format of the network data plane.
+//!
+//! A connection carries a sequence of **frames**. Each frame is a
+//! little-endian `u32` payload length followed by exactly that many
+//! payload bytes; the first payload byte is a **tag** identifying the
+//! message, the rest is the tag-specific body. Frames are
+//! self-delimiting, so a reader never needs look-ahead, and the length
+//! prefix is bounded by [`MAX_FRAME_LEN`] so a hostile peer cannot make
+//! a server allocate unbounded memory.
+//!
+//! Two planes share the format:
+//!
+//! * the **request/response plane** ([`Request`] / [`Response`]): a
+//!   client sends one request frame and reads one response frame —
+//!   `register`, `apply_batch`, `snapshot`, `snapshot_all`, `stats`,
+//!   `shutdown`;
+//! * the **feed plane** ([`Message::Batch`]): a feeder streams naked
+//!   event-batch frames and closes its write half; the server answers
+//!   with one [`Response::FeedAck`] after the last event is applied.
+//!
+//! All integers are little-endian and fixed-width. Floats travel as
+//! their IEEE-754 bit pattern ([`f64::to_bits`]), so values — NaNs
+//! included — survive the wire **bit-exactly**: a snapshot fetched over
+//! the network compares equal to one taken in-process.
+//!
+//! Decoding is total: every malformed input — truncated frame, unknown
+//! tag, oversized length, count pointing past the buffer, invalid UTF-8
+//! — returns [`Error::Wire`]; nothing in this module panics on remote
+//! data.
+
+use std::io::{Read, Write};
+
+use dbtoaster_common::{Error, Event, EventBatch, EventKind, Result, Tuple, Value};
+use dbtoaster_runtime::ResultRow;
+use dbtoaster_server::{IngestReport, ViewSnapshot};
+
+/// Upper bound on a frame payload (64 MiB). Large enough for any
+/// realistic snapshot or batch, small enough that a corrupt or hostile
+/// length prefix cannot drive allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+// ---------------------------------------------------------------------
+// tags
+// ---------------------------------------------------------------------
+
+const TAG_REGISTER: u8 = 0x01;
+const TAG_APPLY_BATCH: u8 = 0x02;
+const TAG_SNAPSHOT: u8 = 0x03;
+const TAG_SNAPSHOT_ALL: u8 = 0x04;
+const TAG_STATS: u8 = 0x05;
+const TAG_SHUTDOWN: u8 = 0x06;
+/// Feed-plane frame: a naked event batch, no per-frame response.
+const TAG_BATCH: u8 = 0x10;
+
+const TAG_REGISTERED: u8 = 0x81;
+const TAG_APPLIED: u8 = 0x82;
+const TAG_SNAPSHOT_REPLY: u8 = 0x83;
+const TAG_SNAPSHOTS_REPLY: u8 = 0x84;
+const TAG_STATS_REPLY: u8 = 0x85;
+const TAG_SHUTTING_DOWN: u8 = 0x86;
+const TAG_FEED_ACK: u8 = 0x87;
+const TAG_ERROR: u8 = 0xEE;
+
+const VAL_INT: u8 = 0;
+const VAL_FLOAT: u8 = 1;
+const VAL_STR: u8 = 2;
+const VAL_BOOL: u8 = 3;
+const VAL_DATE: u8 = 4;
+const VAL_NULL: u8 = 5;
+
+// ---------------------------------------------------------------------
+// messages
+// ---------------------------------------------------------------------
+
+/// A request frame of the request/response plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a standing query under a unique name.
+    Register { name: String, sql: String },
+    /// Apply a batch of events; the reply carries the delivery count.
+    ApplyBatch(EventBatch),
+    /// Fetch one view's consistent snapshot by name.
+    Snapshot(String),
+    /// Fetch a consistent cut of every view.
+    SnapshotAll,
+    /// Fetch server/dispatcher counters.
+    Stats,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// Anything a server may legally receive on an accepted connection:
+/// a request, or a feed-plane batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    Request(Request),
+    Batch(EventBatch),
+}
+
+/// Per-view counters inside [`ServerStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewStat {
+    pub name: String,
+    pub events_processed: u64,
+}
+
+/// Server-side counters served by [`Request::Stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Registered views, in registration order.
+    pub views: Vec<ViewStat>,
+    /// False while the server still accepts registrations; true once
+    /// ingestion has started and the dispatcher is built.
+    pub running: bool,
+    /// Dispatcher worker-pool size (0 until running).
+    pub workers: u64,
+    /// Independent portfolio partitions (0 until running).
+    pub partitions: u64,
+    /// Batches accepted by the dispatcher.
+    pub batches: u64,
+    /// Events accepted by the dispatcher.
+    pub events: u64,
+    /// Batches that ran on the worker pool.
+    pub parallel_batches: u64,
+    /// Batches applied inline.
+    pub sequential_batches: u64,
+    /// Pool jobs across all parallel batches.
+    pub jobs: u64,
+    /// Bound of the ingest queue (frames admitted but not yet applied).
+    pub queue_depth: u64,
+}
+
+/// A response frame of the request/response plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Register`]: the view's registration index.
+    Registered { view: u64 },
+    /// Reply to [`Request::ApplyBatch`]: total deliveries.
+    Applied { deliveries: u64 },
+    /// Reply to [`Request::Snapshot`].
+    Snapshot(ViewSnapshot),
+    /// Reply to [`Request::SnapshotAll`].
+    Snapshots(Vec<ViewSnapshot>),
+    /// Reply to [`Request::Stats`].
+    Stats(ServerStats),
+    /// Reply to [`Request::Shutdown`].
+    ShuttingDown,
+    /// End-of-feed summary: what the server ingested from this feed.
+    FeedAck(IngestReport),
+    /// Any request that failed, with the typed error it failed with.
+    Error(Error),
+}
+
+// ---------------------------------------------------------------------
+// frame I/O
+// ---------------------------------------------------------------------
+
+/// Write one frame (length prefix + payload).
+///
+/// The encode side enforces the same bounds the decode side does: an
+/// empty or over-[`MAX_FRAME_LEN`] payload is refused with a typed
+/// error *before* any bytes hit the stream, so a too-large message
+/// (e.g. a snapshot of an enormous portfolio) fails loudly on the
+/// sender instead of desyncing the peer — and the `u32` length prefix
+/// can never wrap.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.is_empty() {
+        return Err(Error::Wire("refusing to write an empty frame".into()));
+    }
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(Error::Wire(format!(
+            "refusing to write an oversized frame: {} bytes exceeds the \
+             {MAX_FRAME_LEN}-byte limit",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|_| w.write_all(payload))
+        .map_err(|e| Error::Io(format!("frame write failed: {e}")))
+}
+
+/// Read one frame's payload into `buf` (cleared first).
+///
+/// Returns `Ok(false)` on a clean end-of-stream (EOF exactly at a frame
+/// boundary — how a feeder signals completion), `Ok(true)` when a full
+/// payload was read, [`Error::Wire`] on a truncated or oversized frame
+/// and [`Error::Io`] on transport failure.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<bool> {
+    let mut header = [0u8; 4];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(Error::Wire(format!(
+                    "truncated frame header: {got} of 4 bytes"
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Io(format!("frame header read failed: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return Err(Error::Wire("empty frame (a payload needs a tag)".into()));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Wire(format!(
+            "oversized frame: {len} bytes exceeds the {MAX_FRAME_LEN}-byte limit"
+        )));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Error::Wire(format!("truncated frame: expected {len} payload bytes"))
+        } else {
+            Error::Io(format!("frame payload read failed: {e}"))
+        }
+    })?;
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// primitive encoding
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            buf.push(VAL_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(VAL_FLOAT);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(VAL_STR);
+            put_str(buf, s);
+        }
+        Value::Bool(b) => {
+            buf.push(VAL_BOOL);
+            buf.push(*b as u8);
+        }
+        Value::Date(d) => {
+            buf.push(VAL_DATE);
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Null => buf.push(VAL_NULL),
+    }
+}
+
+fn put_tuple(buf: &mut Vec<u8>, t: &Tuple) {
+    put_u32(buf, t.arity() as u32);
+    for v in t.iter() {
+        put_value(buf, v);
+    }
+}
+
+fn put_event(buf: &mut Vec<u8>, e: &Event) {
+    buf.push(match e.kind {
+        EventKind::Insert => 0,
+        EventKind::Delete => 1,
+    });
+    put_str(buf, &e.relation);
+    put_tuple(buf, &e.tuple);
+}
+
+fn put_events(buf: &mut Vec<u8>, events: &[Event]) {
+    put_u32(buf, events.len() as u32);
+    for e in events {
+        put_event(buf, e);
+    }
+}
+
+fn put_snapshot(buf: &mut Vec<u8>, s: &ViewSnapshot) {
+    put_str(buf, &s.name);
+    put_u32(buf, s.columns.len() as u32);
+    for c in &s.columns {
+        put_str(buf, c);
+    }
+    put_u32(buf, s.rows.len() as u32);
+    for row in &s.rows {
+        put_tuple(buf, &row.key);
+        put_u32(buf, row.values.len() as u32);
+        for v in &row.values {
+            put_value(buf, v);
+        }
+    }
+    put_u64(buf, s.events_processed);
+}
+
+fn error_tag(e: &Error) -> u8 {
+    match e {
+        Error::Parse(_) => 0,
+        Error::Analysis(_) => 1,
+        Error::Schema(_) => 2,
+        Error::Unsupported(_) => 3,
+        Error::Compile(_) => 4,
+        Error::Runtime(_) => 5,
+        Error::Wire(_) => 6,
+        Error::Io(_) => 7,
+    }
+}
+
+fn error_message(e: &Error) -> &str {
+    match e {
+        Error::Parse(m)
+        | Error::Analysis(m)
+        | Error::Schema(m)
+        | Error::Unsupported(m)
+        | Error::Compile(m)
+        | Error::Runtime(m)
+        | Error::Wire(m)
+        | Error::Io(m) => m,
+    }
+}
+
+fn error_from_tag(tag: u8, message: String) -> Result<Error> {
+    Ok(match tag {
+        0 => Error::Parse(message),
+        1 => Error::Analysis(message),
+        2 => Error::Schema(message),
+        3 => Error::Unsupported(message),
+        4 => Error::Compile(message),
+        5 => Error::Runtime(message),
+        6 => Error::Wire(message),
+        7 => Error::Io(message),
+        other => return Err(Error::Wire(format!("unknown error category {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------
+// payload builders
+// ---------------------------------------------------------------------
+
+/// Encode a [`Request::Register`] payload.
+pub fn encode_register(name: &str, sql: &str) -> Vec<u8> {
+    let mut buf = vec![TAG_REGISTER];
+    put_str(&mut buf, name);
+    put_str(&mut buf, sql);
+    buf
+}
+
+/// Encode a [`Request::ApplyBatch`] payload from an event slice
+/// (zero-copy over the caller's events).
+pub fn encode_apply_batch(events: &[Event]) -> Vec<u8> {
+    let mut buf = vec![TAG_APPLY_BATCH];
+    put_events(&mut buf, events);
+    buf
+}
+
+/// Encode a [`Request::Snapshot`] payload.
+pub fn encode_snapshot(name: &str) -> Vec<u8> {
+    let mut buf = vec![TAG_SNAPSHOT];
+    put_str(&mut buf, name);
+    buf
+}
+
+/// Encode a [`Request::SnapshotAll`] payload.
+pub fn encode_snapshot_all() -> Vec<u8> {
+    vec![TAG_SNAPSHOT_ALL]
+}
+
+/// Encode a [`Request::Stats`] payload.
+pub fn encode_stats() -> Vec<u8> {
+    vec![TAG_STATS]
+}
+
+/// Encode a [`Request::Shutdown`] payload.
+pub fn encode_shutdown() -> Vec<u8> {
+    vec![TAG_SHUTDOWN]
+}
+
+/// Encode a feed-plane batch payload ([`Message::Batch`]).
+pub fn encode_batch(events: &[Event]) -> Vec<u8> {
+    let mut buf = vec![TAG_BATCH];
+    put_events(&mut buf, events);
+    buf
+}
+
+/// Encode a [`Response`] payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Registered { view } => {
+            buf.push(TAG_REGISTERED);
+            put_u64(&mut buf, *view);
+        }
+        Response::Applied { deliveries } => {
+            buf.push(TAG_APPLIED);
+            put_u64(&mut buf, *deliveries);
+        }
+        Response::Snapshot(s) => {
+            buf.push(TAG_SNAPSHOT_REPLY);
+            put_snapshot(&mut buf, s);
+        }
+        Response::Snapshots(all) => {
+            buf.push(TAG_SNAPSHOTS_REPLY);
+            put_u32(&mut buf, all.len() as u32);
+            for s in all {
+                put_snapshot(&mut buf, s);
+            }
+        }
+        Response::Stats(stats) => {
+            buf.push(TAG_STATS_REPLY);
+            put_u32(&mut buf, stats.views.len() as u32);
+            for v in &stats.views {
+                put_str(&mut buf, &v.name);
+                put_u64(&mut buf, v.events_processed);
+            }
+            buf.push(stats.running as u8);
+            for n in [
+                stats.workers,
+                stats.partitions,
+                stats.batches,
+                stats.events,
+                stats.parallel_batches,
+                stats.sequential_batches,
+                stats.jobs,
+                stats.queue_depth,
+            ] {
+                put_u64(&mut buf, n);
+            }
+        }
+        Response::ShuttingDown => buf.push(TAG_SHUTTING_DOWN),
+        Response::FeedAck(report) => {
+            buf.push(TAG_FEED_ACK);
+            put_u64(&mut buf, report.batches as u64);
+            put_u64(&mut buf, report.events as u64);
+            put_u64(&mut buf, report.deliveries as u64);
+        }
+        Response::Error(e) => {
+            buf.push(TAG_ERROR);
+            buf.push(error_tag(e));
+            put_str(&mut buf, error_message(e));
+        }
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------
+
+/// A bounds-checked cursor over one frame payload.
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn fail(&self, what: &str) -> Error {
+        Error::Wire(format!(
+            "{what} at byte {} of a {}-byte payload",
+            self.pos,
+            self.buf.len()
+        ))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.fail(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self, what: &str) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self, what: &str) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// A `u32` element count, sanity-bounded by the bytes that remain:
+    /// every element costs at least `min_bytes`, so a count larger than
+    /// `remaining / min_bytes` is corrupt — reject it *before*
+    /// allocating.
+    fn count(&mut self, min_bytes: usize, what: &str) -> Result<usize> {
+        let n = self.u32(what)? as usize;
+        if n > self.remaining() / min_bytes.max(1) {
+            return Err(self.fail(what));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String> {
+        let len = self.u32(what)? as usize;
+        if len > self.remaining() {
+            return Err(self.fail(what));
+        }
+        String::from_utf8(self.take(len, what)?.to_vec())
+            .map_err(|_| Error::Wire(format!("{what}: invalid UTF-8")))
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.u8("value tag")? {
+            VAL_INT => Ok(Value::Int(self.i64("int value")?)),
+            VAL_FLOAT => Ok(Value::Float(f64::from_bits(self.u64("float value")?))),
+            VAL_STR => Ok(Value::Str(self.str("string value")?)),
+            VAL_BOOL => match self.u8("bool value")? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                other => Err(self.fail(&format!("bool value {other}"))),
+            },
+            VAL_DATE => Ok(Value::Date(self.i32("date value")?)),
+            VAL_NULL => Ok(Value::Null),
+            other => Err(self.fail(&format!("unknown value tag {other}"))),
+        }
+    }
+
+    fn tuple(&mut self) -> Result<Tuple> {
+        let arity = self.count(1, "tuple arity")?;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(self.value()?);
+        }
+        Ok(Tuple::new(values))
+    }
+
+    fn event(&mut self) -> Result<Event> {
+        let kind = match self.u8("event kind")? {
+            0 => EventKind::Insert,
+            1 => EventKind::Delete,
+            other => return Err(self.fail(&format!("unknown event kind {other}"))),
+        };
+        let relation = self.str("event relation")?;
+        let tuple = self.tuple()?;
+        Ok(Event {
+            relation,
+            kind,
+            tuple,
+        })
+    }
+
+    fn batch(&mut self) -> Result<EventBatch> {
+        // Smallest event: kind byte + empty relation + empty tuple.
+        let n = self.count(9, "batch event count")?;
+        let mut batch = EventBatch::with_capacity(n);
+        for _ in 0..n {
+            batch.push(self.event()?);
+        }
+        Ok(batch)
+    }
+
+    fn snapshot(&mut self) -> Result<ViewSnapshot> {
+        let name = self.str("snapshot name")?;
+        let column_count = self.count(4, "snapshot column count")?;
+        let mut columns = Vec::with_capacity(column_count);
+        for _ in 0..column_count {
+            columns.push(self.str("snapshot column")?);
+        }
+        let row_count = self.count(8, "snapshot row count")?;
+        let mut rows = Vec::with_capacity(row_count);
+        for _ in 0..row_count {
+            let key = self.tuple()?;
+            let value_count = self.count(1, "row value count")?;
+            let mut values = Vec::with_capacity(value_count);
+            for _ in 0..value_count {
+                values.push(self.value()?);
+            }
+            rows.push(ResultRow { key, values });
+        }
+        let events_processed = self.u64("snapshot event count")?;
+        Ok(ViewSnapshot {
+            name,
+            columns,
+            rows,
+            events_processed,
+        })
+    }
+
+    /// Every decoder must consume its whole payload — trailing garbage
+    /// means the peer and we disagree about the format.
+    fn finish<T>(self, value: T) -> Result<T> {
+        if self.remaining() != 0 {
+            return Err(Error::Wire(format!(
+                "{} trailing bytes after a well-formed message",
+                self.remaining()
+            )));
+        }
+        Ok(value)
+    }
+}
+
+/// Decode a payload the server side accepts: a request or a feed batch.
+pub fn decode_message(payload: &[u8]) -> Result<Message> {
+    let mut d = Decoder::new(payload);
+    let msg = match d.u8("message tag")? {
+        TAG_REGISTER => Message::Request(Request::Register {
+            name: d.str("view name")?,
+            sql: d.str("view sql")?,
+        }),
+        TAG_APPLY_BATCH => Message::Request(Request::ApplyBatch(d.batch()?)),
+        TAG_SNAPSHOT => Message::Request(Request::Snapshot(d.str("view name")?)),
+        TAG_SNAPSHOT_ALL => Message::Request(Request::SnapshotAll),
+        TAG_STATS => Message::Request(Request::Stats),
+        TAG_SHUTDOWN => Message::Request(Request::Shutdown),
+        TAG_BATCH => Message::Batch(d.batch()?),
+        other => return Err(Error::Wire(format!("unknown request tag 0x{other:02x}"))),
+    };
+    d.finish(msg)
+}
+
+/// Decode a payload the client side accepts: a response.
+pub fn decode_response(payload: &[u8]) -> Result<Response> {
+    let mut d = Decoder::new(payload);
+    let resp = match d.u8("response tag")? {
+        TAG_REGISTERED => Response::Registered {
+            view: d.u64("view id")?,
+        },
+        TAG_APPLIED => Response::Applied {
+            deliveries: d.u64("delivery count")?,
+        },
+        TAG_SNAPSHOT_REPLY => Response::Snapshot(d.snapshot()?),
+        TAG_SNAPSHOTS_REPLY => {
+            let n = d.count(13, "snapshot count")?;
+            let mut all = Vec::with_capacity(n);
+            for _ in 0..n {
+                all.push(d.snapshot()?);
+            }
+            Response::Snapshots(all)
+        }
+        TAG_STATS_REPLY => {
+            let view_count = d.count(12, "view stat count")?;
+            let mut views = Vec::with_capacity(view_count);
+            for _ in 0..view_count {
+                views.push(ViewStat {
+                    name: d.str("view name")?,
+                    events_processed: d.u64("view event count")?,
+                });
+            }
+            let running = match d.u8("running flag")? {
+                0 => false,
+                1 => true,
+                other => return Err(Error::Wire(format!("bad running flag {other}"))),
+            };
+            Response::Stats(ServerStats {
+                views,
+                running,
+                workers: d.u64("workers")?,
+                partitions: d.u64("partitions")?,
+                batches: d.u64("batches")?,
+                events: d.u64("events")?,
+                parallel_batches: d.u64("parallel batches")?,
+                sequential_batches: d.u64("sequential batches")?,
+                jobs: d.u64("jobs")?,
+                queue_depth: d.u64("queue depth")?,
+            })
+        }
+        TAG_SHUTTING_DOWN => Response::ShuttingDown,
+        TAG_FEED_ACK => Response::FeedAck(IngestReport {
+            batches: d.u64("feed batches")? as usize,
+            events: d.u64("feed events")? as usize,
+            deliveries: d.u64("feed deliveries")? as usize,
+        }),
+        TAG_ERROR => {
+            let tag = d.u8("error category")?;
+            let message = d.str("error message")?;
+            Response::Error(error_from_tag(tag, message)?)
+        }
+        other => return Err(Error::Wire(format!("unknown response tag 0x{other:02x}"))),
+    };
+    d.finish(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtoaster_common::tuple;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::insert("BIDS", tuple![1.5f64, 7i64, 2i64, 100.0f64, 99.25f64]),
+            Event::delete("R", tuple![1i64, -9i64]),
+            Event::insert(
+                "TRADES",
+                Tuple::new(vec![
+                    Value::str("ACME,\"x\"\nümlaut"),
+                    Value::Bool(true),
+                    Value::date(2009, 8, 24),
+                    Value::Null,
+                    Value::Float(f64::NAN),
+                ]),
+            ),
+        ]
+    }
+
+    fn sample_snapshot() -> ViewSnapshot {
+        ViewSnapshot {
+            name: "vwap".into(),
+            columns: vec!["PRICE".into(), "SUM".into()],
+            rows: vec![
+                ResultRow {
+                    key: Tuple::empty(),
+                    values: vec![Value::Float(-0.0), Value::Int(i64::MIN)],
+                },
+                ResultRow {
+                    key: tuple![3i64, "k"],
+                    values: vec![Value::Null],
+                },
+            ],
+            events_processed: u64::MAX,
+        }
+    }
+
+    fn roundtrip_message(payload: Vec<u8>) -> Message {
+        decode_message(&payload).unwrap()
+    }
+
+    fn roundtrip_response(resp: &Response) -> Response {
+        decode_response(&encode_response(resp)).unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        assert_eq!(
+            roundtrip_message(encode_register("vwap", "select sum(X) from R")),
+            Message::Request(Request::Register {
+                name: "vwap".into(),
+                sql: "select sum(X) from R".into()
+            })
+        );
+        let events = sample_events();
+        match roundtrip_message(encode_apply_batch(&events)) {
+            Message::Request(Request::ApplyBatch(batch)) => {
+                assert_eq!(batch.events.len(), events.len());
+                // NaN compares unequal under ==; Value's PartialEq treats
+                // NaN == NaN, so direct equality works.
+                assert_eq!(batch.events, events);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        match roundtrip_message(encode_batch(&events)) {
+            Message::Batch(batch) => assert_eq!(batch.events, events),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        assert_eq!(
+            roundtrip_message(encode_snapshot("vwap")),
+            Message::Request(Request::Snapshot("vwap".into()))
+        );
+        assert_eq!(
+            roundtrip_message(encode_snapshot_all()),
+            Message::Request(Request::SnapshotAll)
+        );
+        assert_eq!(
+            roundtrip_message(encode_stats()),
+            Message::Request(Request::Stats)
+        );
+        assert_eq!(
+            roundtrip_message(encode_shutdown()),
+            Message::Request(Request::Shutdown)
+        );
+    }
+
+    #[test]
+    fn float_values_survive_bit_exactly() {
+        for bits in [
+            0u64,
+            f64::NAN.to_bits(),
+            (-0.0f64).to_bits(),
+            f64::INFINITY.to_bits(),
+            0x7ff8_0000_dead_beef, // a payload-carrying NaN
+            1.0f64.to_bits(),
+        ] {
+            let v = Value::Float(f64::from_bits(bits));
+            let events = vec![Event::insert("F", Tuple::new(vec![v]))];
+            match roundtrip_message(encode_batch(&events)) {
+                Message::Batch(b) => match &b.events[0].tuple[0] {
+                    Value::Float(f) => assert_eq!(f.to_bits(), bits, "bits changed"),
+                    other => panic!("wrong value {other:?}"),
+                },
+                other => panic!("wrong decode: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Registered { view: 3 },
+            Response::Applied { deliveries: 12 },
+            Response::Snapshot(sample_snapshot()),
+            Response::Snapshots(vec![sample_snapshot(), sample_snapshot()]),
+            Response::Stats(ServerStats {
+                views: vec![
+                    ViewStat {
+                        name: "vwap".into(),
+                        events_processed: 10,
+                    },
+                    ViewStat {
+                        name: "mm".into(),
+                        events_processed: 0,
+                    },
+                ],
+                running: true,
+                workers: 4,
+                partitions: 2,
+                batches: 100,
+                events: 6_400,
+                parallel_batches: 90,
+                sequential_batches: 10,
+                jobs: 180,
+                queue_depth: 64,
+            }),
+            Response::ShuttingDown,
+            Response::FeedAck(IngestReport {
+                batches: 5,
+                events: 320,
+                deliveries: 640,
+            }),
+            Response::Error(Error::Parse("unexpected ')'".into())),
+            Response::Error(Error::Wire("bad tag".into())),
+        ] {
+            assert_eq!(roundtrip_response(&resp), resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_byte_stream() {
+        let mut wire = Vec::new();
+        let payloads = [
+            encode_stats(),
+            encode_batch(&sample_events()),
+            encode_register("a", "select count(*) from R"),
+        ];
+        for p in &payloads {
+            write_frame(&mut wire, p).unwrap();
+        }
+        let mut r = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        for p in &payloads {
+            assert!(read_frame(&mut r, &mut buf).unwrap());
+            assert_eq!(&buf, p);
+        }
+        assert!(!read_frame(&mut r, &mut buf).unwrap(), "clean EOF");
+    }
+
+    // -----------------------------------------------------------------
+    // malformed input: typed errors, never panics
+    // -----------------------------------------------------------------
+
+    fn assert_wire_error(result: Result<Message>) {
+        match result {
+            Err(Error::Wire(_)) => {}
+            other => panic!("expected a wire error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_unknown_and_trailing_payloads_are_rejected() {
+        assert_wire_error(decode_message(&[]));
+        assert_wire_error(decode_message(&[0x7f]));
+        assert_wire_error(decode_message(&[0xff, 1, 2, 3]));
+        // A well-formed message followed by trailing garbage.
+        let mut p = encode_snapshot_all();
+        p.push(0);
+        assert_wire_error(decode_message(&p));
+        match decode_response(&[0x01]) {
+            Err(Error::Wire(_)) => {}
+            other => panic!("unknown response tag must fail typed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_every_message_fails_cleanly() {
+        let payloads = [
+            encode_register("vwap", "select sum(PRICE*VOLUME), sum(VOLUME) from BIDS"),
+            encode_apply_batch(&sample_events()),
+            encode_batch(&sample_events()),
+            encode_snapshot("vwap"),
+        ];
+        for payload in &payloads {
+            for cut in 0..payload.len() {
+                // Decoding any strict prefix must fail with a typed
+                // error (empty prefixes included), and must not panic.
+                assert_wire_error(decode_message(&payload[..cut]));
+            }
+        }
+        let resp = encode_response(&Response::Snapshots(vec![sample_snapshot()]));
+        for cut in 0..resp.len() {
+            match decode_response(&resp[..cut]) {
+                Err(Error::Wire(_)) => {}
+                other => panic!("truncated response at {cut}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_corruption_never_panics_and_roundtrips_stay_exact() {
+        let mut rng = SmallRng::seed_from_u64(0x3173);
+        let base = encode_apply_batch(&sample_events());
+        for _ in 0..2_000 {
+            let mut corrupt = base.clone();
+            // Flip 1–4 random bytes.
+            for _ in 0..rng.gen_range(1..=4usize) {
+                let at = rng.gen_range(0..corrupt.len());
+                corrupt[at] = corrupt[at].wrapping_add(rng.gen_range(1..=255usize) as u8);
+            }
+            // Either decodes to *something* well-formed or fails typed;
+            // both are fine, panicking is not.
+            match decode_message(&corrupt) {
+                Ok(_) | Err(Error::Wire(_)) => {}
+                Err(other) => panic!("corruption produced a non-wire error: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn random_garbage_frames_never_panic() {
+        let mut rng = SmallRng::seed_from_u64(0xdeadbeef);
+        for _ in 0..2_000 {
+            let len = rng.gen_range(0..64usize);
+            let garbage: Vec<u8> = (0..len)
+                .map(|_| rng.gen_range(0..=255usize) as u8)
+                .collect();
+            let _ = decode_message(&garbage);
+            let _ = decode_response(&garbage);
+        }
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A batch claiming u32::MAX events in a 9-byte payload: the
+        // count bound must reject it before any allocation happens.
+        let mut p = vec![TAG_BATCH];
+        put_u32(&mut p, u32::MAX);
+        p.extend_from_slice(&[0, 0, 0, 0]);
+        assert_wire_error(decode_message(&p));
+
+        // A string claiming to be longer than the payload.
+        let mut p = vec![TAG_SNAPSHOT];
+        put_u32(&mut p, 1_000_000);
+        p.extend_from_slice(b"abc");
+        assert_wire_error(decode_message(&p));
+    }
+
+    #[test]
+    fn oversized_and_empty_payloads_are_refused_at_write_time() {
+        let mut out = Vec::new();
+        match write_frame(&mut out, &[]) {
+            Err(Error::Wire(m)) => assert!(m.contains("empty"), "{m}"),
+            other => panic!("empty write: {other:?}"),
+        }
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        match write_frame(&mut out, &huge) {
+            Err(Error::Wire(m)) => assert!(m.contains("oversized"), "{m}"),
+            other => panic!("oversized write: {other:?}"),
+        }
+        assert!(out.is_empty(), "nothing reached the stream");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_typed_errors() {
+        // Oversized length prefix.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let mut buf = Vec::new();
+        match read_frame(&mut std::io::Cursor::new(&wire), &mut buf) {
+            Err(Error::Wire(m)) => assert!(m.contains("oversized"), "{m}"),
+            other => panic!("oversized frame: {other:?}"),
+        }
+
+        // Zero-length frame.
+        let wire = 0u32.to_le_bytes().to_vec();
+        match read_frame(&mut std::io::Cursor::new(&wire), &mut buf) {
+            Err(Error::Wire(m)) => assert!(m.contains("empty"), "{m}"),
+            other => panic!("empty frame: {other:?}"),
+        }
+
+        // Truncated header and truncated payload.
+        let mut full = Vec::new();
+        write_frame(&mut full, &encode_stats()).unwrap();
+        for cut in 1..full.len() {
+            match read_frame(&mut std::io::Cursor::new(&full[..cut]), &mut buf) {
+                Err(Error::Wire(m)) => assert!(m.contains("truncated"), "{m}"),
+                other => panic!("truncated frame at {cut}: {other:?}"),
+            }
+        }
+    }
+}

@@ -75,7 +75,8 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use dbtoaster_common::{
-    Catalog, Error, Event, EventKind, EventSource, FxHashMap, FxHashSet, Result, Tuple, Value,
+    Catalog, Error, Event, EventBatch, EventKind, EventSource, FxHashMap, FxHashSet, Result, Tuple,
+    Value,
 };
 use dbtoaster_compiler::{compile_sql, CompileOptions, TriggerProgram};
 use dbtoaster_runtime::{
@@ -85,7 +86,7 @@ use dbtoaster_runtime::{
 };
 
 pub use csv::{to_csv_string, write_csv, CsvReplaySource};
-pub use shard::{DispatchReport, ShardedDispatcher};
+pub use shard::{auto_workers, DispatchReport, ShardedDispatcher, MAX_AUTO_WORKERS};
 
 /// Stable handle to a registered view (its registration index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -183,7 +184,9 @@ pub struct ApplyCtx {
 }
 
 /// A consistent per-view result capture from [`ViewServer::snapshot_all`].
-#[derive(Debug, Clone)]
+/// Compares exactly (float values by IEEE equality), so two ingestion
+/// paths over the same stream can be asserted bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ViewSnapshot {
     pub name: String,
     pub columns: Vec<String>,
@@ -201,6 +204,41 @@ pub struct IngestReport {
     /// Sum over views of events delivered to that view (one event
     /// delivered to k interested views counts k times).
     pub deliveries: usize,
+}
+
+impl IngestReport {
+    /// Merge another report into this one (a stream drained in several
+    /// legs, e.g. a network feed's first frame plus the rest).
+    pub fn absorb(&mut self, other: IngestReport) {
+        self.batches += other.batches;
+        self.events += other.events;
+        self.deliveries += other.deliveries;
+    }
+}
+
+/// Drain an [`EventSource`] through `apply`, pulling batches of at most
+/// `batch_size` events and accumulating the [`IngestReport`].
+///
+/// This is the one drain loop every ingestion path shares:
+/// [`ViewServer::run_source`] applies batches directly (with a pooled
+/// context), [`ShardedDispatcher::run_source`] routes them through the
+/// partitioned worker pool, and the network server's feed plane
+/// enqueues them on its ingest queue — a new [`EventSource`] (an
+/// archived CSV stream, a live socket) plugs into all of them without
+/// duplicating the loop. Batches are handed to `apply` by value so
+/// consumers that move them across threads pay no copy.
+pub fn drain_source(
+    source: &mut dyn EventSource,
+    batch_size: usize,
+    mut apply: impl FnMut(EventBatch) -> Result<usize>,
+) -> Result<IngestReport> {
+    let mut report = IngestReport::default();
+    while let Some(batch) = source.next_batch(batch_size)? {
+        report.batches += 1;
+        report.events += batch.len();
+        report.deliveries += apply(batch)?;
+    }
+    Ok(report)
 }
 
 /// One deduplicated map in the [`StoreReport`].
@@ -723,22 +761,12 @@ impl ViewServer {
         source: &mut dyn EventSource,
         batch_size: usize,
     ) -> Result<IngestReport> {
-        let mut report = IngestReport::default();
         let mut ctx = self.make_ctx();
-        while let Some(batch) = source.next_batch(batch_size)? {
-            report.batches += 1;
-            report.events += batch.len();
-            let applied = self.apply_batch_with(&batch, &mut ctx);
-            match applied {
-                Ok(deliveries) => report.deliveries += deliveries,
-                Err(e) => {
-                    self.return_ctx(ctx);
-                    return Err(e);
-                }
-            }
-        }
+        let result = drain_source(source, batch_size, |batch| {
+            self.apply_batch_with(&batch, &mut ctx)
+        });
         self.return_ctx(ctx);
-        Ok(report)
+        result
     }
 
     /// The current result rows of one view.
@@ -890,6 +918,21 @@ impl ViewServer {
             }
         }
         report
+    }
+
+    /// A consistent capture of one view's result, read-locking only
+    /// that view's own map groups — the cheap path for per-view polling
+    /// (the network `snapshot` request), independent of portfolio size.
+    pub fn snapshot(&self, name: &str) -> Result<ViewSnapshot> {
+        let view = self.resolve(name)?;
+        let guards = self.store.lock_read(view.plan.groups());
+        let frame = view.plan.read_frame(&guards);
+        Ok(ViewSnapshot {
+            name: view.name.clone(),
+            columns: result_column_names(&view.exec),
+            rows: assemble_result(&view.exec, &frame),
+            events_processed: view.events_processed.load(Ordering::Relaxed),
+        })
     }
 
     /// A consistent capture of every view's result.

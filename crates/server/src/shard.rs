@@ -46,7 +46,7 @@ use parking_lot::Mutex;
 
 use dbtoaster_common::{Error, Event, EventSource, FxHashMap, Result};
 
-use crate::{ApplyCtx, IngestReport, ViewServer};
+use crate::{drain_source, ApplyCtx, IngestReport, ViewServer};
 
 /// A unit of work for the pool: runs with the worker's own [`ApplyCtx`].
 type Job = Box<dyn FnOnce(&mut ApplyCtx) + Send + 'static>;
@@ -120,6 +120,72 @@ pub struct DispatchReport {
     pub sequential_batches: u64,
     /// Jobs handed to the pool across all parallel batches.
     pub jobs: u64,
+    /// Worker-pool size the dispatcher runs with (1 = inline). Chosen
+    /// by the caller or autotuned from the machine's parallelism.
+    pub workers: u64,
+}
+
+/// Upper bound on the autotuned pool size: past this, queue contention
+/// on the single job channel outweighs extra cores for every portfolio
+/// we have measured.
+pub const MAX_AUTO_WORKERS: usize = 32;
+
+/// The autotuned worker count for a portfolio with `partitions`
+/// independent partitions: the machine's available parallelism, clamped
+/// to `[1, MAX_AUTO_WORKERS]` and capped at the partition count — more
+/// workers than partitions can never be busy at once, and a one-partition
+/// portfolio degenerates to inline sequential application.
+pub fn auto_workers(partitions: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.clamp(1, MAX_AUTO_WORKERS).min(partitions.max(1))
+}
+
+/// Union–find over dispatched relations: relations sharing any map
+/// group — directly or transitively — merge into one partition. Returns
+/// the relation → partition-id map (dense ids) and the partition count.
+fn plan_partitions(server: &ViewServer) -> (FxHashMap<String, usize>, usize) {
+    let relations: Vec<String> = server
+        .dispatched_relations()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let mut parent: Vec<usize> = (0..relations.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut group_owner: FxHashMap<usize, usize> = FxHashMap::default();
+    for (ri, rel) in relations.iter().enumerate() {
+        let groups = server
+            .relation_groups(rel)
+            .expect("dispatched relation has a plan");
+        for &g in groups {
+            match group_owner.get(&g) {
+                Some(&owner) => {
+                    let (a, b) = (find(&mut parent, ri), find(&mut parent, owner));
+                    parent[a] = b;
+                }
+                None => {
+                    group_owner.insert(g, ri);
+                }
+            }
+        }
+    }
+    // Densify component representatives into partition ids.
+    let mut dense: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut partition_of: FxHashMap<String, usize> = FxHashMap::default();
+    for (ri, rel) in relations.iter().enumerate() {
+        let root = find(&mut parent, ri);
+        let next = dense.len();
+        let id = *dense.entry(root).or_insert(next);
+        partition_of.insert(rel.clone(), id);
+    }
+    (partition_of, dense.len())
 }
 
 /// Parallel ingestion driver: partitions each batch by relation-group
@@ -146,48 +212,27 @@ impl ShardedDispatcher {
     /// inline, still through the partition bookkeeping). Registration
     /// must be complete: the partition plan is computed here, once.
     pub fn new(server: Arc<ViewServer>, workers: usize) -> ShardedDispatcher {
-        // Union–find over dispatched relations: relations sharing any
-        // map group merge into one partition.
-        let relations: Vec<String> = server
-            .dispatched_relations()
-            .into_iter()
-            .map(str::to_string)
-            .collect();
-        let mut parent: Vec<usize> = (0..relations.len()).collect();
-        fn find(parent: &mut [usize], mut i: usize) -> usize {
-            while parent[i] != i {
-                parent[i] = parent[parent[i]];
-                i = parent[i];
-            }
-            i
-        }
-        let mut group_owner: FxHashMap<usize, usize> = FxHashMap::default();
-        for (ri, rel) in relations.iter().enumerate() {
-            let groups = server
-                .relation_groups(rel)
-                .expect("dispatched relation has a plan");
-            for &g in groups {
-                match group_owner.get(&g) {
-                    Some(&owner) => {
-                        let (a, b) = (find(&mut parent, ri), find(&mut parent, owner));
-                        parent[a] = b;
-                    }
-                    None => {
-                        group_owner.insert(g, ri);
-                    }
-                }
-            }
-        }
-        // Densify component representatives into partition ids.
-        let mut dense: FxHashMap<usize, usize> = FxHashMap::default();
-        let mut partition_of: FxHashMap<String, usize> = FxHashMap::default();
-        for (ri, rel) in relations.iter().enumerate() {
-            let root = find(&mut parent, ri);
-            let next = dense.len();
-            let id = *dense.entry(root).or_insert(next);
-            partition_of.insert(rel.clone(), id);
-        }
-        let partitions = dense.len();
+        let (partition_of, partitions) = plan_partitions(&server);
+        ShardedDispatcher::build(server, workers, partition_of, partitions)
+    }
+
+    /// Build a dispatcher with the worker count autotuned from the
+    /// machine ([`auto_workers`]): available parallelism, clamped and
+    /// capped at the portfolio's partition count. The chosen size is
+    /// visible as [`ShardedDispatcher::workers`] and in
+    /// [`DispatchReport::workers`].
+    pub fn new_auto(server: Arc<ViewServer>) -> ShardedDispatcher {
+        let (partition_of, partitions) = plan_partitions(&server);
+        let workers = auto_workers(partitions);
+        ShardedDispatcher::build(server, workers, partition_of, partitions)
+    }
+
+    fn build(
+        server: Arc<ViewServer>,
+        workers: usize,
+        partition_of: FxHashMap<String, usize>,
+        partitions: usize,
+    ) -> ShardedDispatcher {
         let pool = (workers > 1).then(|| WorkerPool::new(workers));
         ShardedDispatcher {
             server,
@@ -232,6 +277,7 @@ impl ShardedDispatcher {
             parallel_batches: self.parallel_batches.load(Ordering::Relaxed),
             sequential_batches: self.sequential_batches.load(Ordering::Relaxed),
             jobs: self.jobs.load(Ordering::Relaxed),
+            workers: self.workers as u64,
         }
     }
 
@@ -336,13 +382,7 @@ impl ShardedDispatcher {
         source: &mut dyn EventSource,
         batch_size: usize,
     ) -> Result<IngestReport> {
-        let mut report = IngestReport::default();
-        while let Some(batch) = source.next_batch(batch_size)? {
-            report.batches += 1;
-            report.events += batch.len();
-            report.deliveries += self.apply_batch(&batch)?;
-        }
-        Ok(report)
+        drain_source(source, batch_size, |batch| self.apply_batch(&batch))
     }
 }
 
@@ -440,6 +480,31 @@ mod tests {
         let report = sharded.report();
         assert_eq!(report.sequential_batches, 1, "A+B share a partition");
         assert_eq!(report.parallel_batches, 0);
+    }
+
+    #[test]
+    fn auto_worker_count_is_clamped_and_capped_at_partitions() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Caps at the partition count however many cores exist.
+        assert_eq!(auto_workers(1), 1);
+        assert!(auto_workers(2) <= 2);
+        // Never zero, never above MAX_AUTO_WORKERS or the core count.
+        assert!(auto_workers(0) >= 1);
+        let wide = auto_workers(10_000);
+        assert!(wide >= 1 && wide <= MAX_AUTO_WORKERS.min(cores));
+
+        // The dispatcher surfaces the autotuned size in its report.
+        let dispatcher = ShardedDispatcher::new_auto(server());
+        assert_eq!(dispatcher.workers(), auto_workers(dispatcher.partitions()));
+        assert_eq!(dispatcher.report().workers, dispatcher.workers() as u64);
+        // And it still computes the exact sequential answer.
+        let batch = mixed_batch(8);
+        let reference = server();
+        let expected = reference.apply_batch(&batch).unwrap();
+        assert_eq!(dispatcher.apply_batch(&batch).unwrap(), expected);
+        assert_eq!(reference.snapshot_all(), dispatcher.server().snapshot_all());
     }
 
     #[test]

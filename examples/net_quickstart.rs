@@ -1,0 +1,76 @@
+//! The network data plane in one file: a `dbtoasterd`-style server in
+//! this process, a client registering two standing views over the wire,
+//! a feeder streaming order-book messages, and bit-exact snapshots read
+//! back over TCP.
+//!
+//! ```text
+//! cargo run --example net_quickstart
+//! ```
+//!
+//! In production the server half is the `dbtoasterd` binary:
+//!
+//! ```text
+//! dbtoasterd --listen 127.0.0.1:9090 \
+//!   --schema "BIDS(T FLOAT, ID INT, BROKER_ID INT, VOLUME FLOAT, PRICE FLOAT)" \
+//!   --schema "ASKS(T FLOAT, ID INT, BROKER_ID INT, VOLUME FLOAT, PRICE FLOAT)"
+//! ```
+
+use dbtoaster::net::{FeedWriter, NetClient, NetConfig, NetServer};
+use dbtoaster::workloads::orderbook::{
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, VWAP_COMPONENTS,
+};
+
+fn main() {
+    // 1. The server process: bind an ephemeral loopback port.
+    let server = NetServer::bind(&orderbook_catalog(), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("dbtoasterd-style server on {addr}");
+
+    // 2. A client registers standing queries over the wire.
+    let mut client = NetClient::connect(addr).expect("connect");
+    client.register("vwap", VWAP_COMPONENTS).expect("register");
+    client
+        .register("market_maker", MARKET_MAKER)
+        .expect("register");
+
+    // 3. A feeder streams a live order-book feed (10k messages) and
+    //    waits for the end-of-feed acknowledgement — the barrier after
+    //    which snapshots see everything.
+    let stream = OrderBookGenerator::new(OrderBookConfig {
+        messages: 10_000,
+        ..Default::default()
+    })
+    .generate();
+    let mut feeder = FeedWriter::connect(addr).expect("feed connect");
+    for chunk in stream.events.chunks(512) {
+        feeder.send(chunk).expect("feed");
+    }
+    let report = feeder.finish_and_ack().expect("ack");
+    println!(
+        "fed {} events in {} wire batches ({} view deliveries)",
+        report.events, report.batches, report.deliveries
+    );
+
+    // 4. Consistent snapshots over the wire.
+    for snap in client.snapshot_all().expect("snapshot_all") {
+        println!(
+            "view '{}' ({} events): {} row(s)",
+            snap.name,
+            snap.events_processed,
+            snap.rows.len()
+        );
+        for row in snap.rows.iter().take(3) {
+            println!("    {:?} -> {:?}", row.key, row.values);
+        }
+    }
+    let stats = client.stats().expect("stats");
+    println!(
+        "dispatcher: {} workers over {} partition(s), {} batches ingested",
+        stats.workers, stats.partitions, stats.batches
+    );
+
+    client.shutdown_server().expect("shutdown");
+    server.wait();
+    println!("server shut down cleanly");
+}

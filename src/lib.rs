@@ -19,6 +19,9 @@
 //! * [`server`] — the multi-query view server: N standing views over one
 //!   catalog, relation-based event dispatch, batched ingestion, sharded
 //!   parallel dispatch over a worker pool and pluggable stream sources,
+//! * [`net`] — the network data plane: the binary wire protocol, the
+//!   standalone `dbtoasterd` server, socket-backed stream sources
+//!   (`SocketSource`/`FeedWriter`) and the blocking `NetClient`,
 //! * [`exec`] — the reference interpreter used by baselines and tests,
 //! * [`baselines`] — the bakeoff baseline engines,
 //! * [`workloads`] — order-book and TPC-H/SSB workload generators and
@@ -87,6 +90,7 @@ pub use dbtoaster_calculus as calculus;
 pub use dbtoaster_common as common;
 pub use dbtoaster_compiler as compiler;
 pub use dbtoaster_exec as exec;
+pub use dbtoaster_net as net;
 pub use dbtoaster_runtime as runtime;
 pub use dbtoaster_server as server;
 pub use dbtoaster_sql as sql;

@@ -1,0 +1,222 @@
+//! End-to-end loopback integration of the network data plane.
+//!
+//! The contract under test: **the wire changes nothing**. A portfolio
+//! served by a standalone `dbtoasterd`-style [`NetServer`] over TCP —
+//! registered over the wire, fed a randomized mixed order-book stream,
+//! snapshotted over the wire — must be **bit-exactly** equal (float bit
+//! patterns included) to the same portfolio maintained in-process by
+//! sequential `ViewServer::apply_batch` over the same stream. The same
+//! holds for an archived CSV stream replayed through a [`SocketSource`]
+//! into both `run_source` paths.
+
+use std::net::TcpListener;
+
+use dbtoaster::net::{FeedWriter, NetClient, NetConfig, NetServer, SocketSource};
+use dbtoaster::prelude::*;
+use dbtoaster::server::{to_csv_string, CsvReplaySource};
+use dbtoaster::workloads::orderbook::{
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, SOBI, VWAP_COMPONENTS,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The standing queries every test registers (≥ 2 views, mixed scalar /
+/// grouped, BIDS-only and BIDS⋈ASKS shapes).
+fn portfolio() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("vwap", VWAP_COMPONENTS),
+        ("market_maker", MARKET_MAKER),
+        ("sobi", SOBI),
+    ]
+}
+
+/// A randomized mixed order-book message stream (inserts, modifies,
+/// withdrawals on both books), deterministic per seed.
+fn orderbook_stream(messages: usize, seed: u64) -> UpdateStream {
+    OrderBookGenerator::new(OrderBookConfig {
+        messages,
+        book_depth: 200,
+        brokers: 7,
+        seed,
+        ..Default::default()
+    })
+    .generate()
+}
+
+/// The in-process reference: sequential `apply_batch` over the stream.
+fn reference_server(stream: &UpdateStream, batch: usize) -> ViewServer {
+    let mut server = ViewServer::new(&orderbook_catalog());
+    for (name, sql) in portfolio() {
+        server.register(name, sql).unwrap();
+    }
+    for chunk in stream.events.chunks(batch) {
+        server.apply_batch(chunk).unwrap();
+    }
+    server
+}
+
+fn assert_bit_exact(wire: &[ViewSnapshot], reference: &[ViewSnapshot]) {
+    assert_eq!(wire.len(), reference.len(), "view count diverged");
+    for (w, r) in wire.iter().zip(reference) {
+        // ViewSnapshot's PartialEq compares names, columns, rows and
+        // counters; Value's Float equality is IEEE equality and floats
+        // travel as bit patterns, so this is the bit-exact check.
+        assert_eq!(w, r, "view '{}' diverged across the wire", r.name);
+        assert!(!w.rows.is_empty(), "view '{}' is trivially empty", w.name);
+    }
+}
+
+/// The acceptance path: a client registers the views over the wire,
+/// streams a randomized order-book batch stream through the server's
+/// feed plane (decoded by a `SocketSource` into the bounded ingest
+/// queue), and `snapshot_all` over the wire equals the in-process
+/// sequential reference exactly.
+#[test]
+fn feed_plane_end_to_end_is_bit_exact() {
+    let stream = orderbook_stream(4_000, 0xfeed);
+    let server = NetServer::bind(&orderbook_catalog(), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    for (name, sql) in portfolio() {
+        client.register(name, sql).unwrap();
+    }
+
+    // Randomized batch sizes: the wire framing must not matter.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut feeder = FeedWriter::connect(server.local_addr()).unwrap();
+    let mut at = 0usize;
+    while at < stream.len() {
+        let take = rng.gen_range(1..=97usize).min(stream.len() - at);
+        feeder.send(&stream.events[at..at + take]).unwrap();
+        at += take;
+    }
+    let report = feeder.finish_and_ack().unwrap();
+    assert_eq!(report.events, stream.len());
+
+    let over_wire = client.snapshot_all().unwrap();
+    let reference = reference_server(&stream, 256);
+    assert_bit_exact(&over_wire, &reference.snapshot_all());
+
+    // The dispatcher behind the ingest queue really ran.
+    let stats = client.stats().unwrap();
+    assert!(stats.running);
+    assert_eq!(stats.events, stream.len() as u64);
+    assert!(stats.workers >= 1);
+    assert_eq!(stats.views.len(), 3);
+
+    client.shutdown_server().unwrap();
+    server.wait();
+}
+
+/// The request/response plane: `apply_batch` round trips instead of a
+/// feed, same bit-exactness contract.
+#[test]
+fn request_plane_apply_batch_is_bit_exact() {
+    let stream = orderbook_stream(1_200, 0xca11);
+    let server = NetServer::bind(&orderbook_catalog(), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    for (name, sql) in portfolio() {
+        client.register(name, sql).unwrap();
+    }
+    let mut wire_deliveries = 0usize;
+    for chunk in stream.events.chunks(64) {
+        wire_deliveries += client.apply_batch(chunk).unwrap();
+    }
+
+    let reference = reference_server(&stream, 64);
+    let mut reference_deliveries = 0usize;
+    for snap in reference.snapshot_all() {
+        reference_deliveries += snap.events_processed as usize;
+    }
+    assert_eq!(wire_deliveries, reference_deliveries);
+    assert_bit_exact(&client.snapshot_all().unwrap(), &reference.snapshot_all());
+}
+
+/// Satellite: an archived CSV stream replayed over a socket. The chain
+/// `CsvReplaySource → FeedWriter → loopback TCP → SocketSource →
+/// run_source` must agree bit-exactly with `apply_batch` of the same
+/// archive parsed directly — through both the plain `ViewServer` path
+/// and the `ShardedDispatcher` path.
+#[test]
+fn csv_archive_through_socket_source_round_trips_bit_exactly() {
+    let stream = orderbook_stream(2_000, 0xc57);
+    let archive = to_csv_string(&stream).expect("order-book streams are archivable");
+    let catalog = orderbook_catalog();
+
+    // Direct reference: parse the archive, apply sequentially.
+    let direct = {
+        let mut source = CsvReplaySource::from_string("archive.csv", archive.clone(), &catalog);
+        let parsed = source.drain(512).unwrap();
+        assert_eq!(parsed.len(), stream.len());
+        let mut server = ViewServer::new(&catalog);
+        for (name, sql) in portfolio() {
+            server.register(name, sql).unwrap();
+        }
+        server.apply_batch(&parsed.events).unwrap();
+        server
+    };
+
+    for use_dispatcher in [false, true] {
+        // Feeder: replays the archive over loopback TCP, batch by batch.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let feeder = {
+            let archive = archive.clone();
+            let catalog = catalog.clone();
+            std::thread::spawn(move || {
+                let mut csv = CsvReplaySource::from_string("archive.csv", archive, &catalog);
+                let mut writer = FeedWriter::connect(addr).unwrap();
+                while let Some(batch) = csv.next_batch(173).unwrap() {
+                    writer.send(&batch).unwrap();
+                }
+                writer.finish().unwrap();
+            })
+        };
+
+        let mut server = ViewServer::new(&catalog);
+        for (name, sql) in portfolio() {
+            server.register(name, sql).unwrap();
+        }
+        let (stream, _) = listener.accept().unwrap();
+        let mut source = SocketSource::from_stream("csv-over-tcp", stream, 8).unwrap();
+        let report = if use_dispatcher {
+            let dispatcher = ShardedDispatcher::new_auto(std::sync::Arc::new(server));
+            let report = dispatcher.run_source(&mut source, 256).unwrap();
+            assert_bit_exact(&dispatcher.server().snapshot_all(), &direct.snapshot_all());
+            report
+        } else {
+            let report = server.run_source(&mut source, 256).unwrap();
+            assert_bit_exact(&server.snapshot_all(), &direct.snapshot_all());
+            report
+        };
+        assert_eq!(report.events, 2_000);
+        feeder.join().unwrap();
+    }
+}
+
+/// Late registration over the wire is refused once ingestion begins,
+/// with the typed error intact; unknown views fail typed too.
+#[test]
+fn wire_errors_stay_typed_end_to_end() {
+    let server = NetServer::bind(&orderbook_catalog(), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client.register("vwap", VWAP_COMPONENTS).unwrap();
+
+    match client.register("bad", "select wat from NOPE") {
+        Err(dbtoaster::common::Error::Schema(_)) | Err(dbtoaster::common::Error::Analysis(_)) => {}
+        other => panic!("bad SQL must fail typed over the wire: {other:?}"),
+    }
+
+    let stream = orderbook_stream(10, 1);
+    client.apply_batch(&stream.events).unwrap();
+    match client.register("late", VWAP_COMPONENTS) {
+        Err(dbtoaster::common::Error::Runtime(m)) => assert!(m.contains("frozen"), "{m}"),
+        other => panic!("late registration must fail typed: {other:?}"),
+    }
+    match client.snapshot("ghost") {
+        Err(dbtoaster::common::Error::Runtime(m)) => assert!(m.contains("unknown"), "{m}"),
+        other => panic!("unknown view must fail typed: {other:?}"),
+    }
+}
