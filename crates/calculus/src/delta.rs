@@ -15,9 +15,19 @@
 //!   an approximation),
 //! * `Δ(A+B) = ΔA + ΔB`, `Δ(−A) = −ΔA`, `Δ AggSum(G, e) = AggSum(G, Δe)`,
 //! * `Δ Lift(x, e) = Lift(x, e + Δe) − Lift(x, e)` when `Δe ≠ 0`
-//!   (likewise for `Exists`) — nested aggregates are re-evaluated from
-//!   their (materialized) inputs rather than fully incrementalized, the
-//!   deviation documented in DESIGN.md §3.2.
+//!   (likewise for `Exists`).
+//!
+//! Note the soundness condition on the zero rules: `Δ MapRef = 0` holds
+//! because delta statements read maps at their *pre-event* version (each
+//! map absorbs the event through its own trigger), and `Δ Lift = 0` for
+//! a body with `Δbody = 0` holds only when the body is *static* — it
+//! mentions no base relation. Dynamic nested bodies
+//! ([`crate::CalcExpr::contains_dynamic_nested`]) are not deltified here;
+//! the compiler's materialization hierarchy extracts them into child
+//! maps and maintains the enclosing map by an exact retract/rebuild
+//! bracket around the children's delta updates (the higher-order delta
+//! processing of the VLDB 2012 follow-up paper), with full re-evaluation
+//! (`Replace`) retained only as a debug/oracle mode.
 
 use dbtoaster_common::EventKind;
 

@@ -532,6 +532,34 @@ impl CalcExpr {
         })
     }
 
+    /// True if the expression contains a *dynamic* nested construct: a
+    /// `Lift` or `Exists` whose body mentions at least one base relation
+    /// (a correlated or uncorrelated subquery over the update stream).
+    ///
+    /// The delta transformation is exact for such expressions only if
+    /// their inner aggregates are re-evaluated (the `Replace` legacy
+    /// path) or recursively materialized (the hierarchy path): a plain
+    /// delta would treat the inner aggregate as a constant. Static
+    /// nested constructs — `Lift`s binding arithmetic over already-bound
+    /// variables, as produced for `MIN`/`MAX` of expressions — have zero
+    /// delta and need no special handling.
+    pub fn contains_dynamic_nested(&self) -> bool {
+        match self {
+            // `has_relations` recurses through nested constructs, so a
+            // dynamic construct anywhere inside the body is covered.
+            CalcExpr::Lift { body, .. } | CalcExpr::Exists(body) => body.has_relations(),
+            CalcExpr::Val(_)
+            | CalcExpr::Rel { .. }
+            | CalcExpr::MapRef { .. }
+            | CalcExpr::Cmp { .. } => false,
+            CalcExpr::Prod(es) | CalcExpr::Sum(es) => {
+                es.iter().any(CalcExpr::contains_dynamic_nested)
+            }
+            CalcExpr::Neg(e) => e.contains_dynamic_nested(),
+            CalcExpr::AggSum { body, .. } => body.contains_dynamic_nested(),
+        }
+    }
+
     /// Number of nodes — used as a crude "generated code size" metric for
     /// the profiling experiment (E5) and for regression tests on
     /// simplification effectiveness.

@@ -13,8 +13,21 @@
 //!    strictly fewer base-relation atoms, so the recursion terminates),
 //!    sharing maps across event handlers via canonical forms.
 //!
-//! Two deviations from the fully-incremental path are supported and used
-//! by the experiments:
+//! **Nested aggregates** (`Lift` / `Exists` with relation-bearing bodies
+//! — correlated and uncorrelated subqueries) are compiled through the
+//! **materialization hierarchy** ([`crate::hierarchy`]): every
+//! relation-bearing component of the definition, at every nesting depth,
+//! is extracted into its own child map keyed by the variables the
+//! surrounding expression observes; the children are conjunctive
+//! aggregates maintained by ordinary delta triggers, and the nested map
+//! itself is maintained by an exact retract/rebuild bracket (stage `-1`:
+//! `Q -= F(children)` against pre-event children; stage `0`: the
+//! children's deltas; stage `+1`: `Q += F(children)` against post-event
+//! children). Per-event cost is therefore proportional to the *active
+//! key domain* of the children (e.g. distinct prices in an order book),
+//! independent of database size.
+//!
+//! Two deviations from the fully-incremental path remain available:
 //!
 //! * **Depth-limited compilation** (`CompileOptions::max_depth`): once the
 //!   given number of map levels is reached, residual base-relation atoms
@@ -22,10 +35,13 @@
 //!   (`BASE_<REL>`) and left inside the statement, to be evaluated by
 //!   iteration at runtime. `max_depth = 1` reproduces classical
 //!   first-order incremental view maintenance (the E6 ablation).
-//! * **Nested-aggregate re-evaluation**: maps whose definitions contain
-//!   `Lift` / `Exists` (nested or EXISTS subqueries) are maintained by a
-//!   `Replace` statement that recomputes them from base-relation maps on
-//!   every relevant event (DESIGN.md §3.2).
+//!   Depth-limited nested maps fall back to re-evaluation.
+//! * **Nested-aggregate re-evaluation** ([`NestedStrategy::Replace`],
+//!   the debug/oracle mode): nested maps are maintained by a `Replace`
+//!   statement that recomputes them from base-relation maps on every
+//!   relevant event — O(db) per event, O(db²) for correlated subqueries.
+//!   The equivalence suite uses it as an independent implementation to
+//!   cross-check the hierarchy.
 
 use std::collections::BTreeSet;
 
@@ -37,7 +53,28 @@ use dbtoaster_calculus::{
 use dbtoaster_common::{Catalog, Error, EventKind, FxHashMap, Result, Value};
 use dbtoaster_sql::{analyze, parse_query, BoundQuery};
 
-use crate::program::{MapDecl, Statement, StatementKind, Trigger, TriggerProgram};
+use crate::hierarchy::{rewrite_nested_definition, ChildMaterializer};
+use crate::program::{
+    MapDecl, Statement, StatementKind, Trigger, TriggerProgram, STAGE_DELTA, STAGE_REBUILD,
+    STAGE_RETRACT,
+};
+
+/// How maps whose definitions contain dynamic nested aggregates
+/// (`Lift` / `Exists` over base relations) are maintained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NestedStrategy {
+    /// The materialization hierarchy (default): extract inner aggregates
+    /// into delta-maintained child maps and maintain the nested map by a
+    /// staged retract/rebuild bracket — no `Replace` statements, per-event
+    /// cost independent of database size.
+    #[default]
+    Hierarchy,
+    /// Legacy full re-evaluation from `BASE_*` maps via `Replace`
+    /// statements — O(db) per event. Kept as a debug/oracle mode: it is
+    /// an independent implementation the equivalence tests cross-check
+    /// the hierarchy against.
+    Replace,
+}
 
 /// Compiler configuration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -46,10 +83,14 @@ pub struct CompileOptions {
     /// base-relation atoms remain — the full DBToaster behaviour.
     /// `Some(1)` materializes only the result maps themselves and
     /// evaluates delta queries against base-relation maps (classical
-    /// first-order IVM).
+    /// first-order IVM). Depth-limited compilation maintains nested maps
+    /// by re-evaluation regardless of [`CompileOptions::nested`].
     pub max_depth: Option<usize>,
     /// Prefix for generated result map names (default `Q`).
     pub result_prefix: Option<String>,
+    /// Maintenance strategy for nested aggregates (default: the
+    /// materialization hierarchy).
+    pub nested: NestedStrategy,
 }
 
 impl CompileOptions {
@@ -70,6 +111,15 @@ impl CompileOptions {
     pub fn with_depth(depth: usize) -> CompileOptions {
         CompileOptions {
             max_depth: Some(depth),
+            ..Default::default()
+        }
+    }
+
+    /// Full compilation with the legacy `Replace` strategy for nested
+    /// aggregates (the debug/oracle mode).
+    pub fn nested_replace() -> CompileOptions {
+        CompileOptions {
+            nested: NestedStrategy::Replace,
             ..Default::default()
         }
     }
@@ -160,15 +210,15 @@ impl Compiler {
             (a.relation.clone(), a.event != EventKind::Insert)
                 .cmp(&(b.relation.clone(), b.event != EventKind::Insert))
         });
-        // Within a trigger, delta (`Update`) statements run against the
-        // pre-event state, but `Replace` statements *re-evaluate* their
-        // target from materialized inputs (the BASE_* maps) and must
-        // therefore observe the post-event state. Stably move them after
-        // every update so re-evaluation sees maintained inputs that
-        // already absorbed the current event.
+        // Within a trigger, statements run in ascending stage order:
+        // hierarchy retract statements (which must observe every input
+        // pre-event) first, then the delta phase (whose own pre-event
+        // reads are preserved by the stable sort: within stage 0 the
+        // worklist order — parents before the children they read — is
+        // kept), then hierarchy rebuild and legacy `Replace` statements,
+        // both of which must observe fully post-event inputs.
         for t in &mut self.triggers {
-            t.statements
-                .sort_by_key(|s| s.kind == StatementKind::Replace);
+            t.statements.sort_by_key(|s| s.stage);
         }
         Ok(())
     }
@@ -184,7 +234,22 @@ impl Compiler {
     fn compile_map(&mut self, name: &str, depth: usize) -> Result<()> {
         let decl = self.map_decl(name)?;
         let relations: Vec<String> = decl.definition.relations().into_iter().collect();
-        let nested = contains_nested(&decl.definition);
+        let nested = decl.definition.contains_dynamic_nested();
+        // Dynamic nested aggregates: the materialization hierarchy by
+        // default; re-evaluation in the legacy oracle mode and under
+        // depth-limited compilation (where the hierarchy's children
+        // could not be materialized anyway).
+        let use_hierarchy = nested
+            && self.options.nested == NestedStrategy::Hierarchy
+            && self.options.max_depth.is_none();
+
+        // The retract/rebuild bracket is the same for every trigger of
+        // the map; extract the children once.
+        let bracket = if use_hierarchy {
+            Some(self.hierarchy_brackets(&decl, depth)?)
+        } else {
+            None
+        };
 
         for rel_name in &relations {
             let schema = self.catalog.expect(rel_name)?.clone();
@@ -192,11 +257,13 @@ impl Compiler {
             let args = dbtoaster_calculus::trigger_args(rel_name, &columns);
 
             for event in [EventKind::Insert, EventKind::Delete] {
-                let statements = if nested {
-                    // Re-evaluation strategy for nested aggregates.
-                    vec![self.replace_statement(&decl, depth)?]
-                } else {
-                    self.delta_statements(&decl, rel_name, event, &args, depth)?
+                let statements = match &bracket {
+                    Some(pair) => pair.clone(),
+                    None if nested => {
+                        // Legacy re-evaluation strategy.
+                        vec![self.replace_statement(&decl, depth)?]
+                    }
+                    None => self.delta_statements(&decl, rel_name, event, &args, depth)?,
                 };
                 if statements.is_empty() {
                     continue;
@@ -205,6 +272,37 @@ impl Compiler {
             }
         }
         Ok(())
+    }
+
+    /// The hierarchy maintenance statements for a nested map: extract
+    /// the children and build the retract/rebuild bracket — per addend
+    /// of the rewritten definition, one stage `-1` statement subtracting
+    /// its pre-event value and one stage `+1` statement adding its
+    /// post-event value back.
+    fn hierarchy_brackets(&mut self, decl: &MapDecl, depth: usize) -> Result<Vec<Statement>> {
+        let mut registrar = HierarchyRegistrar {
+            compiler: self,
+            depth,
+        };
+        let addends = rewrite_nested_definition(&decl.definition, &decl.keys, &mut registrar)?;
+        let mut statements = Vec::with_capacity(addends.len() * 2);
+        for addend in addends {
+            statements.push(Statement {
+                target: decl.name.clone(),
+                target_keys: decl.keys.clone(),
+                update: CalcExpr::Neg(Box::new(addend.clone())),
+                kind: StatementKind::Update,
+                stage: STAGE_RETRACT,
+            });
+            statements.push(Statement {
+                target: decl.name.clone(),
+                target_keys: decl.keys.clone(),
+                update: addend,
+                kind: StatementKind::Update,
+                stage: STAGE_REBUILD,
+            });
+        }
+        Ok(statements)
     }
 
     fn push_statements(
@@ -262,6 +360,7 @@ impl Compiler {
                 target_keys: decl.keys.clone(),
                 update,
                 kind: StatementKind::Update,
+                stage: STAGE_DELTA,
             });
         }
         Ok(statements)
@@ -323,6 +422,21 @@ impl Compiler {
             CalcExpr::AggSum { body, .. } => (**body).clone(),
             other => other.clone(),
         };
+        self.materialize_named(keys, inner, depth)
+    }
+
+    /// Register `AggSum(keys, inner)` as a named map (shared by canonical
+    /// form when an alpha-equivalent map already exists) and return the
+    /// `MapRef` replacing it. Shared by the delta path's factor
+    /// materializer and the hierarchy's child extraction, so a hierarchy
+    /// child and a delta-materialized sub-aggregate with the same
+    /// structure resolve to one map.
+    fn materialize_named(
+        &mut self,
+        keys: Vec<Var>,
+        inner: CalcExpr,
+        depth: usize,
+    ) -> Result<CalcExpr> {
         let canonical = canonical_form(&keys, &inner);
         if let Some(existing) = self.by_canonical.get(&canonical) {
             return Ok(CalcExpr::MapRef {
@@ -366,6 +480,7 @@ impl Compiler {
             target_keys: decl.keys.clone(),
             update,
             kind: StatementKind::Replace,
+            stage: STAGE_REBUILD,
         })
     }
 
@@ -442,10 +557,24 @@ impl Compiler {
     }
 }
 
+/// The hierarchy extraction's window into the compiler's map registry:
+/// children are materialized with the same canonical-form sharing (and
+/// worklist scheduling) as delta-path sub-aggregates.
+struct HierarchyRegistrar<'a> {
+    compiler: &'a mut Compiler,
+    depth: usize,
+}
+
+impl ChildMaterializer for HierarchyRegistrar<'_> {
+    fn materialize_child(&mut self, keys: Vec<Var>, body: CalcExpr) -> Result<CalcExpr> {
+        self.compiler.materialize_named(keys, body, self.depth)
+    }
+}
+
 /// Variables of an expression in order of first occurrence (pre-order
 /// traversal), deduplicated. Used to give generated maps a deterministic,
 /// structure-derived key order.
-fn ordered_occurrences(expr: &CalcExpr) -> Vec<Var> {
+pub(crate) fn ordered_occurrences(expr: &CalcExpr) -> Vec<Var> {
     fn walk(expr: &CalcExpr, out: &mut Vec<Var>) {
         let push = |v: &Var, out: &mut Vec<Var>| {
             if !out.contains(v) {
@@ -499,20 +628,6 @@ fn ordered_occurrences(expr: &CalcExpr) -> Vec<Var> {
     let mut out = Vec::new();
     walk(expr, &mut out);
     out
-}
-
-/// Does the expression contain a nested-aggregate construct?
-fn contains_nested(expr: &CalcExpr) -> bool {
-    match expr {
-        CalcExpr::Lift { .. } | CalcExpr::Exists(_) => true,
-        CalcExpr::Val(_)
-        | CalcExpr::Rel { .. }
-        | CalcExpr::MapRef { .. }
-        | CalcExpr::Cmp { .. } => false,
-        CalcExpr::Prod(es) | CalcExpr::Sum(es) => es.iter().any(contains_nested),
-        CalcExpr::Neg(e) => contains_nested(e),
-        CalcExpr::AggSum { body, .. } => contains_nested(body),
-    }
 }
 
 #[cfg(test)]
@@ -630,9 +745,8 @@ mod tests {
         assert_eq!(on_r.statements[0].target_keys.len(), 1);
     }
 
-    #[test]
-    fn nested_aggregate_queries_use_replace_statements() {
-        let cat = Catalog::new().with(Schema::new(
+    fn bids_catalog() -> Catalog {
+        Catalog::new().with(Schema::new(
             "BIDS",
             vec![
                 ("T", ColumnType::Float),
@@ -641,13 +755,55 @@ mod tests {
                 ("VOLUME", ColumnType::Float),
                 ("PRICE", ColumnType::Float),
             ],
-        ));
-        let p = compile_sql(
-            "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 \
+        ))
+    }
+
+    const NESTED_VWAP: &str = "select sum(b1.PRICE * b1.VOLUME) from BIDS b1 \
              where 0.25 * (select sum(b3.VOLUME) from BIDS b3) > \
-                   (select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE)",
-            &cat,
-            &CompileOptions::full(),
+                   (select sum(b2.VOLUME) from BIDS b2 where b2.PRICE > b1.PRICE)";
+
+    #[test]
+    fn nested_aggregates_compile_to_a_hierarchy_without_replace() {
+        let p = compile_sql(NESTED_VWAP, &bids_catalog(), &CompileOptions::full()).unwrap();
+        // No re-evaluation anywhere: every statement is an incremental
+        // update, and no base-relation multiplicity maps are needed.
+        for t in &p.triggers {
+            for s in &t.statements {
+                assert_eq!(s.kind, StatementKind::Update, "{s}");
+                assert!(!s.update.has_relations(), "residual scan in {s}");
+            }
+        }
+        assert!(p.maps.iter().all(|m| !m.is_base_relation), "{}", p.pretty());
+        // The nested result map is maintained by a retract/rebuild
+        // bracket around the children's delta phase.
+        let on_ins = p.trigger("BIDS", EventKind::Insert).unwrap();
+        let stages: Vec<i32> = on_ins.statements.iter().map(|s| s.stage).collect();
+        assert!(stages.contains(&STAGE_RETRACT), "{stages:?}");
+        assert!(stages.contains(&STAGE_DELTA), "{stages:?}");
+        assert!(stages.contains(&STAGE_REBUILD), "{stages:?}");
+        assert!(
+            stages.windows(2).all(|w| w[0] <= w[1]),
+            "statements must be stage-ordered: {stages:?}"
+        );
+        // Children: the total-volume scalar, the volume-by-price map for
+        // the correlated subquery, and the price*volume-by-price outer
+        // component — all maintained at stage 0 on the same trigger.
+        assert!(p.maps.len() >= 4, "{}", p.pretty());
+        let child_targets: BTreeSet<&str> = on_ins
+            .statements
+            .iter()
+            .filter(|s| s.stage == STAGE_DELTA)
+            .map(|s| s.target.as_str())
+            .collect();
+        assert!(child_targets.len() >= 3, "{}", p.pretty());
+    }
+
+    #[test]
+    fn nested_replace_mode_still_reevaluates_from_base_maps() {
+        let p = compile_sql(
+            NESTED_VWAP,
+            &bids_catalog(),
+            &CompileOptions::nested_replace(),
         )
         .unwrap();
         assert!(p.maps.iter().any(|m| m.is_base_relation));
@@ -655,12 +811,45 @@ mod tests {
         assert!(on_ins
             .statements
             .iter()
-            .any(|s| s.kind == StatementKind::Replace));
-        // The base-relation map itself is maintained incrementally.
+            .any(|s| s.kind == StatementKind::Replace && s.stage == STAGE_REBUILD));
+        // The base-relation map itself is maintained incrementally, and
+        // the stage sort keeps re-evaluation after it.
         assert!(on_ins
             .statements
             .iter()
             .any(|s| s.kind == StatementKind::Update && s.target.starts_with("BASE_")));
+        let last = on_ins.statements.last().unwrap();
+        assert_eq!(last.kind, StatementKind::Replace);
+    }
+
+    #[test]
+    fn depth_limited_nested_maps_fall_back_to_replace() {
+        let p = compile_sql(NESTED_VWAP, &bids_catalog(), &CompileOptions::first_order()).unwrap();
+        assert!(p
+            .triggers
+            .iter()
+            .flat_map(|t| &t.statements)
+            .any(|s| s.kind == StatementKind::Replace));
+    }
+
+    #[test]
+    fn hierarchy_children_are_shared_across_nested_views_by_fingerprint() {
+        // Two nested views differing only in the quantile constant must
+        // produce alpha-equivalent children (the constant lives in the
+        // outer comparison, not in any child definition).
+        let cat = bids_catalog();
+        let q50 = NESTED_VWAP.replace("0.25", "0.5");
+        let a = compile_sql(NESTED_VWAP, &cat, &CompileOptions::full()).unwrap();
+        let b = compile_sql(&q50, &cat, &CompileOptions::full()).unwrap();
+        let children = |p: &TriggerProgram| -> BTreeSet<String> {
+            p.maps
+                .iter()
+                .filter(|m| m.name != "Q")
+                .map(|m| m.fingerprint())
+                .collect()
+        };
+        assert_eq!(children(&a), children(&b), "children must share");
+        assert!(!children(&a).is_empty());
     }
 
     #[test]

@@ -12,12 +12,20 @@
 //! * [`compile`] — the recursive compilation driver (delta → simplify →
 //!   materialize → recurse), including map sharing and the `max_depth`
 //!   knob used for the classical-IVM ablation,
+//! * [`hierarchy`] — the materialization hierarchy for nested
+//!   aggregates: inner `Lift`/`Exists` aggregates are extracted into
+//!   delta-maintained child maps and the nested map is kept exact by a
+//!   staged retract/rebuild bracket,
 //! * [`codegen`] — emission of the equivalent Rust event-handler source
 //!   text, the analog of the paper's C++ code generation.
 
 pub mod codegen;
 pub mod compile;
+pub mod hierarchy;
 pub mod program;
 
-pub use compile::{compile_query, compile_sql, CompileOptions};
-pub use program::{MapDecl, Statement, StatementKind, Trigger, TriggerProgram};
+pub use compile::{compile_query, compile_sql, CompileOptions, NestedStrategy};
+pub use program::{
+    MapDecl, Stage, Statement, StatementKind, Trigger, TriggerProgram, STAGE_DELTA, STAGE_REBUILD,
+    STAGE_RETRACT,
+};

@@ -55,11 +55,38 @@ pub enum StatementKind {
     /// variables (the common, fully-incremental case).
     Update,
     /// Recompute the target map from scratch from its (materialized)
-    /// inputs. Emitted for maps whose definitions contain nested
-    /// aggregates (`Lift` / `Exists`), which this reproduction maintains
-    /// by re-evaluation over maintained inputs (DESIGN.md §3.2).
+    /// inputs. Only emitted by the legacy re-evaluation strategy for
+    /// nested aggregates ([`crate::NestedStrategy::Replace`], the
+    /// debug/oracle mode) and by depth-limited compilation of nested
+    /// maps; the default hierarchy strategy maintains nested maps with
+    /// staged `Update` statements instead.
     Replace,
 }
+
+/// When a statement runs within its event, relative to the delta phase.
+///
+/// Every trigger's statements execute in ascending stage order, and the
+/// multi-view server runs each stage across *all* views before the next
+/// (a dependency-ordered phase schedule):
+///
+/// * stage `-1` — **retract** statements of hierarchy-maintained nested
+///   maps (`Q -= F(children)`), which must observe every input map at
+///   its *pre-event* version;
+/// * stage `0` — ordinary **delta** updates (base maps, hierarchy child
+///   maps, flat views), which read pre-event state by local statement
+///   order;
+/// * stage `+1` — **rebuild** statements of hierarchy-maintained maps
+///   (`Q += F(children)`) and legacy `Replace` re-evaluations, both of
+///   which must observe fully *post-event* inputs.
+pub type Stage = i32;
+
+/// Stage of hierarchy retract statements (pre-event reads).
+pub const STAGE_RETRACT: Stage = -1;
+/// Stage of ordinary delta statements.
+pub const STAGE_DELTA: Stage = 0;
+/// Stage of hierarchy rebuild and legacy `Replace` statements
+/// (post-event reads).
+pub const STAGE_REBUILD: Stage = 1;
 
 /// One update statement inside a trigger.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +101,10 @@ pub struct Statement {
     /// depth-limited).
     pub update: CalcExpr,
     pub kind: StatementKind,
+    /// Execution stage within the event (see [`Stage`]). Statements of a
+    /// trigger are sorted by stage (stable, so within a stage the
+    /// compiler's pre-event read ordering is preserved).
+    pub stage: Stage,
 }
 
 impl fmt::Display for Statement {
@@ -89,7 +120,12 @@ impl fmt::Display for Statement {
             self.target_keys.join(", "),
             op,
             self.update
-        )
+        )?;
+        if self.kind == StatementKind::Update && self.stage != STAGE_DELTA {
+            let label = if self.stage < 0 { "retract" } else { "rebuild" };
+            write!(f, "  <{label}@{}>", self.stage)?;
+        }
+        Ok(())
     }
 }
 
@@ -228,6 +264,7 @@ mod tests {
                 CalcExpr::map_ref("QD", vec!["r_b"]),
             ]),
             kind: StatementKind::Update,
+            stage: STAGE_DELTA,
         };
         assert_eq!(st.to_string(), "Q[] += (r_a * QD[r_b])");
         let trig = Trigger {

@@ -271,6 +271,62 @@ impl Engine {
         Some(self.maps[id].get(key))
     }
 
+    /// Bulk-load entries into one internal map (secondary indexes are
+    /// maintained). This is the warm-start path for archived state: a
+    /// server restarting against a snapshot loads its base/child maps
+    /// directly instead of replaying the archive through the triggers,
+    /// then calls [`Engine::rebuild_derived`] to re-establish the
+    /// recomputed maps. Entries add to whatever is already stored.
+    pub fn load_map(
+        &mut self,
+        name: &str,
+        entries: impl IntoIterator<Item = (Tuple, Value)>,
+    ) -> Result<()> {
+        let id = self
+            .exec
+            .map_id(name)
+            .ok_or_else(|| Error::Runtime(format!("unknown map {name}")))?;
+        for (key, value) in entries {
+            self.maps[id].add(key, value);
+        }
+        Ok(())
+    }
+
+    /// Re-establish every derived map that is maintained by post-stage
+    /// statements — hierarchy-bracket targets (`Q += F(children)`) and
+    /// legacy `Replace` targets — from the currently loaded inputs. Each
+    /// target's statements are run once, from a single trigger (the
+    /// bracket is identical in every trigger of the map). Completes a
+    /// warm start: load the flat maps with [`Engine::load_map`], then
+    /// call this to make the nested results consistent.
+    pub fn rebuild_derived(&mut self) -> Result<()> {
+        let mut done: Vec<usize> = Vec::new();
+        for (_, trigger) in &self.exec.triggers {
+            let pending: Vec<&crate::lower::ExecStatement> = trigger
+                .statements
+                .iter()
+                .filter(|s| s.stage > 0 && !done.contains(&s.target))
+                .collect();
+            if pending.is_empty() {
+                continue;
+            }
+            // The bracket statements reference no trigger arguments (a
+            // full recomputation from materialized inputs), so a zeroed
+            // environment is a valid context.
+            let EventScratch { env, updates } = &mut self.scratch;
+            for stmt in &pending {
+                env.clear();
+                run_statement(stmt, self.maps.as_mut_slice(), env, updates);
+            }
+            for stmt in pending {
+                if !done.contains(&stmt.target) {
+                    done.push(stmt.target);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -323,25 +379,27 @@ pub struct EventScratch {
 /// Which statements of a trigger to run.
 ///
 /// Embedded engines run [`StatementPhase::All`]: the compiler already
-/// orders delta (`Update`) statements before re-evaluation (`Replace`)
-/// statements within each trigger. The shared-store server splits the
-/// two phases *across views*: for each event, every view's delta updates
-/// run first (so each shared map is written exactly once, by its
-/// maintainer), then every view's re-evaluations run against the fully
-/// post-event base maps.
+/// sorts each trigger's statements by execution stage (hierarchy
+/// retracts at `-1`, delta updates at `0`, hierarchy rebuilds and legacy
+/// `Replace` re-evaluations at `+1`). The shared-store server runs the
+/// stages *across views*: for each event, every view's statements of the
+/// lowest stage run first, then the next stage, and so on — so shared
+/// maps are written exactly once (by their maintainer), retract
+/// statements observe every input pre-event, and rebuild/re-evaluation
+/// statements observe fully post-event inputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StatementPhase {
+    /// Run every statement, in the trigger's (stage-sorted) order.
     All,
-    Updates,
-    Replaces,
+    /// Run only the statements of one execution stage.
+    Stage(dbtoaster_compiler::Stage),
 }
 
 impl StatementPhase {
-    fn runs(self, is_replace: bool) -> bool {
+    fn runs(self, stage: dbtoaster_compiler::Stage) -> bool {
         match self {
             StatementPhase::All => true,
-            StatementPhase::Updates => !is_replace,
-            StatementPhase::Replaces => is_replace,
+            StatementPhase::Stage(s) => s == stage,
         }
     }
 }
@@ -381,7 +439,7 @@ pub fn apply_event_statements<M: MapWrite + ?Sized>(
 
     let EventScratch { env, updates } = scratch;
     for stmt in &trigger.statements {
-        if !phase.runs(stmt.is_replace) {
+        if !phase.runs(stmt.stage) {
             continue;
         }
         if skip_targets.is_some_and(|s| s.get(stmt.target).copied().unwrap_or(false)) {
@@ -390,39 +448,57 @@ pub fn apply_event_statements<M: MapWrite + ?Sized>(
         env.clear();
         env.resize(stmt.slots, Value::ZERO);
         env[..event.tuple.arity()].clone_from_slice(&event.tuple);
-        if stmt.clear_target {
-            maps.map_mut(stmt.target).clear();
-        }
-        updates.clear();
-        run_block(&*maps, &stmt.block, env, 0, &mut |env, maps| {
-            let key: Tuple = stmt
-                .keys
-                .iter()
-                .map(|k| eval_scalar(k, env, maps))
-                .collect();
-            let value = match &stmt.block.value {
-                Some(v) => eval_scalar(v, env, maps),
-                None => Value::ONE,
-            };
-            if !value.is_zero() {
-                updates.push((key, value));
-            }
-        });
-        let target = stmt.target;
-        for (key, value) in updates.drain(..) {
-            maps.map_mut(target).add(key, value);
-        }
+        run_statement(stmt, maps, env, updates);
         if let Some(trace) = trace.as_deref_mut() {
             trace.push(format!(
                 "  {} => {} now has {} entries",
                 stmt.rendered,
-                exec.map_names[target],
-                maps.map(target).len()
+                exec.map_names[stmt.target],
+                maps.map(stmt.target).len()
             ));
         }
     }
 
     Ok(true)
+}
+
+/// Execute one lowered statement against the maps. The caller provides
+/// the environment with the leading slots (trigger arguments) already
+/// populated and sized to `stmt.slots`; bootstrap callers
+/// ([`Engine::rebuild_derived`]) pass a zeroed environment, which is
+/// valid for post-stage statements because they reference no trigger
+/// arguments.
+fn run_statement<M: MapWrite + ?Sized>(
+    stmt: &crate::lower::ExecStatement,
+    maps: &mut M,
+    env: &mut Vec<Value>,
+    updates: &mut Vec<(Tuple, Value)>,
+) {
+    if env.len() < stmt.slots {
+        env.resize(stmt.slots, Value::ZERO);
+    }
+    if stmt.clear_target {
+        maps.map_mut(stmt.target).clear();
+    }
+    updates.clear();
+    run_block(&*maps, &stmt.block, env, 0, &mut |env, maps| {
+        let key: Tuple = stmt
+            .keys
+            .iter()
+            .map(|k| eval_scalar(k, env, maps))
+            .collect();
+        let value = match &stmt.block.value {
+            Some(v) => eval_scalar(v, env, maps),
+            None => Value::ONE,
+        };
+        if !value.is_zero() {
+            updates.push((key, value));
+        }
+    });
+    let target = stmt.target;
+    for (key, value) in updates.drain(..) {
+        maps.map_mut(target).add(key, value);
+    }
 }
 
 /// Output column names of a lowered program, in `SELECT` order.
@@ -561,19 +637,15 @@ fn run_block<M: MapRead + ?Sized>(
         .iter()
         .map(|s| eval_scalar(s, env, maps))
         .collect();
-    // Materialize the slice keys so the recursive call can freely evaluate
-    // lookups against the maps.
-    let entries: Vec<(Tuple, Value)> = maps
-        .map(step.map)
-        .slice(&step.bound_positions, &bound)
-        .into_iter()
-        .map(|(k, v)| (k.clone(), v.clone()))
-        .collect();
-    for (key, value) in entries {
+    // The slice holds shared borrows of the map; recursive evaluation
+    // only reads maps (updates are staged outside `run_block`), so the
+    // entries need no deep copy — only the bound key components are
+    // cloned into the environment.
+    for (key, value) in maps.map(step.map).slice(&step.bound_positions, &bound) {
         for (pos, slot) in &step.bind {
             env[*slot] = key[*pos].clone();
         }
-        env[step.value_slot] = value;
+        env[step.value_slot] = value.clone();
         run_block(maps, block, env, level + 1, emit);
     }
 }
@@ -943,6 +1015,57 @@ mod tests {
             .per_trigger
             .iter()
             .any(|(n, c, _)| n == "on_insert_R" && *c == 1));
+    }
+
+    #[test]
+    fn warm_start_via_load_map_and_rebuild_derived_matches_replay() {
+        // A nested view (hierarchy-maintained result map over child
+        // maps): engine A replays an archive; engine B warm-starts by
+        // bulk-loading A's flat maps and rebuilding the derived map.
+        // Both must answer identically, now and after further events.
+        let cat = Catalog::new().with(Schema::new(
+            "BOOK",
+            vec![("PRICE", ColumnType::Int), ("VOLUME", ColumnType::Int)],
+        ));
+        let sql = "select sum(b1.PRICE * b1.VOLUME) from BOOK b1 \
+                   where b1.PRICE * 4 > (select sum(b2.VOLUME) from BOOK b2)";
+        let p = compile_sql(sql, &cat, &CompileOptions::full()).unwrap();
+        let mut replayed = Engine::new(&p).unwrap();
+        for i in 0..40i64 {
+            replayed
+                .on_event(&Event::insert("BOOK", tuple![i % 9 + 1, i % 5 + 1]))
+                .unwrap();
+        }
+
+        let mut warm = Engine::new(&p).unwrap();
+        let derived_targets: Vec<String> = replayed
+            .exec_program()
+            .triggers
+            .iter()
+            .flat_map(|(_, t)| &t.statements)
+            .filter(|s| s.stage > 0)
+            .map(|s| replayed.exec_program().map_names[s.target].clone())
+            .collect();
+        for name in replayed.exec_program().map_names.clone() {
+            if derived_targets.contains(&name) {
+                continue;
+            }
+            warm.load_map(&name, replayed.map_snapshot(&name).unwrap())
+                .unwrap();
+        }
+        warm.rebuild_derived().unwrap();
+        assert_eq!(warm.result(), replayed.result());
+
+        // The warm-started engine keeps maintaining correctly.
+        for e in [
+            Event::insert("BOOK", tuple![2i64, 50i64]),
+            Event::delete("BOOK", tuple![3i64, 4i64]),
+        ] {
+            warm.on_event(&e).unwrap();
+            replayed.on_event(&e).unwrap();
+            assert_eq!(warm.result(), replayed.result(), "diverged at {e:?}");
+        }
+        assert!(warm.load_map("NOPE", vec![]).is_err());
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //!   per-binding `+=` performs the summation, so no separate aggregation
 //!   machinery runs at event time.
 
+use std::collections::BTreeSet;
+
 use dbtoaster_calculus::{CalcExpr, CmpOp, ResultColumn, ValExpr, Var};
 use dbtoaster_common::{Error, EventKind, FxHashMap, Result, Value};
-use dbtoaster_compiler::{Statement, StatementKind, TriggerProgram};
+use dbtoaster_compiler::{Stage, Statement, StatementKind, TriggerProgram};
 
 /// Scalar expressions over environment slots.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,7 +73,11 @@ pub struct Assign {
     /// Loop level at which the assignment's inputs are all bound and the
     /// assignment must run — *before* any deeper loop evaluates its
     /// bound-key scalars (which may read this slot). `None` means the
-    /// innermost level (Lift bodies, whose dependencies are not tracked).
+    /// innermost level. Statement-level blocks resolve every `None`
+    /// through [`schedule_assigns`], which hoists `Lift` assignments to
+    /// the outermost level their inputs allow — an uncorrelated nested
+    /// aggregate is then evaluated once per statement instead of once
+    /// per loop binding.
     pub level: Option<usize>,
 }
 
@@ -92,11 +98,13 @@ pub struct ExecStatement {
     pub target: usize,
     /// Clear the target before applying (Replace statements).
     pub clear_target: bool,
-    /// Lowered from a `Replace` (re-evaluation) statement. Replace
-    /// statements must observe post-event inputs, so multi-view
-    /// execution runs them in a second phase after every view's delta
-    /// updates for the event have been applied.
-    pub is_replace: bool,
+    /// Execution stage within the event (`dbtoaster_compiler::Stage`):
+    /// `-1` for hierarchy retract statements (pre-event inputs), `0` for
+    /// delta updates, `+1` for hierarchy rebuild and legacy `Replace`
+    /// statements (post-event inputs). Statements of a trigger are
+    /// stage-sorted; multi-view execution runs each stage across all
+    /// views before the next.
+    pub stage: Stage,
     /// Target key expressions (one per key position).
     pub keys: Vec<Scalar>,
     pub block: Block,
@@ -310,7 +318,7 @@ fn remap_statement(stmt: &ExecStatement, slot_of: &[usize]) -> ExecStatement {
     ExecStatement {
         target: slot_of[stmt.target],
         clear_target: stmt.clear_target,
-        is_replace: stmt.is_replace,
+        stage: stmt.stage,
         keys: stmt.keys.iter().map(|k| remap_scalar(k, slot_of)).collect(),
         block: remap_block(&stmt.block, slot_of),
         slots: stmt.slots,
@@ -483,6 +491,9 @@ struct Lowerer<'a> {
     exec: &'a mut ExecProgram,
     slots: Vec<Var>,
     bound: Vec<bool>,
+    /// Number of leading slots holding the trigger arguments (available
+    /// at loop level 0).
+    args: usize,
 }
 
 impl<'a> Lowerer<'a> {
@@ -542,6 +553,7 @@ fn lower_statement(
             exec,
             slots: Vec::new(),
             bound: Vec::new(),
+            args: args.len(),
         };
         for a in args {
             let s = lowerer.slot_of(a);
@@ -551,7 +563,7 @@ fn lower_statement(
         out.push(ExecStatement {
             target,
             clear_target: clear_target && i == 0,
-            is_replace: statement.kind == StatementKind::Replace,
+            stage: statement.stage,
             keys: key_scalars,
             block,
             slots: lowerer.slots.len(),
@@ -627,13 +639,40 @@ fn build_block(
     let mut pending_cmps: Vec<(CmpOp, ValExpr, ValExpr)> = Vec::new();
     let mut pending_maps: Vec<(String, Vec<Var>)> = Vec::new();
 
-    for f in factors {
+    // Variables a nested body shares with the rest of the statement —
+    // correlation parameters, target keys — are *outer-driven*: the
+    // enclosing block binds them (by loop or assignment) and the nested
+    // block only reads them from the environment at evaluation time.
+    // They must be pinned while lowering the body, or the nested block
+    // would claim an unbound correlation variable for one of its own
+    // loops (hijacking, say, `M[broker]` inside the subquery to
+    // enumerate brokers that the outer loop is supposed to drive).
+    let factor_sets: Vec<BTreeSet<Var>> = factors.iter().map(|f| f.all_vars()).collect();
+    let outer_pins = |i: usize, body: &CalcExpr| -> BTreeSet<Var> {
+        let body_vars = body.all_vars();
+        let mut pins: BTreeSet<Var> = BTreeSet::new();
+        for (j, vars) in factor_sets.iter().enumerate() {
+            if j != i {
+                pins.extend(body_vars.intersection(vars).cloned());
+            }
+        }
+        for k in target_keys {
+            if body_vars.contains(k) {
+                pins.insert(k.clone());
+            }
+        }
+        pins
+    };
+
+    for (i, f) in factors.into_iter().enumerate() {
         match f {
             CalcExpr::Val(v) => value_factors.push(lower_val_deferred(&v)),
             CalcExpr::Cmp { op, left, right } => pending_cmps.push((op, left, right)),
             CalcExpr::MapRef { name, keys } => pending_maps.push((name, keys)),
             CalcExpr::Lift { var, body } => {
-                let inner = build_nested_scalar(lowerer, &body)?;
+                let mut pins = outer_pins(i, &body);
+                pins.remove(&var);
+                let inner = with_pinned(lowerer, &pins, |l| build_nested_scalar(l, &body))?;
                 let slot = lowerer.slot_of(&var);
                 lowerer.bound[slot] = true;
                 block.assigns.push(Assign {
@@ -643,7 +682,8 @@ fn build_block(
                 });
             }
             CalcExpr::Exists(body) => {
-                let inner = build_nested_block(lowerer, &body)?;
+                let pins = outer_pins(i, &body);
+                let inner = with_pinned(lowerer, &pins, |l| build_nested_block(l, &body))?;
                 value_factors.push(Scalar::Exists(Box::new(inner)));
             }
             CalcExpr::Rel { name, .. } => {
@@ -654,7 +694,9 @@ fn build_block(
             CalcExpr::Sum(ts) => {
                 // A residual sum factor (e.g. an OR predicate): evaluate it
                 // as a nested scalar.
-                let inner = build_nested_scalar(lowerer, &CalcExpr::Sum(ts))?;
+                let sum = CalcExpr::Sum(ts);
+                let pins = outer_pins(i, &sum);
+                let inner = with_pinned(lowerer, &pins, |l| build_nested_scalar(l, &sum))?;
                 value_factors.push(inner);
             }
             CalcExpr::Prod(_) | CalcExpr::AggSum { .. } | CalcExpr::Neg(_) => unreachable!(),
@@ -815,9 +857,212 @@ fn build_block(
             }
             key_scalars.push(Scalar::Slot(lowerer.slot_of(k)));
         }
+        schedule_assigns(&mut block, lowerer.args, lowerer.slots.len());
     }
 
     Ok((block, key_scalars))
+}
+
+/// Resolve the loop level of every `level: None` assignment (`Lift`
+/// bindings) in a statement-level block to the outermost level at which
+/// all of its inputs are available, and order same-level assignments so
+/// readers run after writers.
+///
+/// Without this, `Lift` bodies are recomputed per complete loop binding
+/// — an uncorrelated scalar subquery inside a statement that loops over
+/// a map of N entries would be re-aggregated N times. With it, each
+/// nested aggregate is evaluated exactly once per level of the loop nest
+/// that actually feeds it (once per statement when uncorrelated).
+fn schedule_assigns(block: &mut Block, arg_slots: usize, slot_count: usize) {
+    let innermost = block.loops.len();
+    // Level at which each slot becomes available: trigger arguments at
+    // level 0, loop-bound slots after their loop, assigned slots at the
+    // level of their assignment.
+    let mut avail: Vec<usize> = vec![usize::MAX; slot_count];
+    for slot in avail.iter_mut().take(arg_slots) {
+        *slot = 0;
+    }
+    for (i, l) in block.loops.iter().enumerate() {
+        for (_, slot) in &l.bind {
+            avail[*slot] = i + 1;
+        }
+        avail[l.value_slot] = i + 1;
+    }
+    let reads: Vec<BTreeSet<usize>> = block
+        .assigns
+        .iter()
+        .map(|a| {
+            let mut r = BTreeSet::new();
+            scalar_read_slots(&a.value, &mut r);
+            r
+        })
+        .collect();
+    let mut levels: Vec<Option<usize>> = block.assigns.iter().map(|a| a.level).collect();
+    for a in &block.assigns {
+        if let Some(l) = a.level {
+            avail[a.slot] = avail[a.slot].min(l);
+        }
+    }
+    // Fixpoint: dependencies between assignments may appear in any list
+    // order.
+    loop {
+        let mut changed = false;
+        for (i, a) in block.assigns.iter().enumerate() {
+            if a.level.is_some() {
+                continue;
+            }
+            let level = reads[i]
+                .iter()
+                .map(|&s| avail.get(s).copied().unwrap_or(usize::MAX))
+                .max()
+                .unwrap_or(0);
+            if level == usize::MAX {
+                continue; // an input's level is not known yet
+            }
+            let level = level.min(innermost);
+            if levels[i] != Some(level) {
+                levels[i] = Some(level);
+                changed = true;
+            }
+            if avail[a.slot] > level {
+                avail[a.slot] = level;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (a, level) in block.assigns.iter_mut().zip(&levels) {
+        a.level = Some(level.unwrap_or(innermost).min(innermost));
+    }
+    // Order: ascending level; within a level, writers before readers
+    // (run_block executes same-level assignments in list order). The
+    // dependency graph between assignments is acyclic by construction —
+    // every assignment's inputs are bound earlier — but fall back to the
+    // existing order defensively if a cycle were ever to appear.
+    let n = block.assigns.len();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    while order.len() < n {
+        let mut progressed = false;
+        for i in 0..n {
+            if placed[i] {
+                continue;
+            }
+            let ready = (0..n).all(|j| {
+                placed[j]
+                    || j == i
+                    || block.assigns[j].level > block.assigns[i].level
+                    || (block.assigns[j].level == block.assigns[i].level
+                        && !reads[i].contains(&block.assigns[j].slot))
+            });
+            if ready {
+                order.push(i);
+                placed[i] = true;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            for (i, slot) in placed.iter_mut().enumerate() {
+                if !*slot {
+                    order.push(i);
+                    *slot = true;
+                }
+            }
+        }
+    }
+    let reordered: Vec<Assign> = order.iter().map(|&i| block.assigns[i].clone()).collect();
+    block.assigns = reordered;
+}
+
+/// Slots a scalar reads, including the *free* slots of nested
+/// `Aggregate` / `Exists` blocks (reads minus the slots the nested block
+/// binds itself).
+fn scalar_read_slots(scalar: &Scalar, out: &mut BTreeSet<usize>) {
+    match scalar {
+        Scalar::Const(_) => {}
+        Scalar::Slot(i) => {
+            out.insert(*i);
+        }
+        Scalar::Add(es) | Scalar::Mul(es) => {
+            for e in es {
+                scalar_read_slots(e, out);
+            }
+        }
+        Scalar::Neg(e) => scalar_read_slots(e, out),
+        Scalar::Div(a, b) => {
+            scalar_read_slots(a, out);
+            scalar_read_slots(b, out);
+        }
+        Scalar::Cmp { left, right, .. } => {
+            scalar_read_slots(left, out);
+            scalar_read_slots(right, out);
+        }
+        Scalar::Lookup { keys, .. } => {
+            for k in keys {
+                scalar_read_slots(k, out);
+            }
+        }
+        Scalar::Aggregate(block) | Scalar::Exists(block) => block_free_slots(block, out),
+    }
+}
+
+/// The free slots of a nested block: everything it reads minus
+/// everything it binds (loop bindings, loop value slots, assignments).
+fn block_free_slots(block: &Block, out: &mut BTreeSet<usize>) {
+    let mut reads = BTreeSet::new();
+    for l in &block.loops {
+        for s in &l.bound_values {
+            scalar_read_slots(s, &mut reads);
+        }
+    }
+    for a in &block.assigns {
+        scalar_read_slots(&a.value, &mut reads);
+    }
+    for g in &block.guards {
+        scalar_read_slots(g, &mut reads);
+    }
+    if let Some(v) = &block.value {
+        scalar_read_slots(v, &mut reads);
+    }
+    let mut bound = BTreeSet::new();
+    for l in &block.loops {
+        bound.insert(l.value_slot);
+        for (_, slot) in &l.bind {
+            bound.insert(*slot);
+        }
+    }
+    for a in &block.assigns {
+        bound.insert(a.slot);
+    }
+    out.extend(reads.difference(&bound));
+}
+
+/// Run `f` with the given variables temporarily marked bound, restoring
+/// the flags of the ones this call marked afterwards. Used to pin
+/// outer-driven variables (correlation parameters, target keys) while a
+/// nested `Lift`/`Exists` body is lowered: the nested block then treats
+/// them as environment inputs instead of binding them with its own
+/// loops, and the enclosing block remains responsible for binding them.
+fn with_pinned<R>(
+    lowerer: &mut Lowerer<'_>,
+    pins: &BTreeSet<Var>,
+    f: impl FnOnce(&mut Lowerer<'_>) -> Result<R>,
+) -> Result<R> {
+    let mut newly: Vec<usize> = Vec::new();
+    for var in pins {
+        let slot = lowerer.slot_of(var);
+        if !lowerer.bound[slot] {
+            lowerer.bound[slot] = true;
+            newly.push(slot);
+        }
+    }
+    let result = f(lowerer);
+    for slot in newly {
+        lowerer.bound[slot] = false;
+    }
+    result
 }
 
 /// Build a nested block (for Lift / Exists bodies) sharing the enclosing

@@ -34,11 +34,16 @@
 //!   once per batch; [`ViewServer::apply`] runs a dedicated one-event
 //!   path over the event's cached relation plan, reusing pooled
 //!   [`ApplyCtx`] buffers, so per-event cost tracks the *interested*
-//!   views, not the whole portfolio. Within the batch each event runs in
-//!   two phases across its interested views: all delta (`Update`)
-//!   statements first — shared maps are written exactly once, by their
-//!   maintainer — then all re-evaluation (`Replace`) statements, which
-//!   thereby observe fully post-event base maps.
+//!   views, not the whole portfolio. Within the batch each event runs
+//!   through a **dependency-ordered stage schedule** across its
+//!   interested views: hierarchy retract statements (stage `-1`, which
+//!   must observe every input pre-event) run for every view first, then
+//!   all delta (`Update`) statements — shared maps are written exactly
+//!   once, by their maintainer — then hierarchy rebuild and legacy
+//!   re-evaluation statements (stage `+1`), which thereby observe fully
+//!   post-event inputs. Stages a relation's views never compiled are
+//!   not walked at all: an all-flat portfolio runs exactly one pass per
+//!   event.
 //! * **Pluggable sources** — [`ViewServer::run_source`] drains any
 //!   [`EventSource`] (an archived CSV stream via [`CsvReplaySource`], a
 //!   workload generator adapter, eventually a network socket) through
@@ -56,15 +61,19 @@
 //! ([`dbtoaster_compiler::MapDecl::fingerprint`]); a map's contents are a
 //! pure function of its definition over the event stream, so every
 //! sharer reads exactly what it would have maintained privately. One
-//! shape is excluded at registration: when a view's *delta* statement
-//! reads a map in a trigger for a relation the map itself depends on (a
-//! self-join on the update path), the read must observe the map
-//! *pre-event* — in the view's own engine the map's update is ordered
-//! after the read, but a shared map's maintainer would have updated it
-//! earlier in the same event. Such maps are materialized privately for
-//! that view (it can still *provide* them to later hazard-free
-//! sharers). `Replace` statements need no such guard: they want fully
-//! post-event inputs, which the two-phase schedule delivers.
+//! shape is excluded at registration: when a view's *delta-stage*
+//! statement reads a map in a trigger for a relation the map itself
+//! depends on (a self-join on the update path), the read must observe
+//! the map *pre-event* — in the view's own engine the map's update is
+//! ordered after the read, but a shared map's maintainer would have
+//! updated it earlier in the same event. Such maps are materialized
+//! privately for that view (it can still *provide* them to later
+//! hazard-free sharers). Statements outside the delta stage need no
+//! such guard: hierarchy retracts (stage `-1`) run before every view's
+//! deltas and so always see pre-event state, while rebuilds and legacy
+//! `Replace` re-evaluations (stage `+1`) run after them and always see
+//! post-event state — the stage schedule delivers both, whichever view
+//! maintains the shared map.
 
 pub mod csv;
 pub mod shard;
@@ -78,11 +87,11 @@ use dbtoaster_common::{
     Catalog, Error, Event, EventBatch, EventKind, EventSource, FxHashMap, FxHashSet, Result, Tuple,
     Value,
 };
-use dbtoaster_compiler::{compile_sql, CompileOptions, TriggerProgram};
+use dbtoaster_compiler::{compile_sql, CompileOptions, Stage, TriggerProgram, STAGE_DELTA};
 use dbtoaster_runtime::{
     apply_event_statements, assemble_result, lower_program, result_column_names, EventScratch,
-    ExecProgram, FramePlan, MapRead, MapRegistration, ProfileReport, ResultRow, SharedMapStore,
-    StatementPhase, ViewBinding,
+    ExecProgram, FramePlan, MapRead, MapRegistration, MapWrite, ProfileReport, ResultRow,
+    SharedMapStore, StatementPhase, ViewBinding,
 };
 
 pub use csv::{to_csv_string, write_csv, CsvReplaySource};
@@ -154,13 +163,23 @@ impl View {
 /// Everything the server precomputes about one dispatched relation: the
 /// views interested in its events (ascending registration order, so a
 /// shared map's maintainer runs before its sharers), their combined lock
-/// plan, and the cached frame table over it. Rebuilt on registration,
-/// read-only during ingestion — the single-event fast path is one hash
-/// lookup away from its locks.
+/// plan, the cached frame table over it, and the dependency-ordered
+/// stage schedule. Rebuilt on registration, read-only during ingestion —
+/// the single-event fast path is one hash lookup away from its locks.
 struct RelationPlan {
     views: Vec<usize>,
     groups: Vec<usize>,
     frame: FramePlan,
+    /// The event's execution schedule: every distinct statement stage
+    /// any interested view compiled for this relation, ascending, each
+    /// with the views that actually have statements at that stage. The
+    /// delta stage (`0`) always lists every interested view — it doubles
+    /// as the delivery-detection pass — while extra stages (hierarchy
+    /// retracts at `-1`, rebuilds / legacy `Replace` re-evaluations at
+    /// `+1`) exist only when some view needs them, so an all-flat
+    /// portfolio runs exactly one pass per event and a mixed portfolio
+    /// pays for the views that need more, not for every view.
+    stages: Vec<(Stage, Vec<usize>)>,
 }
 
 /// Reusable per-caller ingestion state: the statement-evaluation scratch
@@ -347,6 +366,11 @@ impl ViewServer {
         // refused where a delta statement needs pre-event reads: in its
         // own engine the map's update is ordered after that read, but a
         // shared map's maintainer runs earlier in phase 1.
+        // Only *delta-stage* reads are hazardous: hierarchy retract
+        // statements (stage -1) run before every view's delta phase and
+        // rebuild statements (stage +1) after it, so their pre-/post-
+        // event visibility of a shared map is guaranteed by the stage
+        // schedule no matter which view maintains the map.
         let needs_pre_event_read = |decl: &dbtoaster_compiler::MapDecl| {
             let input_relations = decl.definition.relations();
             program
@@ -356,6 +380,7 @@ impl ViewServer {
                 .flat_map(|t| &t.statements)
                 .any(|s| {
                     s.kind == dbtoaster_compiler::StatementKind::Update
+                        && s.stage == STAGE_DELTA
                         && s.update.map_refs().contains(&decl.name)
                 })
         };
@@ -408,6 +433,7 @@ impl ViewServer {
                     views: Vec::new(),
                     groups: Vec::new(),
                     frame: FramePlan::default(),
+                    stages: Vec::new(),
                 })
                 .views
                 .push(id);
@@ -434,7 +460,7 @@ impl ViewServer {
     /// a new view can extend a relation group another plan covers and
     /// grows the slot table every plan resolves against.
     fn rebuild_plans(&mut self) {
-        for plan in self.dispatch.values_mut() {
+        for (relation, plan) in self.dispatch.iter_mut() {
             plan.groups.clear();
             for &i in &plan.views {
                 plan.groups.extend(&self.views[i].binding.groups);
@@ -442,11 +468,79 @@ impl ViewServer {
             plan.groups.sort_unstable();
             plan.groups.dedup();
             plan.frame = self.store.plan(&plan.groups);
+
+            // Dependency-ordered stage schedule: the delta stage always
+            // covers every interested view (it is also the pass that
+            // detects deliveries); other stages list only the views
+            // whose compiled triggers for this relation reach them.
+            plan.stages.clear();
+            plan.stages.push((STAGE_DELTA, plan.views.clone()));
+            for &i in &plan.views {
+                let view = &self.views[i];
+                for kind in [EventKind::Insert, EventKind::Delete] {
+                    let Some(trigger) = view.exec.trigger(relation, kind) else {
+                        continue;
+                    };
+                    for statement in &trigger.statements {
+                        let stage = statement.stage;
+                        if stage == STAGE_DELTA {
+                            continue;
+                        }
+                        match plan.stages.iter_mut().find(|(s, _)| *s == stage) {
+                            Some((_, views)) => {
+                                if !views.contains(&i) {
+                                    views.push(i);
+                                }
+                            }
+                            None => plan.stages.push((stage, vec![i])),
+                        }
+                    }
+                }
+            }
+            plan.stages.sort_by_key(|(stage, _)| *stage);
         }
         for view in &mut self.views {
             view.plan = self.store.plan(&view.binding.groups);
         }
         self.all_plan = self.store.plan(&self.store.all_groups());
+    }
+
+    /// Run one event through a relation plan's stage schedule — the one
+    /// scheduling loop shared by the single-event fast path and the
+    /// batched path. Each stage runs across every view listed for it
+    /// before the next stage begins, so hierarchy retract statements
+    /// observe every shared input pre-event and rebuild / re-evaluation
+    /// statements observe fully post-event inputs, regardless of which
+    /// view maintains a shared map. `delivered` receives the views whose
+    /// triggers absorbed the event (detected on the delta stage, which
+    /// covers all interested views).
+    fn run_event_stages<M: MapWrite + ?Sized>(
+        &self,
+        plan: &RelationPlan,
+        frame: &mut M,
+        event: &Event,
+        scratch: &mut EventScratch,
+        delivered: &mut Vec<usize>,
+    ) -> Result<()> {
+        delivered.clear();
+        for (stage, views) in &plan.stages {
+            for &i in views {
+                let view = &self.views[i];
+                let absorbed = apply_event_statements(
+                    &view.exec,
+                    frame,
+                    event,
+                    scratch,
+                    StatementPhase::Stage(*stage),
+                    Some(&view.skip),
+                    None,
+                )?;
+                if *stage == STAGE_DELTA && absorbed {
+                    delivered.push(i);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of registered views.
@@ -561,45 +655,14 @@ impl ViewServer {
         let mut failure: Option<Error> = None;
         {
             let mut frame = plan.frame.write_frame(&mut guards);
-            // Phase 1: delta updates, maintainers writing shared maps
-            // exactly once (dispatch order = registration order, so a
-            // map's maintainer runs before every view sharing it).
-            for &i in &plan.views {
-                let view = &self.views[i];
-                match apply_event_statements(
-                    &view.exec,
-                    &mut frame,
-                    event,
-                    &mut ctx.scratch,
-                    StatementPhase::Updates,
-                    Some(&view.skip),
-                    None,
-                ) {
-                    Ok(true) => ctx.delivered.push(i),
-                    Ok(false) => {}
-                    Err(e) => {
-                        failure = Some(e);
-                        break;
-                    }
-                }
-            }
-            // Phase 2: re-evaluations, against fully post-event inputs.
-            if failure.is_none() {
-                for &i in &plan.views {
-                    let view = &self.views[i];
-                    if let Err(e) = apply_event_statements(
-                        &view.exec,
-                        &mut frame,
-                        event,
-                        &mut ctx.scratch,
-                        StatementPhase::Replaces,
-                        Some(&view.skip),
-                        None,
-                    ) {
-                        failure = Some(e);
-                        break;
-                    }
-                }
+            if let Err(e) = self.run_event_stages(
+                plan,
+                &mut frame,
+                event,
+                &mut ctx.scratch,
+                &mut ctx.delivered,
+            ) {
+                failure = Some(e);
             }
         }
         // Credit stats while still holding the write locks, so a
@@ -620,12 +683,12 @@ impl ViewServer {
     /// Apply a whole batch through the dispatch index: the groups of all
     /// affected views are write-locked once (ascending group order, the
     /// same order `snapshot_all` reads in, so concurrent snapshots see
-    /// either none or all of the batch), then each event runs in two
-    /// phases across its interested views — every view's delta updates,
-    /// then every view's re-evaluations. Statements targeting a shared
-    /// map are executed only by the map's maintainer view, so per event
-    /// each shared map is written once. Returns the total number of
-    /// deliveries.
+    /// either none or all of the batch), then each event runs through
+    /// its relation's stage schedule across the interested views —
+    /// hierarchy retracts, every view's delta updates, then rebuilds and
+    /// re-evaluations. Statements targeting a shared map are executed
+    /// only by the map's maintainer view, so per event each shared map
+    /// is written once. Returns the total number of deliveries.
     pub fn apply_batch(&self, batch: &[Event]) -> Result<usize> {
         let mut ctx = self.make_ctx();
         let result = self.apply_batch_with(batch, &mut ctx);
@@ -680,58 +743,29 @@ impl ViewServer {
         let mut failure: Option<Error> = None;
         {
             let mut frame = frame_plan.write_frame(&mut guards);
-            'events: for event in batch {
+            for event in batch {
                 let Some(plan) = self.dispatch.get(&event.relation) else {
                     continue;
                 };
-                // Phase 1: delta updates, maintainers writing shared
-                // maps exactly once (dispatch order = registration
-                // order, so a map's maintainer runs before every view
-                // sharing it).
-                for &i in &plan.views {
-                    let view = &self.views[i];
-                    match apply_event_statements(
-                        &view.exec,
-                        &mut frame,
-                        event,
-                        &mut ctx.scratch,
-                        StatementPhase::Updates,
-                        Some(&view.skip),
-                        None,
-                    ) {
-                        Ok(true) => {
-                            deliveries += 1;
-                            match ctx.counts.iter_mut().find(|(v, r, k, _)| {
-                                *v == i && *k == event.kind && *r == event.relation
-                            }) {
-                                Some((_, _, _, n)) => *n += 1,
-                                None => {
-                                    ctx.counts.push((i, event.relation.clone(), event.kind, 1));
-                                }
-                            }
-                        }
-                        Ok(false) => {}
-                        Err(e) => {
-                            failure = Some(e);
-                            break 'events;
-                        }
-                    }
+                if let Err(e) = self.run_event_stages(
+                    plan,
+                    &mut frame,
+                    event,
+                    &mut ctx.scratch,
+                    &mut ctx.delivered,
+                ) {
+                    failure = Some(e);
+                    break;
                 }
-                // Phase 2: re-evaluations, against fully post-event
-                // inputs.
-                for &i in &plan.views {
-                    let view = &self.views[i];
-                    if let Err(e) = apply_event_statements(
-                        &view.exec,
-                        &mut frame,
-                        event,
-                        &mut ctx.scratch,
-                        StatementPhase::Replaces,
-                        Some(&view.skip),
-                        None,
-                    ) {
-                        failure = Some(e);
-                        break 'events;
+                deliveries += ctx.delivered.len();
+                for &i in &ctx.delivered {
+                    match ctx
+                        .counts
+                        .iter_mut()
+                        .find(|(v, r, k, _)| *v == i && *k == event.kind && *r == event.relation)
+                    {
+                        Some((_, _, _, n)) => *n += 1,
+                        None => ctx.counts.push((i, event.relation.clone(), event.kind, 1)),
                     }
                 }
             }

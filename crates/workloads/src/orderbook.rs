@@ -288,12 +288,18 @@ mod tests {
             );
             assert!(p.is_ok(), "{name} failed to compile: {:?}", p.err());
         }
-        // The nested VWAP compiles through the re-evaluation path.
-        assert!(dbtoaster_compiler::compile_sql(
+        // The nested VWAP compiles through the materialization
+        // hierarchy: incremental child maps, no re-evaluation.
+        let nested = dbtoaster_compiler::compile_sql(
             VWAP_NESTED,
             &cat,
-            &dbtoaster_compiler::CompileOptions::full()
+            &dbtoaster_compiler::CompileOptions::full(),
         )
-        .is_ok());
+        .unwrap();
+        assert!(nested
+            .triggers
+            .iter()
+            .flat_map(|t| &t.statements)
+            .all(|s| s.kind == dbtoaster_compiler::StatementKind::Update));
     }
 }

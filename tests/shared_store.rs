@@ -150,16 +150,26 @@ fn the_portfolio_dedupes_base_maps_and_identical_views() {
     let server = build_server(&catalog);
     let report = server.store_report();
 
-    // BASE_BIDS: one slot, shared by sobi_fo + mm_fo + vwap_nested.
+    // BASE_BIDS: one slot, shared by the two first-order views. (The
+    // nested view no longer binds it: the materialization hierarchy
+    // maintains vwap_nested from its own child maps instead of
+    // re-evaluating over BASE_BIDS.)
     let base_bids: Vec<_> = report
         .maps
         .iter()
         .filter(|m| m.aliases.iter().any(|(_, n)| n == "BASE_BIDS"))
         .collect();
     assert_eq!(base_bids.len(), 1, "BASE_BIDS materialized once");
-    assert_eq!(base_bids[0].sharers, 3);
+    assert_eq!(base_bids[0].sharers, 2);
     assert_eq!(base_bids[0].maintainer, "sobi_fo");
     assert!(base_bids[0].is_base_relation);
+    assert!(
+        !report.maps.iter().any(|m| m
+            .aliases
+            .iter()
+            .any(|(v, n)| v == "vwap_nested" && n == "BASE_BIDS")),
+        "hierarchy-compiled nested views must not materialize base maps"
+    );
 
     // BASE_ASKS: one slot, shared by the two first-order views.
     let base_asks: Vec<_> = report
