@@ -1,0 +1,155 @@
+//! Cost of the observability plane on the ingestion hot path.
+//!
+//! Measures batch-1024 ingestion (the `batch_ingestion` bench's best
+//! mode) through the same two-view portfolio in three configurations:
+//!
+//! * `disabled` — metrics registered but recording off: every apply
+//!   crosses one relaxed atomic load and a branch, nothing else. This
+//!   is how the server runs unless `--metrics-listen` is given, so it
+//!   must hold the pre-telemetry throughput.
+//! * `enabled` — latency recording on: per-event and per-batch
+//!   histograms, per-stage counters, lock-wait timing.
+//! * `enabled+slow` — recording on plus a slow-event ring with an
+//!   unreachable threshold (the realistic `--slow-event-us` setup: the
+//!   ring filters, the mutex is never touched).
+//!
+//! The `emit_json` stage writes `BENCH_telemetry_overhead.json` and
+//! **asserts** the disabled path stays within 5% of the pre-telemetry
+//! batch-1024 baseline — the CI smoke that keeps the gate a gate.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dbtoaster_bench::json::{write_bench_json, Json};
+use dbtoaster_common::UpdateStream;
+use dbtoaster_server::ViewServer;
+use dbtoaster_telemetry::SlowEventRing;
+use dbtoaster_workloads::orderbook::{
+    orderbook_catalog, OrderBookConfig, OrderBookGenerator, MARKET_MAKER, VWAP_COMPONENTS,
+};
+
+/// Pre-telemetry batch-1024 throughput on this container
+/// (`BENCH_batch_ingestion.json` as of the PR that added this crate's
+/// instrumentation), with the 5% regression budget the acceptance
+/// criterion allows.
+const BASELINE_EVENTS_PER_SEC: f64 = 1_279_868.0;
+const MAX_REGRESSION: f64 = 0.05;
+
+const BATCH: usize = 1024;
+
+fn portfolio(slow_ring: bool) -> ViewServer {
+    let mut server = ViewServer::new(&orderbook_catalog());
+    server.register("vwap_components", VWAP_COMPONENTS).unwrap();
+    server.register("market_maker", MARKET_MAKER).unwrap();
+    if slow_ring {
+        // u64::MAX µs: nothing ever qualifies — measures the filter,
+        // not the capture.
+        server.set_slow_event_ring(Arc::new(SlowEventRing::new(u64::MAX, 256)));
+    }
+    server
+}
+
+fn stream() -> UpdateStream {
+    OrderBookGenerator::new(OrderBookConfig {
+        messages: 10_000,
+        book_depth: 2_000,
+        ..Default::default()
+    })
+    .generate()
+}
+
+/// One full ingestion of the stream; returns events/s.
+fn run_once(stream: &UpdateStream, enabled: bool, slow_ring: bool) -> f64 {
+    let server = portfolio(slow_ring);
+    server.set_metrics_enabled(enabled);
+    let started = Instant::now();
+    for chunk in stream.events.chunks(BATCH) {
+        server.apply_batch(chunk).unwrap();
+    }
+    stream.len() as f64 / started.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Best-of-N (after one warmup) — throughput benches on shared CI boxes
+/// want the least-disturbed run, not the mean.
+fn best_rate(stream: &UpdateStream, enabled: bool, slow_ring: bool, runs: usize) -> f64 {
+    run_once(stream, enabled, slow_ring);
+    (0..runs)
+        .map(|_| run_once(stream, enabled, slow_ring))
+        .fold(0.0, f64::max)
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for (label, enabled, slow_ring) in [
+        ("disabled", false, false),
+        ("enabled", true, false),
+        ("enabled+slow", true, true),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("batch1024", label),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let server = portfolio(slow_ring);
+                    server.set_metrics_enabled(enabled);
+                    for chunk in stream.events.chunks(BATCH) {
+                        server.apply_batch(chunk).unwrap();
+                    }
+                    server.memory_bytes()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn emit_json(_c: &mut Criterion) {
+    let stream = stream();
+    let disabled = best_rate(&stream, false, false, 5);
+    let enabled = best_rate(&stream, true, false, 5);
+    let enabled_slow = best_rate(&stream, true, true, 5);
+    let overhead = |rate: f64| (1.0 - rate / disabled) * 100.0;
+
+    let report = Json::obj([
+        ("bench", Json::str("telemetry_overhead")),
+        ("events", Json::from(stream.len())),
+        ("batch", Json::from(BATCH)),
+        (
+            "baseline_events_per_sec",
+            Json::from(BASELINE_EVENTS_PER_SEC),
+        ),
+        ("disabled_events_per_sec", Json::from(disabled)),
+        ("enabled_events_per_sec", Json::from(enabled)),
+        ("enabled_slow_events_per_sec", Json::from(enabled_slow)),
+        ("enabled_overhead_pct", Json::from(overhead(enabled))),
+        (
+            "enabled_slow_overhead_pct",
+            Json::from(overhead(enabled_slow)),
+        ),
+    ]);
+    match write_bench_json("telemetry_overhead", &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_telemetry_overhead.json: {e}"),
+    }
+
+    // The CI smoke: the disabled path must hold the pre-telemetry
+    // throughput to within the 5% budget.
+    let floor = BASELINE_EVENTS_PER_SEC * (1.0 - MAX_REGRESSION);
+    println!(
+        "disabled {disabled:.0} ev/s vs pre-telemetry baseline \
+         {BASELINE_EVENTS_PER_SEC:.0} ev/s (floor {floor:.0})"
+    );
+    assert!(
+        disabled >= floor,
+        "telemetry gate regressed the hot path: {disabled:.0} events/s is below \
+         the {floor:.0} floor (pre-telemetry baseline {BASELINE_EVENTS_PER_SEC:.0} - 5%)"
+    );
+}
+
+criterion_group!(benches, telemetry_overhead, emit_json);
+criterion_main!(benches);

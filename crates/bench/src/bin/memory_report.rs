@@ -79,6 +79,11 @@ fn shared_store_section(messages: usize) -> Result<(), String> {
         .sum();
 
     let report = server.store_report();
+    // The panel prints the registry gauges `store_report()` just
+    // refreshed — the same series a live `/metrics` scrape serves — so
+    // this table and a concurrent scrape cannot disagree.
+    let registry = server.metrics();
+    let gauge = |name: &str, labels: &[(&str, &str)]| registry.gauge(name, "", labels).get();
     println!(
         "\n== shared map store ({} views, {} events) ==",
         server.len(),
@@ -89,19 +94,21 @@ fn shared_store_section(messages: usize) -> Result<(), String> {
         "map (aliases)", "sharers", "maintainer", "entries", "bytes"
     );
     for m in report.maps.iter().filter(|m| m.sharers > 1) {
+        let slot = m.slot.to_string();
+        let labels = [("slot", slot.as_str()), ("map", m.aliases[0].1.as_str())];
         println!(
             "{:<24} {:>7} {:<10} {:>8} {:>12}",
-            m.aliases[0].1, m.sharers, m.maintainer, m.entries, m.bytes
+            m.aliases[0].1,
+            m.sharers,
+            m.maintainer,
+            gauge("dbt_store_map_entries", &labels),
+            gauge("dbt_store_map_bytes", &labels)
         );
     }
-    println!(
-        "store bytes (each map once):      {:>12}",
-        report.total_bytes
-    );
-    println!(
-        "unshared baseline (per sharer):   {:>12}",
-        report.bytes_if_unshared
-    );
+    let store_bytes = gauge("dbt_store_bytes", &[]);
+    let bytes_if_unshared = gauge("dbt_store_bytes_if_unshared", &[]);
+    println!("store bytes (each map once):      {store_bytes:>12}");
+    println!("unshared baseline (per sharer):   {bytes_if_unshared:>12}");
     println!("independent engines (reference):  {independent_bytes:>12}");
     println!(
         "statement runs skipped by dedup:  {:>12}",
@@ -109,6 +116,27 @@ fn shared_store_section(messages: usize) -> Result<(), String> {
     );
 
     // Invariants the CI smoke step guards.
+    if store_bytes != report.total_bytes as i64
+        || bytes_if_unshared != report.bytes_if_unshared as i64
+    {
+        return Err(format!(
+            "registry store gauges disagree with the store report: \
+             gauges ({store_bytes}, {bytes_if_unshared}) vs report ({}, {})",
+            report.total_bytes, report.bytes_if_unshared
+        ));
+    }
+    for m in &report.maps {
+        let slot = m.slot.to_string();
+        let labels = [("slot", slot.as_str()), ("map", m.aliases[0].1.as_str())];
+        if gauge("dbt_store_map_bytes", &labels) != m.bytes as i64
+            || gauge("dbt_store_map_entries", &labels) != m.entries as i64
+        {
+            return Err(format!(
+                "per-map gauges for slot {} ({}) disagree with the store report",
+                m.slot, m.aliases[0].1
+            ));
+        }
+    }
     let slots_named = |name: &str| {
         report
             .maps

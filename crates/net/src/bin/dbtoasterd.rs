@@ -28,20 +28,29 @@
 //!   (default 64).
 //! * `--feed-batch N` — max events per batch pulled from a feed
 //!   connection (default 1024).
+//! * `--metrics-listen ADDR` — serve Prometheus text metrics over HTTP
+//!   on `ADDR` (e.g. `127.0.0.1:9898`; port 0 picks an ephemeral port,
+//!   printed at startup). Also enables latency recording.
+//! * `--slow-event-us N` — capture events whose apply latency is at
+//!   least `N` microseconds in a bounded ring, dumpable with the wire
+//!   `debug` request.
 
 use std::process::ExitCode;
 
 use dbtoaster_common::Catalog;
 use dbtoaster_net::{parse_schema_spec, NetConfig, NetServer};
+use dbtoaster_telemetry::MetricsHttpServer;
 
 fn usage() -> &'static str {
     "usage: dbtoasterd [--listen ADDR] --schema \"NAME(COL TYPE, ...)\" \
      [--schema ...] [--view \"NAME=SQL\" ...] [--workers N] \
-     [--queue-depth N] [--feed-batch N]"
+     [--queue-depth N] [--feed-batch N] [--metrics-listen ADDR] \
+     [--slow-event-us N]"
 }
 
 struct Flags {
     listen: String,
+    metrics_listen: Option<String>,
     schemas: Vec<String>,
     views: Vec<(String, String)>,
     config: NetConfig,
@@ -50,6 +59,7 @@ struct Flags {
 fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
     let mut flags = Flags {
         listen: "127.0.0.1:9090".to_string(),
+        metrics_listen: None,
         schemas: Vec::new(),
         views: Vec::new(),
         config: NetConfig::default(),
@@ -88,6 +98,14 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
                     .parse()
                     .map_err(|e| format!("--feed-batch: {e}"))?;
             }
+            "--metrics-listen" => flags.metrics_listen = Some(value("an address")?),
+            "--slow-event-us" => {
+                flags.config.slow_event_us = Some(
+                    value("a number")?
+                        .parse()
+                        .map_err(|e| format!("--slow-event-us: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -110,6 +128,25 @@ fn run() -> Result<(), String> {
         server.register(name, sql).map_err(|e| e.to_string())?;
         eprintln!("dbtoasterd: registered view '{name}'");
     }
+    // Kept alive until after wait(): dropping the handle stops the
+    // metrics endpoint.
+    let _metrics_http = match &flags.metrics_listen {
+        Some(addr) => {
+            server.set_metrics_enabled(true);
+            let http = MetricsHttpServer::bind(
+                addr,
+                server.metrics(),
+                Some(server.store_metrics_refresher()),
+            )
+            .map_err(|e| format!("--metrics-listen {addr}: {e}"))?;
+            eprintln!(
+                "dbtoasterd: serving metrics on http://{}/metrics",
+                http.addr()
+            );
+            Some(http)
+        }
+        None => None,
+    };
     eprintln!(
         "dbtoasterd: serving {} relation(s), {} view(s) on {} \
          (queue depth {}, workers {})",

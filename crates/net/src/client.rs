@@ -14,6 +14,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use dbtoaster_common::{Error, Event, Result};
 use dbtoaster_server::{ViewId, ViewSnapshot};
+use dbtoaster_telemetry::SlowEvent;
 
 use crate::wire::{self, Response, ServerStats};
 
@@ -102,6 +103,15 @@ impl NetClient {
         match self.call(&wire::encode_stats())? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Dump the server's slow-event ring, oldest first (empty unless
+    /// the server runs with a slow-event threshold).
+    pub fn debug_slow_events(&mut self) -> Result<Vec<SlowEvent>> {
+        match self.call(&wire::encode_debug())? {
+            Response::SlowEvents(events) => Ok(events),
+            other => Err(unexpected("debug", &other)),
         }
     }
 

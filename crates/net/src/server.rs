@@ -42,14 +42,19 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use dbtoaster_common::{Catalog, Error, EventBatch, Result};
 use dbtoaster_server::{IngestReport, ShardedDispatcher, ViewId, ViewServer, ViewSnapshot};
+use dbtoaster_telemetry::{
+    Counter, Gauge, Histogram, MetricsRegistry, SlowEvent, SlowEventRing, Unit,
+    DEFAULT_SLOW_RING_CAPACITY,
+};
 
 use crate::source::{SocketSource, DEFAULT_SOURCE_QUEUE_DEPTH};
-use crate::wire::{self, Message, Request, Response, ServerStats, ViewStat};
+use crate::wire::{self, HistogramStat, Message, Request, Response, ServerStats, ViewStat};
 
 /// Tunables of a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -65,6 +70,10 @@ pub struct NetConfig {
     pub feed_batch_size: usize,
     /// Bound of each feed connection's decoded-batch queue.
     pub feed_queue_depth: usize,
+    /// Capture events whose apply latency meets this threshold (in
+    /// microseconds) in a bounded ring, dumpable via the `debug`
+    /// request. `None` disables capture entirely.
+    pub slow_event_us: Option<u64>,
 }
 
 impl Default for NetConfig {
@@ -74,6 +83,7 @@ impl Default for NetConfig {
             queue_depth: 64,
             feed_batch_size: 1024,
             feed_queue_depth: DEFAULT_SOURCE_QUEUE_DEPTH,
+            slow_event_us: None,
         }
     }
 }
@@ -92,8 +102,71 @@ enum IngestJob {
     Batch {
         batch: EventBatch,
         reply: std::sync::mpsc::Sender<Result<usize>>,
+        /// Admission time, taken only while metrics are enabled — the
+        /// ingest thread turns it into queue-wait latency on dequeue.
+        admitted: Option<Instant>,
     },
     Stop,
+}
+
+/// The network layer's own instruments, registered in the portfolio's
+/// shared [`MetricsRegistry`]. All label sets are fixed at bind time —
+/// per-connection labels would grow without bound, so connection- and
+/// feed-level activity aggregates into global counters instead.
+struct NetMetrics {
+    /// Batches admitted to the ingest queue and not yet applied. Can
+    /// momentarily exceed the queue bound: admission increments before
+    /// the blocking enqueue, so the excess counts back-pressured
+    /// senders.
+    queue_depth: Arc<Gauge>,
+    /// Admission-to-dequeue latency of ingest jobs.
+    queue_wait: Arc<Histogram>,
+    /// Connections accepted, either plane.
+    connections: Arc<Counter>,
+    /// Connections that switched into feed mode.
+    feed_connections: Arc<Counter>,
+    /// Batch frames ingested from feed connections.
+    feed_batches: Arc<Counter>,
+    /// Events ingested from feed connections.
+    feed_events: Arc<Counter>,
+}
+
+impl NetMetrics {
+    fn register_in(registry: &MetricsRegistry) -> NetMetrics {
+        NetMetrics {
+            queue_depth: registry.gauge(
+                "dbt_ingest_queue_depth",
+                "Batches admitted to the ingest queue and not yet applied",
+                &[],
+            ),
+            queue_wait: registry.histogram(
+                "dbt_ingest_wait_seconds",
+                "Time an ingest job spends queued before the ingest thread picks it up",
+                &[],
+                Unit::Nanos,
+            ),
+            connections: registry.counter(
+                "dbt_net_connections_total",
+                "TCP connections accepted (request and feed planes)",
+                &[],
+            ),
+            feed_connections: registry.counter(
+                "dbt_feed_connections_total",
+                "Connections that switched into feed mode",
+                &[],
+            ),
+            feed_batches: registry.counter(
+                "dbt_feed_batches_total",
+                "Batch frames ingested from feed connections",
+                &[],
+            ),
+            feed_events: registry.counter(
+                "dbt_feed_events_total",
+                "Events ingested from feed connections",
+                &[],
+            ),
+        }
+    }
 }
 
 struct Inner {
@@ -105,6 +178,14 @@ struct Inner {
     running: AtomicBool,
     ingest_tx: SyncSender<IngestJob>,
     stopping: AtomicBool,
+    /// The portfolio's metrics registry, shared with the [`ViewServer`]
+    /// inside `phase` — kept here so scrapes and stats never need the
+    /// phase lock.
+    registry: Arc<MetricsRegistry>,
+    metrics: NetMetrics,
+    /// The slow-event ring shared with the [`ViewServer`]'s apply
+    /// paths; populated when [`NetConfig::slow_event_us`] is set.
+    slow_ring: Option<Arc<SlowEventRing>>,
 }
 
 impl Inner {
@@ -157,12 +238,17 @@ impl Inner {
             self.promote();
         }
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        self.ingest_tx
-            .send(IngestJob::Batch {
-                batch,
-                reply: reply_tx,
-            })
-            .map_err(|_| Error::Runtime("ingest queue is closed".into()))?;
+        self.metrics.queue_depth.add(1);
+        let admitted = self.registry.enabled().then(Instant::now);
+        let sent = self.ingest_tx.send(IngestJob::Batch {
+            batch,
+            reply: reply_tx,
+            admitted,
+        });
+        if sent.is_err() {
+            self.metrics.queue_depth.sub(1);
+            return Err(Error::Runtime("ingest queue is closed".into()));
+        }
         reply_rx
             .recv()
             .map_err(|_| Error::Runtime("ingest thread exited before replying".into()))?
@@ -208,12 +294,14 @@ impl Inner {
                 })
                 .collect()
         }
+        let histograms = self.histogram_stats();
         let phase = self.phase.lock();
         match &*phase {
             Phase::Registering(server) => ServerStats {
                 views: view_stats(server),
                 running: false,
                 queue_depth: self.config.queue_depth as u64,
+                histograms,
                 ..ServerStats::default()
             },
             Phase::Running(d) => {
@@ -231,7 +319,52 @@ impl Inner {
                     sequential_batches: report.sequential_batches,
                     jobs: report.jobs,
                     queue_depth: self.config.queue_depth as u64,
+                    histograms,
                 }
+            }
+            Phase::Promoting => unreachable!("Promoting is never left in place"),
+        }
+    }
+
+    /// Summarize every registry histogram for the `stats` response —
+    /// the same series the Prometheus endpoint exposes, in wire form.
+    fn histogram_stats(&self) -> Vec<HistogramStat> {
+        self.registry
+            .histogram_snapshots()
+            .into_iter()
+            .map(|(name, labels, s)| HistogramStat {
+                name,
+                labels,
+                count: s.count,
+                sum: s.sum,
+                max: s.max,
+                p50: s.p50(),
+                p95: s.p95(),
+                p99: s.p99(),
+            })
+            .collect()
+    }
+
+    /// The slow-event ring's retained entries, oldest first (empty when
+    /// capture is not configured).
+    fn slow_events(&self) -> Vec<SlowEvent> {
+        self.slow_ring
+            .as_ref()
+            .map(|ring| ring.dump())
+            .unwrap_or_default()
+    }
+
+    /// Refresh the registry's store-size gauges from the live store —
+    /// the Prometheus endpoint's pre-scrape hook, shared with
+    /// `memory_report` so the two can never disagree.
+    fn refresh_store_metrics(&self) {
+        let phase = self.phase.lock();
+        match &*phase {
+            Phase::Registering(server) => server.refresh_store_metrics(),
+            Phase::Running(d) => {
+                let d = Arc::clone(d);
+                drop(phase);
+                d.server().refresh_store_metrics();
             }
             Phase::Promoting => unreachable!("Promoting is never left in place"),
         }
@@ -274,6 +407,7 @@ impl Inner {
                 self.begin_shutdown();
                 Response::ShuttingDown
             }
+            Request::Debug => Response::SlowEvents(self.slow_events()),
         }
     }
 }
@@ -355,6 +489,7 @@ fn feed_connection(
     reader: BufReader<TcpStream>,
     mut writer: BufWriter<TcpStream>,
 ) {
+    inner.metrics.feed_connections.inc();
     let mut report = IngestReport::default();
     let outcome = (|| -> Result<()> {
         // The frame that identified this connection as a feed was
@@ -363,13 +498,19 @@ fn feed_connection(
         if !first.is_empty() {
             report.batches += 1;
             report.events += first.len();
+            inner.metrics.feed_batches.inc();
+            inner.metrics.feed_events.add(first.len() as u64);
             report.deliveries += inner.ingest(first)?;
         }
         let mut source = SocketSource::from_reader("feed", reader, inner.config.feed_queue_depth)?;
         report.absorb(dbtoaster_server::drain_source(
             &mut source,
             inner.config.feed_batch_size,
-            |batch| inner.ingest(batch),
+            |batch| {
+                inner.metrics.feed_batches.inc();
+                inner.metrics.feed_events.add(batch.len() as u64);
+                inner.ingest(batch)
+            },
         )?);
         Ok(())
     })();
@@ -389,7 +530,18 @@ fn ingest_loop(inner: Arc<Inner>, rx: Receiver<IngestJob>) {
     for job in rx {
         match job {
             IngestJob::Stop => return,
-            IngestJob::Batch { batch, reply } => {
+            IngestJob::Batch {
+                batch,
+                reply,
+                admitted,
+            } => {
+                inner.metrics.queue_depth.sub(1);
+                if let Some(at) = admitted {
+                    inner
+                        .metrics
+                        .queue_wait
+                        .record(at.elapsed().as_nanos() as u64);
+                }
                 if dispatcher.is_none() {
                     dispatcher = inner.dispatcher();
                 }
@@ -439,6 +591,7 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
         // Responses and acks must not sit in Nagle's buffer waiting for
         // a delayed ACK.
         let _ = stream.set_nodelay(true);
+        inner.metrics.connections.inc();
         let inner = Arc::clone(&inner);
         let spawned = std::thread::Builder::new()
             .name("dbtoaster-conn".into())
@@ -477,13 +630,24 @@ impl NetServer {
             .local_addr()
             .map_err(|e| Error::Io(format!("local_addr failed: {e}")))?;
         let (ingest_tx, ingest_rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
+        let mut server = ViewServer::new(catalog);
+        let registry = Arc::clone(server.metrics());
+        let metrics = NetMetrics::register_in(&registry);
+        let slow_ring = config.slow_event_us.map(|threshold_us| {
+            let ring = Arc::new(SlowEventRing::new(threshold_us, DEFAULT_SLOW_RING_CAPACITY));
+            server.set_slow_event_ring(Arc::clone(&ring));
+            ring
+        });
         let inner = Arc::new(Inner {
             config,
             addr,
-            phase: Mutex::new(Phase::Registering(Box::new(ViewServer::new(catalog)))),
+            phase: Mutex::new(Phase::Registering(Box::new(server))),
             running: AtomicBool::new(false),
             ingest_tx,
             stopping: AtomicBool::new(false),
+            registry,
+            metrics,
+            slow_ring,
         });
         let ingest = std::thread::Builder::new()
             .name("dbtoaster-ingest".into())
@@ -535,6 +699,37 @@ impl NetServer {
     /// Server counters (same payload the wire `stats` request serves).
     pub fn stats(&self) -> ServerStats {
         self.inner.stats()
+    }
+
+    /// The metrics registry every layer of this server records into —
+    /// hand it to a
+    /// [`MetricsHttpServer`](dbtoaster_telemetry::MetricsHttpServer)
+    /// to expose a Prometheus endpoint.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// Turn latency recording on or off. Counters and gauges always
+    /// count; this gates only the clock reads behind histograms.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.inner.registry.set_enabled(on);
+    }
+
+    /// The slow-event ring's retained entries, oldest first (what the
+    /// wire `debug` request serves; empty unless
+    /// [`NetConfig::slow_event_us`] is set).
+    pub fn slow_events(&self) -> Vec<SlowEvent> {
+        self.inner.slow_events()
+    }
+
+    /// A callback that refreshes the registry's store-size gauges from
+    /// the live store — pass it to
+    /// [`MetricsHttpServer::bind`](dbtoaster_telemetry::MetricsHttpServer::bind)
+    /// as the pre-scrape hook so every scrape reflects current map
+    /// sizes.
+    pub fn store_metrics_refresher(&self) -> Box<dyn Fn() + Send + Sync> {
+        let inner = Arc::clone(&self.inner);
+        Box::new(move || inner.refresh_store_metrics())
     }
 
     /// Stop accepting, drain admitted batches, and join the service
@@ -672,6 +867,65 @@ mod tests {
             snap[0].rows[0].values[0],
             dbtoaster_common::Value::Int((0..100i64).sum::<i64>())
         );
+    }
+
+    #[test]
+    fn metrics_plane_serves_histograms_and_slow_events() {
+        let config = NetConfig {
+            // Threshold 0: every event is a "slow" event, so the ring
+            // is deterministically populated.
+            slow_event_us: Some(0),
+            ..NetConfig::default()
+        };
+        let server = NetServer::bind(&rs_catalog(), "127.0.0.1:0", config).unwrap();
+        server.register("totals", "select sum(A) from R").unwrap();
+        server.set_metrics_enabled(true);
+
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        client
+            .apply_batch(&[
+                Event::insert("R", tuple![1i64, 0i64]),
+                Event::insert("R", tuple![2i64, 1i64]),
+                Event::insert("R", tuple![3i64, 2i64]),
+            ])
+            .unwrap();
+
+        let stats = client.stats().unwrap();
+        let find = |name: &str| {
+            stats
+                .histograms
+                .iter()
+                .find(|h| h.name == name)
+                .unwrap_or_else(|| panic!("stats response lacks {name}"))
+        };
+        let apply = find("dbt_apply_event_seconds");
+        assert_eq!(apply.count, 3, "one sample per event");
+        assert!(apply.max >= apply.p50, "quantiles are ordered");
+        assert!(find("dbt_apply_batch_seconds").count >= 1);
+        assert!(
+            find("dbt_ingest_wait_seconds").count >= 1,
+            "the ingest queue wait was sampled"
+        );
+
+        // The same counters, as Prometheus text.
+        let text = server.metrics().render_prometheus();
+        assert!(text.contains("dbt_view_events_total{view=\"totals\"} 3"));
+        assert!(text.contains("dbt_feed_events_total 0"));
+        assert!(text.contains("dbt_apply_event_seconds_count 3"));
+
+        // The ring captured every event; the wire dump matches the
+        // in-process view.
+        let slow = client.debug_slow_events().unwrap();
+        assert_eq!(slow.len(), 3);
+        assert_eq!(slow, server.slow_events());
+        assert!(slow.iter().all(|e| e.relation == "R" && !e.is_delete));
+    }
+
+    #[test]
+    fn debug_without_a_slow_ring_returns_an_empty_dump() {
+        let server = spawn_server();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        assert_eq!(client.debug_slow_events().unwrap(), Vec::new());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! * the **request/response plane** ([`Request`] / [`Response`]): a
 //!   client sends one request frame and reads one response frame —
 //!   `register`, `apply_batch`, `snapshot`, `snapshot_all`, `stats`,
-//!   `shutdown`;
+//!   `shutdown`, `debug`;
 //! * the **feed plane** ([`Message::Batch`]): a feeder streams naked
 //!   event-batch frames and closes its write half; the server answers
 //!   with one [`Response::FeedAck`] after the last event is applied.
@@ -33,6 +33,7 @@ use std::io::{Read, Write};
 use dbtoaster_common::{Error, Event, EventBatch, EventKind, Result, Tuple, Value};
 use dbtoaster_runtime::ResultRow;
 use dbtoaster_server::{IngestReport, ViewSnapshot};
+use dbtoaster_telemetry::SlowEvent;
 
 /// Upper bound on a frame payload (64 MiB). Large enough for any
 /// realistic snapshot or batch, small enough that a corrupt or hostile
@@ -49,6 +50,7 @@ const TAG_SNAPSHOT: u8 = 0x03;
 const TAG_SNAPSHOT_ALL: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
 const TAG_SHUTDOWN: u8 = 0x06;
+const TAG_DEBUG: u8 = 0x07;
 /// Feed-plane frame: a naked event batch, no per-frame response.
 const TAG_BATCH: u8 = 0x10;
 
@@ -59,6 +61,7 @@ const TAG_SNAPSHOTS_REPLY: u8 = 0x84;
 const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_SHUTTING_DOWN: u8 = 0x86;
 const TAG_FEED_ACK: u8 = 0x87;
+const TAG_SLOW_EVENTS: u8 = 0x88;
 const TAG_ERROR: u8 = 0xEE;
 
 const VAL_INT: u8 = 0;
@@ -87,6 +90,9 @@ pub enum Request {
     Stats,
     /// Ask the server to stop accepting connections and exit.
     Shutdown,
+    /// Dump the slow-event ring (empty unless the server runs with a
+    /// `--slow-event-us` threshold).
+    Debug,
 }
 
 /// Anything a server may legally receive on an accepted connection:
@@ -102,6 +108,28 @@ pub enum Message {
 pub struct ViewStat {
     pub name: String,
     pub events_processed: u64,
+}
+
+/// One latency/size distribution summary inside [`ServerStats`] — a
+/// snapshot of a registry histogram at stats time. Values are in the
+/// histogram's native unit (nanoseconds for `*_seconds` families,
+/// plain counts otherwise); quantiles are log2-bucket upper bounds,
+/// exact to within 2×.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramStat {
+    /// Metric family name, e.g. `dbt_apply_event_seconds`.
+    pub name: String,
+    /// Label pairs distinguishing series within a family.
+    pub labels: Vec<(String, String)>,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
 }
 
 /// Server-side counters served by [`Request::Stats`].
@@ -128,6 +156,9 @@ pub struct ServerStats {
     pub jobs: u64,
     /// Bound of the ingest queue (frames admitted but not yet applied).
     pub queue_depth: u64,
+    /// Histogram summaries from the server's metrics registry (empty
+    /// while metrics are disabled — recording is opt-in).
+    pub histograms: Vec<HistogramStat>,
 }
 
 /// A response frame of the request/response plane.
@@ -147,6 +178,8 @@ pub enum Response {
     ShuttingDown,
     /// End-of-feed summary: what the server ingested from this feed.
     FeedAck(IngestReport),
+    /// Reply to [`Request::Debug`]: the slow-event ring, oldest first.
+    SlowEvents(Vec<SlowEvent>),
     /// Any request that failed, with the typed error it failed with.
     Error(Error),
 }
@@ -387,6 +420,11 @@ pub fn encode_shutdown() -> Vec<u8> {
     vec![TAG_SHUTDOWN]
 }
 
+/// Encode a [`Request::Debug`] payload.
+pub fn encode_debug() -> Vec<u8> {
+    vec![TAG_DEBUG]
+}
+
 /// Encode a feed-plane batch payload ([`Message::Batch`]).
 pub fn encode_batch(events: &[Event]) -> Vec<u8> {
     let mut buf = vec![TAG_BATCH];
@@ -437,6 +475,18 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             ] {
                 put_u64(&mut buf, n);
             }
+            put_u32(&mut buf, stats.histograms.len() as u32);
+            for h in &stats.histograms {
+                put_str(&mut buf, &h.name);
+                put_u32(&mut buf, h.labels.len() as u32);
+                for (k, v) in &h.labels {
+                    put_str(&mut buf, k);
+                    put_str(&mut buf, v);
+                }
+                for n in [h.count, h.sum, h.max, h.p50, h.p95, h.p99] {
+                    put_u64(&mut buf, n);
+                }
+            }
         }
         Response::ShuttingDown => buf.push(TAG_SHUTTING_DOWN),
         Response::FeedAck(report) => {
@@ -444,6 +494,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut buf, report.batches as u64);
             put_u64(&mut buf, report.events as u64);
             put_u64(&mut buf, report.deliveries as u64);
+        }
+        Response::SlowEvents(events) => {
+            buf.push(TAG_SLOW_EVENTS);
+            put_u32(&mut buf, events.len() as u32);
+            for e in events {
+                put_u64(&mut buf, e.seq);
+                put_str(&mut buf, &e.relation);
+                buf.push(e.is_delete as u8);
+                put_u64(&mut buf, e.micros);
+            }
         }
         Response::Error(e) => {
             buf.push(TAG_ERROR);
@@ -634,6 +694,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message> {
         TAG_SNAPSHOT_ALL => Message::Request(Request::SnapshotAll),
         TAG_STATS => Message::Request(Request::Stats),
         TAG_SHUTDOWN => Message::Request(Request::Shutdown),
+        TAG_DEBUG => Message::Request(Request::Debug),
         TAG_BATCH => Message::Batch(d.batch()?),
         other => return Err(Error::Wire(format!("unknown request tag 0x{other:02x}"))),
     };
@@ -673,17 +734,50 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                 1 => true,
                 other => return Err(Error::Wire(format!("bad running flag {other}"))),
             };
+            let workers = d.u64("workers")?;
+            let partitions = d.u64("partitions")?;
+            let batches = d.u64("batches")?;
+            let events = d.u64("events")?;
+            let parallel_batches = d.u64("parallel batches")?;
+            let sequential_batches = d.u64("sequential batches")?;
+            let jobs = d.u64("jobs")?;
+            let queue_depth = d.u64("queue depth")?;
+            // Smallest histogram stat: empty name + zero labels + six
+            // u64 summary fields.
+            let histogram_count = d.count(56, "histogram stat count")?;
+            let mut histograms = Vec::with_capacity(histogram_count);
+            for _ in 0..histogram_count {
+                let name = d.str("histogram name")?;
+                let label_count = d.count(8, "histogram label count")?;
+                let mut labels = Vec::with_capacity(label_count);
+                for _ in 0..label_count {
+                    let k = d.str("histogram label key")?;
+                    let v = d.str("histogram label value")?;
+                    labels.push((k, v));
+                }
+                histograms.push(HistogramStat {
+                    name,
+                    labels,
+                    count: d.u64("histogram count")?,
+                    sum: d.u64("histogram sum")?,
+                    max: d.u64("histogram max")?,
+                    p50: d.u64("histogram p50")?,
+                    p95: d.u64("histogram p95")?,
+                    p99: d.u64("histogram p99")?,
+                });
+            }
             Response::Stats(ServerStats {
                 views,
                 running,
-                workers: d.u64("workers")?,
-                partitions: d.u64("partitions")?,
-                batches: d.u64("batches")?,
-                events: d.u64("events")?,
-                parallel_batches: d.u64("parallel batches")?,
-                sequential_batches: d.u64("sequential batches")?,
-                jobs: d.u64("jobs")?,
-                queue_depth: d.u64("queue depth")?,
+                workers,
+                partitions,
+                batches,
+                events,
+                parallel_batches,
+                sequential_batches,
+                jobs,
+                queue_depth,
+                histograms,
             })
         }
         TAG_SHUTTING_DOWN => Response::ShuttingDown,
@@ -692,6 +786,29 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             events: d.u64("feed events")? as usize,
             deliveries: d.u64("feed deliveries")? as usize,
         }),
+        TAG_SLOW_EVENTS => {
+            // Smallest slow event: seq + empty relation + kind byte +
+            // micros.
+            let n = d.count(21, "slow event count")?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                let seq = d.u64("slow event seq")?;
+                let relation = d.str("slow event relation")?;
+                let is_delete = match d.u8("slow event kind")? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(Error::Wire(format!("bad slow event kind {other}"))),
+                };
+                let micros = d.u64("slow event micros")?;
+                events.push(SlowEvent {
+                    seq,
+                    relation,
+                    is_delete,
+                    micros,
+                });
+            }
+            Response::SlowEvents(events)
+        }
         TAG_ERROR => {
             let tag = d.u8("error category")?;
             let message = d.str("error message")?;
@@ -791,6 +908,10 @@ mod tests {
             roundtrip_message(encode_shutdown()),
             Message::Request(Request::Shutdown)
         );
+        assert_eq!(
+            roundtrip_message(encode_debug()),
+            Message::Request(Request::Debug)
+        );
     }
 
     #[test]
@@ -815,6 +936,69 @@ mod tests {
         }
     }
 
+    fn sample_stats() -> ServerStats {
+        ServerStats {
+            views: vec![
+                ViewStat {
+                    name: "vwap".into(),
+                    events_processed: 10,
+                },
+                ViewStat {
+                    name: "mm".into(),
+                    events_processed: 0,
+                },
+            ],
+            running: true,
+            workers: 4,
+            partitions: 2,
+            batches: 100,
+            events: 6_400,
+            parallel_batches: 90,
+            sequential_batches: 10,
+            jobs: 180,
+            queue_depth: 64,
+            histograms: vec![
+                HistogramStat {
+                    name: "dbt_apply_event_seconds".into(),
+                    labels: vec![],
+                    count: 6_400,
+                    sum: 12_800_000,
+                    max: 950_000,
+                    p50: 2_048,
+                    p95: 16_384,
+                    p99: 65_536,
+                },
+                HistogramStat {
+                    name: "dbt_lock_wait_seconds".into(),
+                    labels: vec![("mode".into(), "write".into())],
+                    count: 100,
+                    sum: 50_000,
+                    max: 4_000,
+                    p50: 512,
+                    p95: 1_024,
+                    p99: 4_000,
+                },
+            ],
+        }
+    }
+
+    fn sample_slow_events() -> Vec<SlowEvent> {
+        vec![
+            SlowEvent {
+                seq: 7,
+                relation: "BIDS".into(),
+                is_delete: false,
+                micros: 1_250,
+            },
+            SlowEvent {
+                seq: 9,
+                relation: "ASKS".into(),
+                is_delete: true,
+                micros: u64::MAX,
+            },
+        ]
+    }
+
     #[test]
     fn responses_round_trip() {
         for resp in [
@@ -822,27 +1006,10 @@ mod tests {
             Response::Applied { deliveries: 12 },
             Response::Snapshot(sample_snapshot()),
             Response::Snapshots(vec![sample_snapshot(), sample_snapshot()]),
-            Response::Stats(ServerStats {
-                views: vec![
-                    ViewStat {
-                        name: "vwap".into(),
-                        events_processed: 10,
-                    },
-                    ViewStat {
-                        name: "mm".into(),
-                        events_processed: 0,
-                    },
-                ],
-                running: true,
-                workers: 4,
-                partitions: 2,
-                batches: 100,
-                events: 6_400,
-                parallel_batches: 90,
-                sequential_batches: 10,
-                jobs: 180,
-                queue_depth: 64,
-            }),
+            Response::Stats(sample_stats()),
+            Response::Stats(ServerStats::default()),
+            Response::SlowEvents(sample_slow_events()),
+            Response::SlowEvents(Vec::new()),
             Response::ShuttingDown,
             Response::FeedAck(IngestReport {
                 batches: 5,
@@ -917,11 +1084,17 @@ mod tests {
                 assert_wire_error(decode_message(&payload[..cut]));
             }
         }
-        let resp = encode_response(&Response::Snapshots(vec![sample_snapshot()]));
-        for cut in 0..resp.len() {
-            match decode_response(&resp[..cut]) {
-                Err(Error::Wire(_)) => {}
-                other => panic!("truncated response at {cut}: {other:?}"),
+        for resp in [
+            Response::Snapshots(vec![sample_snapshot()]),
+            Response::Stats(sample_stats()),
+            Response::SlowEvents(sample_slow_events()),
+        ] {
+            let payload = encode_response(&resp);
+            for cut in 0..payload.len() {
+                match decode_response(&payload[..cut]) {
+                    Err(Error::Wire(_)) => {}
+                    other => panic!("truncated response at {cut}: {other:?}"),
+                }
             }
         }
     }

@@ -44,6 +44,6 @@ pub use lower::{lower_program, ExecProgram};
 pub use standalone::StandaloneServer;
 pub use storage::{MapRead, MapStorage, MapWrite};
 pub use store::{
-    FramePlan, GroupKey, MapRegistration, ReadFrame, SharedMapStore, SlotMeta, ViewBinding,
-    WriteFrame,
+    FramePlan, GroupKey, LockWaitMetrics, MapRegistration, ReadFrame, SharedMapStore, SlotMeta,
+    ViewBinding, WriteFrame,
 };

@@ -30,11 +30,24 @@
 //!   once per lock plan and cached by the server) serves slot lookups
 //!   during evaluation without any per-event allocation.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dbtoaster_common::FxHashMap;
+use dbtoaster_telemetry::Histogram;
 
 use crate::storage::{MapRead, MapStorage, MapWrite};
+
+/// Optional lock-wait histograms the owning server wires in — how long
+/// acquisitions of a whole lock plan wait, end to end (nanoseconds).
+/// Recording is gated by the histograms' shared registry flag, so the
+/// disabled acquisition path pays one branch and no clock reads.
+pub struct LockWaitMetrics {
+    pub read: Arc<Histogram>,
+    pub write: Arc<Histogram>,
+}
 
 /// What a view asks the store for, per map of its compiled program
 /// (in local map-id order).
@@ -159,6 +172,8 @@ pub struct SharedMapStore {
     group_slots: Vec<Vec<usize>>,
     /// fingerprint → slot.
     by_fingerprint: FxHashMap<String, usize>,
+    /// Lock-wait histograms, when the owning server wired them in.
+    lock_wait: Option<LockWaitMetrics>,
 }
 
 impl SharedMapStore {
@@ -289,11 +304,25 @@ impl SharedMapStore {
         binding
     }
 
+    /// Wire in lock-wait histograms (done once, by the owning server at
+    /// construction; recording stays off until the registry enables it).
+    pub fn set_lock_wait_metrics(&mut self, metrics: LockWaitMetrics) {
+        self.lock_wait = Some(metrics);
+    }
+
     /// Acquire read locks on the given groups. `groups` must be sorted
     /// ascending (every lock plan in this module is) so that concurrent
     /// acquisitions cannot deadlock.
     pub fn lock_read<'a>(&'a self, groups: &[usize]) -> Vec<RwLockReadGuard<'a, Vec<MapStorage>>> {
         debug_assert!(groups.windows(2).all(|w| w[0] < w[1]), "unsorted lock plan");
+        if let Some(m) = &self.lock_wait {
+            if m.read.is_enabled() {
+                let started = Instant::now();
+                let guards = groups.iter().map(|&g| self.groups[g].read()).collect();
+                m.read.record_unchecked(started.elapsed().as_nanos() as u64);
+                return guards;
+            }
+        }
         groups.iter().map(|&g| self.groups[g].read()).collect()
     }
 
@@ -303,6 +332,15 @@ impl SharedMapStore {
         groups: &[usize],
     ) -> Vec<RwLockWriteGuard<'a, Vec<MapStorage>>> {
         debug_assert!(groups.windows(2).all(|w| w[0] < w[1]), "unsorted lock plan");
+        if let Some(m) = &self.lock_wait {
+            if m.write.is_enabled() {
+                let started = Instant::now();
+                let guards = groups.iter().map(|&g| self.groups[g].write()).collect();
+                m.write
+                    .record_unchecked(started.elapsed().as_nanos() as u64);
+                return guards;
+            }
+        }
         groups.iter().map(|&g| self.groups[g].write()).collect()
     }
 

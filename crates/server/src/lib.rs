@@ -79,6 +79,7 @@ pub mod csv;
 pub mod shard;
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -90,9 +91,10 @@ use dbtoaster_common::{
 use dbtoaster_compiler::{compile_sql, CompileOptions, Stage, TriggerProgram, STAGE_DELTA};
 use dbtoaster_runtime::{
     apply_event_statements, assemble_result, lower_program, result_column_names, EventScratch,
-    ExecProgram, FramePlan, MapRead, MapRegistration, MapWrite, ProfileReport, ResultRow,
-    SharedMapStore, StatementPhase, ViewBinding,
+    ExecProgram, FramePlan, LockWaitMetrics, MapRead, MapRegistration, MapWrite, ProfileReport,
+    ResultRow, SharedMapStore, StatementPhase, ViewBinding,
 };
+use dbtoaster_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, SlowEventRing, Unit};
 
 pub use csv::{to_csv_string, write_csv, CsvReplaySource};
 pub use shard::{auto_workers, DispatchReport, ShardedDispatcher, MAX_AUTO_WORKERS};
@@ -110,6 +112,104 @@ struct TriggerStat {
     kind: EventKind,
     count: AtomicU64,
     nanos: AtomicU64,
+}
+
+/// Per-stage cost counters, one pair per scheduled statement stage
+/// (interned registry-wide by stage label, so every relation plan with
+/// a stage `-1` pass feeds the same series).
+#[derive(Clone)]
+struct StageMetrics {
+    nanos: Arc<Counter>,
+    events: Arc<Counter>,
+}
+
+/// The server's metric handles, registered once into a shared
+/// [`MetricsRegistry`] — hot paths go through `Arc` handles, never a
+/// by-name lookup. Histogram recording is off until
+/// [`ViewServer::set_metrics_enabled`]; counters and gauges always
+/// record (several replace pre-existing bookkeeping and must stay
+/// exact).
+struct ServerMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Per-event apply latency: the single-event fast path end to end,
+    /// and each event's share of the batched path.
+    apply_event: Arc<Histogram>,
+    /// Whole-batch apply latency (lock acquisition excluded, matching
+    /// the trigger-stat clock).
+    apply_batch: Arc<Histogram>,
+    /// Events per applied batch.
+    batch_size: Arc<Histogram>,
+    /// Store footprint, refreshed by [`ViewServer::refresh_store_metrics`]
+    /// (which [`ViewServer::store_report`] routes through).
+    store_bytes: Arc<Gauge>,
+    store_bytes_if_unshared: Arc<Gauge>,
+    store_entries: Arc<Gauge>,
+    /// Per-slot `(bytes, entries)` gauges, indexed by slot id; extended
+    /// as registration allocates slots.
+    slot_gauges: Mutex<Vec<(Arc<Gauge>, Arc<Gauge>)>>,
+    /// Slow-event ring, when configured
+    /// ([`ViewServer::set_slow_event_ring`]).
+    slow: Option<Arc<SlowEventRing>>,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        ServerMetrics {
+            apply_event: registry.histogram(
+                "dbt_apply_event_seconds",
+                "Per-event apply latency through the stage schedule",
+                &[],
+                Unit::Nanos,
+            ),
+            apply_batch: registry.histogram(
+                "dbt_apply_batch_seconds",
+                "Whole-batch apply latency under the batch's group locks",
+                &[],
+                Unit::Nanos,
+            ),
+            batch_size: registry.histogram(
+                "dbt_batch_size_events",
+                "Events per applied batch",
+                &[],
+                Unit::Count,
+            ),
+            store_bytes: registry.gauge(
+                "dbt_store_bytes",
+                "Approximate bytes held by the shared store (each map once)",
+                &[],
+            ),
+            store_bytes_if_unshared: registry.gauge(
+                "dbt_store_bytes_if_unshared",
+                "What per-view private maps would hold (each map once per sharer)",
+                &[],
+            ),
+            store_entries: registry.gauge(
+                "dbt_store_entries",
+                "Live entries across all stored maps",
+                &[],
+            ),
+            slot_gauges: Mutex::new(Vec::new()),
+            slow: None,
+            registry,
+        }
+    }
+
+    fn stage_metrics(&self, stage: Stage) -> StageMetrics {
+        let label = stage.to_string();
+        StageMetrics {
+            nanos: self.registry.counter(
+                "dbt_stage_nanos_total",
+                "Cumulative nanoseconds spent executing statements of one stage",
+                &[("stage", &label)],
+            ),
+            events: self.registry.counter(
+                "dbt_stage_events_total",
+                "Events that executed a pass of one stage",
+                &[("stage", &label)],
+            ),
+        }
+    }
 }
 
 /// One registered standing query.
@@ -130,8 +230,10 @@ struct View {
     /// time that trigger fires (static; × trigger count = writes saved).
     skipped_per_trigger: FxHashMap<(String, EventKind), u64>,
     compile_time: Duration,
-    /// Events delivered to (and absorbed by) this view.
-    events_processed: AtomicU64,
+    /// Events delivered to (and absorbed by) this view. A registry
+    /// counter (`dbt_view_events_total{view=...}`), so the scraped
+    /// series and every snapshot/profile read the same atomic.
+    events_processed: Arc<Counter>,
     /// Fixed-key per-trigger counters (one per compiled trigger).
     trigger_stats: Vec<TriggerStat>,
 }
@@ -140,7 +242,7 @@ impl View {
     /// Credit `n` absorbed events and `nanos` of processing time to the
     /// (relation, kind) trigger. Called with the group write locks held.
     fn record(&self, relation: &str, kind: EventKind, n: u64, nanos: u64) {
-        self.events_processed.fetch_add(n, Ordering::Relaxed);
+        self.events_processed.add(n);
         if let Some(stat) = self
             .trigger_stats
             .iter()
@@ -180,6 +282,23 @@ struct RelationPlan {
     /// portfolio runs exactly one pass per event and a mixed portfolio
     /// pays for the views that need more, not for every view.
     stages: Vec<(Stage, Vec<usize>)>,
+    /// Cost counters aligned with `stages` (interned registry-wide by
+    /// stage label, resolved at plan-rebuild time so the hot path never
+    /// looks a metric up by name).
+    stage_metrics: Vec<StageMetrics>,
+}
+
+impl RelationPlan {
+    /// Credit a flat (single-stage) plan's whole-event cost to its one
+    /// stage. Multi-stage plans time each stage inside
+    /// `run_event_stages`; a flat plan — the common case — reuses the
+    /// caller's existing clock and pays no extra clock reads.
+    fn credit_flat_stage(&self, nanos: u64) {
+        if let [metrics] = self.stage_metrics.as_slice() {
+            metrics.nanos.add(nanos);
+            metrics.events.inc();
+        }
+    }
 }
 
 /// Reusable per-caller ingestion state: the statement-evaluation scratch
@@ -311,19 +430,65 @@ pub struct ViewServer {
     all_plan: FramePlan,
     /// Pool of reusable ingestion contexts for `apply`/`apply_batch`.
     ctx_pool: Mutex<Vec<ApplyCtx>>,
+    /// Metric handles over the server-wide registry.
+    metrics: ServerMetrics,
 }
 
 impl ViewServer {
     /// Create an empty server over a catalog of stream relations.
     pub fn new(catalog: &Catalog) -> ViewServer {
+        let metrics = ServerMetrics::new();
+        let mut store = SharedMapStore::new();
+        store.set_lock_wait_metrics(LockWaitMetrics {
+            read: metrics.registry.histogram(
+                "dbt_lock_wait_seconds",
+                "Group-lock plan acquisition wait",
+                &[("mode", "read")],
+                Unit::Nanos,
+            ),
+            write: metrics.registry.histogram(
+                "dbt_lock_wait_seconds",
+                "Group-lock plan acquisition wait",
+                &[("mode", "write")],
+                Unit::Nanos,
+            ),
+        });
         ViewServer {
             catalog: catalog.clone(),
             views: Vec::new(),
             dispatch: FxHashMap::default(),
-            store: SharedMapStore::new(),
+            store,
             all_plan: FramePlan::default(),
             ctx_pool: Mutex::new(Vec::new()),
+            metrics,
         }
+    }
+
+    /// The server-wide metrics registry every layer records into. Wrap
+    /// the server in an `Arc` and hand clones of this to the scrape
+    /// endpoint or the wire stats plane.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
+    }
+
+    /// Enable or disable latency-histogram recording (counters and
+    /// gauges always record). Off by default: the disabled hot path
+    /// pays a single branch per record site.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.metrics.registry.set_enabled(on);
+    }
+
+    /// Capture events at or above the ring's threshold into a bounded
+    /// slow-event ring (configure before wrapping the server in an
+    /// `Arc`). Active regardless of the histogram gate — it is opt-in
+    /// by construction.
+    pub fn set_slow_event_ring(&mut self, ring: Arc<SlowEventRing>) {
+        self.metrics.slow = Some(ring);
+    }
+
+    /// The configured slow-event ring, if any.
+    pub fn slow_event_ring(&self) -> Option<&Arc<SlowEventRing>> {
+        self.metrics.slow.as_ref()
     }
 
     /// The shared catalog every view is compiled against.
@@ -434,6 +599,7 @@ impl ViewServer {
                     groups: Vec::new(),
                     frame: FramePlan::default(),
                     stages: Vec::new(),
+                    stage_metrics: Vec::new(),
                 })
                 .views
                 .push(id);
@@ -449,7 +615,11 @@ impl ViewServer {
             skip,
             skipped_per_trigger,
             compile_time: started.elapsed(),
-            events_processed: AtomicU64::new(0),
+            events_processed: self.metrics.registry.counter(
+                "dbt_view_events_total",
+                "Events delivered to (and absorbed by) the view",
+                &[("view", name)],
+            ),
             trigger_stats,
         });
         self.rebuild_plans();
@@ -498,11 +668,39 @@ impl ViewServer {
                 }
             }
             plan.stages.sort_by_key(|(stage, _)| *stage);
+            plan.stage_metrics = plan
+                .stages
+                .iter()
+                .map(|(stage, _)| self.metrics.stage_metrics(*stage))
+                .collect();
         }
         for view in &mut self.views {
             view.plan = self.store.plan(&view.binding.groups);
         }
         self.all_plan = self.store.plan(&self.store.all_groups());
+
+        // Per-slot footprint gauges for any slot this registration
+        // allocated (labels are fixed at allocation: the slot id and the
+        // maintainer's name for the map).
+        let mut slot_gauges = self.metrics.slot_gauges.lock();
+        for slot in slot_gauges.len()..self.store.slot_count() {
+            let meta = self.store.slot(slot);
+            let slot_label = slot.to_string();
+            let map_name = meta.aliases.first().map(|(_, n)| n.as_str()).unwrap_or("?");
+            let labels = [("slot", slot_label.as_str()), ("map", map_name)];
+            slot_gauges.push((
+                self.metrics.registry.gauge(
+                    "dbt_store_map_bytes",
+                    "Approximate bytes of one stored map",
+                    &labels,
+                ),
+                self.metrics.registry.gauge(
+                    "dbt_store_map_entries",
+                    "Live entries of one stored map",
+                    &labels,
+                ),
+            ));
+        }
     }
 
     /// Run one event through a relation plan's stage schedule — the one
@@ -514,6 +712,14 @@ impl ViewServer {
     /// view maintains a shared map. `delivered` receives the views whose
     /// triggers absorbed the event (detected on the delta stage, which
     /// covers all interested views).
+    ///
+    /// With `timed` set, a multi-stage plan brackets each stage pass
+    /// with its own clock and credits the plan's stage counters — the
+    /// per-stage cost breakdown the hierarchy's O(P²) question needs.
+    /// Single-stage plans are never timed here: their one stage *is*
+    /// the event, so callers credit it from the clock they already run
+    /// ([`RelationPlan::credit_flat_stage`]) and the flat hot path pays
+    /// no extra clock reads.
     fn run_event_stages<M: MapWrite + ?Sized>(
         &self,
         plan: &RelationPlan,
@@ -521,9 +727,12 @@ impl ViewServer {
         event: &Event,
         scratch: &mut EventScratch,
         delivered: &mut Vec<usize>,
+        timed: bool,
     ) -> Result<()> {
         delivered.clear();
-        for (stage, views) in &plan.stages {
+        let bracket = timed && plan.stages.len() > 1;
+        for (index, (stage, views)) in plan.stages.iter().enumerate() {
+            let stage_started = bracket.then(Instant::now);
             for &i in views {
                 let view = &self.views[i];
                 let absorbed = apply_event_statements(
@@ -538,6 +747,11 @@ impl ViewServer {
                 if *stage == STAGE_DELTA && absorbed {
                     delivered.push(i);
                 }
+            }
+            if let Some(started) = stage_started {
+                let metrics = &plan.stage_metrics[index];
+                metrics.nanos.add(started.elapsed().as_nanos() as u64);
+                metrics.events.inc();
             }
         }
         Ok(())
@@ -649,6 +863,7 @@ impl ViewServer {
         let Some(plan) = self.dispatch.get(&event.relation) else {
             return Ok(0);
         };
+        let timed = self.metrics.registry.enabled();
         let mut guards = self.store.lock_write(&plan.groups);
         let started = Instant::now();
         ctx.delivered.clear();
@@ -661,6 +876,7 @@ impl ViewServer {
                 event,
                 &mut ctx.scratch,
                 &mut ctx.delivered,
+                timed,
             ) {
                 failure = Some(e);
             }
@@ -669,11 +885,28 @@ impl ViewServer {
         // consistent snapshot sees counts and maps move together. The
         // event's wall clock is split evenly across its deliveries.
         let deliveries = ctx.delivered.len();
-        let nanos = started.elapsed().as_nanos() as u64 / deliveries.max(1) as u64;
+        let elapsed = started.elapsed().as_nanos() as u64;
+        let nanos = elapsed / deliveries.max(1) as u64;
         for &i in &ctx.delivered {
             self.views[i].record(&event.relation, event.kind, 1, nanos);
         }
         drop(guards);
+        // Latency recording stays outside the lock scope: neither the
+        // histogram atomics nor the slow ring's mutex ever extend the
+        // hold time other ingesters and snapshots wait on. The clock is
+        // the one the trigger stats already read — enabling metrics
+        // adds atomic ops to this path, not clock reads.
+        if timed {
+            self.metrics.apply_event.record_unchecked(elapsed);
+            plan.credit_flat_stage(elapsed);
+        }
+        if let Some(ring) = &self.metrics.slow {
+            ring.observe(
+                &event.relation,
+                event.kind == EventKind::Delete,
+                elapsed / 1_000,
+            );
+        }
         match failure {
             Some(e) => Err(e),
             None => Ok(deliveries),
@@ -735,6 +968,15 @@ impl ViewServer {
         // order, so concurrent batches and snapshots cannot deadlock,
         // and a snapshot (which locks every group) observes either none
         // or all of this batch.
+        let timed = self.metrics.registry.enabled();
+        let slow = self.metrics.slow.as_deref();
+        // Per-event clocks inside the batch loop only when something
+        // consumes them — the default path keeps one clock per batch.
+        let per_event_clock = timed || slow.is_some();
+        // Slow events are detected under the locks but reported after
+        // release (the ring takes a mutex). By definition they are rare,
+        // so the buffer normally never allocates.
+        let mut slow_hits: Vec<(usize, u64)> = Vec::new();
         let mut guards = self.store.lock_write(frame_plan.groups());
 
         let started = Instant::now();
@@ -743,19 +985,33 @@ impl ViewServer {
         let mut failure: Option<Error> = None;
         {
             let mut frame = frame_plan.write_frame(&mut guards);
-            for event in batch {
+            for (position, event) in batch.iter().enumerate() {
                 let Some(plan) = self.dispatch.get(&event.relation) else {
                     continue;
                 };
+                let event_started = per_event_clock.then(Instant::now);
                 if let Err(e) = self.run_event_stages(
                     plan,
                     &mut frame,
                     event,
                     &mut ctx.scratch,
                     &mut ctx.delivered,
+                    timed,
                 ) {
                     failure = Some(e);
                     break;
+                }
+                if let Some(event_started) = event_started {
+                    let nanos = event_started.elapsed().as_nanos() as u64;
+                    if timed {
+                        self.metrics.apply_event.record_unchecked(nanos);
+                        plan.credit_flat_stage(nanos);
+                    }
+                    if let Some(ring) = slow {
+                        if nanos / 1_000 >= ring.threshold_us() {
+                            slow_hits.push((position, nanos));
+                        }
+                    }
                 }
                 deliveries += ctx.delivered.len();
                 for &i in &ctx.delivered {
@@ -777,11 +1033,28 @@ impl ViewServer {
         // per-trigger and per-view profile times both sum to the batch's
         // wall clock (an estimate, not a per-trigger measurement — the
         // price of one clock read per batch).
-        let per_delivery = started.elapsed().as_nanos() as u64 / deliveries.max(1) as u64;
+        let batch_nanos = started.elapsed().as_nanos() as u64;
+        let per_delivery = batch_nanos / deliveries.max(1) as u64;
         for (view, relation, kind, n) in ctx.counts.drain(..) {
             self.views[view].record(&relation, kind, n, per_delivery * n);
         }
         drop(guards);
+        // Whole-batch latency and the slow-event ring record outside
+        // the lock scope.
+        if timed {
+            self.metrics.apply_batch.record_unchecked(batch_nanos);
+            self.metrics.batch_size.record_unchecked(batch.len() as u64);
+        }
+        if let Some(ring) = slow {
+            for (position, nanos) in slow_hits {
+                let event = &batch[position];
+                ring.observe(
+                    &event.relation,
+                    event.kind == EventKind::Delete,
+                    nanos / 1_000,
+                );
+            }
+        }
         match failure {
             Some(e) => Err(e),
             None => Ok(deliveries),
@@ -842,7 +1115,7 @@ impl ViewServer {
 
     /// Events delivered to (and absorbed by) one view so far.
     pub fn events_processed(&self, name: &str) -> Result<u64> {
-        Ok(self.resolve(name)?.events_processed.load(Ordering::Relaxed))
+        Ok(self.resolve(name)?.events_processed.get())
     }
 
     /// Profiling report of one view. `per_map` lists the view's maps
@@ -880,7 +1153,7 @@ impl ViewServer {
             .collect();
         per_trigger.sort();
         ProfileReport {
-            events_processed: view.events_processed.load(Ordering::Relaxed),
+            events_processed: view.events_processed.get(),
             per_trigger,
             total_bytes: per_map.iter().map(|(_, _, b)| b).sum(),
             per_map,
@@ -919,9 +1192,17 @@ impl ViewServer {
 
     /// Shared-store introspection: per-map sharers/maintainer/footprint
     /// plus the memory and write-amplification savings.
+    ///
+    /// This walk is also the single source for the registry's map-size
+    /// gauges (`dbt_store_bytes`, `dbt_store_map_bytes{slot,map}`, ...):
+    /// every caller — the CLI memory panel, the metrics endpoint's
+    /// prepare hook — refreshes them through here, so the panel and a
+    /// concurrent scrape cannot disagree about the same walk.
     pub fn store_report(&self) -> StoreReport {
         let guards = self.store.lock_read(self.all_plan.groups());
         let frame = self.all_plan.read_frame(&guards);
+        let slot_gauges = self.metrics.slot_gauges.lock();
+        let mut entries_total = 0usize;
         let mut report = StoreReport::default();
         for (slot, meta) in self.store.slots().iter().enumerate() {
             let m = frame.map(slot);
@@ -930,6 +1211,11 @@ impl ViewServer {
             report.bytes_if_unshared += bytes * meta.sharers();
             if meta.sharers() > 1 {
                 report.shared_slots += 1;
+            }
+            entries_total += m.len();
+            if let Some((bytes_gauge, entries_gauge)) = slot_gauges.get(slot) {
+                bytes_gauge.set(bytes as i64);
+                entries_gauge.set(m.len() as i64);
             }
             report.maps.push(StoreMapReport {
                 slot,
@@ -951,7 +1237,19 @@ impl ViewServer {
                 report.dedup_skipped_statements += view.trigger_count(relation, *kind) * skipped;
             }
         }
+        self.metrics.store_bytes.set(report.total_bytes as i64);
+        self.metrics
+            .store_bytes_if_unshared
+            .set(report.bytes_if_unshared as i64);
+        self.metrics.store_entries.set(entries_total as i64);
         report
+    }
+
+    /// Refresh the registry's store-footprint gauges (one store walk).
+    /// This is [`ViewServer::store_report`] with the report discarded —
+    /// the natural prepare hook for a scrape endpoint.
+    pub fn refresh_store_metrics(&self) {
+        let _ = self.store_report();
     }
 
     /// A consistent capture of one view's result, read-locking only
@@ -965,7 +1263,7 @@ impl ViewServer {
             name: view.name.clone(),
             columns: result_column_names(&view.exec),
             rows: assemble_result(&view.exec, &frame),
-            events_processed: view.events_processed.load(Ordering::Relaxed),
+            events_processed: view.events_processed.get(),
         })
     }
 
@@ -983,7 +1281,7 @@ impl ViewServer {
                 name: v.name.clone(),
                 columns: result_column_names(&v.exec),
                 rows: assemble_result(&v.exec, &frame),
-                events_processed: v.events_processed.load(Ordering::Relaxed),
+                events_processed: v.events_processed.get(),
             })
             .collect()
     }

@@ -38,13 +38,14 @@
 //!
 //! [`ViewServer::apply_batch`]: crate::ViewServer::apply_batch
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use dbtoaster_common::{Error, Event, EventSource, FxHashMap, Result};
+use dbtoaster_telemetry::{Counter, Histogram, MetricsRegistry, Unit};
 
 use crate::{drain_source, ApplyCtx, IngestReport, ViewServer};
 
@@ -59,22 +60,55 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    fn new(workers: usize) -> WorkerPool {
+    fn new(workers: usize, registry: &Arc<MetricsRegistry>) -> WorkerPool {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let handles = (0..workers)
             .map(|w| {
                 let rx = Arc::clone(&rx);
+                let registry = Arc::clone(registry);
+                let worker = w.to_string();
+                let jobs = registry.counter(
+                    "dbt_worker_jobs_total",
+                    "Partition jobs one worker ran",
+                    &[("worker", &worker)],
+                );
+                let busy = registry.counter(
+                    "dbt_worker_busy_nanos_total",
+                    "Nanoseconds one worker spent running jobs",
+                    &[("worker", &worker)],
+                );
+                let idle = registry.counter(
+                    "dbt_worker_idle_nanos_total",
+                    "Nanoseconds one worker spent waiting for jobs",
+                    &[("worker", &worker)],
+                );
                 std::thread::Builder::new()
                     .name(format!("dbtoaster-shard-{w}"))
                     .spawn(move || {
                         let mut ctx = ApplyCtx::default();
                         loop {
+                            // Busy/idle brackets only when the registry
+                            // asks for timing — jobs are whole batches,
+                            // so even then the clocks are per batch, not
+                            // per event. The jobs counter is always-on.
+                            let timed = registry.enabled();
+                            let wait_started = timed.then(Instant::now);
                             // Hold the queue lock only for the dequeue,
                             // never while running the job.
                             let job = rx.lock().recv();
                             match job {
-                                Ok(job) => job(&mut ctx),
+                                Ok(job) => {
+                                    if let Some(started) = wait_started {
+                                        idle.add(started.elapsed().as_nanos() as u64);
+                                    }
+                                    jobs.inc();
+                                    let run_started = timed.then(Instant::now);
+                                    job(&mut ctx);
+                                    if let Some(started) = run_started {
+                                        busy.add(started.elapsed().as_nanos() as u64);
+                                    }
+                                }
                                 Err(_) => break,
                             }
                         }
@@ -199,11 +233,17 @@ pub struct ShardedDispatcher {
     partition_of: FxHashMap<String, usize>,
     /// Number of partitions (connected components of group overlap).
     partitions: usize,
-    batches: AtomicU64,
-    events: AtomicU64,
-    parallel_batches: AtomicU64,
-    sequential_batches: AtomicU64,
-    jobs: AtomicU64,
+    /// Dispatch counters, registered in the server's metrics registry
+    /// (`dbt_dispatch_*_total`) so [`DispatchReport`] and a scrape read
+    /// the same atomics.
+    batches: Arc<Counter>,
+    events: Arc<Counter>,
+    parallel_batches: Arc<Counter>,
+    sequential_batches: Arc<Counter>,
+    jobs: Arc<Counter>,
+    /// Events per partition bucket of parallel batches — how evenly the
+    /// partition plan splits real traffic.
+    bucket_size: Arc<Histogram>,
 }
 
 impl ShardedDispatcher {
@@ -233,19 +273,54 @@ impl ShardedDispatcher {
         partition_of: FxHashMap<String, usize>,
         partitions: usize,
     ) -> ShardedDispatcher {
-        let pool = (workers > 1).then(|| WorkerPool::new(workers));
-        ShardedDispatcher {
-            server,
-            pool,
+        let registry = Arc::clone(server.metrics());
+        let pool = (workers > 1).then(|| WorkerPool::new(workers, &registry));
+        let counter = |name: &str, help: &str| registry.counter(name, help, &[]);
+        let dispatcher = ShardedDispatcher {
             workers: workers.max(1),
             partition_of,
             partitions,
-            batches: AtomicU64::new(0),
-            events: AtomicU64::new(0),
-            parallel_batches: AtomicU64::new(0),
-            sequential_batches: AtomicU64::new(0),
-            jobs: AtomicU64::new(0),
-        }
+            batches: counter("dbt_dispatch_batches_total", "Batches accepted"),
+            events: counter(
+                "dbt_dispatch_events_total",
+                "Events accepted (including events no view listens to)",
+            ),
+            parallel_batches: counter(
+                "dbt_dispatch_parallel_batches_total",
+                "Batches that ran on the worker pool",
+            ),
+            sequential_batches: counter(
+                "dbt_dispatch_sequential_batches_total",
+                "Batches applied inline (one occupied partition, or no pool)",
+            ),
+            jobs: counter(
+                "dbt_dispatch_jobs_total",
+                "Partition jobs handed to the pool",
+            ),
+            bucket_size: registry.histogram(
+                "dbt_shard_bucket_size_events",
+                "Events per partition bucket of parallel batches",
+                &[],
+                Unit::Count,
+            ),
+            server,
+            pool,
+        };
+        registry
+            .gauge(
+                "dbt_dispatch_workers",
+                "Worker-pool size the dispatcher runs with (1 = inline)",
+                &[],
+            )
+            .set(dispatcher.workers as i64);
+        registry
+            .gauge(
+                "dbt_dispatch_partitions",
+                "Independent partitions the portfolio splits into",
+                &[],
+            )
+            .set(dispatcher.partitions as i64);
+        dispatcher
     }
 
     /// The wrapped server.
@@ -272,11 +347,11 @@ impl ShardedDispatcher {
     /// Dispatch counters so far.
     pub fn report(&self) -> DispatchReport {
         DispatchReport {
-            batches: self.batches.load(Ordering::Relaxed),
-            events: self.events.load(Ordering::Relaxed),
-            parallel_batches: self.parallel_batches.load(Ordering::Relaxed),
-            sequential_batches: self.sequential_batches.load(Ordering::Relaxed),
-            jobs: self.jobs.load(Ordering::Relaxed),
+            batches: self.batches.get(),
+            events: self.events.get(),
+            parallel_batches: self.parallel_batches.get(),
+            sequential_batches: self.sequential_batches.get(),
+            jobs: self.jobs.get(),
             workers: self.workers as u64,
         }
     }
@@ -287,8 +362,8 @@ impl ShardedDispatcher {
     ///
     /// [`ViewServer::apply_batch`]: crate::ViewServer::apply_batch
     pub fn apply_batch(&self, batch: &[Event]) -> Result<usize> {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.events.add(batch.len() as u64);
 
         // First pass, no copying: count the partitions this batch
         // occupies. Events on relations no view listens to don't count —
@@ -314,7 +389,7 @@ impl ShardedDispatcher {
         // has nothing to win — apply the original slice in place,
         // uncloned.
         if occupied <= 1 {
-            self.sequential_batches.fetch_add(1, Ordering::Relaxed);
+            self.sequential_batches.inc();
             return self.server.apply_batch(batch);
         }
 
@@ -330,8 +405,11 @@ impl ShardedDispatcher {
             }
         }
 
-        self.parallel_batches.fetch_add(1, Ordering::Relaxed);
-        self.jobs.fetch_add(buckets.len() as u64, Ordering::Relaxed);
+        self.parallel_batches.inc();
+        self.jobs.add(buckets.len() as u64);
+        for bucket in &buckets {
+            self.bucket_size.record(bucket.len() as u64);
+        }
         let pool = self.pool.as_ref().expect("occupied buckets imply a pool");
         let jobs = buckets.len();
         let (rtx, rrx) = mpsc::channel::<(usize, Result<usize>)>();

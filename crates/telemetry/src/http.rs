@@ -1,0 +1,220 @@
+//! Minimal Prometheus scrape endpoint.
+//!
+//! One std thread runs a nonblocking accept loop (same poll-and-sleep
+//! pattern as the wire server — no async runtime in this workspace);
+//! each connection is answered inline since a scrape is one request.
+//! Only `GET /metrics` (and `GET /` as a convenience alias) are served;
+//! everything else gets a 404.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::MetricsRegistry;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A callback run before each render — layers use it to refresh
+/// point-in-time gauges (store sizes, queue depth) so a scrape always
+/// reflects current state.
+pub type PrepareFn = Box<dyn Fn() + Send + Sync>;
+
+/// HTTP server exposing a [`MetricsRegistry`] in Prometheus text
+/// format. Dropping the handle stops the accept thread.
+pub struct MetricsHttpServer {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttpServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9898`; port 0 picks a free port)
+    /// and start serving `registry`. `prepare` (if any) runs before
+    /// each render.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<MetricsRegistry>,
+        prepare: Option<PrepareFn>,
+    ) -> std::io::Result<MetricsHttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&stopping);
+        let thread = std::thread::Builder::new()
+            .name("metrics-http".to_string())
+            .spawn(move || accept_loop(listener, registry, prepare, stop))
+            .expect("spawn metrics-http thread");
+        Ok(MetricsHttpServer {
+            addr: local,
+            stopping,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn shutdown(&mut self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<MetricsRegistry>,
+    prepare: Option<PrepareFn>,
+    stopping: Arc<AtomicBool>,
+) {
+    while !stopping.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A scrape is a single tiny request/response; answering
+                // inline keeps the server at one thread.
+                let _ = serve_one(stream, &registry, prepare.as_deref());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    prepare: Option<&(dyn Fn() + Send + Sync)>,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let path = match read_request_path(&mut stream) {
+        Some(p) => p,
+        None => return Ok(()),
+    };
+    let response = if path == "/metrics" || path == "/" {
+        if let Some(p) = prepare {
+            p();
+        }
+        let body = registry.render_prometheus();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "not found; try /metrics\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Read up to the end of the request headers and return the GET path,
+/// or None for anything malformed / non-GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let first = text.lines().next()?;
+    let mut parts = first.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Strip any query string; scrapes sometimes append one.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unit;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.set_enabled(true);
+        reg.counter("demo_total", "demo", &[]).add(3);
+        reg.histogram("demo_seconds", "lat", &[], Unit::Nanos)
+            .record(2_000);
+        let server = MetricsHttpServer::bind("127.0.0.1:0", Arc::clone(&reg), None).unwrap();
+        let resp = http_get(server.addr(), "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("demo_total 3"), "{resp}");
+        assert!(resp.contains("demo_seconds_count 1"), "{resp}");
+        let missing = http_get(server.addr(), "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+    }
+
+    #[test]
+    fn prepare_hook_runs_before_each_render() {
+        use std::sync::atomic::AtomicI64;
+        let reg = Arc::new(MetricsRegistry::new());
+        let gauge = reg.gauge("live_value", "refreshed per scrape", &[]);
+        let next = Arc::new(AtomicI64::new(41));
+        let prepare: PrepareFn = {
+            let gauge = Arc::clone(&gauge);
+            let next = Arc::clone(&next);
+            Box::new(move || gauge.set(next.fetch_add(1, Ordering::SeqCst) + 1))
+        };
+        let server =
+            MetricsHttpServer::bind("127.0.0.1:0", Arc::clone(&reg), Some(prepare)).unwrap();
+        let first = http_get(server.addr(), "/metrics");
+        assert!(first.contains("live_value 42"), "{first}");
+        let second = http_get(server.addr(), "/metrics");
+        assert!(second.contains("live_value 43"), "{second}");
+    }
+
+    #[test]
+    fn shutdown_joins_the_accept_thread() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut server = MetricsHttpServer::bind("127.0.0.1:0", reg, None).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // After shutdown the port no longer answers.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -1,0 +1,564 @@
+//! Unified telemetry: the metrics core every layer registers into.
+//!
+//! The paper's pitch is views refreshed at per-event latencies, but
+//! throughput averages computed after the fact cannot verify that claim
+//! on a live server. This crate is the missing instrument: a
+//! **dependency-free** metrics core (std only — it sits below every
+//! other crate in the workspace) with three primitives and a registry:
+//!
+//! * [`Counter`] — a monotonic atomic `u64`. Never gated: counters
+//!   replace pre-existing bookkeeping (per-view event counts, dispatch
+//!   totals), so they must stay bit-exact whether or not latency
+//!   recording is enabled.
+//! * [`Gauge`] — an atomic `i64` point-in-time value (queue depth,
+//!   store bytes).
+//! * [`Histogram`] — a fixed-bucket **log2 latency histogram**:
+//!   recording is lock-free (one atomic add into the value's
+//!   power-of-two bucket, one into the running sum, one `fetch_max`),
+//!   reads take a [`HistogramSnapshot`] with p50/p95/p99/max estimates.
+//!   Recording is **gated** by the registry's enabled flag — the
+//!   disabled path is a single relaxed load and branch, and callers can
+//!   ask [`Histogram::is_enabled`] *before* reading the clock so the
+//!   disabled hot path pays no `Instant::now` either.
+//!
+//! [`MetricsRegistry`] interns metrics by `(name, labels)` — repeated
+//! registration returns the same handle — and renders the whole family
+//! in the Prometheus text exposition format
+//! ([`MetricsRegistry::render_prometheus`]), which
+//! [`MetricsHttpServer`] serves over plain HTTP GET. A bounded
+//! [`SlowEventRing`] captures the most recent events that exceeded a
+//! latency threshold for post-hoc inspection.
+
+mod histogram;
+mod http;
+mod slow;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use http::MetricsHttpServer;
+pub use slow::{SlowEvent, SlowEventRing, DEFAULT_SLOW_RING_CAPACITY};
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// counter / gauge
+// ---------------------------------------------------------------------
+
+/// A monotonically increasing atomic counter.
+///
+/// Counters are *not* gated by the registry's enabled flag: they are
+/// cheap (one relaxed `fetch_add`) and several of them are the system's
+/// only bookkeeping (per-view event counts), which must stay exact.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value (queue depth, resident bytes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------
+
+/// How a histogram's raw `u64` samples should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Samples are nanoseconds; rendered as seconds (Prometheus
+    /// convention — name such histograms `*_seconds`).
+    Nanos,
+    /// Samples are dimensionless counts (batch sizes, queue lengths);
+    /// rendered raw.
+    Count,
+}
+
+/// One label pair, owned.
+pub type Labels = Vec<(String, String)>;
+
+enum Kind {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>, Unit),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Labels,
+    kind: Kind,
+}
+
+/// The server-wide registry all layers register their metrics into.
+///
+/// Registration interns by `(name, labels)`: registering the same
+/// series twice returns the same handle, so layers can register
+/// independently without coordinating. Recording through [`Histogram`]
+/// handles is gated by [`MetricsRegistry::set_enabled`]; counters and
+/// gauges always record.
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with latency recording **disabled**.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: Arc::new(AtomicBool::new(false)),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Is histogram recording enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable histogram recording. The flag is shared with
+    /// every histogram handed out, so the switch is immediate.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    fn intern<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        existing: impl Fn(&Kind) -> Option<Arc<T>>,
+        create: impl FnOnce() -> (Arc<T>, Kind),
+        help: &str,
+    ) -> Arc<T> {
+        let owned: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        for e in entries.iter() {
+            if e.name == name && e.labels == owned {
+                return existing(&e.kind).unwrap_or_else(|| {
+                    panic!("metric '{name}' re-registered with a different kind")
+                });
+            }
+        }
+        let (handle, kind) = create();
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: owned,
+            kind,
+        });
+        handle
+    }
+
+    /// Register (or fetch) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.intern(
+            name,
+            labels,
+            |k| match k {
+                Kind::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (Arc::clone(&c), Kind::Counter(c))
+            },
+            help,
+        )
+    }
+
+    /// Register (or fetch) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.intern(
+            name,
+            labels,
+            |k| match k {
+                Kind::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (Arc::clone(&g), Kind::Gauge(g))
+            },
+            help,
+        )
+    }
+
+    /// Register (or fetch) a histogram series. The handle shares the
+    /// registry's enabled flag.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+    ) -> Arc<Histogram> {
+        let enabled = Arc::clone(&self.enabled);
+        self.intern(
+            name,
+            labels,
+            |k| match k {
+                Kind::Histogram(h, _) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            move || {
+                let h = Arc::new(Histogram::with_gate(enabled));
+                (Arc::clone(&h), Kind::Histogram(h, unit))
+            },
+            help,
+        )
+    }
+
+    /// Snapshot one histogram series by `(name, labels)`, if present.
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        let entries = self.entries.lock().expect("registry poisoned");
+        entries
+            .iter()
+            .find(|e| {
+                e.name == name
+                    && e.labels.len() == labels.len()
+                    && e.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .and_then(|e| match &e.kind {
+                Kind::Histogram(h, _) => Some(h.snapshot()),
+                _ => None,
+            })
+    }
+
+    /// Every histogram series: `(name, labels, snapshot)`, registration
+    /// order — what the wire `stats` frame summarizes.
+    pub fn histogram_snapshots(&self) -> Vec<(String, Labels, HistogramSnapshot)> {
+        let entries = self.entries.lock().expect("registry poisoned");
+        entries
+            .iter()
+            .filter_map(|e| match &e.kind {
+                Kind::Histogram(h, _) => Some((e.name.clone(), e.labels.clone(), h.snapshot())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render every registered series in the Prometheus text exposition
+    /// format (version 0.0.4). Series are grouped by metric name
+    /// (`# HELP` / `# TYPE` emitted once per name, first registration's
+    /// help wins) in registration order; label order is preserved.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if seen.contains(&e.name.as_str()) {
+                continue;
+            }
+            seen.push(&e.name);
+            let ty = match &e.kind {
+                Kind::Counter(_) => "counter",
+                Kind::Gauge(_) => "gauge",
+                Kind::Histogram(..) => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", e.name, escape_help(&e.help)));
+            out.push_str(&format!("# TYPE {} {ty}\n", e.name));
+            for series in entries.iter().filter(|s| s.name == e.name) {
+                render_series(&mut out, series);
+            }
+        }
+        out
+    }
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// `{k1="v1",k2="v2"}`, or the empty string without labels. `extra`
+/// appends one more pair (the histogram `le` bound).
+fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn render_series(out: &mut String, e: &Entry) {
+    match &e.kind {
+        Kind::Counter(c) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                c.get()
+            ));
+        }
+        Kind::Gauge(g) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                g.get()
+            ));
+        }
+        Kind::Histogram(h, unit) => {
+            let snap = h.snapshot();
+            let mut cumulative = 0u64;
+            for (i, &n) in snap.buckets.iter().enumerate() {
+                cumulative += n;
+                // Empty leading/trailing buckets are elided (Prometheus
+                // tolerates sparse bucket sets as long as they are
+                // cumulative and +Inf closes them); the bucket at the
+                // observed max is always emitted so the distribution's
+                // edge is visible.
+                if n == 0 && cumulative != snap.count {
+                    continue;
+                }
+                let le = histogram::bucket_upper_bound(i);
+                let le = match unit {
+                    Unit::Nanos => format_f64(le as f64 / 1e9),
+                    Unit::Count => format!("{le}"),
+                };
+                out.push_str(&format!(
+                    "{}_bucket{} {cumulative}\n",
+                    e.name,
+                    label_block(&e.labels, Some(("le", &le))),
+                ));
+                if cumulative == snap.count {
+                    break;
+                }
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                e.name,
+                label_block(&e.labels, Some(("le", "+Inf"))),
+                snap.count
+            ));
+            let sum = match unit {
+                Unit::Nanos => format_f64(snap.sum as f64 / 1e9),
+                Unit::Count => format!("{}", snap.sum),
+            };
+            out.push_str(&format!(
+                "{}_sum{} {sum}\n",
+                e.name,
+                label_block(&e.labels, None)
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                snap.count
+            ));
+        }
+    }
+}
+
+/// Plain decimal rendering (Prometheus parses scientific notation too,
+/// but fixed decimals are easier on eyeballs and tests).
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record_without_gating() {
+        let reg = MetricsRegistry::new();
+        assert!(!reg.enabled());
+        let c = reg.counter("events_total", "events", &[("view", "a")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = reg.gauge("queue_depth", "depth", &[]);
+        g.set(7);
+        g.add(3);
+        g.sub(2);
+        assert_eq!(g.get(), 8);
+    }
+
+    #[test]
+    fn registration_interns_by_name_and_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("c", "help", &[("view", "x")]);
+        let b = reg.counter("c", "ignored on re-registration", &[("view", "x")]);
+        let other = reg.counter("c", "help", &[("view", "y")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same series, same handle");
+        assert_eq!(other.get(), 0, "different labels, different series");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics_at_registration() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m", "h", &[]);
+        reg.gauge("m", "h", &[]);
+    }
+
+    #[test]
+    fn histograms_are_gated_by_the_registry_flag() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "latency", &[], Unit::Nanos);
+        assert!(!h.is_enabled());
+        h.record(1_000);
+        assert_eq!(h.snapshot().count, 0, "disabled: nothing recorded");
+        reg.set_enabled(true);
+        assert!(h.is_enabled());
+        h.record(1_000);
+        assert_eq!(h.snapshot().count, 1);
+        reg.set_enabled(false);
+        h.record(1_000);
+        assert_eq!(h.snapshot().count, 1, "switch is immediate");
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_all_three_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.counter("dbt_events_total", "Events ingested", &[("view", "a")])
+            .add(10);
+        reg.counter("dbt_events_total", "Events ingested", &[("view", "b")])
+            .add(2);
+        reg.gauge("dbt_queue_depth", "Ingest queue depth", &[])
+            .set(3);
+        let h = reg.histogram(
+            "dbt_apply_seconds",
+            "Apply latency",
+            &[("path", "event")],
+            Unit::Nanos,
+        );
+        h.record(100); // 100ns
+        h.record(3_000_000); // 3ms
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE dbt_events_total counter"), "{text}");
+        assert!(text.contains("dbt_events_total{view=\"a\"} 10"), "{text}");
+        assert!(text.contains("dbt_events_total{view=\"b\"} 2"), "{text}");
+        assert!(text.contains("# TYPE dbt_queue_depth gauge"), "{text}");
+        assert!(text.contains("dbt_queue_depth 3"), "{text}");
+        assert!(
+            text.contains("# TYPE dbt_apply_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dbt_apply_seconds_bucket{path=\"event\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dbt_apply_seconds_count{path=\"event\"} 2"),
+            "{text}"
+        );
+        // Sum = 3000100ns, rendered in seconds.
+        assert!(
+            text.contains("dbt_apply_seconds_sum{path=\"event\"} 0.0030001"),
+            "{text}"
+        );
+        // HELP/TYPE once per family even with two series.
+        assert_eq!(text.matches("# TYPE dbt_events_total").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_render_cumulatively() {
+        let reg = MetricsRegistry::new();
+        reg.set_enabled(true);
+        let h = reg.histogram("sizes", "batch sizes", &[], Unit::Count);
+        for v in [1u64, 2, 2, 1000] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        // 1 falls in le=2, the 2s in le=4, 1000 in le=1024; cumulative.
+        assert!(text.contains("sizes_bucket{le=\"2\"} 1"), "{text}");
+        assert!(text.contains("sizes_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("sizes_bucket{le=\"1024\"} 4"), "{text}");
+        assert!(text.contains("sizes_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("sizes_sum 1005"), "{text}");
+        let inf = text.find("le=\"+Inf\"").unwrap();
+        let b1024 = text.find("le=\"1024\"").unwrap();
+        assert!(b1024 < inf, "buckets ascend");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", "h", &[("q", "say \"hi\"\nback\\slash")])
+            .inc();
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(r#"c{q="say \"hi\"\nback\\slash"} 1"#),
+            "{text}"
+        );
+    }
+}

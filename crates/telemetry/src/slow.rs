@@ -1,0 +1,141 @@
+//! Bounded ring buffer of the slowest recent events.
+//!
+//! When `dbtoasterd` runs with `--slow-event-us N`, any event whose
+//! apply latency meets the threshold is pushed here; the ring keeps the
+//! most recent [`SlowEventRing::capacity`] entries and the `debug`
+//! request frame dumps them. Capture is two short mutex critical
+//! sections away from the apply lock scope — the caller times first,
+//! then reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default number of retained slow events.
+pub const DEFAULT_SLOW_RING_CAPACITY: usize = 256;
+
+/// One event that exceeded the slow threshold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowEvent {
+    /// Monotonic capture sequence number (total slow events seen, not
+    /// just retained — `seq` gaps reveal ring overwrites).
+    pub seq: u64,
+    /// Source relation name.
+    pub relation: String,
+    /// True for a deletion event.
+    pub is_delete: bool,
+    /// Apply latency in microseconds.
+    pub micros: u64,
+}
+
+/// Fixed-capacity ring of recent slow events. `push` and `dump` take a
+/// mutex; pushes only happen for already-slow events, so the lock is
+/// off the fast path by construction.
+pub struct SlowEventRing {
+    threshold_us: u64,
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<Vec<SlowEvent>>,
+}
+
+impl SlowEventRing {
+    /// A ring that captures events at or above `threshold_us`
+    /// microseconds. `capacity` is clamped to at least 1.
+    pub fn new(threshold_us: u64, capacity: usize) -> SlowEventRing {
+        SlowEventRing {
+            threshold_us,
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The capture threshold in microseconds.
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total slow events ever observed (including overwritten ones).
+    pub fn total_captured(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Record an event if it meets the threshold. Returns true when
+    /// captured.
+    pub fn observe(&self, relation: &str, is_delete: bool, micros: u64) -> bool {
+        if micros < self.threshold_us {
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = SlowEvent {
+            seq,
+            relation: relation.to_string(),
+            is_delete,
+            micros,
+        };
+        let mut ring = self.ring.lock().expect("slow ring poisoned");
+        if ring.len() == self.capacity {
+            // Overwrite the oldest; the ring stays ordered because seq
+            // is monotonic and we rotate by position.
+            let idx = (seq as usize) % self.capacity;
+            ring[idx] = ev;
+        } else {
+            ring.push(ev);
+        }
+        true
+    }
+
+    /// The retained events, oldest first.
+    pub fn dump(&self) -> Vec<SlowEvent> {
+        let ring = self.ring.lock().expect("slow ring poisoned");
+        let mut out = ring.clone();
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_filters_fast_events() {
+        let ring = SlowEventRing::new(100, 8);
+        assert!(!ring.observe("R", false, 99));
+        assert!(ring.observe("R", false, 100));
+        assert!(ring.observe("S", true, 5_000));
+        assert_eq!(ring.total_captured(), 2);
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].relation, "R");
+        assert_eq!(dump[0].seq, 0);
+        assert!(dump[1].is_delete);
+    }
+
+    #[test]
+    fn ring_retains_most_recent_at_capacity() {
+        let ring = SlowEventRing::new(0, 4);
+        for i in 0..10u64 {
+            ring.observe("R", false, i);
+        }
+        assert_eq!(ring.total_captured(), 10);
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 4);
+        let seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, most recent kept");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = SlowEventRing::new(0, 0);
+        ring.observe("R", false, 1);
+        ring.observe("R", false, 2);
+        let dump = ring.dump();
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].micros, 2);
+    }
+}

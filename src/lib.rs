@@ -22,6 +22,10 @@
 //! * [`net`] — the network data plane: the binary wire protocol, the
 //!   standalone `dbtoasterd` server, socket-backed stream sources
 //!   (`SocketSource`/`FeedWriter`) and the blocking `NetClient`,
+//! * [`telemetry`] — dependency-free metrics: atomic counters and
+//!   gauges, lock-free log2 latency histograms, a Prometheus-text HTTP
+//!   endpoint and the slow-event ring — the observability plane every
+//!   layer above records into,
 //! * [`exec`] — the reference interpreter used by baselines and tests,
 //! * [`baselines`] — the bakeoff baseline engines,
 //! * [`workloads`] — order-book and TPC-H/SSB workload generators and
@@ -94,6 +98,7 @@ pub use dbtoaster_net as net;
 pub use dbtoaster_runtime as runtime;
 pub use dbtoaster_server as server;
 pub use dbtoaster_sql as sql;
+pub use dbtoaster_telemetry as telemetry;
 pub use dbtoaster_workloads as workloads;
 
 use dbtoaster_common::{Catalog, Event, Result, Tuple, UpdateStream, Value};
