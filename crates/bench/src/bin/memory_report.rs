@@ -90,19 +90,20 @@ fn shared_store_section(messages: usize) -> Result<(), String> {
         stream.len()
     );
     println!(
-        "{:<24} {:>7} {:<10} {:>8} {:>12}",
-        "map (aliases)", "sharers", "maintainer", "entries", "bytes"
+        "{:<24} {:>7} {:<10} {:>8} {:>12} {:>12}",
+        "map (aliases)", "sharers", "maintainer", "entries", "bytes", "index bytes"
     );
     for m in report.maps.iter().filter(|m| m.sharers > 1) {
         let slot = m.slot.to_string();
         let labels = [("slot", slot.as_str()), ("map", m.aliases[0].1.as_str())];
         println!(
-            "{:<24} {:>7} {:<10} {:>8} {:>12}",
+            "{:<24} {:>7} {:<10} {:>8} {:>12} {:>12}",
             m.aliases[0].1,
             m.sharers,
             m.maintainer,
             gauge("dbt_store_map_entries", &labels),
-            gauge("dbt_store_map_bytes", &labels)
+            gauge("dbt_store_map_bytes", &labels),
+            gauge("dbt_store_map_index_bytes", &labels)
         );
     }
     let store_bytes = gauge("dbt_store_bytes", &[]);
@@ -130,12 +131,27 @@ fn shared_store_section(messages: usize) -> Result<(), String> {
         let labels = [("slot", slot.as_str()), ("map", m.aliases[0].1.as_str())];
         if gauge("dbt_store_map_bytes", &labels) != m.bytes as i64
             || gauge("dbt_store_map_entries", &labels) != m.entries as i64
+            || gauge("dbt_store_map_index_bytes", &labels) != m.index_bytes as i64
         {
             return Err(format!(
                 "per-map gauges for slot {} ({}) disagree with the store report",
                 m.slot, m.aliases[0].1
             ));
         }
+    }
+    // The ordered/cumulative indexes the nested views' inequality-sliced
+    // children request must actually be materialized (and accounted) on
+    // the shared slots.
+    if !report
+        .maps
+        .iter()
+        .any(|m| !m.is_base_relation && m.sharers > 1 && m.index_bytes > 0)
+    {
+        return Err(
+            "no shared hierarchy child map carries index bytes — ordered \
+             indexes were not registered on the shared store"
+                .into(),
+        );
     }
     let slots_named = |name: &str| {
         report

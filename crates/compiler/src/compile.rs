@@ -197,6 +197,7 @@ impl Compiler {
                 definition: spec.definition.clone(),
                 canonical,
                 is_base_relation: false,
+                ordered_keys: Vec::new(),
             });
             self.worklist.push((spec.name.clone(), 0));
         }
@@ -466,6 +467,7 @@ impl Compiler {
             definition,
             canonical,
             is_base_relation: false,
+            ordered_keys: Vec::new(),
         });
         self.worklist.push((name.clone(), depth + 1));
         Ok(CalcExpr::MapRef { name, keys })
@@ -549,6 +551,7 @@ impl Compiler {
             definition,
             canonical,
             is_base_relation: true,
+            ordered_keys: Vec::new(),
         });
         // Base maps are maintained by the ordinary delta path (their delta
         // is simply ±1 at the inserted/deleted key).
@@ -568,6 +571,18 @@ struct HierarchyRegistrar<'a> {
 impl ChildMaterializer for HierarchyRegistrar<'_> {
     fn materialize_child(&mut self, keys: Vec<Var>, body: CalcExpr) -> Result<CalcExpr> {
         self.compiler.materialize_named(keys, body, self.depth)
+    }
+
+    fn request_ordered_index(&mut self, map: &str, key_position: usize) {
+        // Positional, so it survives `materialize_named`'s key renaming;
+        // on a canonically-shared child the request unions with whatever
+        // earlier views asked for.
+        if let Some(decl) = self.compiler.maps.iter_mut().find(|m| m.name == map) {
+            if key_position < decl.keys.len() && !decl.ordered_keys.contains(&key_position) {
+                decl.ordered_keys.push(key_position);
+                decl.ordered_keys.sort_unstable();
+            }
+        }
     }
 }
 

@@ -44,7 +44,7 @@
 
 use std::collections::BTreeSet;
 
-use dbtoaster_calculus::{to_polynomial, CalcExpr, Term, Var};
+use dbtoaster_calculus::{to_polynomial, CalcExpr, CmpOp, Term, ValExpr, Var};
 use dbtoaster_common::Result;
 
 /// Callback through which the extraction registers child maps. The
@@ -55,6 +55,14 @@ pub trait ChildMaterializer {
     /// Materialize `AggSum(keys, body)` as a (possibly shared) map and
     /// return the `CalcExpr::MapRef` replacing it.
     fn materialize_child(&mut self, keys: Vec<Var>, body: CalcExpr) -> Result<CalcExpr>;
+
+    /// Request an ordered/cumulative index on key position `key_position`
+    /// of child map `map`: a surviving comparison ranges over that key
+    /// (the `b2.PRICE > b1.PRICE` shape), so the runtime should answer
+    /// inequality-sliced sums over it as O(log P) prefix queries instead
+    /// of full-domain scans. Positional (robust to key renaming) and
+    /// purely an access-path hint. Default: ignore.
+    fn request_ordered_index(&mut self, _map: &str, _key_position: usize) {}
 }
 
 /// Rewrite a nested map definition `AggSum(keys, body)` into equivalent
@@ -191,6 +199,7 @@ fn rewrite_term(
         observed.extend(f.all_vars());
     }
     let mut factors = coefficient_factor(term);
+    let mut children: Vec<(String, Vec<Var>)> = Vec::new();
     for (component, extra) in components.into_iter().zip(absorbed) {
         let body = CalcExpr::product(component.into_iter().chain(extra).collect());
         let bound_vars: BTreeSet<Var> = body.bound_vars();
@@ -198,10 +207,63 @@ fn rewrite_term(
             .into_iter()
             .filter(|v| bound_vars.contains(v) && observed.contains(v))
             .collect();
-        factors.push(m.materialize_child(keys, body)?);
+        let child = m.materialize_child(keys, body)?;
+        if let CalcExpr::MapRef { name, keys } = &child {
+            children.push((name.clone(), keys.clone()));
+        }
+        factors.push(child);
+    }
+
+    // A child key that a *surviving* comparison ranges over (an
+    // inequality left outside every child — e.g. the correlated
+    // `[P2 > P1]`) will be probed with inequality-sliced reads by the
+    // retract/rebuild bracket; request an ordered index on it so those
+    // reads lower to O(log P) prefix queries. Comparisons nested inside
+    // already-rewritten Lift/Exists/AggSum factors count too: their
+    // correlation parameter is a key of a child at *this* level.
+    let mut ranged: Vec<Var> = Vec::new();
+    for f in &remaining {
+        collect_inequality_operands(f, &mut ranged);
+    }
+    for v in &ranged {
+        for (name, keys) in &children {
+            if let Some(pos) = keys.iter().position(|k| k == v) {
+                m.request_ordered_index(name, pos);
+            }
+        }
     }
     factors.extend(remaining);
     Ok(CalcExpr::product(factors))
+}
+
+/// Collect every variable appearing as a direct operand of an inequality
+/// comparison anywhere in the expression (including inside nested
+/// `Lift`/`Exists`/`AggSum` bodies). Equality comparisons are excluded:
+/// they are answered by hash slices, not ordered indexes.
+fn collect_inequality_operands(expr: &CalcExpr, out: &mut Vec<Var>) {
+    match expr {
+        CalcExpr::Cmp { op, left, right } => {
+            if matches!(op, CmpOp::Lt | CmpOp::LtEq | CmpOp::Gt | CmpOp::GtEq) {
+                for side in [left, right] {
+                    if let ValExpr::Var(v) = side {
+                        if !out.contains(v) {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        CalcExpr::Prod(es) | CalcExpr::Sum(es) => {
+            for e in es {
+                collect_inequality_operands(e, out);
+            }
+        }
+        CalcExpr::Neg(e) | CalcExpr::Exists(e) => collect_inequality_operands(e, out),
+        CalcExpr::AggSum { body, .. } | CalcExpr::Lift { body, .. } => {
+            collect_inequality_operands(body, out);
+        }
+        CalcExpr::Val(_) | CalcExpr::Rel { .. } | CalcExpr::MapRef { .. } => {}
+    }
 }
 
 /// The term's numeric coefficient as a leading factor list.
@@ -264,6 +326,7 @@ mod tests {
     struct Recorder {
         children: Vec<(String, Vec<Var>, CalcExpr)>,
         by_def: FxHashMap<String, String>,
+        ordered_requests: Vec<(String, usize)>,
     }
 
     impl ChildMaterializer for Recorder {
@@ -280,6 +343,13 @@ mod tests {
                 }
             };
             Ok(CalcExpr::MapRef { name, keys })
+        }
+
+        fn request_ordered_index(&mut self, map: &str, key_position: usize) {
+            let request = (map.to_string(), key_position);
+            if !self.ordered_requests.contains(&request) {
+                self.ordered_requests.push(request);
+            }
         }
     }
 
@@ -338,6 +408,25 @@ mod tests {
         // The correlated comparison survives outside the children.
         let s = rewritten.to_string();
         assert!(s.contains("[P2 > P1]"), "{s}");
+        // Both sides of `[P2 > P1]` are ranged-over child keys: the
+        // inner child's P2 (probed per outer price) and the outer
+        // child's P1 (the monotone-guard fast path binary-searches it) —
+        // each gets an ordered-index request on its key position.
+        let mut requests: Vec<(String, usize)> = rec
+            .ordered_requests
+            .iter()
+            .map(|(name, pos)| {
+                let keys = &rec.children.iter().find(|(n, _, _)| n == name).unwrap().1;
+                (keys[*pos].clone(), *pos)
+            })
+            .collect();
+        requests.sort();
+        assert_eq!(
+            requests,
+            vec![("P1".to_string(), 0), ("P2".to_string(), 0)],
+            "{:?}",
+            rec.ordered_requests
+        );
     }
 
     /// An uncorrelated scalar subquery becomes a 0-ary child.

@@ -28,6 +28,15 @@ pub struct MapDecl {
     /// materialized copies of stream relations used by depth-limited
     /// compilation and by nested-aggregate re-evaluation statements.
     pub is_base_relation: bool,
+    /// Key positions the runtime should additionally maintain an
+    /// *ordered/cumulative* index over (order-statistic range sums).
+    /// Requested by the hierarchy pass when a surrounding comparison
+    /// binds this key with an inequality (the `b2.PRICE > b1.PRICE`
+    /// shape). Purely an access-path hint: it never changes map
+    /// contents, so it is excluded from [`MapDecl::fingerprint`] and
+    /// shared-store slots union the requests of all sharers.
+    #[serde(default)]
+    pub ordered_keys: Vec<usize>,
 }
 
 impl MapDecl {
@@ -288,6 +297,7 @@ mod tests {
             ),
             canonical: String::new(),
             is_base_relation: false,
+            ordered_keys: Vec::new(),
         };
         // Same structure under different variable names: equal prints.
         assert_eq!(
@@ -309,6 +319,7 @@ mod tests {
             definition: CalcExpr::constant(1),
             canonical: String::new(),
             is_base_relation: false,
+            ordered_keys: Vec::new(),
         };
         let mut p = TriggerProgram {
             sql: None,

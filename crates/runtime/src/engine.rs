@@ -79,6 +79,11 @@ impl Engine {
                 maps[map].register_pattern(p);
             }
         }
+        for (map, positions) in exec.ordered.iter().enumerate() {
+            for &p in positions {
+                maps[map].register_ordered(p);
+            }
+        }
         Ok(Engine {
             program: program.clone(),
             exec,
@@ -481,24 +486,153 @@ fn run_statement<M: MapWrite + ?Sized>(
         maps.map_mut(stmt.target).clear();
     }
     updates.clear();
-    run_block(&*maps, &stmt.block, env, 0, &mut |env, maps| {
-        let key: Tuple = stmt
-            .keys
-            .iter()
-            .map(|k| eval_scalar(k, env, maps))
-            .collect();
-        let value = match &stmt.block.value {
-            Some(v) => eval_scalar(v, env, maps),
-            None => Value::ONE,
-        };
-        if !value.is_zero() {
-            updates.push((key, value));
-        }
-    });
+    let fast = match &stmt.interval {
+        Some(plan) => run_interval_statement(plan, stmt, &*maps, env, updates),
+        None => false,
+    };
+    if !fast {
+        run_block(&*maps, &stmt.block, env, 0, &mut |env, maps| {
+            let key: Tuple = stmt
+                .keys
+                .iter()
+                .map(|k| eval_scalar(k, env, maps))
+                .collect();
+            let value = match &stmt.block.value {
+                Some(v) => eval_scalar(v, env, maps),
+                None => Value::ONE,
+            };
+            if !value.is_zero() {
+                updates.push((key, value));
+            }
+        });
+    }
     let target = stmt.target;
     for (key, value) in updates.drain(..) {
         maps.map_mut(target).add(key, value);
     }
+}
+
+/// Evaluate the pivot guard of an interval plan at one outer key: bind
+/// the key, evaluate the probe (the inner range sum at that key), and
+/// test the guard.
+fn interval_guard_true<M: MapRead + ?Sized>(
+    key: &Value,
+    plan: &crate::lower::IntervalPlan,
+    block: &Block,
+    env: &mut [Value],
+    maps: &M,
+) -> bool {
+    env[plan.key_slot] = key.clone();
+    let probe = eval_scalar(&plan.probe, env, maps);
+    env[plan.probe_slot] = probe;
+    eval_scalar(&block.guards[plan.pivot_guard], env, maps).as_bool()
+}
+
+/// The monotone-guard interval fast path: execute a statement carrying
+/// an [`crate::lower::IntervalPlan`] in O(log² P) instead of looping the
+/// outer map — binary-search the guard's flip point over the outer
+/// ordered index (each probe an O(log P) inner range sum), then fold the
+/// surviving key interval with one O(log P) interval sum.
+///
+/// Returns `true` when the statement was fully handled (its updates
+/// staged in `updates`); `false` when a runtime precondition fails —
+/// missing indexes, mixed-class keys, or negative inner values breaking
+/// the probe's monotonicity — in which case the caller falls back to the
+/// loop, which is always correct.
+fn run_interval_statement<M: MapRead + ?Sized>(
+    plan: &crate::lower::IntervalPlan,
+    stmt: &crate::lower::ExecStatement,
+    maps: &M,
+    env: &mut [Value],
+    updates: &mut Vec<(Tuple, Value)>,
+) -> bool {
+    let block = &stmt.block;
+    let outer = maps.map(plan.outer_map);
+    if !outer.has_ordered(0) {
+        return false;
+    }
+    let inner = maps.map(plan.inner_map);
+    if !inner.has_ordered(plan.inner_ordered_pos) {
+        return false;
+    }
+
+    // Loop-invariant assignments (everything but the probe), in the same
+    // order the loop would run them: hoisted (level 0) first, innermost
+    // after. Each is evaluated exactly once — they read no loop slots.
+    for a in &block.assigns {
+        if a.slot != plan.probe_slot && a.level.unwrap_or(block.loops.len()) == 0 {
+            env[a.slot] = eval_scalar(&a.value, env, maps);
+        }
+    }
+    for a in &block.assigns {
+        if a.slot != plan.probe_slot && a.level.unwrap_or(block.loops.len()) != 0 {
+            env[a.slot] = eval_scalar(&a.value, env, maps);
+        }
+    }
+
+    // The probe is monotone in the outer key only while the inner map's
+    // summed values are all non-negative (a shrinking range can otherwise
+    // grow in value); the ordered group tracks that cheaply.
+    let Scalar::RangeSum { eq_values, .. } = &plan.probe else {
+        return false;
+    };
+    let inner_eq: Tuple = eq_values
+        .iter()
+        .map(|s| eval_scalar(s, env, maps))
+        .collect();
+    if let Some(view) = inner.ordered_view(plan.inner_ordered_pos, &inner_eq) {
+        if !view.nonnegative() {
+            return false;
+        }
+    }
+
+    // Loop-invariant guards: evaluated once; any failure zeroes the
+    // whole statement (exactly as it would kill every loop iteration).
+    for (gi, g) in block.guards.iter().enumerate() {
+        if gi != plan.pivot_guard && !eval_scalar(g, env, maps).as_bool() {
+            return true;
+        }
+    }
+
+    let Some(view) = outer.ordered_view(0, &Tuple::empty()) else {
+        return true; // empty outer map: the loop would emit nothing
+    };
+    if !view.comparable() {
+        // Mixed-class keys: the index's sort order can disagree with SQL
+        // comparison, so the flip point is not well-defined.
+        return false;
+    }
+
+    // Binary-search the guard's flip point along the sorted outer keys.
+    let keys = view.keys();
+    let n = keys.len();
+    let flip = if plan.rising {
+        keys.partition_point(|k| !interval_guard_true(k, plan, block, env, maps))
+    } else {
+        keys.partition_point(|k| interval_guard_true(k, plan, block, env, maps))
+    };
+    let (lo, hi) = if plan.rising { (flip, n) } else { (0, flip) };
+    if lo >= hi {
+        return true;
+    }
+
+    // One interval sum replaces the whole surviving sub-loop; the
+    // emitted value distributes over it (integer-exactly) because every
+    // non-value factor is loop-invariant.
+    env[plan.value_slot] = view.interval_sum(lo, hi);
+    let key: Tuple = stmt
+        .keys
+        .iter()
+        .map(|k| eval_scalar(k, env, maps))
+        .collect();
+    let value = match &block.value {
+        Some(v) => eval_scalar(v, env, maps),
+        None => Value::ONE,
+    };
+    if !value.is_zero() {
+        updates.push((key, value));
+    }
+    true
 }
 
 /// Output column names of a lowered program, in `SELECT` order.
@@ -678,6 +812,27 @@ fn eval_scalar<M: MapRead + ?Sized>(scalar: &Scalar, env: &[Value], maps: &M) ->
         Scalar::Lookup { map, keys } => {
             let key: Tuple = keys.iter().map(|k| eval_scalar(k, env, maps)).collect();
             maps.map(*map).get(&key)
+        }
+        Scalar::RangeSum {
+            map,
+            eq_positions,
+            eq_values,
+            ordered_pos,
+            op,
+            bound,
+        } => {
+            let eq_bound: Tuple = eq_values
+                .iter()
+                .map(|k| eval_scalar(k, env, maps))
+                .collect();
+            let b = eval_scalar(bound, env, maps);
+            let storage = maps.map(*map);
+            // O(log P) from the ordered index when it can answer exactly
+            // under SQL comparison semantics; O(P) scan otherwise.
+            match storage.range_sum(*ordered_pos, &eq_bound, *op, &b) {
+                Some(v) => v,
+                None => storage.range_sum_scan(*ordered_pos, eq_positions, &eq_bound, *op, &b),
+            }
         }
         Scalar::Aggregate(block) => eval_block_sum(block, env, maps),
         Scalar::Exists(block) => {

@@ -46,6 +46,23 @@ pub enum Scalar {
     Aggregate(Box<Block>),
     /// 1 if the nested block sums to a non-zero value (used for EXISTS).
     Exists(Box<Block>),
+    /// `Σ value` over one map's entries whose `ordered_pos` key satisfies
+    /// `key ⟨op⟩ bound` (with every other key position equality-bound by
+    /// `eq_values`). The O(log P) lowering of an inequality-sliced
+    /// aggregation loop — `sum(VOLUME) where PRICE > p` as an ordered
+    /// index probe instead of a full-domain scan. Falls back to a scan
+    /// when the map has no usable ordered index.
+    RangeSum {
+        map: usize,
+        /// Equality-bound key positions (ascending; every position
+        /// except `ordered_pos`) and the scalars producing their values.
+        eq_positions: Vec<usize>,
+        eq_values: Vec<Scalar>,
+        /// The key position ranged over.
+        ordered_pos: usize,
+        op: CmpOp,
+        bound: Box<Scalar>,
+    },
 }
 
 /// One loop over a map slice: the positions in `bound` are fixed to the
@@ -92,6 +109,40 @@ pub struct Block {
     pub value: Option<Scalar>,
 }
 
+/// The whole-statement fast path for the correlated-inequality bracket
+/// shape: a scalar-target statement that loops an *ordered* outer map,
+/// probes a range aggregate of an inner map correlated through the loop
+/// key, and gates emission on a guard *monotone* in that key. Instead of
+/// evaluating the guard once per outer entry (O(P) probes of O(log P)
+/// each per statement — O(P log P)), the executor binary-searches the
+/// guard's flip boundary over the outer index's sorted keys (O(log P)
+/// probes) and answers with one interval sum — O(log² P) per statement.
+///
+/// Detection is purely structural; the executor re-checks the runtime
+/// preconditions (ordered indexes present, inner values non-negative so
+/// the probe really is monotone) every event and falls back to the loop
+/// when they fail, so the plan is an optimization hint, never a
+/// semantics change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalPlan {
+    /// The outer loop's map (arity 1, fully unbound loop).
+    pub outer_map: usize,
+    /// Slot receiving the outer key / the outer value.
+    pub key_slot: usize,
+    pub value_slot: usize,
+    /// Slot assigned the inner range aggregate, and its defining scalar
+    /// (a `Scalar::RangeSum` whose bound is `Slot(key_slot)`).
+    pub probe_slot: usize,
+    pub probe: Scalar,
+    /// The inner map the probe ranges over (for precondition checks).
+    pub inner_map: usize,
+    pub inner_ordered_pos: usize,
+    /// Index of the monotone guard within `block.guards`.
+    pub pivot_guard: usize,
+    /// True when the guard flips false→true as the outer key increases.
+    pub rising: bool,
+}
+
 /// One executable statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecStatement {
@@ -112,6 +163,9 @@ pub struct ExecStatement {
     pub slots: usize,
     /// Human-readable form, for the tracing debugger.
     pub rendered: String,
+    /// O(log² P) execution plan when the statement matches the
+    /// monotone-guard interval shape; `block` remains the fallback.
+    pub interval: Option<IntervalPlan>,
 }
 
 /// A compiled trigger: all statements for one (relation, event kind).
@@ -162,6 +216,9 @@ pub struct ExecProgram {
     pub map_arities: Vec<usize>,
     /// Secondary-index patterns required per map.
     pub patterns: Vec<Vec<Vec<usize>>>,
+    /// Ordered-index key positions required per map (range-aggregation
+    /// probes, monotone-guard interval plans).
+    pub ordered: Vec<Vec<usize>>,
     pub triggers: Vec<((String, EventKind), CompiledTrigger)>,
     pub result: ResultSpec,
     /// Names of base relations that have at least one trigger.
@@ -230,15 +287,18 @@ impl ExecProgram {
         let mut map_names = vec![String::new(); slot_count];
         let mut map_arities = vec![0usize; slot_count];
         let mut patterns = vec![Vec::new(); slot_count];
+        let mut ordered = vec![Vec::new(); slot_count];
         for (local, &slot) in slot_of.iter().enumerate() {
             map_names[slot] = self.map_names[local].clone();
             map_arities[slot] = self.map_arities[local];
             patterns[slot] = self.patterns[local].clone();
+            ordered[slot] = self.ordered[local].clone();
         }
         let mut out = ExecProgram {
             map_names,
             map_arities,
             patterns,
+            ordered,
             triggers: self
                 .triggers
                 .iter()
@@ -323,6 +383,17 @@ fn remap_statement(stmt: &ExecStatement, slot_of: &[usize]) -> ExecStatement {
         block: remap_block(&stmt.block, slot_of),
         slots: stmt.slots,
         rendered: stmt.rendered.clone(),
+        interval: stmt.interval.as_ref().map(|p| IntervalPlan {
+            outer_map: slot_of[p.outer_map],
+            key_slot: p.key_slot,
+            value_slot: p.value_slot,
+            probe_slot: p.probe_slot,
+            probe: remap_scalar(&p.probe, slot_of),
+            inner_map: slot_of[p.inner_map],
+            inner_ordered_pos: p.inner_ordered_pos,
+            pivot_guard: p.pivot_guard,
+            rising: p.rising,
+        }),
     }
 }
 
@@ -383,6 +454,21 @@ fn remap_scalar(scalar: &Scalar, slot_of: &[usize]) -> Scalar {
         },
         Scalar::Aggregate(block) => Scalar::Aggregate(Box::new(remap_block(block, slot_of))),
         Scalar::Exists(block) => Scalar::Exists(Box::new(remap_block(block, slot_of))),
+        Scalar::RangeSum {
+            map,
+            eq_positions,
+            eq_values,
+            ordered_pos,
+            op,
+            bound,
+        } => Scalar::RangeSum {
+            map: slot_of[*map],
+            eq_positions: eq_positions.clone(),
+            eq_values: eq_values.iter().map(|s| remap_scalar(s, slot_of)).collect(),
+            ordered_pos: *ordered_pos,
+            op: *op,
+            bound: Box::new(remap_scalar(bound, slot_of)),
+        },
     }
 }
 
@@ -392,10 +478,21 @@ pub fn lower_program(program: &TriggerProgram) -> Result<ExecProgram> {
     let map_arities: Vec<usize> = program.maps.iter().map(|m| m.keys.len()).collect();
     let mut exec = ExecProgram {
         patterns: vec![Vec::new(); map_names.len()],
+        ordered: vec![Vec::new(); map_names.len()],
         map_names,
         map_arities,
         ..Default::default()
     };
+    // Declarative ordered-index requests from the compiler (hierarchy
+    // children whose surrounding comparison binds an ordered key); the
+    // range-aggregation rewrite below adds its own requirements on top.
+    for (id, decl) in program.maps.iter().enumerate() {
+        for &pos in &decl.ordered_keys {
+            if pos < decl.keys.len() && !exec.ordered[id].contains(&pos) {
+                exec.ordered[id].push(pos);
+            }
+        }
+    }
     // Statement lowering resolves map names constantly; index them now
     // (the trigger index is completed by the final rebuild below).
     exec.rebuild_indexes();
@@ -560,6 +657,15 @@ fn lower_statement(
             lowerer.bound[s] = true;
         }
         let (block, key_scalars) = build_block(&mut lowerer, term, &statement.target_keys, true)?;
+        let interval = plan_interval(&block, &key_scalars);
+        if let Some(plan) = &interval {
+            // The fast path also ranges over the *outer* map; make sure
+            // its ordered index exists.
+            let ord = &mut lowerer.exec.ordered[plan.outer_map];
+            if !ord.contains(&0) {
+                ord.push(0);
+            }
+        }
         out.push(ExecStatement {
             target,
             clear_target: clear_target && i == 0,
@@ -568,9 +674,188 @@ fn lower_statement(
             block,
             slots: lowerer.slots.len(),
             rendered: statement.to_string(),
+            interval,
         });
     }
     Ok(out)
+}
+
+/// Sign of `d(inner range sum)/d(outer key)` for an inner comparison
+/// operator, valid when the inner map's values are all non-negative
+/// (checked at runtime): a `key > bound` range shrinks as the bound
+/// grows, a `key < bound` range grows.
+fn range_direction(op: CmpOp) -> Option<i64> {
+    match op {
+        CmpOp::Gt | CmpOp::GtEq => Some(-1),
+        CmpOp::Lt | CmpOp::LtEq => Some(1),
+        CmpOp::Eq | CmpOp::NotEq => None,
+    }
+}
+
+/// True when `scalar` is `Slot(slot)` scaled by positive constants only
+/// — the shape whose comparison direction in `slot` is known statically.
+fn positive_linear_in(scalar: &Scalar, slot: usize) -> bool {
+    match scalar {
+        Scalar::Slot(i) => *i == slot,
+        Scalar::Mul(fs) => {
+            let mut hits = 0usize;
+            for f in fs {
+                match f {
+                    Scalar::Slot(i) if *i == slot => hits += 1,
+                    Scalar::Const(Value::Int(c)) if *c > 0 => {}
+                    Scalar::Const(Value::Float(c)) if *c > 0.0 => {}
+                    _ => return false,
+                }
+            }
+            hits == 1
+        }
+        _ => false,
+    }
+}
+
+fn reads(scalar: &Scalar) -> BTreeSet<usize> {
+    let mut r = BTreeSet::new();
+    scalar_read_slots(scalar, &mut r);
+    r
+}
+
+/// Detect the monotone-guard interval shape (see [`IntervalPlan`]):
+/// scalar target; a single unbounded loop over an arity-1 map; exactly
+/// one assignment probing a [`Scalar::RangeSum`] of the inner map at the
+/// loop key, all other assignments loop-invariant; exactly one guard
+/// reading that probe, linear in it with positive coefficient; the
+/// emitted value the loop's map value times loop-invariant factors.
+fn plan_interval(block: &Block, keys: &[Scalar]) -> Option<IntervalPlan> {
+    if !keys.is_empty() || block.loops.len() != 1 {
+        return None;
+    }
+    let lp = &block.loops[0];
+    if !lp.bound_positions.is_empty() || lp.bind.len() != 1 || lp.bind[0].0 != 0 {
+        return None;
+    }
+    let (_, key_slot) = lp.bind[0];
+    let value_slot = lp.value_slot;
+    let loop_local = |r: &BTreeSet<usize>| r.contains(&key_slot) || r.contains(&value_slot);
+
+    // Emitted value: the loop's map value, times loop-invariant factors
+    // (constants, trigger args, level-0 slots) — so the interval's sum
+    // distributes over it exactly in the integer ring.
+    match block.value.as_ref()? {
+        Scalar::Slot(s) if *s == value_slot => {}
+        Scalar::Mul(fs) => {
+            let mut hits = 0usize;
+            for f in fs {
+                if matches!(f, Scalar::Slot(s) if *s == value_slot) {
+                    hits += 1;
+                } else if loop_local(&reads(f)) {
+                    return None;
+                }
+            }
+            if hits != 1 {
+                return None;
+            }
+        }
+        _ => return None,
+    }
+
+    // Exactly one probe assignment: a RangeSum bound to the loop key.
+    // Everything else must be loop-invariant and independent of the probe.
+    let mut probe: Option<(usize, &Scalar, usize, usize, i64)> = None;
+    for a in &block.assigns {
+        if let Scalar::RangeSum {
+            map,
+            eq_values,
+            ordered_pos,
+            op,
+            bound,
+            ..
+        } = &a.value
+        {
+            let correlated = **bound == Scalar::Slot(key_slot);
+            if correlated && probe.is_none() {
+                if eq_values.iter().any(|s| loop_local(&reads(s))) {
+                    return None;
+                }
+                let direction = range_direction(*op)?;
+                probe = Some((a.slot, &a.value, *map, *ordered_pos, direction));
+                continue;
+            }
+        }
+        if loop_local(&reads(&a.value)) {
+            return None;
+        }
+    }
+    let (probe_slot, probe_scalar, inner_map, inner_ordered_pos, probe_direction) = probe?;
+    // Nothing but the pivot guard may read the probe slot.
+    for a in &block.assigns {
+        if a.slot != probe_slot && reads(&a.value).contains(&probe_slot) {
+            return None;
+        }
+    }
+    if let Some(v) = &block.value {
+        if reads(v).contains(&probe_slot) {
+            return None;
+        }
+    }
+
+    // Exactly one guard reads the probe or the key — the pivot. Each of
+    // its comparison sides must have a statically known direction in the
+    // outer key: positive-linear in the key itself (+1), positive-linear
+    // in the probe (the inner range's direction, e.g. −1 for a
+    // `inner > key` range that shrinks as the key grows), or
+    // loop-invariant (0). A side rising and a side falling (or constant)
+    // makes the guard's truth monotone along the sorted keys.
+    let side_direction = |side: &Scalar| -> Option<i64> {
+        if positive_linear_in(side, key_slot) {
+            return Some(1);
+        }
+        if positive_linear_in(side, probe_slot) {
+            return Some(probe_direction);
+        }
+        let r = reads(side);
+        if loop_local(&r) || r.contains(&probe_slot) {
+            return None;
+        }
+        Some(0)
+    };
+    let mut pivot: Option<(usize, bool)> = None;
+    for (gi, g) in block.guards.iter().enumerate() {
+        let r = reads(g);
+        if !r.contains(&probe_slot) && !loop_local(&r) {
+            continue; // loop-invariant guard: evaluated once up front
+        }
+        if pivot.is_some() {
+            return None;
+        }
+        let Scalar::Cmp { op, left, right } = g else {
+            return None;
+        };
+        let (dl, dr) = (side_direction(left)?, side_direction(right)?);
+        if dl == dr {
+            // Both sides move the same way (or the guard is degenerate):
+            // `left - right` is not monotone in the key.
+            return None;
+        }
+        let rising = match op {
+            CmpOp::Gt | CmpOp::GtEq => dl > dr,
+            CmpOp::Lt | CmpOp::LtEq => dr > dl,
+            CmpOp::Eq | CmpOp::NotEq => return None,
+        };
+        pivot = Some((gi, rising));
+    }
+    let (pivot_guard, rising) = pivot?;
+
+    Some(IntervalPlan {
+        outer_map: lp.map,
+        key_slot,
+        value_slot,
+        probe_slot,
+        probe: probe_scalar.clone(),
+        inner_map,
+        inner_ordered_pos,
+        pivot_guard,
+        rising,
+    })
 }
 
 /// Flatten a calculus product term into atomic factors, folding signs.
@@ -1005,6 +1290,14 @@ fn scalar_read_slots(scalar: &Scalar, out: &mut BTreeSet<usize>) {
             }
         }
         Scalar::Aggregate(block) | Scalar::Exists(block) => block_free_slots(block, out),
+        Scalar::RangeSum {
+            eq_values, bound, ..
+        } => {
+            for s in eq_values {
+                scalar_read_slots(s, out);
+            }
+            scalar_read_slots(bound, out);
+        }
     }
 }
 
@@ -1088,9 +1381,77 @@ fn build_nested_scalar(lowerer: &mut Lowerer<'_>, body: &CalcExpr) -> Result<Sca
         CalcExpr::Val(v) => lower_val(lowerer, v),
         other => {
             let block = build_nested_block(lowerer, other)?;
+            if let Some(range) = lower_range_sum(lowerer, &block) {
+                return Ok(range);
+            }
             Ok(Scalar::Aggregate(Box::new(block)))
         }
     }
+}
+
+/// Rewrite an aggregation block of the inequality-sliced shape — one
+/// loop whose single unbound key is constrained only by one comparison
+/// against a loop-invariant bound, summing the map value itself — into a
+/// [`Scalar::RangeSum`] probe of the map's ordered index: O(log P)
+/// instead of O(P) per evaluation. Registers the index requirement on
+/// the map. Any block that doesn't match keeps its loop.
+fn lower_range_sum(lowerer: &mut Lowerer<'_>, block: &Block) -> Option<Scalar> {
+    if block.loops.len() != 1 || !block.assigns.is_empty() || block.guards.len() != 1 {
+        return None;
+    }
+    let lp = &block.loops[0];
+    if lp.bind.len() != 1 {
+        return None;
+    }
+    let (ordered_pos, key_slot) = lp.bind[0];
+    if block.value != Some(Scalar::Slot(lp.value_slot)) {
+        return None;
+    }
+    let Scalar::Cmp { op, left, right } = &block.guards[0] else {
+        return None;
+    };
+    let (op, bound) = if **left == Scalar::Slot(key_slot) {
+        (*op, right.as_ref())
+    } else if **right == Scalar::Slot(key_slot) {
+        (op.flip(), left.as_ref())
+    } else {
+        return None;
+    };
+    // The bound must be loop-invariant (an outer correlation parameter,
+    // trigger argument or constant — not this loop's own bindings).
+    let bound_reads = reads(bound);
+    if bound_reads.contains(&key_slot) || bound_reads.contains(&lp.value_slot) {
+        return None;
+    }
+    // The ordered index groups by *every* non-ordered position, in
+    // ascending order; the loop's bound positions must be exactly that
+    // complement (sorted here, values carried along) or the probe would
+    // aggregate a different slice than the loop did.
+    let mut eq: Vec<(usize, Scalar)> = lp
+        .bound_positions
+        .iter()
+        .copied()
+        .zip(lp.bound_values.iter().cloned())
+        .collect();
+    eq.sort_by_key(|(p, _)| *p);
+    let arity = lowerer.exec.map_arities[lp.map];
+    let complement: Vec<usize> = (0..arity).filter(|&p| p != ordered_pos).collect();
+    if eq.iter().map(|(p, _)| *p).ne(complement.iter().copied()) {
+        return None;
+    }
+    let (eq_positions, eq_values): (Vec<usize>, Vec<Scalar>) = eq.into_iter().unzip();
+    let ord = &mut lowerer.exec.ordered[lp.map];
+    if !ord.contains(&ordered_pos) {
+        ord.push(ordered_pos);
+    }
+    Some(Scalar::RangeSum {
+        map: lp.map,
+        eq_positions,
+        eq_values,
+        ordered_pos,
+        op,
+        bound: Box::new(bound.clone()),
+    })
 }
 
 /// Lower a value expression whose variables may not be bound yet; slots

@@ -63,6 +63,9 @@ pub struct MapRegistration {
     pub is_base_relation: bool,
     /// Secondary-index patterns this view's loops need on the map.
     pub patterns: Vec<Vec<usize>>,
+    /// Key positions this view's range aggregations need an
+    /// ordered/cumulative index over.
+    pub ordered: Vec<usize>,
     /// May this view bind an already-stored copy of the map instead of
     /// materializing its own? False when the view requires *pre-event*
     /// reads of the map — it has a delta (`Update`) statement that reads
@@ -261,6 +264,9 @@ impl SharedMapStore {
                     for p in &reg.patterns {
                         storage[index].register_pattern(p);
                     }
+                    for &p in &reg.ordered {
+                        storage[index].register_ordered(p);
+                    }
                     binding.slots.push(slot);
                     binding.maintains.push(false);
                 }
@@ -270,6 +276,9 @@ impl SharedMapStore {
                     let mut storage = MapStorage::new(reg.arity);
                     for p in &reg.patterns {
                         storage.register_pattern(p);
+                    }
+                    for &p in &reg.ordered {
+                        storage.register_ordered(p);
                     }
                     let index = {
                         let maps = self.groups[group].get_mut();
@@ -482,6 +491,7 @@ mod tests {
             arity,
             is_base_relation: name.starts_with("BASE_"),
             patterns: Vec::new(),
+            ordered: Vec::new(),
             shareable: true,
         }
     }
@@ -613,6 +623,37 @@ mod tests {
         store.with_map(b.slots[0], |m| {
             assert_eq!(m.index_count(), 1, "pattern registered on shared storage");
             assert_eq!(m.slice(&[0], &tuple![1i64]).len(), 1, "and backfilled");
+        });
+    }
+
+    #[test]
+    fn shared_slots_backfill_new_ordered_indexes() {
+        use dbtoaster_calculus::CmpOp;
+        let mut store = SharedMapStore::new();
+        let a = store.register_view(0, &[reg("BASE_R", "fp:base_r", 2)]);
+        let plan = store.plan(&a.groups);
+        {
+            let mut guards = store.lock_write(plan.groups());
+            let mut frame = plan.write_frame(&mut guards);
+            frame
+                .map_mut(a.slots[0])
+                .add(tuple![1i64, 10i64], Value::Int(3));
+            frame
+                .map_mut(a.slots[0])
+                .add(tuple![1i64, 20i64], Value::Int(4));
+        }
+        // Second view needs an ordered index the first never registered.
+        let mut shared = reg("BASE_R", "fp:base_r", 2);
+        shared.ordered = vec![1];
+        let b = store.register_view(1, &[shared]);
+        assert_eq!(b.slots, a.slots, "same storage");
+        store.with_map(b.slots[0], |m| {
+            assert!(m.has_ordered(1), "ordered index registered on shared slot");
+            assert_eq!(
+                m.range_sum(1, &tuple![1i64], CmpOp::Gt, &Value::Int(10)),
+                Some(Value::Int(4)),
+                "and backfilled from live entries"
+            );
         });
     }
 

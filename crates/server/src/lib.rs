@@ -129,6 +129,13 @@ struct StageMetrics {
 /// [`ViewServer::set_metrics_enabled`]; counters and gauges always
 /// record (several replace pre-existing bookkeeping and must stay
 /// exact).
+/// Footprint gauges of one store slot (labels fixed at allocation).
+struct SlotGauges {
+    bytes: Arc<Gauge>,
+    entries: Arc<Gauge>,
+    index_bytes: Arc<Gauge>,
+}
+
 struct ServerMetrics {
     registry: Arc<MetricsRegistry>,
     /// Per-event apply latency: the single-event fast path end to end,
@@ -144,9 +151,9 @@ struct ServerMetrics {
     store_bytes: Arc<Gauge>,
     store_bytes_if_unshared: Arc<Gauge>,
     store_entries: Arc<Gauge>,
-    /// Per-slot `(bytes, entries)` gauges, indexed by slot id; extended
-    /// as registration allocates slots.
-    slot_gauges: Mutex<Vec<(Arc<Gauge>, Arc<Gauge>)>>,
+    /// Per-slot footprint gauges, indexed by slot id; extended as
+    /// registration allocates slots.
+    slot_gauges: Mutex<Vec<SlotGauges>>,
     /// Slow-event ring, when configured
     /// ([`ViewServer::set_slow_event_ring`]).
     slow: Option<Arc<SlowEventRing>>,
@@ -397,6 +404,9 @@ pub struct StoreMapReport {
     pub entries: usize,
     /// Approximate bytes (counted once, however many views share it).
     pub bytes: usize,
+    /// Bytes of the map's secondary indexes (slice patterns + ordered
+    /// cumulative indexes), already included in `bytes`.
+    pub index_bytes: usize,
 }
 
 /// Shared-store introspection: what deduplicated, who maintains what,
@@ -559,6 +569,7 @@ impl ViewServer {
                 arity: decl.keys.len(),
                 is_base_relation: decl.is_base_relation,
                 patterns: local.patterns[i].clone(),
+                ordered: local.ordered[i].clone(),
                 shareable: !needs_pre_event_read(decl),
             })
             .collect();
@@ -688,18 +699,23 @@ impl ViewServer {
             let slot_label = slot.to_string();
             let map_name = meta.aliases.first().map(|(_, n)| n.as_str()).unwrap_or("?");
             let labels = [("slot", slot_label.as_str()), ("map", map_name)];
-            slot_gauges.push((
-                self.metrics.registry.gauge(
+            slot_gauges.push(SlotGauges {
+                bytes: self.metrics.registry.gauge(
                     "dbt_store_map_bytes",
                     "Approximate bytes of one stored map",
                     &labels,
                 ),
-                self.metrics.registry.gauge(
+                entries: self.metrics.registry.gauge(
                     "dbt_store_map_entries",
                     "Live entries of one stored map",
                     &labels,
                 ),
-            ));
+                index_bytes: self.metrics.registry.gauge(
+                    "dbt_store_map_index_bytes",
+                    "Approximate bytes of one stored map's secondary indexes",
+                    &labels,
+                ),
+            });
         }
     }
 
@@ -1207,15 +1223,17 @@ impl ViewServer {
         for (slot, meta) in self.store.slots().iter().enumerate() {
             let m = frame.map(slot);
             let bytes = m.approx_bytes();
+            let index_bytes = m.index_bytes();
             report.total_bytes += bytes;
             report.bytes_if_unshared += bytes * meta.sharers();
             if meta.sharers() > 1 {
                 report.shared_slots += 1;
             }
             entries_total += m.len();
-            if let Some((bytes_gauge, entries_gauge)) = slot_gauges.get(slot) {
-                bytes_gauge.set(bytes as i64);
-                entries_gauge.set(m.len() as i64);
+            if let Some(g) = slot_gauges.get(slot) {
+                g.bytes.set(bytes as i64);
+                g.entries.set(m.len() as i64);
+                g.index_bytes.set(index_bytes as i64);
             }
             report.maps.push(StoreMapReport {
                 slot,
@@ -1230,6 +1248,7 @@ impl ViewServer {
                 sharers: meta.sharers(),
                 entries: m.len(),
                 bytes,
+                index_bytes,
             });
         }
         for view in &self.views {

@@ -1,0 +1,188 @@
+//! Randomized property tests for the ordered/cumulative map index.
+//!
+//! A `MapStorage` with an ordered index registered on one key position
+//! is driven through long mixed streams — inserts, point updates via
+//! positive and negative deltas, `set`, deletions down to empty and
+//! `clear` — and after every step a batch of random range queries
+//! compares the O(log P) index probe (`range_sum`) against the naive
+//! O(P) primary-storage scan (`range_sum_scan`). Key domains are kept
+//! deliberately small so duplicate ordered keys across groups and
+//! repeated insert/delete cycles on the same key are the common case,
+//! not the exception. An independent `HashMap` model additionally
+//! checks the primary storage itself, so a bug that corrupted both the
+//! index and the scan identically would still be caught.
+
+use std::collections::HashMap;
+
+use dbtoaster::calculus::CmpOp;
+use dbtoaster::prelude::*;
+use dbtoaster::runtime::MapStorage;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const OPS: [CmpOp; 6] = [
+    CmpOp::Lt,
+    CmpOp::LtEq,
+    CmpOp::Gt,
+    CmpOp::GtEq,
+    CmpOp::Eq,
+    CmpOp::NotEq,
+];
+
+/// Probe the index and the scan for a random (group, op, bound) triple;
+/// the probe must be available (the index is registered) and agree with
+/// the scan exactly (integer values).
+fn check_queries(map: &MapStorage, rng: &mut SmallRng, queries: usize) {
+    for _ in 0..queries {
+        let group = tuple![rng.gen_range(0..4i64)];
+        let op = OPS[rng.gen_range(0..OPS.len())];
+        let bound = Value::Int(rng.gen_range(-2..28i64));
+        let probe = map
+            .range_sum(1, &group, op, &bound)
+            .expect("ordered index registered, probe must be available");
+        let scan = map.range_sum_scan(1, &[0], &group, op, &bound);
+        assert_eq!(
+            probe, scan,
+            "index probe diverged from scan oracle: group={group:?} {op:?} {bound:?}"
+        );
+    }
+}
+
+#[test]
+fn ordered_index_matches_scan_oracle_under_mixed_int_stream() {
+    let mut rng = SmallRng::seed_from_u64(0xD817);
+    let mut map = MapStorage::new(2);
+    let mut model: HashMap<(i64, i64), i64> = HashMap::new();
+
+    // Populate before registering: the registration must backfill the
+    // index from live entries.
+    for _ in 0..40 {
+        let g = rng.gen_range(0..4i64);
+        let k = rng.gen_range(0..25i64);
+        let d = rng.gen_range(1..4i64);
+        map.add(tuple![g, k], Value::Int(d));
+        *model.entry((g, k)).or_insert(0) += d;
+    }
+    map.register_ordered(1);
+    assert!(map.has_ordered(1));
+    check_queries(&map, &mut rng, 50);
+
+    for round in 0..2_000 {
+        let g = rng.gen_range(0..4i64);
+        let k = rng.gen_range(0..25i64);
+        match rng.gen_range(0..10) {
+            // Mostly deltas, negative as often as positive: keys cycle
+            // through zero (entry dropped) and back.
+            0..=6 => {
+                let d = rng.gen_range(-3..=3i64);
+                map.add(tuple![g, k], Value::Int(d));
+                let slot = model.entry((g, k)).or_insert(0);
+                *slot += d;
+                if *slot == 0 {
+                    model.remove(&(g, k));
+                }
+            }
+            // Point overwrite.
+            7..=8 => {
+                let v = rng.gen_range(-5..=5i64);
+                map.set(tuple![g, k], Value::Int(v));
+                if v == 0 {
+                    model.remove(&(g, k));
+                } else {
+                    model.insert((g, k), v);
+                }
+            }
+            // Rare full clear.
+            _ => {
+                if rng.gen_range(0..40) == 0 {
+                    map.clear();
+                    model.clear();
+                }
+            }
+        }
+        check_queries(&map, &mut rng, 4);
+        if round % 250 == 0 {
+            // Primary storage against the independent model.
+            assert_eq!(map.len(), model.len());
+            for (&(g, k), &v) in &model {
+                assert_eq!(map.get(&tuple![g, k]), Value::Int(v));
+            }
+        }
+    }
+
+    // Tear every surviving entry down to empty through negative deltas;
+    // the index must follow the primary storage all the way.
+    let live: Vec<(Tuple, Value)> = map.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    for (key, value) in live {
+        let neg = match value {
+            Value::Int(v) => Value::Int(-v),
+            other => panic!("unexpected value {other:?}"),
+        };
+        map.add(key, neg);
+        check_queries(&map, &mut rng, 2);
+    }
+    assert!(map.is_empty());
+    for op in OPS {
+        assert_eq!(
+            map.range_sum(1, &tuple![1i64], op, &Value::Int(10)),
+            Some(Value::Int(0)),
+            "empty map must probe to zero"
+        );
+    }
+}
+
+#[test]
+fn ordered_index_matches_scan_oracle_under_float_values() {
+    let mut rng = SmallRng::seed_from_u64(0xF10A7);
+    let mut map = MapStorage::new(1);
+    map.register_ordered(0);
+    let mut live: Vec<(i64, f64)> = Vec::new();
+
+    for _ in 0..1_500 {
+        if !live.is_empty() && rng.gen_bool(0.45) {
+            // Delete a live contribution exactly (the deletion-heavy
+            // path the ulp-residue re-anchor keeps exact).
+            let i = rng.gen_range(0..live.len());
+            let (k, v) = live.swap_remove(i);
+            map.add(tuple![k], Value::Float(-v));
+        } else {
+            let k = rng.gen_range(0..30i64);
+            let v = (rng.gen_range(-400..400i64) as f64) / 16.0;
+            if v != 0.0 {
+                map.add(tuple![k], Value::Float(v));
+                live.push((k, v));
+            }
+        }
+        // Index probe vs scan oracle: both sum the same finite set of
+        // leaves, in different orders, so compare with a tolerance
+        // scaled to the magnitude involved.
+        let op = OPS[rng.gen_range(0..OPS.len())];
+        let bound = Value::Int(rng.gen_range(-1..31i64));
+        let probe = match map.range_sum(0, &Tuple::empty(), op, &bound) {
+            Some(Value::Float(f)) => f,
+            Some(Value::Int(i)) => i as f64,
+            other => panic!("unexpected probe result {other:?}"),
+        };
+        let scan = match map.range_sum_scan(0, &[], &Tuple::empty(), op, &bound) {
+            Value::Float(f) => f,
+            Value::Int(i) => i as f64,
+            other => panic!("unexpected scan result {other:?}"),
+        };
+        let magnitude: f64 = live.iter().map(|(_, v)| v.abs()).sum::<f64>().max(1.0);
+        assert!(
+            (probe - scan).abs() <= magnitude * 1e-9,
+            "float probe {probe} vs scan {scan} (magnitude {magnitude})"
+        );
+    }
+
+    // Full teardown: retracting every insertion must leave exact zeros,
+    // not ulp residue.
+    for (k, v) in live.drain(..) {
+        map.add(tuple![k], Value::Float(-v));
+    }
+    assert!(map.is_empty(), "every insertion retracted");
+    assert_eq!(
+        map.range_sum(0, &Tuple::empty(), CmpOp::GtEq, &Value::Int(0)),
+        Some(Value::Int(0))
+    );
+}
