@@ -167,8 +167,10 @@ pub fn compile_query(
         catalog: catalog.clone(),
         max_depth: options.max_depth,
         map_index: FxHashMap::default(),
+        partition_keys: Vec::new(),
     };
     program.rebuild_map_index();
+    crate::sharding::analyze_partition_keys(&mut program);
     Ok(program)
 }
 
@@ -198,6 +200,7 @@ impl Compiler {
                 canonical,
                 is_base_relation: false,
                 ordered_keys: Vec::new(),
+                shard_roles: Vec::new(),
             });
             self.worklist.push((spec.name.clone(), 0));
         }
@@ -468,6 +471,7 @@ impl Compiler {
             canonical,
             is_base_relation: false,
             ordered_keys: Vec::new(),
+            shard_roles: Vec::new(),
         });
         self.worklist.push((name.clone(), depth + 1));
         Ok(CalcExpr::MapRef { name, keys })
@@ -552,6 +556,7 @@ impl Compiler {
             canonical,
             is_base_relation: true,
             ordered_keys: Vec::new(),
+            shard_roles: Vec::new(),
         });
         // Base maps are maintained by the ordinary delta path (their delta
         // is simply ±1 at the inserted/deleted key).

@@ -528,6 +528,53 @@ fn interval_guard_true<M: MapRead + ?Sized>(
     eval_scalar(&block.guards[plan.pivot_guard], env, maps).as_bool()
 }
 
+/// Process-wide counters for ordered-index fast-path fallbacks, one per
+/// reason. The interval plan and `RangeSum` probes carry runtime
+/// preconditions (indexes present, non-negative inner values, comparable
+/// keys); when one fails the engine silently falls back to the
+/// always-correct O(P) loop/scan. These counters make fallback storms
+/// visible: servers drain them into the `dbt_ordered_fallback_total`
+/// telemetry counter at scrape time. Lock-free relaxed atomics — the
+/// fallback paths are already slow, one `fetch_add` is noise.
+pub mod ordered_fallback {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Reason labels, index-aligned with [`counts`].
+    pub const REASONS: [&str; 6] = [
+        "missing_outer_index",
+        "missing_inner_index",
+        "probe_shape",
+        "negative_inner",
+        "incomparable_keys",
+        "range_probe_scan",
+    ];
+    pub const MISSING_OUTER_INDEX: usize = 0;
+    pub const MISSING_INNER_INDEX: usize = 1;
+    pub const PROBE_SHAPE: usize = 2;
+    pub const NEGATIVE_INNER: usize = 3;
+    pub const INCOMPARABLE_KEYS: usize = 4;
+    pub const RANGE_PROBE_SCAN: usize = 5;
+
+    static COUNTS: [AtomicU64; 6] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
+
+    #[inline]
+    pub(crate) fn bump(reason: usize) {
+        COUNTS[reason].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current totals since process start, index-aligned with [`REASONS`].
+    pub fn counts() -> [u64; 6] {
+        std::array::from_fn(|i| COUNTS[i].load(Ordering::Relaxed))
+    }
+}
+
 /// The monotone-guard interval fast path: execute a statement carrying
 /// an [`crate::lower::IntervalPlan`] in O(log² P) instead of looping the
 /// outer map — binary-search the guard's flip point over the outer
@@ -549,10 +596,12 @@ fn run_interval_statement<M: MapRead + ?Sized>(
     let block = &stmt.block;
     let outer = maps.map(plan.outer_map);
     if !outer.has_ordered(0) {
+        ordered_fallback::bump(ordered_fallback::MISSING_OUTER_INDEX);
         return false;
     }
     let inner = maps.map(plan.inner_map);
     if !inner.has_ordered(plan.inner_ordered_pos) {
+        ordered_fallback::bump(ordered_fallback::MISSING_INNER_INDEX);
         return false;
     }
 
@@ -574,6 +623,7 @@ fn run_interval_statement<M: MapRead + ?Sized>(
     // summed values are all non-negative (a shrinking range can otherwise
     // grow in value); the ordered group tracks that cheaply.
     let Scalar::RangeSum { eq_values, .. } = &plan.probe else {
+        ordered_fallback::bump(ordered_fallback::PROBE_SHAPE);
         return false;
     };
     let inner_eq: Tuple = eq_values
@@ -582,6 +632,7 @@ fn run_interval_statement<M: MapRead + ?Sized>(
         .collect();
     if let Some(view) = inner.ordered_view(plan.inner_ordered_pos, &inner_eq) {
         if !view.nonnegative() {
+            ordered_fallback::bump(ordered_fallback::NEGATIVE_INNER);
             return false;
         }
     }
@@ -600,6 +651,7 @@ fn run_interval_statement<M: MapRead + ?Sized>(
     if !view.comparable() {
         // Mixed-class keys: the index's sort order can disagree with SQL
         // comparison, so the flip point is not well-defined.
+        ordered_fallback::bump(ordered_fallback::INCOMPARABLE_KEYS);
         return false;
     }
 
@@ -831,7 +883,10 @@ fn eval_scalar<M: MapRead + ?Sized>(scalar: &Scalar, env: &[Value], maps: &M) ->
             // under SQL comparison semantics; O(P) scan otherwise.
             match storage.range_sum(*ordered_pos, &eq_bound, *op, &b) {
                 Some(v) => v,
-                None => storage.range_sum_scan(*ordered_pos, eq_positions, &eq_bound, *op, &b),
+                None => {
+                    ordered_fallback::bump(ordered_fallback::RANGE_PROBE_SCAN);
+                    storage.range_sum_scan(*ordered_pos, eq_positions, &eq_bound, *op, &b)
+                }
             }
         }
         Scalar::Aggregate(block) => eval_block_sum(block, env, maps),

@@ -37,13 +37,13 @@ pub mod storage;
 pub mod store;
 
 pub use engine::{
-    apply_event_statements, assemble_result, result_column_names, Engine, EventScratch,
-    ProfileReport, ResultRow, StatementPhase,
+    apply_event_statements, assemble_result, ordered_fallback, result_column_names, Engine,
+    EventScratch, ProfileReport, ResultRow, StatementPhase,
 };
 pub use lower::{lower_program, ExecProgram};
 pub use standalone::StandaloneServer;
 pub use storage::{MapRead, MapStorage, MapWrite};
 pub use store::{
-    FramePlan, GroupKey, LockWaitMetrics, MapRegistration, ReadFrame, SharedMapStore, SlotMeta,
-    ViewBinding, WriteFrame,
+    range_of_value, FramePlan, GroupKey, LockWaitMetrics, MapRegistration, MergedFrame,
+    MergedReadGuard, RangeShard, ReadFrame, SharedMapStore, SlotMeta, ViewBinding, WriteFrame,
 };

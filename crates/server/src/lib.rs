@@ -90,9 +90,10 @@ use dbtoaster_common::{
 };
 use dbtoaster_compiler::{compile_sql, CompileOptions, Stage, TriggerProgram, STAGE_DELTA};
 use dbtoaster_runtime::{
-    apply_event_statements, assemble_result, lower_program, result_column_names, EventScratch,
-    ExecProgram, FramePlan, LockWaitMetrics, MapRead, MapRegistration, MapWrite, ProfileReport,
-    ResultRow, SharedMapStore, StatementPhase, ViewBinding,
+    apply_event_statements, assemble_result, lower_program, ordered_fallback, range_of_value,
+    result_column_names, EventScratch, ExecProgram, FramePlan, LockWaitMetrics, MapRead,
+    MapRegistration, MapWrite, ProfileReport, ResultRow, SharedMapStore, StatementPhase,
+    ViewBinding,
 };
 use dbtoaster_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, SlowEventRing, Unit};
 
@@ -157,6 +158,13 @@ struct ServerMetrics {
     /// Slow-event ring, when configured
     /// ([`ViewServer::set_slow_event_ring`]).
     slow: Option<Arc<SlowEventRing>>,
+    /// `dbt_ordered_fallback_total{reason}` counters, aligned with
+    /// [`ordered_fallback::REASONS`]. The engine keeps process-global
+    /// relaxed atomics on its hot paths; [`ViewServer::store_report`]
+    /// folds their growth into these registry counters by delta.
+    ordered_fallback: Vec<Arc<Counter>>,
+    /// Last engine counter values already claimed into the registry.
+    ordered_fallback_seen: Mutex<[u64; ordered_fallback::REASONS.len()]>,
 }
 
 impl ServerMetrics {
@@ -198,7 +206,34 @@ impl ServerMetrics {
             ),
             slot_gauges: Mutex::new(Vec::new()),
             slow: None,
+            ordered_fallback: ordered_fallback::REASONS
+                .iter()
+                .map(|reason| {
+                    registry.counter(
+                        "dbt_ordered_fallback_total",
+                        "Ordered-plan precondition failures that fell back to a scan",
+                        &[("reason", reason)],
+                    )
+                })
+                .collect(),
+            ordered_fallback_seen: Mutex::new([0; ordered_fallback::REASONS.len()]),
             registry,
+        }
+    }
+
+    /// Claim the growth of the engine's process-global ordered-fallback
+    /// counters into the registry. Deltas are tracked per server; with
+    /// several servers in one process, whichever syncs first claims a
+    /// given increment.
+    fn sync_ordered_fallbacks(&self) {
+        let counts = ordered_fallback::counts();
+        let mut seen = self.ordered_fallback_seen.lock();
+        for (i, &now) in counts.iter().enumerate() {
+            let delta = now.saturating_sub(seen[i]);
+            if delta > 0 {
+                self.ordered_fallback[i].add(delta);
+                seen[i] = now;
+            }
         }
     }
 
@@ -293,6 +328,37 @@ struct RelationPlan {
     /// stage label, resolved at plan-rebuild time so the hot path never
     /// looks a metric up by name).
     stage_metrics: Vec<StageMetrics>,
+    /// Key-range sharding of this relation, when enabled
+    /// ([`ViewServer::enable_range_sharding`]).
+    shard: Option<RangeShardPlan>,
+}
+
+/// Server-side key-range sharding state of one relation: the partition
+/// column, the store's shard id, and one cached [`FramePlan`] per range
+/// (a single replica group each), so range-routed ingestion neither
+/// searches nor allocates.
+struct RangeShardPlan {
+    /// Partition column index into the relation's tuples.
+    column: usize,
+    /// Number of key ranges.
+    ranges: usize,
+    /// Shard id in the store's shard table.
+    shard: usize,
+    /// Per-range frame plans over the replica groups.
+    frames: Vec<FramePlan>,
+}
+
+impl RangeShardPlan {
+    /// Deterministic range of one event tuple — the same placement rule
+    /// ([`range_of_value`]) shard-time redistribution used, so an
+    /// event's triggers always find their keyed state in the replica
+    /// the event is routed to.
+    fn route(&self, tuple: &Tuple) -> usize {
+        tuple
+            .0
+            .get(self.column)
+            .map_or(0, |v| range_of_value(v, self.ranges))
+    }
 }
 
 impl RelationPlan {
@@ -384,6 +450,27 @@ pub fn drain_source(
         report.deliveries += apply(batch)?;
     }
     Ok(report)
+}
+
+/// Visit the selected events of a batch in order: all of them, or the
+/// `indices` subset (the batched ingestion paths accept either).
+fn for_each_selected<'b>(
+    batch: &'b [Event],
+    indices: Option<&[u32]>,
+    mut f: impl FnMut(usize, &'b Event),
+) {
+    match indices {
+        Some(ix) => {
+            for &i in ix {
+                f(i as usize, &batch[i as usize]);
+            }
+        }
+        None => {
+            for (i, event) in batch.iter().enumerate() {
+                f(i, event);
+            }
+        }
+    }
 }
 
 /// One deduplicated map in the [`StoreReport`].
@@ -611,6 +698,7 @@ impl ViewServer {
                     frame: FramePlan::default(),
                     stages: Vec::new(),
                     stage_metrics: Vec::new(),
+                    shard: None,
                 })
                 .views
                 .push(id);
@@ -649,6 +737,14 @@ impl ViewServer {
             plan.groups.sort_unstable();
             plan.groups.dedup();
             plan.frame = self.store.plan(&plan.groups);
+            // Range frames resolve against the store-wide slot table,
+            // which later registrations grow; regenerate them so every
+            // cached table is sized to the current slot count.
+            if let Some(sp) = &mut plan.shard {
+                sp.frames = (0..sp.ranges)
+                    .map(|r| self.store.range_frame_plan(sp.shard, r))
+                    .collect();
+            }
 
             // Dependency-ordered stage schedule: the delta stage always
             // covers every interested view (it is also the pass that
@@ -838,6 +934,128 @@ impl ViewServer {
         self.dispatch.get(relation).map(|p| p.groups.as_slice())
     }
 
+    /// Split one relation's ingestion across `ranges` key-range shards.
+    ///
+    /// Requires the compiler's partition-key analysis to have qualified
+    /// the relation in *every* interested view (all agreeing on the
+    /// partition column), and the relation's map groups to be exclusive
+    /// to it — no view listening to this relation may listen to another,
+    /// or another relation's unsharded events would write sharded state
+    /// behind the per-range locks' backs. Call after all views are
+    /// registered.
+    ///
+    /// On success, events of the relation are routed by
+    /// [`range_of_value`] of their partition column to one of `ranges`
+    /// replica map groups, each behind its own lock, so ranges ingest
+    /// concurrently. Keyed maps (read by the relation's own triggers at
+    /// a key position carrying the partition column) are redistributed
+    /// into the replicas; accumulator maps collect per-range partials
+    /// that every read path folds back together with the commutative
+    /// monoid — results, snapshots and map reads are bit-identical to
+    /// the unsharded server over any stream. Returns the range count.
+    pub fn enable_range_sharding(&mut self, relation: &str, ranges: usize) -> Result<usize> {
+        if ranges == 0 {
+            return Err(Error::Runtime("range count must be at least 1".into()));
+        }
+        let Some(plan) = self.dispatch.get(relation) else {
+            return Err(Error::Runtime(format!(
+                "no view listens to relation '{relation}'"
+            )));
+        };
+        if plan.shard.is_some() {
+            return Err(Error::Runtime(format!(
+                "relation '{relation}' is already range-sharded"
+            )));
+        }
+        for (other, other_plan) in &self.dispatch {
+            if other != relation && other_plan.groups.iter().any(|g| plan.groups.contains(g)) {
+                return Err(Error::Runtime(format!(
+                    "cannot range-shard '{relation}': its map groups are also \
+                     locked by relation '{other}'"
+                )));
+            }
+        }
+        // Every interested view must have a partition key for this
+        // relation, all on the same column, and the per-slot roles of
+        // views sharing a slot must agree.
+        let mut column: Option<usize> = None;
+        let mut roles: FxHashMap<usize, Option<usize>> = FxHashMap::default();
+        for &i in &plan.views {
+            let view = &self.views[i];
+            let Some(pk) = view.program.partition_key(relation) else {
+                return Err(Error::Runtime(format!(
+                    "relation '{relation}' is not shardable for view '{}' \
+                     (partition-key analysis found no qualifying column)",
+                    view.name
+                )));
+            };
+            match column {
+                None => column = Some(pk.column),
+                Some(c) if c == pk.column => {}
+                Some(c) => {
+                    return Err(Error::Runtime(format!(
+                        "views disagree on the partition column of '{relation}' \
+                         ({c} vs {})",
+                        pk.column
+                    )))
+                }
+            }
+            for (decl, &slot) in view.program.maps.iter().zip(&view.binding.slots) {
+                let Some((_, _, role)) = decl.shard_roles.iter().find(|(r, _, _)| r == relation)
+                else {
+                    continue;
+                };
+                if let Some(prev) = roles.insert(slot, *role) {
+                    if prev != *role {
+                        return Err(Error::Runtime(format!(
+                            "views disagree on the shard role of map '{}'",
+                            decl.name
+                        )));
+                    }
+                }
+            }
+        }
+        let column = column.expect("a dispatched relation has interested views");
+        // The store panics on a missing role; surface it as an error
+        // instead (a slot in the relation's groups no analysis covered).
+        for (slot, meta) in self.store.slots().iter().enumerate() {
+            if plan.groups.contains(&meta.group) && !roles.contains_key(&slot) {
+                return Err(Error::Runtime(format!(
+                    "map slot {slot} lives in '{relation}'s groups but has no \
+                     partition-key role"
+                )));
+            }
+        }
+        let groups = plan.groups.clone();
+        let shard = self.store.create_range_shard(&groups, &roles, ranges);
+        let frames = (0..ranges)
+            .map(|r| self.store.range_frame_plan(shard, r))
+            .collect();
+        let plan = self.dispatch.get_mut(relation).expect("checked above");
+        plan.shard = Some(RangeShardPlan {
+            column,
+            ranges,
+            shard,
+            frames,
+        });
+        self.metrics
+            .registry
+            .gauge(
+                "dbt_dispatch_ranges",
+                "Key ranges a sharded relation's ingestion splits across",
+                &[("relation", relation)],
+            )
+            .set(ranges as i64);
+        Ok(ranges)
+    }
+
+    /// `(partition column, range count)` of a range-sharded relation —
+    /// the routing rule the sharded dispatcher buckets by.
+    pub fn range_sharding(&self, relation: &str) -> Option<(usize, usize)> {
+        let sp = self.dispatch.get(relation)?.shard.as_ref()?;
+        Some((sp.column, sp.ranges))
+    }
+
     fn resolve(&self, name: &str) -> Result<&View> {
         self.views
             .iter()
@@ -880,12 +1098,20 @@ impl ViewServer {
             return Ok(0);
         };
         let timed = self.metrics.registry.enabled();
-        let mut guards = self.store.lock_write(&plan.groups);
+        // Range-sharded relations run the event against the replica
+        // frame its partition key hashes to — one range lock, not the
+        // relation's whole plan — so appliers on different ranges
+        // proceed concurrently.
+        let frame_plan: &FramePlan = match &plan.shard {
+            Some(sp) => &sp.frames[sp.route(&event.tuple)],
+            None => &plan.frame,
+        };
+        let mut guards = self.store.lock_write(frame_plan.groups());
         let started = Instant::now();
         ctx.delivered.clear();
         let mut failure: Option<Error> = None;
         {
-            let mut frame = plan.frame.write_frame(&mut guards);
+            let mut frame = frame_plan.write_frame(&mut guards);
             if let Err(e) = self.run_event_stages(
                 plan,
                 &mut frame,
@@ -949,22 +1175,52 @@ impl ViewServer {
     pub fn apply_batch_with(&self, batch: &[Event], ctx: &mut ApplyCtx) -> Result<usize> {
         // Accepts any event slice; `&EventBatch` coerces via Deref, and
         // `UpdateStream::events.chunks(n)` feeds it zero-copy.
-        //
+        self.apply_batch_routed(batch, None, ctx)
+    }
+
+    /// [`ViewServer::apply_batch_with`] restricted to an index subset of
+    /// the batch (processed in the given order) — the entry point the
+    /// zero-copy sharded dispatcher's workers use, so bucketed jobs
+    /// borrow the caller's events instead of cloning them.
+    pub fn apply_batch_indices(
+        &self,
+        batch: &[Event],
+        indices: &[u32],
+        ctx: &mut ApplyCtx,
+    ) -> Result<usize> {
+        self.apply_batch_routed(batch, Some(indices), ctx)
+    }
+
+    /// The shared batch front end: scan the selected events' relations,
+    /// then either run them as one locked span over the union lock plan
+    /// (no sharded relation present — the common path) or bucket them by
+    /// key range first ([`ViewServer::apply_batch_ranged`]).
+    fn apply_batch_routed(
+        &self,
+        batch: &[Event],
+        indices: Option<&[u32]>,
+        ctx: &mut ApplyCtx,
+    ) -> Result<usize> {
         // The batch lock plan is the union of the cached relation plans
         // of the distinct relations present.
         let mut relations: Vec<&str> = Vec::new();
+        let mut sharded = false;
         ctx.groups.clear();
-        for event in batch {
+        for_each_selected(batch, indices, |_, event| {
             if relations.contains(&event.relation.as_str()) {
-                continue;
+                return;
             }
             if let Some(plan) = self.dispatch.get(&event.relation) {
                 relations.push(&event.relation);
                 ctx.groups.extend(&plan.groups);
+                sharded |= plan.shard.is_some();
             }
-        }
+        });
         if relations.is_empty() {
             return Ok(0);
+        }
+        if sharded {
+            return self.apply_batch_ranged(batch, indices, ctx);
         }
         ctx.groups.sort_unstable();
         ctx.groups.dedup();
@@ -979,11 +1235,93 @@ impl ViewServer {
             built = self.store.plan(&ctx.groups);
             &built
         };
+        self.apply_span(batch, indices, frame_plan, ctx)
+    }
 
+    /// Batch path for batches touching at least one range-sharded
+    /// relation: events are bucketed by destination — one default bucket
+    /// for the unsharded relations (run over their union lock plan), one
+    /// bucket per (sharded relation, key range) — and each bucket runs
+    /// as its own locked span. Buckets write disjoint group sets
+    /// (sharding requires relation-exclusive groups) and each preserves
+    /// arrival order, so the final state is identical to the sequential
+    /// batch path.
+    fn apply_batch_ranged(
+        &self,
+        batch: &[Event],
+        indices: Option<&[u32]>,
+        ctx: &mut ApplyCtx,
+    ) -> Result<usize> {
+        let mut default_indices: Vec<u32> = Vec::new();
+        let mut default_relations: Vec<&str> = Vec::new();
+        let mut buckets: Vec<(&str, usize, Vec<u32>)> = Vec::new();
+        for_each_selected(batch, indices, |position, event| {
+            let Some(plan) = self.dispatch.get(&event.relation) else {
+                return;
+            };
+            match &plan.shard {
+                Some(sp) => {
+                    let range = sp.route(&event.tuple);
+                    match buckets
+                        .iter_mut()
+                        .find(|(r, g, _)| *r == event.relation.as_str() && *g == range)
+                    {
+                        Some((_, _, v)) => v.push(position as u32),
+                        None => {
+                            buckets.push((event.relation.as_str(), range, vec![position as u32]))
+                        }
+                    }
+                }
+                None => {
+                    if !default_relations.contains(&event.relation.as_str()) {
+                        default_relations.push(&event.relation);
+                    }
+                    default_indices.push(position as u32);
+                }
+            }
+        });
+        let mut deliveries = 0usize;
+        if !default_indices.is_empty() {
+            let built;
+            let frame_plan: &FramePlan = if default_relations.len() == 1 {
+                &self.dispatch[default_relations[0]].frame
+            } else {
+                ctx.groups.clear();
+                for rel in &default_relations {
+                    ctx.groups.extend(&self.dispatch[*rel].groups);
+                }
+                ctx.groups.sort_unstable();
+                ctx.groups.dedup();
+                built = self.store.plan(&ctx.groups);
+                &built
+            };
+            deliveries += self.apply_span(batch, Some(&default_indices), frame_plan, ctx)?;
+        }
+        for (rel, range, bucket) in &buckets {
+            let sp = self.dispatch[*rel]
+                .shard
+                .as_ref()
+                .expect("bucketed as sharded");
+            deliveries += self.apply_span(batch, Some(bucket), &sp.frames[*range], ctx)?;
+        }
+        Ok(deliveries)
+    }
+
+    /// The batch execution core: write-lock one frame plan, run the
+    /// selected events through their relations' stage schedules, credit
+    /// stats and latency. Callers pick the frame — the batch's union
+    /// plan, or one range replica of a sharded relation.
+    fn apply_span(
+        &self,
+        batch: &[Event],
+        indices: Option<&[u32]>,
+        frame_plan: &FramePlan,
+        ctx: &mut ApplyCtx,
+    ) -> Result<usize> {
         // Every lock plan in the server acquires groups in ascending id
         // order, so concurrent batches and snapshots cannot deadlock,
         // and a snapshot (which locks every group) observes either none
-        // or all of this batch.
+        // or all of this span.
         let timed = self.metrics.registry.enabled();
         let slow = self.metrics.slow.as_deref();
         // Per-event clocks inside the batch loop only when something
@@ -996,12 +1334,15 @@ impl ViewServer {
         let mut guards = self.store.lock_write(frame_plan.groups());
 
         let started = Instant::now();
+        let count = indices.map_or(batch.len(), <[u32]>::len);
         let mut deliveries = 0usize;
         ctx.counts.clear();
         let mut failure: Option<Error> = None;
         {
             let mut frame = frame_plan.write_frame(&mut guards);
-            for (position, event) in batch.iter().enumerate() {
+            for pos in 0..count {
+                let position = indices.map_or(pos, |ix| ix[pos] as usize);
+                let event = &batch[position];
                 let Some(plan) = self.dispatch.get(&event.relation) else {
                     continue;
                 };
@@ -1059,7 +1400,7 @@ impl ViewServer {
         // the lock scope.
         if timed {
             self.metrics.apply_batch.record_unchecked(batch_nanos);
-            self.metrics.batch_size.record_unchecked(batch.len() as u64);
+            self.metrics.batch_size.record_unchecked(count as u64);
         }
         if let Some(ring) = slow {
             for (position, nanos) in slow_hits {
@@ -1092,9 +1433,16 @@ impl ViewServer {
         result
     }
 
-    /// The current result rows of one view.
+    /// The current result rows of one view. With range-sharded
+    /// relations in play, sharded maps are read *merged* — base plus the
+    /// pointwise monoid sum of every range replica — so the rows are
+    /// bit-identical to an unsharded server's.
     pub fn result(&self, name: &str) -> Result<Vec<ResultRow>> {
         let view = self.resolve(name)?;
+        if self.store.any_sharded() {
+            let guard = self.store.lock_read_merged(view.plan.groups());
+            return Ok(assemble_result(&view.exec, &guard.frame()));
+        }
         let guards = self.store.lock_read(view.plan.groups());
         let frame = view.plan.read_frame(&guards);
         Ok(assemble_result(&view.exec, &frame))
@@ -1122,7 +1470,7 @@ impl ViewServer {
         let Some(slot) = view.exec.map_id(map) else {
             return Ok(None);
         };
-        let mut entries: Vec<(Tuple, Value)> = self.store.with_map(slot, |m| {
+        let mut entries: Vec<(Tuple, Value)> = self.store.with_map_merged(slot, |m| {
             m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
         });
         entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -1143,18 +1491,24 @@ impl ViewServer {
     }
 
     fn profile_view(&self, view: &View) -> ProfileReport {
-        let guards = self.store.lock_read(view.plan.groups());
-        let frame = view.plan.read_frame(&guards);
-        let per_map: Vec<(String, usize, usize)> = view
-            .program
-            .maps
-            .iter()
-            .zip(&view.binding.slots)
-            .map(|(decl, &slot)| {
-                let m = frame.map(slot);
-                (decl.name.clone(), m.len(), m.approx_bytes())
-            })
-            .collect();
+        let collect = |frame: &dyn MapRead| -> Vec<(String, usize, usize)> {
+            view.program
+                .maps
+                .iter()
+                .zip(&view.binding.slots)
+                .map(|(decl, &slot)| {
+                    let m = frame.map(slot);
+                    (decl.name.clone(), m.len(), m.approx_bytes())
+                })
+                .collect()
+        };
+        let per_map: Vec<(String, usize, usize)> = if self.store.any_sharded() {
+            let guard = self.store.lock_read_merged(view.plan.groups());
+            collect(&guard.frame())
+        } else {
+            let guards = self.store.lock_read(view.plan.groups());
+            collect(&view.plan.read_frame(&guards))
+        };
         let mut per_trigger: Vec<(String, u64, Duration)> = view
             .trigger_stats
             .iter()
@@ -1197,6 +1551,16 @@ impl ViewServer {
     /// (every map counted once per sharer): the N× baseline the shared
     /// store collapses.
     pub fn memory_bytes_if_unshared(&self) -> usize {
+        if self.store.any_sharded() {
+            // Sharded slots spread over base plus range replicas;
+            // `slot_bytes` sums the pieces.
+            return self
+                .views
+                .iter()
+                .flat_map(|v| v.binding.slots.iter())
+                .map(|&slot| self.store.slot_bytes(slot))
+                .sum();
+        }
         let guards = self.store.lock_read(self.all_plan.groups());
         let frame = self.all_plan.read_frame(&guards);
         self.views
@@ -1215,8 +1579,20 @@ impl ViewServer {
     /// prepare hook — refreshes them through here, so the panel and a
     /// concurrent scrape cannot disagree about the same walk.
     pub fn store_report(&self) -> StoreReport {
-        let guards = self.store.lock_read(self.all_plan.groups());
-        let frame = self.all_plan.read_frame(&guards);
+        let report = if self.store.any_sharded() {
+            let guard = self.store.lock_read_merged(self.all_plan.groups());
+            self.store_report_from(&guard.frame())
+        } else {
+            let guards = self.store.lock_read(self.all_plan.groups());
+            self.store_report_from(&self.all_plan.read_frame(&guards))
+        };
+        // The scrape-prepare walk is also where the engine's process-
+        // global ordered-fallback counters surface in the registry.
+        self.metrics.sync_ordered_fallbacks();
+        report
+    }
+
+    fn store_report_from(&self, frame: &dyn MapRead) -> StoreReport {
         let slot_gauges = self.metrics.slot_gauges.lock();
         let mut entries_total = 0usize;
         let mut report = StoreReport::default();
@@ -1276,12 +1652,17 @@ impl ViewServer {
     /// (the network `snapshot` request), independent of portfolio size.
     pub fn snapshot(&self, name: &str) -> Result<ViewSnapshot> {
         let view = self.resolve(name)?;
-        let guards = self.store.lock_read(view.plan.groups());
-        let frame = view.plan.read_frame(&guards);
+        let rows = if self.store.any_sharded() {
+            let guard = self.store.lock_read_merged(view.plan.groups());
+            assemble_result(&view.exec, &guard.frame())
+        } else {
+            let guards = self.store.lock_read(view.plan.groups());
+            assemble_result(&view.exec, &view.plan.read_frame(&guards))
+        };
         Ok(ViewSnapshot {
             name: view.name.clone(),
             columns: result_column_names(&view.exec),
-            rows: assemble_result(&view.exec, &frame),
+            rows,
             events_processed: view.events_processed.get(),
         })
     }
@@ -1292,17 +1673,24 @@ impl ViewServer {
     /// result is read, so the snapshot reflects one cut of the event
     /// stream even while another thread is applying batches.
     pub fn snapshot_all(&self) -> Vec<ViewSnapshot> {
-        let guards = self.store.lock_read(self.all_plan.groups());
-        let frame = self.all_plan.read_frame(&guards);
-        self.views
-            .iter()
-            .map(|v| ViewSnapshot {
-                name: v.name.clone(),
-                columns: result_column_names(&v.exec),
-                rows: assemble_result(&v.exec, &frame),
-                events_processed: v.events_processed.get(),
-            })
-            .collect()
+        let capture = |frame: &dyn MapRead| -> Vec<ViewSnapshot> {
+            self.views
+                .iter()
+                .map(|v| ViewSnapshot {
+                    name: v.name.clone(),
+                    columns: result_column_names(&v.exec),
+                    rows: assemble_result(&v.exec, frame),
+                    events_processed: v.events_processed.get(),
+                })
+                .collect()
+        };
+        if self.store.any_sharded() {
+            let guard = self.store.lock_read_merged(self.all_plan.groups());
+            capture(&guard.frame())
+        } else {
+            let guards = self.store.lock_read(self.all_plan.groups());
+            capture(&self.all_plan.read_frame(&guards))
+        }
     }
 }
 

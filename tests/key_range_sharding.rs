@@ -1,0 +1,281 @@
+//! Key-range sharding equivalence: a single *hot* relation feeding
+//! several views is range-sharded ([`ViewServer::enable_range_sharding`])
+//! and driven through the scoped [`ShardedDispatcher`], which buckets
+//! the hot relation's events by key range and runs the ranges
+//! concurrently. The stream is randomized and *skewed* — a few keys
+//! absorb most of the traffic, with duplicate tuples and genuine
+//! deletes — and every aggregate is integer-valued, so the final
+//! snapshots must be **bit-exact** equal to a sequential server at
+//! every worker count.
+//!
+//! A second group of tests pins the sound default: relations whose
+//! views are not provably range-shardable (cross-relation joins, maps
+//! shared with another relation's triggers) are *rejected* by
+//! `enable_range_sharding` and keep whole-relation locking.
+
+use std::sync::Arc;
+
+use dbtoaster::prelude::*;
+
+/// One hot stream plus a cold side relation, so mixed batches exercise
+/// the default bucket and the range buckets together.
+fn catalog() -> Catalog {
+    Catalog::new()
+        .with(Schema::new(
+            "BOOK",
+            vec![
+                ("ID", ColumnType::Int),
+                ("PRICE", ColumnType::Int),
+                ("VOLUME", ColumnType::Int),
+            ],
+        ))
+        .with(Schema::new(
+            "AUDIT",
+            vec![("ID", ColumnType::Int), ("QTY", ColumnType::Int)],
+        ))
+}
+
+/// The hot-relation portfolio: accumulator-only flat group-bys (group
+/// keys unrelated to the partition key) plus a keyed self join whose
+/// sub-aggregates are read back inside BOOK's own triggers — the two
+/// shard roles the analysis distinguishes. AUDIT keeps its own view in
+/// a separate partition.
+fn build_server(ranges: Option<usize>) -> Arc<ViewServer> {
+    let mut server = ViewServer::new(&catalog());
+    server
+        .register(
+            "hot_sum",
+            "select ID, sum(PRICE * VOLUME) from BOOK group by ID",
+        )
+        .unwrap();
+    server
+        .register(
+            "hot_by_price",
+            "select PRICE, count(*) from BOOK group by PRICE",
+        )
+        .unwrap();
+    server
+        .register(
+            "hot_self_join",
+            "select b1.ID, sum(b1.PRICE * b2.VOLUME) from BOOK b1, BOOK b2 \
+             where b1.ID = b2.ID group by b1.ID",
+        )
+        .unwrap();
+    server
+        .register("audit_total", "select ID, sum(QTY) from AUDIT group by ID")
+        .unwrap();
+    if let Some(ranges) = ranges {
+        let got = server.enable_range_sharding("BOOK", ranges).unwrap();
+        assert_eq!(got, ranges);
+        assert_eq!(server.range_sharding("BOOK"), Some((0, ranges)));
+    }
+    Arc::new(server)
+}
+
+/// Deterministic xorshift generator — randomized stream, reproducible
+/// failures.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A skewed randomized stream: 80% of BOOK events hit 4 hot IDs (so
+/// single ranges absorb long runs and duplicate tuples are common),
+/// ~25% are deletes of previously inserted tuples, and every ~7th
+/// event is a cold AUDIT record.
+fn skewed_stream(events: usize, seed: u64) -> Vec<Event> {
+    let mut rng = Rng(seed | 1);
+    let mut live: Vec<Tuple> = Vec::new();
+    let mut out = Vec::with_capacity(events);
+    for i in 0..events {
+        if i % 7 == 3 {
+            let id = rng.below(50) as i64;
+            let qty = rng.below(100) as i64;
+            out.push(Event::insert("AUDIT", tuple![id, qty]));
+            continue;
+        }
+        if rng.below(4) == 0 && !live.is_empty() {
+            let victim = live.swap_remove(rng.below(live.len() as u64) as usize);
+            out.push(Event::delete("BOOK", victim));
+            continue;
+        }
+        let id = if rng.below(5) < 4 {
+            rng.below(4) as i64 // hot keys 0..4
+        } else {
+            rng.below(4000) as i64 // long tail
+        };
+        let price = rng.below(40) as i64;
+        let volume = (1 + rng.below(9)) as i64;
+        let t = tuple![id, price, volume];
+        live.push(t.clone());
+        out.push(Event::insert("BOOK", t));
+    }
+    out
+}
+
+fn assert_bit_exact(a: &[ViewSnapshot], b: &[ViewSnapshot], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: view count");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.name, y.name, "{context}");
+        assert_eq!(x.rows, y.rows, "{context}: {} rows diverged", x.name);
+        assert_eq!(
+            x.events_processed, y.events_processed,
+            "{context}: {} event counters diverged",
+            x.name
+        );
+    }
+}
+
+#[test]
+fn sharded_hot_relation_is_bit_exact_vs_sequential_at_every_worker_count() {
+    let stream = skewed_stream(4_000, 0x5eed);
+
+    let sequential = build_server(None);
+    for chunk in stream.chunks(97) {
+        sequential.apply_batch(chunk).unwrap();
+    }
+    let expected = sequential.snapshot_all();
+
+    for workers in [2usize, 4, 8] {
+        let server = build_server(Some(workers));
+        let mut dispatcher = ShardedDispatcher::new(server, workers);
+        // Always spawn: single-core CI runners would otherwise inline
+        // every batch and test nothing about cross-thread execution.
+        dispatcher.set_force_spawn(true);
+        let mut deliveries = 0usize;
+        for chunk in stream.chunks(97) {
+            deliveries += dispatcher.apply_batch(chunk).unwrap();
+        }
+        let counted: usize = dispatcher
+            .server()
+            .snapshot_all()
+            .iter()
+            .map(|s| s.events_processed as usize)
+            .sum();
+        assert_eq!(deliveries, counted, "workers={workers}");
+        assert_bit_exact(
+            &expected,
+            &dispatcher.server().snapshot_all(),
+            &format!("workers={workers}"),
+        );
+        let report = dispatcher.report();
+        assert!(
+            report.parallel_batches > 0,
+            "workers={workers}: batches must split, got {report:?}"
+        );
+        assert!(
+            report.range_jobs > 0,
+            "workers={workers}: the hot relation must fan out by key range, got {report:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_server_applied_sequentially_still_matches() {
+    // Sharding correctness must not depend on the dispatcher at all:
+    // a range-sharded server fed one event at a time routes each event
+    // to its range replica and merges on read.
+    let stream = skewed_stream(1_500, 0xabcdef);
+    let sequential = build_server(None);
+    let sharded = build_server(Some(4));
+    for event in &stream {
+        sequential.apply(event).unwrap();
+        sharded.apply(event).unwrap();
+    }
+    assert_bit_exact(
+        &sequential.snapshot_all(),
+        &sharded.snapshot_all(),
+        "eventwise",
+    );
+    // Merged per-map reads agree with the sequential server's totals.
+    let a = sequential.store_report();
+    let b = sharded.store_report();
+    assert_eq!(a.maps.len(), b.maps.len(), "store map count");
+}
+
+#[test]
+fn cross_relation_join_views_are_rejected() {
+    let mut server = ViewServer::new(&catalog());
+    server
+        .register(
+            "hot_sum",
+            "select ID, sum(PRICE * VOLUME) from BOOK group by ID",
+        )
+        .unwrap();
+    server
+        .register(
+            "joined",
+            "select b.ID, sum(b.PRICE * a.QTY) from BOOK b, AUDIT a \
+             where b.ID = a.ID group by b.ID",
+        )
+        .unwrap();
+    // The join view's program has no partition key for BOOK (its maps
+    // are read by AUDIT's triggers), so sharding must be refused even
+    // though hot_sum alone would qualify.
+    assert!(server.enable_range_sharding("BOOK", 4).is_err());
+    assert_eq!(server.range_sharding("BOOK"), None);
+}
+
+#[test]
+fn unknown_relations_and_degenerate_configs_are_rejected() {
+    let mut server = ViewServer::new(&catalog());
+    server
+        .register(
+            "hot_sum",
+            "select ID, sum(PRICE * VOLUME) from BOOK group by ID",
+        )
+        .unwrap();
+    assert!(server.enable_range_sharding("NOPE", 4).is_err());
+    assert!(server.enable_range_sharding("BOOK", 0).is_err());
+    // Double-sharding the same relation is an error, not a resize.
+    server.enable_range_sharding("BOOK", 4).unwrap();
+    assert!(server.enable_range_sharding("BOOK", 8).is_err());
+}
+
+#[test]
+fn views_registered_after_sharding_grow_the_frame_tables() {
+    // A later registration widens the store's slot space; cached range
+    // frames must be rebuilt so routed writes still resolve.
+    let mut server = ViewServer::new(&catalog());
+    server
+        .register(
+            "hot_sum",
+            "select ID, sum(PRICE * VOLUME) from BOOK group by ID",
+        )
+        .unwrap();
+    server.enable_range_sharding("BOOK", 4).unwrap();
+    server
+        .register("audit_total", "select ID, sum(QTY) from AUDIT group by ID")
+        .unwrap();
+    let server = Arc::new(server);
+    let stream = skewed_stream(800, 0x77);
+    server.apply_batch(&stream).unwrap();
+
+    let reference = {
+        let mut s = ViewServer::new(&catalog());
+        s.register(
+            "hot_sum",
+            "select ID, sum(PRICE * VOLUME) from BOOK group by ID",
+        )
+        .unwrap();
+        s.register("audit_total", "select ID, sum(QTY) from AUDIT group by ID")
+            .unwrap();
+        Arc::new(s)
+    };
+    reference.apply_batch(&stream).unwrap();
+    assert_bit_exact(
+        &reference.snapshot_all(),
+        &server.snapshot_all(),
+        "late registration",
+    );
+}
