@@ -1,17 +1,23 @@
 //! Cost of the observability plane on the ingestion hot path.
 //!
 //! Measures batch-1024 ingestion (the `batch_ingestion` bench's best
-//! mode) through the same two-view portfolio in three configurations:
+//! mode) through the same two-view portfolio in five configurations:
 //!
-//! * `disabled` — metrics registered but recording off: every apply
-//!   crosses one relaxed atomic load and a branch, nothing else. This
-//!   is how the server runs unless `--metrics-listen` is given, so it
-//!   must hold the pre-telemetry throughput.
+//! * `disabled` — metrics registered but recording off, tracing off:
+//!   every apply crosses one relaxed atomic load and a branch per
+//!   instrumentation site, nothing else. This is how the server runs
+//!   unless `--metrics-listen` / `--trace-sample` are given, so it must
+//!   hold the pre-telemetry throughput.
 //! * `enabled` — latency recording on: per-event and per-batch
 //!   histograms, per-stage counters, lock-wait timing.
 //! * `enabled+slow` — recording on plus a slow-event ring with an
 //!   unreachable threshold (the realistic `--slow-event-us` setup: the
 //!   ring filters, the mutex is never touched).
+//! * `trace-off` — metrics on, tracing constructed but left disabled:
+//!   pins that an armed-but-off trace recorder costs only its relaxed
+//!   load per span site.
+//! * `trace-1in1024` — metrics on plus span recording for one in every
+//!   1024 admitted events (the realistic `--trace-sample` setup).
 //!
 //! The `emit_json` stage writes `BENCH_telemetry_overhead.json` and
 //! **asserts** the disabled path stays within 5% of the pre-telemetry
@@ -39,14 +45,72 @@ const MAX_REGRESSION: f64 = 0.05;
 
 const BATCH: usize = 1024;
 
-fn portfolio(slow_ring: bool) -> ViewServer {
+/// One hot-path configuration under measurement.
+#[derive(Clone, Copy)]
+struct Mode {
+    metrics: bool,
+    slow_ring: bool,
+    /// `Some(n)`: record trace spans for one in `n` admitted events.
+    trace_sample: Option<u64>,
+}
+
+const MODES: [(&str, Mode); 5] = [
+    (
+        "disabled",
+        Mode {
+            metrics: false,
+            slow_ring: false,
+            trace_sample: None,
+        },
+    ),
+    (
+        "enabled",
+        Mode {
+            metrics: true,
+            slow_ring: false,
+            trace_sample: None,
+        },
+    ),
+    (
+        "enabled+slow",
+        Mode {
+            metrics: true,
+            slow_ring: true,
+            trace_sample: None,
+        },
+    ),
+    (
+        "trace-off",
+        Mode {
+            metrics: true,
+            slow_ring: false,
+            trace_sample: None,
+        },
+    ),
+    (
+        "trace-1in1024",
+        Mode {
+            metrics: true,
+            slow_ring: false,
+            trace_sample: Some(1024),
+        },
+    ),
+];
+
+fn portfolio(mode: Mode) -> ViewServer {
     let mut server = ViewServer::new(&orderbook_catalog());
     server.register("vwap_components", VWAP_COMPONENTS).unwrap();
     server.register("market_maker", MARKET_MAKER).unwrap();
-    if slow_ring {
+    if mode.slow_ring {
         // u64::MAX µs: nothing ever qualifies — measures the filter,
         // not the capture.
         server.set_slow_event_ring(Arc::new(SlowEventRing::new(u64::MAX, 256)));
+    }
+    server.set_metrics_enabled(mode.metrics);
+    if let Some(n) = mode.trace_sample {
+        let trace = server.trace_recorder();
+        trace.set_sample_one_in(n);
+        trace.set_enabled(true);
     }
     server
 }
@@ -61,9 +125,8 @@ fn stream() -> UpdateStream {
 }
 
 /// One full ingestion of the stream; returns events/s.
-fn run_once(stream: &UpdateStream, enabled: bool, slow_ring: bool) -> f64 {
-    let server = portfolio(slow_ring);
-    server.set_metrics_enabled(enabled);
+fn run_once(stream: &UpdateStream, mode: Mode) -> f64 {
+    let server = portfolio(mode);
     let started = Instant::now();
     for chunk in stream.events.chunks(BATCH) {
         server.apply_batch(chunk).unwrap();
@@ -73,10 +136,10 @@ fn run_once(stream: &UpdateStream, enabled: bool, slow_ring: bool) -> f64 {
 
 /// Best-of-N (after one warmup) — throughput benches on shared CI boxes
 /// want the least-disturbed run, not the mean.
-fn best_rate(stream: &UpdateStream, enabled: bool, slow_ring: bool, runs: usize) -> f64 {
-    run_once(stream, enabled, slow_ring);
+fn best_rate(stream: &UpdateStream, mode: Mode, runs: usize) -> f64 {
+    run_once(stream, mode);
     (0..runs)
-        .map(|_| run_once(stream, enabled, slow_ring))
+        .map(|_| run_once(stream, mode))
         .fold(0.0, f64::max)
 }
 
@@ -85,18 +148,13 @@ fn telemetry_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
     group.sample_size(10);
     group.throughput(Throughput::Elements(stream.len() as u64));
-    for (label, enabled, slow_ring) in [
-        ("disabled", false, false),
-        ("enabled", true, false),
-        ("enabled+slow", true, true),
-    ] {
+    for (label, mode) in MODES {
         group.bench_with_input(
             BenchmarkId::new("batch1024", label),
             &stream,
             |b, stream| {
                 b.iter(|| {
-                    let server = portfolio(slow_ring);
-                    server.set_metrics_enabled(enabled);
+                    let server = portfolio(mode);
                     for chunk in stream.events.chunks(BATCH) {
                         server.apply_batch(chunk).unwrap();
                     }
@@ -110,9 +168,18 @@ fn telemetry_overhead(c: &mut Criterion) {
 
 fn emit_json(_c: &mut Criterion) {
     let stream = stream();
-    let disabled = best_rate(&stream, false, false, 5);
-    let enabled = best_rate(&stream, true, false, 5);
-    let enabled_slow = best_rate(&stream, true, true, 5);
+    let mode = |label: &str| {
+        MODES
+            .iter()
+            .find(|(l, _)| *l == label)
+            .expect("known mode")
+            .1
+    };
+    let disabled = best_rate(&stream, mode("disabled"), 5);
+    let enabled = best_rate(&stream, mode("enabled"), 5);
+    let enabled_slow = best_rate(&stream, mode("enabled+slow"), 5);
+    let trace_off = best_rate(&stream, mode("trace-off"), 5);
+    let trace_sampled = best_rate(&stream, mode("trace-1in1024"), 5);
     let overhead = |rate: f64| (1.0 - rate / disabled) * 100.0;
 
     let report = Json::obj([
@@ -126,10 +193,17 @@ fn emit_json(_c: &mut Criterion) {
         ("disabled_events_per_sec", Json::from(disabled)),
         ("enabled_events_per_sec", Json::from(enabled)),
         ("enabled_slow_events_per_sec", Json::from(enabled_slow)),
+        ("trace_off_events_per_sec", Json::from(trace_off)),
+        ("trace_1in1024_events_per_sec", Json::from(trace_sampled)),
         ("enabled_overhead_pct", Json::from(overhead(enabled))),
         (
             "enabled_slow_overhead_pct",
             Json::from(overhead(enabled_slow)),
+        ),
+        ("trace_off_overhead_pct", Json::from(overhead(trace_off))),
+        (
+            "trace_1in1024_overhead_pct",
+            Json::from(overhead(trace_sampled)),
         ),
     ]);
     match write_bench_json("telemetry_overhead", &report) {
@@ -137,8 +211,10 @@ fn emit_json(_c: &mut Criterion) {
         Err(e) => eprintln!("could not write BENCH_telemetry_overhead.json: {e}"),
     }
 
-    // The CI smoke: the disabled path must hold the pre-telemetry
-    // throughput to within the 5% budget.
+    // The CI smoke: the disabled path — which since the tracing plane
+    // landed also crosses the trace recorder's relaxed enable load per
+    // span site — must hold the pre-telemetry throughput to within the
+    // 5% budget.
     let floor = BASELINE_EVENTS_PER_SEC * (1.0 - MAX_REGRESSION);
     println!(
         "disabled {disabled:.0} ev/s vs pre-telemetry baseline \

@@ -3,8 +3,10 @@
 //! For each demo query: compile time, lowering time, number of maps
 //! (with and without sharing across handlers), number of generated
 //! statements, generated-code size (calculus nodes and emitted Rust
-//! bytes), and per-map/per-trigger runtime statistics after processing a
-//! sample stream.
+//! bytes), per-map/per-trigger runtime statistics, and the
+//! per-statement self-profile (cumulative time and run counts per
+//! compiled statement, plus ordered-index probe/fallback counters)
+//! after processing a sample stream.
 
 use std::time::Instant;
 
@@ -45,6 +47,7 @@ fn main() {
         let source = generate_rust(&program);
         let codegen_time = started.elapsed();
         let mut engine = Engine::new(&program).unwrap();
+        engine.enable_profiling(true);
         engine.process(stream).unwrap();
         let profile = engine.profile();
 
@@ -74,6 +77,37 @@ fn main() {
         }
         for (trigger, count, time) in &profile.per_trigger {
             println!("    trigger {trigger:<22} {count:>8} events   {time:?}");
+        }
+        println!("  per-statement profile (hottest first):");
+        let mut statements = profile.statements.clone();
+        statements.sort_by_key(|s| std::cmp::Reverse(s.nanos));
+        for s in &statements {
+            if s.runs == 0 {
+                continue;
+            }
+            println!(
+                "    {:<22} stage {:>2} -> {:<24} {:>9} runs {:>10.3} ms ({:>6.0} ns/run)",
+                s.trigger,
+                s.stage,
+                s.target,
+                s.runs,
+                s.nanos as f64 / 1e6,
+                s.nanos as f64 / s.runs as f64
+            );
+        }
+        println!(
+            "  ordered-index probes:  {} ({} fallbacks)",
+            profile.ordered_probes,
+            profile
+                .ordered_fallbacks
+                .iter()
+                .map(|(_, c)| c)
+                .sum::<u64>()
+        );
+        for (reason, count) in &profile.ordered_fallbacks {
+            if *count > 0 {
+                println!("    fallback {reason:<20} {count:>8}");
+            }
         }
         println!();
     }

@@ -34,18 +34,26 @@
 //! * `--slow-event-us N` — capture events whose apply latency is at
 //!   least `N` microseconds in a bounded ring, dumpable with the wire
 //!   `debug` request.
+//! * `--slow-event-payloads` — also capture a bounded rendering of each
+//!   slow event's tuple in the ring (off by default; payloads can carry
+//!   data).
+//! * `--trace-sample N` — record event-flow trace spans (queue wait,
+//!   dispatch, group lock, stage, statement) for one in every `N`
+//!   admitted events. Dump with the wire `debug trace` request or, when
+//!   `--metrics-listen` is set, as Chrome `trace_event` JSON from
+//!   `GET /trace` (open in `chrome://tracing` or Perfetto).
 
 use std::process::ExitCode;
 
 use dbtoaster_common::Catalog;
 use dbtoaster_net::{parse_schema_spec, NetConfig, NetServer};
-use dbtoaster_telemetry::MetricsHttpServer;
+use dbtoaster_telemetry::{chrome_trace_json, MetricsHttpServer, TraceFn};
 
 fn usage() -> &'static str {
     "usage: dbtoasterd [--listen ADDR] --schema \"NAME(COL TYPE, ...)\" \
      [--schema ...] [--view \"NAME=SQL\" ...] [--workers N] \
      [--queue-depth N] [--feed-batch N] [--metrics-listen ADDR] \
-     [--slow-event-us N]"
+     [--slow-event-us N] [--slow-event-payloads] [--trace-sample N]"
 }
 
 struct Flags {
@@ -106,6 +114,16 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
                         .map_err(|e| format!("--slow-event-us: {e}"))?,
                 );
             }
+            "--slow-event-payloads" => flags.config.slow_event_payloads = true,
+            "--trace-sample" => {
+                let n: u64 = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("--trace-sample: {e}"))?;
+                if n == 0 {
+                    return Err("--trace-sample expects a positive number".to_string());
+                }
+                flags.config.trace_sample = Some(n);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -133,15 +151,24 @@ fn run() -> Result<(), String> {
     let _metrics_http = match &flags.metrics_listen {
         Some(addr) => {
             server.set_metrics_enabled(true);
-            let http = MetricsHttpServer::bind(
+            // /trace is only a route when tracing is on — rendering an
+            // always-empty trace would just mask a missing flag.
+            let trace_fn: Option<TraceFn> = flags.config.trace_sample.map(|_| {
+                let trace = server.trace_recorder();
+                Box::new(move || chrome_trace_json(&trace.dump())) as TraceFn
+            });
+            let traced = trace_fn.is_some();
+            let http = MetricsHttpServer::bind_with_trace(
                 addr,
                 server.metrics(),
                 Some(server.store_metrics_refresher()),
+                trace_fn,
             )
             .map_err(|e| format!("--metrics-listen {addr}: {e}"))?;
             eprintln!(
-                "dbtoasterd: serving metrics on http://{}/metrics",
-                http.addr()
+                "dbtoasterd: serving metrics on http://{}/metrics{}",
+                http.addr(),
+                if traced { " (+ /trace)" } else { "" }
             );
             Some(http)
         }

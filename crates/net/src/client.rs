@@ -14,7 +14,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use dbtoaster_common::{Error, Event, Result};
 use dbtoaster_server::{ViewId, ViewSnapshot};
-use dbtoaster_telemetry::SlowEvent;
+use dbtoaster_telemetry::{SlowEvent, TraceSpan};
 
 use crate::wire::{self, Response, ServerStats};
 
@@ -112,6 +112,15 @@ impl NetClient {
         match self.call(&wire::encode_debug())? {
             Response::SlowEvents(events) => Ok(events),
             other => Err(unexpected("debug", &other)),
+        }
+    }
+
+    /// Dump the server's event-flow trace ring, ordered by start time
+    /// (empty unless the server runs with trace sampling enabled).
+    pub fn debug_trace(&mut self) -> Result<Vec<TraceSpan>> {
+        match self.call(&wire::encode_debug_trace())? {
+            Response::TraceSpans(spans) => Ok(spans),
+            other => Err(unexpected("debug trace", &other)),
         }
     }
 

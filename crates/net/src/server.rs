@@ -49,8 +49,8 @@ use parking_lot::Mutex;
 use dbtoaster_common::{Catalog, Error, EventBatch, Result};
 use dbtoaster_server::{IngestReport, ShardedDispatcher, ViewId, ViewServer, ViewSnapshot};
 use dbtoaster_telemetry::{
-    Counter, Gauge, Histogram, MetricsRegistry, SlowEvent, SlowEventRing, Unit,
-    DEFAULT_SLOW_RING_CAPACITY,
+    Counter, Gauge, Histogram, MetricsRegistry, SlowEvent, SlowEventRing, TraceRecorder, TraceSpan,
+    Unit, DEFAULT_SLOW_PAYLOAD_BYTES, DEFAULT_SLOW_RING_CAPACITY, LAYER_QUEUE,
 };
 
 use crate::source::{SocketSource, DEFAULT_SOURCE_QUEUE_DEPTH};
@@ -74,6 +74,16 @@ pub struct NetConfig {
     /// microseconds) in a bounded ring, dumpable via the `debug`
     /// request. `None` disables capture entirely.
     pub slow_event_us: Option<u64>,
+    /// Also capture a rendered (bounded) copy of each slow event's
+    /// tuple in the ring. Off by default — payloads can carry data.
+    pub slow_event_payloads: bool,
+    /// Record event-flow trace spans for one in every N admitted
+    /// events (`Some(1)` traces everything). Spans cover queue wait,
+    /// dispatch, group-lock acquisition, stages and statements, and are
+    /// dumpable via the `debug trace` request or `/trace` endpoint.
+    /// `None` leaves tracing fully disabled (one relaxed load per span
+    /// site).
+    pub trace_sample: Option<u64>,
 }
 
 impl Default for NetConfig {
@@ -84,6 +94,8 @@ impl Default for NetConfig {
             feed_batch_size: 1024,
             feed_queue_depth: DEFAULT_SOURCE_QUEUE_DEPTH,
             slow_event_us: None,
+            slow_event_payloads: false,
+            trace_sample: None,
         }
     }
 }
@@ -102,9 +114,14 @@ enum IngestJob {
     Batch {
         batch: EventBatch,
         reply: std::sync::mpsc::Sender<Result<usize>>,
-        /// Admission time, taken only while metrics are enabled — the
-        /// ingest thread turns it into queue-wait latency on dequeue.
+        /// Admission time, taken while metrics are enabled or tracing
+        /// is on — the ingest thread turns it into queue-wait latency
+        /// (and queue spans) on dequeue.
         admitted: Option<Instant>,
+        /// First admission sequence of the batch (event `i` carries
+        /// `base_seq + i`), allocated at admission so queue-wait spans
+        /// correlate with the dispatch/apply spans downstream.
+        base_seq: u64,
     },
     Stop,
 }
@@ -129,11 +146,37 @@ struct NetMetrics {
     feed_batches: Arc<Counter>,
     /// Events ingested from feed connections.
     feed_events: Arc<Counter>,
+    /// Per stream relation: events admitted to the ingest queue
+    /// (`dbt_feed_admitted_events_total{relation}`) and the freshness
+    /// lag gauge (`dbt_feed_lag_events{relation}` = admitted − applied),
+    /// refreshed by the pre-scrape hook. Label sets are fixed at bind:
+    /// one pair per catalog stream relation.
+    relation_lag: Vec<(String, Arc<Counter>, Arc<Gauge>)>,
 }
 
 impl NetMetrics {
-    fn register_in(registry: &MetricsRegistry) -> NetMetrics {
+    fn register_in(registry: &MetricsRegistry, catalog: &Catalog) -> NetMetrics {
+        let relation_lag = catalog
+            .stream_relations()
+            .map(|schema| {
+                let labels = [("relation", schema.name.as_str())];
+                (
+                    schema.name.clone(),
+                    registry.counter(
+                        "dbt_feed_admitted_events_total",
+                        "Events admitted to the ingest queue for the relation",
+                        &labels,
+                    ),
+                    registry.gauge(
+                        "dbt_feed_lag_events",
+                        "Admitted-but-not-yet-applied events of the relation",
+                        &labels,
+                    ),
+                )
+            })
+            .collect();
         NetMetrics {
+            relation_lag,
             queue_depth: registry.gauge(
                 "dbt_ingest_queue_depth",
                 "Batches admitted to the ingest queue and not yet applied",
@@ -171,6 +214,10 @@ impl NetMetrics {
 
 struct Inner {
     config: NetConfig,
+    /// The portfolio's trace recorder (owned by the [`ViewServer`]
+    /// inside `phase`, cloned here so admission never takes the phase
+    /// lock). Allocates every event's admission sequence.
+    trace: Arc<TraceRecorder>,
     addr: SocketAddr,
     phase: Mutex<Phase>,
     /// Mirrors `matches!(phase, Phase::Running(_))` so the hot ingest
@@ -237,13 +284,24 @@ impl Inner {
         if !self.running.load(Ordering::Acquire) {
             self.promote();
         }
+        // Admission stamps: the batch's sequence range (always — it
+        // feeds the watermarks) and the per-relation admitted counters
+        // behind the lag gauges.
+        let base_seq = self.trace.admit(batch.len() as u64);
+        for (relation, admitted, _) in &self.metrics.relation_lag {
+            let n = batch.iter().filter(|e| &e.relation == relation).count();
+            if n > 0 {
+                admitted.add(n as u64);
+            }
+        }
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
         self.metrics.queue_depth.add(1);
-        let admitted = self.registry.enabled().then(Instant::now);
+        let admitted = (self.registry.enabled() || self.trace.is_enabled()).then(Instant::now);
         let sent = self.ingest_tx.send(IngestJob::Batch {
             batch,
             reply: reply_tx,
             admitted,
+            base_seq,
         });
         if sent.is_err() {
             self.metrics.queue_depth.sub(1);
@@ -360,11 +418,15 @@ impl Inner {
     fn refresh_store_metrics(&self) {
         let phase = self.phase.lock();
         match &*phase {
-            Phase::Registering(server) => server.refresh_store_metrics(),
+            Phase::Registering(server) => {
+                server.refresh_store_metrics();
+                self.refresh_feed_lag(server);
+            }
             Phase::Running(d) => {
                 let d = Arc::clone(d);
                 drop(phase);
                 d.server().refresh_store_metrics();
+                self.refresh_feed_lag(d.server());
             }
             Phase::Promoting => unreachable!("Promoting is never left in place"),
         }
@@ -408,6 +470,21 @@ impl Inner {
                 Response::ShuttingDown
             }
             Request::Debug => Response::SlowEvents(self.slow_events()),
+            Request::DebugTrace => Response::TraceSpans(self.trace.dump()),
+        }
+    }
+
+    /// Refresh the per-relation feed-lag gauges: admitted (the net
+    /// layer's counters) minus applied (the server's relation
+    /// counters). Relations without a dispatch plan never apply, so
+    /// they report no lag rather than a forever-growing one.
+    fn refresh_feed_lag(&self, server: &ViewServer) {
+        for (relation, admitted, lag) in &self.metrics.relation_lag {
+            let applied = match server.relation_events(relation) {
+                Some(n) => n,
+                None => continue,
+            };
+            lag.set(admitted.get().saturating_sub(applied) as i64);
         }
     }
 }
@@ -534,6 +611,7 @@ fn ingest_loop(inner: Arc<Inner>, rx: Receiver<IngestJob>) {
                 batch,
                 reply,
                 admitted,
+                base_seq,
             } => {
                 inner.metrics.queue_depth.sub(1);
                 if let Some(at) = admitted {
@@ -541,12 +619,33 @@ fn ingest_loop(inner: Arc<Inner>, rx: Receiver<IngestJob>) {
                         .metrics
                         .queue_wait
                         .record(at.elapsed().as_nanos() as u64);
+                    // Queue-wait spans: the admission→dequeue window,
+                    // once per sampled event of the batch.
+                    let trace = &inner.trace;
+                    if trace.is_enabled() {
+                        let dur_ns = at.elapsed().as_nanos() as u64;
+                        let start_ns = trace.ns_of(at);
+                        let tid = TraceRecorder::current_tid();
+                        for i in 0..batch.len() as u64 {
+                            let seq = base_seq + i;
+                            if trace.sampled(seq) {
+                                trace.record(TraceSpan {
+                                    seq,
+                                    layer: LAYER_QUEUE.to_string(),
+                                    detail: format!("batch={}", batch.len()),
+                                    start_ns,
+                                    dur_ns,
+                                    tid,
+                                });
+                            }
+                        }
+                    }
                 }
                 if dispatcher.is_none() {
                     dispatcher = inner.dispatcher();
                 }
                 let result = match &dispatcher {
-                    Some(d) => d.apply_batch(&batch),
+                    Some(d) => d.apply_batch_at(&batch, base_seq),
                     None => Err(Error::Runtime(
                         "ingest job before promotion (admission bug)".into(),
                     )),
@@ -632,14 +731,24 @@ impl NetServer {
         let (ingest_tx, ingest_rx) = std::sync::mpsc::sync_channel(config.queue_depth.max(1));
         let mut server = ViewServer::new(catalog);
         let registry = Arc::clone(server.metrics());
-        let metrics = NetMetrics::register_in(&registry);
+        let metrics = NetMetrics::register_in(&registry, catalog);
         let slow_ring = config.slow_event_us.map(|threshold_us| {
-            let ring = Arc::new(SlowEventRing::new(threshold_us, DEFAULT_SLOW_RING_CAPACITY));
+            let mut ring = SlowEventRing::new(threshold_us, DEFAULT_SLOW_RING_CAPACITY);
+            if config.slow_event_payloads {
+                ring = ring.with_payloads(DEFAULT_SLOW_PAYLOAD_BYTES);
+            }
+            let ring = Arc::new(ring);
             server.set_slow_event_ring(Arc::clone(&ring));
             ring
         });
+        let trace = Arc::clone(server.trace_recorder());
+        if let Some(n) = config.trace_sample {
+            trace.set_sample_one_in(n);
+            trace.set_enabled(true);
+        }
         let inner = Arc::new(Inner {
             config,
+            trace,
             addr,
             phase: Mutex::new(Phase::Registering(Box::new(server))),
             running: AtomicBool::new(false),
@@ -720,6 +829,19 @@ impl NetServer {
     /// [`NetConfig::slow_event_us`] is set).
     pub fn slow_events(&self) -> Vec<SlowEvent> {
         self.inner.slow_events()
+    }
+
+    /// The event-flow trace recorder shared by every layer of this
+    /// server (sampling enabled at bind via
+    /// [`NetConfig::trace_sample`]).
+    pub fn trace_recorder(&self) -> Arc<TraceRecorder> {
+        Arc::clone(&self.inner.trace)
+    }
+
+    /// The recorded trace spans, ordered by start time (what the wire
+    /// `debug trace` request serves; empty unless tracing is enabled).
+    pub fn trace_spans(&self) -> Vec<TraceSpan> {
+        self.inner.trace.dump()
     }
 
     /// A callback that refreshes the registry's store-size gauges from

@@ -33,7 +33,7 @@ use std::io::{Read, Write};
 use dbtoaster_common::{Error, Event, EventBatch, EventKind, Result, Tuple, Value};
 use dbtoaster_runtime::ResultRow;
 use dbtoaster_server::{IngestReport, ViewSnapshot};
-use dbtoaster_telemetry::SlowEvent;
+use dbtoaster_telemetry::{SlowEvent, TraceSpan};
 
 /// Upper bound on a frame payload (64 MiB). Large enough for any
 /// realistic snapshot or batch, small enough that a corrupt or hostile
@@ -51,6 +51,7 @@ const TAG_SNAPSHOT_ALL: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
 const TAG_SHUTDOWN: u8 = 0x06;
 const TAG_DEBUG: u8 = 0x07;
+const TAG_DEBUG_TRACE: u8 = 0x08;
 /// Feed-plane frame: a naked event batch, no per-frame response.
 const TAG_BATCH: u8 = 0x10;
 
@@ -62,6 +63,7 @@ const TAG_STATS_REPLY: u8 = 0x85;
 const TAG_SHUTTING_DOWN: u8 = 0x86;
 const TAG_FEED_ACK: u8 = 0x87;
 const TAG_SLOW_EVENTS: u8 = 0x88;
+const TAG_TRACE_SPANS: u8 = 0x89;
 const TAG_ERROR: u8 = 0xEE;
 
 const VAL_INT: u8 = 0;
@@ -93,6 +95,9 @@ pub enum Request {
     /// Dump the slow-event ring (empty unless the server runs with a
     /// `--slow-event-us` threshold).
     Debug,
+    /// Dump the trace recorder's span ring (empty unless the server
+    /// runs with `--trace-sample`).
+    DebugTrace,
 }
 
 /// Anything a server may legally receive on an accepted connection:
@@ -113,8 +118,8 @@ pub struct ViewStat {
 /// One latency/size distribution summary inside [`ServerStats`] — a
 /// snapshot of a registry histogram at stats time. Values are in the
 /// histogram's native unit (nanoseconds for `*_seconds` families,
-/// plain counts otherwise); quantiles are log2-bucket upper bounds,
-/// exact to within 2×.
+/// plain counts otherwise); quantiles interpolate linearly inside the
+/// log2 bucket the rank lands in, clamped to the observed maximum.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistogramStat {
     /// Metric family name, e.g. `dbt_apply_event_seconds`.
@@ -180,6 +185,9 @@ pub enum Response {
     FeedAck(IngestReport),
     /// Reply to [`Request::Debug`]: the slow-event ring, oldest first.
     SlowEvents(Vec<SlowEvent>),
+    /// Reply to [`Request::DebugTrace`]: the recorded spans, by start
+    /// time.
+    TraceSpans(Vec<TraceSpan>),
     /// Any request that failed, with the typed error it failed with.
     Error(Error),
 }
@@ -425,6 +433,11 @@ pub fn encode_debug() -> Vec<u8> {
     vec![TAG_DEBUG]
 }
 
+/// Encode a [`Request::DebugTrace`] payload.
+pub fn encode_debug_trace() -> Vec<u8> {
+    vec![TAG_DEBUG_TRACE]
+}
+
 /// Encode a feed-plane batch payload ([`Message::Batch`]).
 pub fn encode_batch(events: &[Event]) -> Vec<u8> {
     let mut buf = vec![TAG_BATCH];
@@ -503,6 +516,19 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_str(&mut buf, &e.relation);
                 buf.push(e.is_delete as u8);
                 put_u64(&mut buf, e.micros);
+                put_str(&mut buf, &e.payload);
+            }
+        }
+        Response::TraceSpans(spans) => {
+            buf.push(TAG_TRACE_SPANS);
+            put_u32(&mut buf, spans.len() as u32);
+            for s in spans {
+                put_u64(&mut buf, s.seq);
+                put_str(&mut buf, &s.layer);
+                put_str(&mut buf, &s.detail);
+                put_u64(&mut buf, s.start_ns);
+                put_u64(&mut buf, s.dur_ns);
+                put_u64(&mut buf, s.tid);
             }
         }
         Response::Error(e) => {
@@ -695,6 +721,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message> {
         TAG_STATS => Message::Request(Request::Stats),
         TAG_SHUTDOWN => Message::Request(Request::Shutdown),
         TAG_DEBUG => Message::Request(Request::Debug),
+        TAG_DEBUG_TRACE => Message::Request(Request::DebugTrace),
         TAG_BATCH => Message::Batch(d.batch()?),
         other => return Err(Error::Wire(format!("unknown request tag 0x{other:02x}"))),
     };
@@ -788,8 +815,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         }),
         TAG_SLOW_EVENTS => {
             // Smallest slow event: seq + empty relation + kind byte +
-            // micros.
-            let n = d.count(21, "slow event count")?;
+            // micros + empty payload.
+            let n = d.count(25, "slow event count")?;
             let mut events = Vec::with_capacity(n);
             for _ in 0..n {
                 let seq = d.u64("slow event seq")?;
@@ -800,14 +827,32 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                     other => return Err(Error::Wire(format!("bad slow event kind {other}"))),
                 };
                 let micros = d.u64("slow event micros")?;
+                let payload = d.str("slow event payload")?;
                 events.push(SlowEvent {
                     seq,
                     relation,
                     is_delete,
                     micros,
+                    payload,
                 });
             }
             Response::SlowEvents(events)
+        }
+        TAG_TRACE_SPANS => {
+            // Smallest span: seq + two empty strings + start + dur + tid.
+            let n = d.count(40, "trace span count")?;
+            let mut spans = Vec::with_capacity(n);
+            for _ in 0..n {
+                spans.push(TraceSpan {
+                    seq: d.u64("trace span seq")?,
+                    layer: d.str("trace span layer")?,
+                    detail: d.str("trace span detail")?,
+                    start_ns: d.u64("trace span start")?,
+                    dur_ns: d.u64("trace span duration")?,
+                    tid: d.u64("trace span tid")?,
+                });
+            }
+            Response::TraceSpans(spans)
         }
         TAG_ERROR => {
             let tag = d.u8("error category")?;
@@ -912,6 +957,10 @@ mod tests {
             roundtrip_message(encode_debug()),
             Message::Request(Request::Debug)
         );
+        assert_eq!(
+            roundtrip_message(encode_debug_trace()),
+            Message::Request(Request::DebugTrace)
+        );
     }
 
     #[test]
@@ -989,12 +1038,35 @@ mod tests {
                 relation: "BIDS".into(),
                 is_delete: false,
                 micros: 1_250,
+                payload: "(104.25, 30)".into(),
             },
             SlowEvent {
                 seq: 9,
                 relation: "ASKS".into(),
                 is_delete: true,
                 micros: u64::MAX,
+                payload: String::new(),
+            },
+        ]
+    }
+
+    fn sample_trace_spans() -> Vec<TraceSpan> {
+        vec![
+            TraceSpan {
+                seq: 42,
+                layer: "queue".into(),
+                detail: "batch=3".into(),
+                start_ns: 1_000,
+                dur_ns: 250,
+                tid: 17,
+            },
+            TraceSpan {
+                seq: 42,
+                layer: "statement".into(),
+                detail: "view=vwap stage=0 stmt=1 target=q_BIDS \"quoted\"".into(),
+                start_ns: u64::MAX,
+                dur_ns: 0,
+                tid: 99_999,
             },
         ]
     }
@@ -1010,6 +1082,8 @@ mod tests {
             Response::Stats(ServerStats::default()),
             Response::SlowEvents(sample_slow_events()),
             Response::SlowEvents(Vec::new()),
+            Response::TraceSpans(sample_trace_spans()),
+            Response::TraceSpans(Vec::new()),
             Response::ShuttingDown,
             Response::FeedAck(IngestReport {
                 batches: 5,
@@ -1088,6 +1162,7 @@ mod tests {
             Response::Snapshots(vec![sample_snapshot()]),
             Response::Stats(sample_stats()),
             Response::SlowEvents(sample_slow_events()),
+            Response::TraceSpans(sample_trace_spans()),
         ] {
             let payload = encode_response(&resp);
             for cut in 0..payload.len() {

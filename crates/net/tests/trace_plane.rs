@@ -1,0 +1,361 @@
+//! Loopback trace-plane integration: a `dbtoasterd`-shaped server run
+//! with `trace_sample: 1` must produce spans from every layer of the
+//! event flow — queue wait, dispatch, group lock, stage, statement —
+//! correlated by admission sequence, and the Chrome `trace_event`
+//! rendering of that ring must be valid JSON carrying the same spans.
+//!
+//! JSON validity is checked with a small recursive-descent parser in
+//! this file (the workspace is dependency-free — no serde), which is
+//! exactly what "opens in chrome://tracing" requires syntactically.
+
+use std::collections::BTreeSet;
+
+use dbtoaster_common::{tuple, Catalog, ColumnType, Event, Schema};
+use dbtoaster_net::{NetClient, NetConfig, NetServer};
+use dbtoaster_telemetry::{
+    chrome_trace_json, LAYER_DISPATCH, LAYER_LOCK, LAYER_QUEUE, LAYER_STAGE, LAYER_STATEMENT,
+};
+
+/// A minimal JSON document model: just enough to prove the trace export
+/// is well-formed and to read the fields Chrome's trace viewer needs.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> f64 {
+        match self {
+            Json::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Json::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is passed through whole.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at {start}"))
+    }
+}
+
+fn r_catalog() -> Catalog {
+    Catalog::new().with(Schema::new(
+        "R",
+        vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+    ))
+}
+
+#[test]
+fn a_sampled_run_traces_every_layer_for_the_same_event() {
+    let config = NetConfig {
+        trace_sample: Some(1),
+        slow_event_us: Some(0),
+        slow_event_payloads: true,
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(&r_catalog(), "127.0.0.1:0", config).unwrap();
+    server.register("totals", "select sum(A) from R").unwrap();
+    // Metrics gate the statement self-profile; statement *spans* ride
+    // the sampling gate alone, but the watermark/lag assertions below
+    // want the full plane on.
+    server.set_metrics_enabled(true);
+
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client
+        .apply_batch(&[
+            Event::insert("R", tuple![2i64, 1i64]),
+            Event::insert("R", tuple![3i64, 1i64]),
+            Event::insert("R", tuple![5i64, 2i64]),
+        ])
+        .unwrap();
+
+    // The wire dump and the in-process dump are the same ring.
+    let spans = client.debug_trace().unwrap();
+    assert_eq!(spans, server.trace_spans());
+    assert!(!spans.is_empty(), "sample 1 must record spans");
+
+    // The first admitted event (seq 0) flows through every layer; each
+    // layer's span carries that seq.
+    let seqs_of = |layer: &str| -> BTreeSet<u64> {
+        spans
+            .iter()
+            .filter(|s| s.layer == layer)
+            .map(|s| s.seq)
+            .collect()
+    };
+    for layer in [LAYER_QUEUE, LAYER_DISPATCH, LAYER_STAGE, LAYER_STATEMENT] {
+        assert!(
+            seqs_of(layer).contains(&0),
+            "layer {layer} has no span for seq 0; got {spans:?}"
+        );
+    }
+    // The group-lock span is recorded once per locked section and
+    // attributed to the first sampled seq it covers.
+    assert!(
+        !seqs_of(LAYER_LOCK).is_empty(),
+        "no lock-acquisition span; got {spans:?}"
+    );
+    // Sample 1 × 3 events: every event's stage work is visible.
+    assert_eq!(seqs_of(LAYER_STAGE), BTreeSet::from([0, 1, 2]));
+
+    // The Chrome trace_event export is valid JSON with one complete
+    // ("ph":"X") event per span, carrying the seq for correlation.
+    let text = chrome_trace_json(&spans);
+    let doc = Parser::parse(&text).expect("trace export must parse as JSON");
+    let events = match doc.get("traceEvents") {
+        Some(Json::Arr(events)) => events,
+        other => panic!("expected a traceEvents array, got {other:?}"),
+    };
+    assert_eq!(events.len(), spans.len());
+    let mut exported = BTreeSet::new();
+    for e in events {
+        assert_eq!(e.get("cat").unwrap().as_str(), "dbtoaster");
+        assert_eq!(e.get("ph").unwrap().as_str(), "X");
+        assert!(e.get("ts").unwrap().as_num() >= 0.0);
+        assert!(e.get("dur").unwrap().as_num() >= 0.0);
+        assert_eq!(e.get("pid").unwrap().as_num(), 1.0);
+        let args = e.get("args").unwrap();
+        args.get("detail").unwrap().as_str();
+        exported.insert((
+            e.get("name").unwrap().as_str().to_string(),
+            args.get("seq").unwrap().as_num() as u64,
+        ));
+    }
+    let recorded: BTreeSet<(String, u64)> =
+        spans.iter().map(|s| (s.layer.clone(), s.seq)).collect();
+    assert_eq!(
+        exported, recorded,
+        "export carries exactly the ring's spans"
+    );
+
+    // Slow-event payload capture was on: the ring rendered each tuple.
+    let slow = client.debug_slow_events().unwrap();
+    assert_eq!(slow.len(), 3, "threshold 0 captures every event");
+    assert!(
+        slow.iter().any(|e| e.payload.contains("(2, 1)")),
+        "payloads must render the tuple; got {slow:?}"
+    );
+
+    // Freshness plane: after the pre-scrape refresh, the view watermark
+    // sits at the last admitted seq and the feed lag is drained to 0.
+    (server.store_metrics_refresher())();
+    let text = server.metrics().render_prometheus();
+    assert!(
+        text.contains("dbt_view_watermark_seq{view=\"totals\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dbt_feed_admitted_events_total{relation=\"R\"} 3"),
+        "{text}"
+    );
+    assert!(
+        text.contains("dbt_feed_lag_events{relation=\"R\"} 0"),
+        "{text}"
+    );
+    // The statement self-profile surfaced as bounded (view, stage)
+    // series.
+    assert!(
+        text.contains("dbt_stmt_runs_total{view=\"totals\",stage=\"0\"}"),
+        "{text}"
+    );
+
+    client.shutdown_server().unwrap();
+    server.wait();
+}
+
+#[test]
+fn tracing_off_records_nothing_and_serves_empty_dumps() {
+    let server = NetServer::bind(&r_catalog(), "127.0.0.1:0", NetConfig::default()).unwrap();
+    server.register("totals", "select sum(A) from R").unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client
+        .apply_batch(&[Event::insert("R", tuple![1i64, 1i64])])
+        .unwrap();
+    assert_eq!(client.debug_trace().unwrap(), Vec::new());
+    assert_eq!(
+        chrome_trace_json(&server.trace_spans()),
+        "{\"traceEvents\":[]}"
+    );
+}

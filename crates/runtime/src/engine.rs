@@ -14,10 +14,12 @@
 //! * [`Engine::enable_tracing`] / [`Engine::last_trace`] — the
 //!   statement-level debugger used by the demo walkthrough.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use dbtoaster_common::{Error, Event, EventKind, FxHashMap, Result, Tuple, Value};
 use dbtoaster_compiler::TriggerProgram;
+use dbtoaster_telemetry::{TraceRecorder, TraceSpan, LAYER_STATEMENT};
 
 use crate::lower::{lower_program, Block, ExecProgram, ResultColumnSpec, Scalar};
 use crate::storage::{MapRead, MapStorage, MapWrite};
@@ -45,6 +47,13 @@ pub struct ProfileReport {
     pub code_size: usize,
     /// Wall-clock time spent compiling and lowering the query.
     pub compile_time: Duration,
+    /// Per-statement self-profile (empty unless
+    /// [`Engine::enable_profiling`] is on).
+    pub statements: Vec<StmtProfileEntry>,
+    /// Process-wide successful ordered-index range probes.
+    pub ordered_probes: u64,
+    /// Process-wide ordered-path fallbacks as `(reason, count)`.
+    pub ordered_fallbacks: Vec<(String, u64)>,
 }
 
 /// The embedded-mode query engine.
@@ -57,6 +66,7 @@ pub struct Engine {
     compile_time: Duration,
     tracing: bool,
     trace: Vec<String>,
+    profile: Option<StmtProfile>,
     /// Statement-evaluation buffers, reused across every event this
     /// engine processes (not just within one batch) so the per-event
     /// path pays no allocation either.
@@ -93,6 +103,7 @@ impl Engine {
             compile_time: started.elapsed(),
             tracing: false,
             trace: Vec::new(),
+            profile: None,
             scratch: EventScratch::default(),
         })
     }
@@ -116,6 +127,14 @@ impl Engine {
     /// with the target-map sizes after each application).
     pub fn last_trace(&self) -> &[String] {
         &self.trace
+    }
+
+    /// Enable or disable the per-statement self-profiler: cumulative
+    /// nanoseconds and run counts per `(trigger, stage, statement)`,
+    /// reported through [`Engine::profile`]. Costs two clock reads per
+    /// statement while on; turning it off discards the collected stats.
+    pub fn enable_profiling(&mut self, on: bool) {
+        self.profile = on.then(|| StmtProfile::for_program(&self.exec));
     }
 
     /// Process a single update-stream event.
@@ -215,10 +234,14 @@ impl Engine {
     /// The engine's own scratch provides the statement-evaluation
     /// buffers, so neither the per-event nor the batched path allocates.
     fn apply_event(&mut self, event: &Event) -> Result<bool> {
-        let trace = if self.tracing {
-            Some(&mut self.trace)
-        } else {
-            None
+        let hooks = StmtHooks {
+            log: if self.tracing {
+                Some(&mut self.trace)
+            } else {
+                None
+            },
+            profile: self.profile.as_ref(),
+            spans: None,
         };
         apply_event_statements(
             &self.exec,
@@ -227,7 +250,7 @@ impl Engine {
             &mut self.scratch,
             StatementPhase::All,
             None,
-            trace,
+            hooks,
         )
     }
 
@@ -367,7 +390,25 @@ impl Engine {
             statement_count: self.program.statement_count(),
             code_size: self.program.code_size(),
             compile_time: self.compile_time,
+            statements: self
+                .profile
+                .as_ref()
+                .map(|p| p.entries(&self.exec))
+                .unwrap_or_default(),
+            ordered_probes: ordered_fallback::probes(),
+            ordered_fallbacks: ordered_fallback::REASONS
+                .iter()
+                .zip(ordered_fallback::counts())
+                .map(|(r, c)| (r.to_string(), c))
+                .collect(),
         }
+    }
+
+    /// Alias for [`Engine::profile`] — the per-statement profiling
+    /// plane's report (statements populated when
+    /// [`Engine::enable_profiling`] is on).
+    pub fn profile_report(&self) -> ProfileReport {
+        self.profile()
     }
 }
 
@@ -410,6 +451,149 @@ impl StatementPhase {
 }
 
 // ---------------------------------------------------------------------
+// per-statement self-profiling
+// ---------------------------------------------------------------------
+
+/// Cumulative per-statement self-profile: nanoseconds and run counts
+/// keyed by the program-wide `(trigger index, statement index)` identity
+/// (stable across map-id rebinding — see
+/// [`ExecProgram::trigger_indexed`]). Recording is two relaxed atomic
+/// adds, so one profile can be shared across worker threads.
+#[derive(Debug)]
+pub struct StmtProfile {
+    /// Per-trigger base offset into the flattened statement arrays,
+    /// aligned with `ExecProgram::triggers`.
+    bases: Vec<usize>,
+    nanos: Vec<AtomicU64>,
+    runs: Vec<AtomicU64>,
+}
+
+impl StmtProfile {
+    /// A zeroed profile sized for `exec`'s statements.
+    pub fn for_program(exec: &ExecProgram) -> StmtProfile {
+        let mut bases = Vec::with_capacity(exec.triggers.len());
+        let mut total = 0usize;
+        for (_, t) in &exec.triggers {
+            bases.push(total);
+            total += t.statements.len();
+        }
+        StmtProfile {
+            bases,
+            nanos: (0..total).map(|_| AtomicU64::new(0)).collect(),
+            runs: (0..total).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Credit one execution of statement `stmt` of trigger `trigger`.
+    #[inline]
+    pub fn credit(&self, trigger: usize, stmt: usize, nanos: u64) {
+        let slot = self.bases[trigger] + stmt;
+        self.nanos[slot].fetch_add(nanos, Ordering::Relaxed);
+        self.runs[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the statements that have run at least once, in program
+    /// order. `exec` must be the program the profile was built for (or
+    /// a map-rebound equivalent — trigger/statement order is identical).
+    pub fn entries(&self, exec: &ExecProgram) -> Vec<StmtProfileEntry> {
+        let mut out = Vec::new();
+        for (ti, ((relation, kind), trigger)) in exec.triggers.iter().enumerate() {
+            for (si, stmt) in trigger.statements.iter().enumerate() {
+                let slot = self.bases[ti] + si;
+                let runs = self.runs[slot].load(Ordering::Relaxed);
+                if runs == 0 {
+                    continue;
+                }
+                out.push(StmtProfileEntry {
+                    trigger: format!("on_{}_{}", kind.label(), relation),
+                    stage: stmt.stage,
+                    target: exec.map_names[stmt.target].clone(),
+                    rendered: stmt.rendered.clone(),
+                    runs,
+                    nanos: self.nanos[slot].load(Ordering::Relaxed),
+                });
+            }
+        }
+        out
+    }
+
+    /// Aggregate `(stage, nanos, runs)` per trigger-stage for one
+    /// program — the bounded-cardinality shape the server exports as
+    /// `dbt_stmt_nanos_total{view,stage}`.
+    pub fn stage_totals(&self, exec: &ExecProgram) -> Vec<(dbtoaster_compiler::Stage, u64, u64)> {
+        let mut out: Vec<(dbtoaster_compiler::Stage, u64, u64)> = Vec::new();
+        for (ti, (_, trigger)) in exec.triggers.iter().enumerate() {
+            for (si, stmt) in trigger.statements.iter().enumerate() {
+                let slot = self.bases[ti] + si;
+                let runs = self.runs[slot].load(Ordering::Relaxed);
+                let nanos = self.nanos[slot].load(Ordering::Relaxed);
+                if runs == 0 && nanos == 0 {
+                    continue;
+                }
+                match out.iter_mut().find(|(s, _, _)| *s == stmt.stage) {
+                    Some((_, n, r)) => {
+                        *n += nanos;
+                        *r += runs;
+                    }
+                    None => out.push((stmt.stage, nanos, runs)),
+                }
+            }
+        }
+        out.sort_by_key(|(s, _, _)| *s);
+        out
+    }
+}
+
+/// One row of a statement profile snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtProfileEntry {
+    /// Trigger label, e.g. `on_insert_BIDS`.
+    pub trigger: String,
+    /// Execution stage (−1 retract, 0 delta, +1 rebuild).
+    pub stage: dbtoaster_compiler::Stage,
+    /// Target map name.
+    pub target: String,
+    /// Human-readable statement rendering.
+    pub rendered: String,
+    /// Times the statement ran.
+    pub runs: u64,
+    /// Cumulative execution nanoseconds.
+    pub nanos: u64,
+}
+
+/// Sampled-span context for statement execution: the recorder, the
+/// event's global seq, and a view label for the span detail.
+pub struct StmtSpans<'a> {
+    pub recorder: &'a TraceRecorder,
+    pub seq: u64,
+    pub view: &'a str,
+    pub tid: u64,
+}
+
+/// Optional per-statement instrumentation threaded through
+/// [`apply_event_statements`]. All three hooks default to off
+/// ([`StmtHooks::none`]) and are independent: `log` is the demo
+/// debugger's rendering trace, `profile` the cumulative self-profiler,
+/// `spans` the sampled trace recorder. Statement clocks are read only
+/// when `profile` or `spans` is present.
+#[derive(Default)]
+pub struct StmtHooks<'a> {
+    /// Human-readable statement log (the demo debugger).
+    pub log: Option<&'a mut Vec<String>>,
+    /// Cumulative per-statement self-profiler.
+    pub profile: Option<&'a StmtProfile>,
+    /// Span sink for an event picked by the trace sampler.
+    pub spans: Option<StmtSpans<'a>>,
+}
+
+impl StmtHooks<'_> {
+    /// No instrumentation — the hot-path default.
+    pub fn none() -> StmtHooks<'static> {
+        StmtHooks::default()
+    }
+}
+
+// ---------------------------------------------------------------------
 // statement evaluation (generic over the map frame)
 // ---------------------------------------------------------------------
 
@@ -420,7 +604,8 @@ impl StatementPhase {
 /// write frame into the shared map store, a phase, and a skip list for
 /// statements whose shared target another view maintains). Returns
 /// `false` when no trigger references the event's relation; counters and
-/// clocks are the caller's business.
+/// clocks are the caller's business, except the per-statement clocks
+/// that `hooks` may request.
 pub fn apply_event_statements<M: MapWrite + ?Sized>(
     exec: &ExecProgram,
     maps: &mut M,
@@ -428,9 +613,9 @@ pub fn apply_event_statements<M: MapWrite + ?Sized>(
     scratch: &mut EventScratch,
     phase: StatementPhase,
     skip_targets: Option<&[bool]>,
-    mut trace: Option<&mut Vec<String>>,
+    mut hooks: StmtHooks<'_>,
 ) -> Result<bool> {
-    let Some(trigger) = exec.trigger(&event.relation, event.kind) else {
+    let Some((trigger_idx, trigger)) = exec.trigger_indexed(&event.relation, event.kind) else {
         return Ok(false);
     };
     if event.tuple.arity() != trigger.event_args {
@@ -442,8 +627,9 @@ pub fn apply_event_statements<M: MapWrite + ?Sized>(
         )));
     }
 
+    let timing = hooks.profile.is_some() || hooks.spans.is_some();
     let EventScratch { env, updates } = scratch;
-    for stmt in &trigger.statements {
+    for (stmt_idx, stmt) in trigger.statements.iter().enumerate() {
         if !phase.runs(stmt.stage) {
             continue;
         }
@@ -453,9 +639,29 @@ pub fn apply_event_statements<M: MapWrite + ?Sized>(
         env.clear();
         env.resize(stmt.slots, Value::ZERO);
         env[..event.tuple.arity()].clone_from_slice(&event.tuple);
+        let started = timing.then(Instant::now);
         run_statement(stmt, maps, env, updates);
-        if let Some(trace) = trace.as_deref_mut() {
-            trace.push(format!(
+        if let Some(started) = started {
+            let nanos = started.elapsed().as_nanos() as u64;
+            if let Some(profile) = hooks.profile {
+                profile.credit(trigger_idx, stmt_idx, nanos);
+            }
+            if let Some(spans) = &hooks.spans {
+                spans.recorder.record(TraceSpan {
+                    seq: spans.seq,
+                    layer: LAYER_STATEMENT.to_string(),
+                    detail: format!(
+                        "view={} stage={} stmt={} target={}",
+                        spans.view, stmt.stage, stmt_idx, exec.map_names[stmt.target]
+                    ),
+                    start_ns: spans.recorder.ns_of(started),
+                    dur_ns: nanos,
+                    tid: spans.tid,
+                });
+            }
+        }
+        if let Some(log) = hooks.log.as_deref_mut() {
+            log.push(format!(
                 "  {} => {} now has {} entries",
                 stmt.rendered,
                 exec.map_names[stmt.target],
@@ -564,14 +770,29 @@ pub mod ordered_fallback {
         AtomicU64::new(0),
     ];
 
+    static PROBES: AtomicU64 = AtomicU64::new(0);
+
     #[inline]
     pub(crate) fn bump(reason: usize) {
         COUNTS[reason].fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn bump_probe() {
+        PROBES.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current totals since process start, index-aligned with [`REASONS`].
     pub fn counts() -> [u64; 6] {
         std::array::from_fn(|i| COUNTS[i].load(Ordering::Relaxed))
+    }
+
+    /// Successful ordered-index range probes since process start — the
+    /// denominator side of the probe-vs-fallback ratio (the probe either
+    /// answers from the index, counted here, or falls back to the scan,
+    /// counted under `range_probe_scan`).
+    pub fn probes() -> u64 {
+        PROBES.load(Ordering::Relaxed)
     }
 }
 
@@ -882,7 +1103,10 @@ fn eval_scalar<M: MapRead + ?Sized>(scalar: &Scalar, env: &[Value], maps: &M) ->
             // O(log P) from the ordered index when it can answer exactly
             // under SQL comparison semantics; O(P) scan otherwise.
             match storage.range_sum(*ordered_pos, &eq_bound, *op, &b) {
-                Some(v) => v,
+                Some(v) => {
+                    ordered_fallback::bump_probe();
+                    v
+                }
                 None => {
                     ordered_fallback::bump(ordered_fallback::RANGE_PROBE_SCAN);
                     storage.range_sum_scan(*ordered_pos, eq_positions, &eq_bound, *op, &b)

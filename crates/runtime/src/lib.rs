@@ -38,7 +38,8 @@ pub mod store;
 
 pub use engine::{
     apply_event_statements, assemble_result, ordered_fallback, result_column_names, Engine,
-    EventScratch, ProfileReport, ResultRow, StatementPhase,
+    EventScratch, ProfileReport, ResultRow, StatementPhase, StmtHooks, StmtProfile,
+    StmtProfileEntry, StmtSpans,
 };
 pub use lower::{lower_program, ExecProgram};
 pub use standalone::StandaloneServer;

@@ -251,15 +251,27 @@ impl ExecProgram {
 
     /// The compiled trigger for an event, if any.
     pub fn trigger(&self, relation: &str, event: EventKind) -> Option<&CompiledTrigger> {
-        if self.trigger_index.is_empty() {
+        self.trigger_indexed(relation, event).map(|(_, t)| t)
+    }
+
+    /// The compiled trigger for an event together with its index into
+    /// `triggers`. The index is a stable program-wide trigger identity:
+    /// rebinding map ids ([`ExecProgram::with_remapped_maps`]) preserves
+    /// trigger order, so profilers can key statement stats on
+    /// `(trigger index, statement index)` across both forms.
+    pub fn trigger_indexed(
+        &self,
+        relation: &str,
+        event: EventKind,
+    ) -> Option<(usize, &CompiledTrigger)> {
+        let i = if self.trigger_index.is_empty() {
             self.triggers
                 .iter()
-                .find(|((r, e), _)| r == relation && *e == event)
-                .map(|(_, t)| t)
+                .position(|((r, e), _)| r == relation && *e == event)?
         } else {
-            let i = self.trigger_index.get(relation)?[event_slot(event)]?;
-            Some(&self.triggers[i].1)
-        }
+            self.trigger_index.get(relation)?[event_slot(event)]?
+        };
+        Some((i, &self.triggers[i].1))
     }
 
     /// Rebuild both lookup indexes from the current `map_names` and

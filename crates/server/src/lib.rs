@@ -92,10 +92,13 @@ use dbtoaster_compiler::{compile_sql, CompileOptions, Stage, TriggerProgram, STA
 use dbtoaster_runtime::{
     apply_event_statements, assemble_result, lower_program, ordered_fallback, range_of_value,
     result_column_names, EventScratch, ExecProgram, FramePlan, LockWaitMetrics, MapRead,
-    MapRegistration, MapWrite, ProfileReport, ResultRow, SharedMapStore, StatementPhase,
-    ViewBinding,
+    MapRegistration, MapWrite, ProfileReport, ResultRow, SharedMapStore, StatementPhase, StmtHooks,
+    StmtProfile, StmtSpans, ViewBinding,
 };
-use dbtoaster_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, SlowEventRing, Unit};
+use dbtoaster_telemetry::{
+    Counter, Gauge, Histogram, MetricsRegistry, SlowEventRing, TraceRecorder, TraceSpan, Unit,
+    DEFAULT_TRACE_RING_CAPACITY, LAYER_LOCK, LAYER_STAGE,
+};
 
 pub use csv::{to_csv_string, write_csv, CsvReplaySource};
 pub use shard::{auto_workers, DispatchReport, ShardedDispatcher, MAX_AUTO_WORKERS};
@@ -165,6 +168,11 @@ struct ServerMetrics {
     ordered_fallback: Vec<Arc<Counter>>,
     /// Last engine counter values already claimed into the registry.
     ordered_fallback_seen: Mutex<[u64; ordered_fallback::REASONS.len()]>,
+    /// Per-view last-claimed statement-profile stage totals
+    /// (`(stage, nanos, runs)` rows, indexed by view id), mirrored into
+    /// `dbt_stmt_nanos_total{view,stage}` / `dbt_stmt_runs_total{view,stage}`
+    /// by delta at scrape time ([`ViewServer::store_report`]).
+    stmt_seen: Mutex<Vec<Vec<(Stage, u64, u64)>>>,
 }
 
 impl ServerMetrics {
@@ -217,6 +225,7 @@ impl ServerMetrics {
                 })
                 .collect(),
             ordered_fallback_seen: Mutex::new([0; ordered_fallback::REASONS.len()]),
+            stmt_seen: Mutex::new(Vec::new()),
             registry,
         }
     }
@@ -278,6 +287,16 @@ struct View {
     events_processed: Arc<Counter>,
     /// Fixed-key per-trigger counters (one per compiled trigger).
     trigger_stats: Vec<TriggerStat>,
+    /// Cumulative per-statement self-profile (nanos + runs, relaxed
+    /// atomics shared across ingestion workers). Credited whenever
+    /// histograms are enabled; surfaced through `profile`/`profile_report`
+    /// and delta-synced into `dbt_stmt_*_total{view,stage}` at scrape.
+    stmt_profile: Arc<StmtProfile>,
+    /// Freshness watermark: highest admission sequence this view has
+    /// absorbed (`dbt_view_watermark_seq{view}`). Advanced with
+    /// [`Gauge::set_max`], so concurrent shard workers only ratchet it
+    /// forward.
+    watermark: Arc<Gauge>,
 }
 
 impl View {
@@ -331,6 +350,10 @@ struct RelationPlan {
     /// Key-range sharding of this relation, when enabled
     /// ([`ViewServer::enable_range_sharding`]).
     shard: Option<RangeShardPlan>,
+    /// Events applied for this relation (`dbt_relation_events_total`),
+    /// the ingest-side half of the feed-lag gauge: lag = admitted −
+    /// applied. A counter, so it records even with histograms disabled.
+    events: Arc<Counter>,
 }
 
 /// Server-side key-range sharding state of one relation: the partition
@@ -372,6 +395,16 @@ impl RelationPlan {
             metrics.events.inc();
         }
     }
+}
+
+/// Per-event tracing context threaded through the scheduling loop: the
+/// recorder, the event's admission sequence, and the hashed thread id
+/// its spans are attributed to. Built only for sampled events, so the
+/// unsampled path never formats or clocks anything.
+struct TraceSpanCtx<'a> {
+    recorder: &'a TraceRecorder,
+    seq: u64,
+    tid: u64,
 }
 
 /// Reusable per-caller ingestion state: the statement-evaluation scratch
@@ -529,6 +562,11 @@ pub struct ViewServer {
     ctx_pool: Mutex<Vec<ApplyCtx>>,
     /// Metric handles over the server-wide registry.
     metrics: ServerMetrics,
+    /// Event-flow trace recorder. Always constructed (admission
+    /// sequencing and watermarks rely on its counter) but disabled by
+    /// default, so the hot paths pay one relaxed load per event span
+    /// site until tracing is switched on.
+    trace: Arc<TraceRecorder>,
 }
 
 impl ViewServer {
@@ -558,7 +596,16 @@ impl ViewServer {
             all_plan: FramePlan::default(),
             ctx_pool: Mutex::new(Vec::new()),
             metrics,
+            trace: Arc::new(TraceRecorder::new(DEFAULT_TRACE_RING_CAPACITY)),
         }
+    }
+
+    /// The event-flow trace recorder shared by every ingestion layer.
+    /// Enable it (and pick a sampling rate) to capture queue/dispatch/
+    /// lock/stage/statement spans; export with
+    /// [`dbtoaster_telemetry::chrome_trace_json`].
+    pub fn trace_recorder(&self) -> &Arc<TraceRecorder> {
+        &self.trace
     }
 
     /// The server-wide metrics registry every layer records into. Wrap
@@ -690,6 +737,11 @@ impl ViewServer {
             .map(|t| t.relation.clone())
             .collect();
         for rel in relations {
+            let events = self.metrics.registry.counter(
+                "dbt_relation_events_total",
+                "Events applied for the relation (the feed-lag denominator)",
+                &[("relation", &rel)],
+            );
             self.dispatch
                 .entry(rel)
                 .or_insert_with(|| RelationPlan {
@@ -699,11 +751,13 @@ impl ViewServer {
                     stages: Vec::new(),
                     stage_metrics: Vec::new(),
                     shard: None,
+                    events,
                 })
                 .views
                 .push(id);
         }
         let plan = self.store.plan(&binding.groups);
+        let stmt_profile = Arc::new(StmtProfile::for_program(&exec));
         self.views.push(View {
             name: name.to_string(),
             sql: sql.to_string(),
@@ -720,7 +774,14 @@ impl ViewServer {
                 &[("view", name)],
             ),
             trigger_stats,
+            stmt_profile,
+            watermark: self.metrics.registry.gauge(
+                "dbt_view_watermark_seq",
+                "Highest admission sequence the view has absorbed",
+                &[("view", name)],
+            ),
         });
+        self.metrics.stmt_seen.lock().push(Vec::new());
         self.rebuild_plans();
         Ok(ViewId(id))
     }
@@ -832,6 +893,7 @@ impl ViewServer {
     /// the event, so callers credit it from the clock they already run
     /// ([`RelationPlan::credit_flat_stage`]) and the flat hot path pays
     /// no extra clock reads.
+    #[allow(clippy::too_many_arguments)]
     fn run_event_stages<M: MapWrite + ?Sized>(
         &self,
         plan: &RelationPlan,
@@ -840,13 +902,24 @@ impl ViewServer {
         scratch: &mut EventScratch,
         delivered: &mut Vec<usize>,
         timed: bool,
+        trace: Option<&TraceSpanCtx<'_>>,
     ) -> Result<()> {
         delivered.clear();
         let bracket = timed && plan.stages.len() > 1;
         for (index, (stage, views)) in plan.stages.iter().enumerate() {
-            let stage_started = bracket.then(Instant::now);
+            let stage_started = (bracket || trace.is_some()).then(Instant::now);
             for &i in views {
                 let view = &self.views[i];
+                let hooks = StmtHooks {
+                    log: None,
+                    profile: timed.then(|| &*view.stmt_profile),
+                    spans: trace.map(|t| StmtSpans {
+                        recorder: t.recorder,
+                        seq: t.seq,
+                        view: &view.name,
+                        tid: t.tid,
+                    }),
+                };
                 let absorbed = apply_event_statements(
                     &view.exec,
                     frame,
@@ -854,16 +927,28 @@ impl ViewServer {
                     scratch,
                     StatementPhase::Stage(*stage),
                     Some(&view.skip),
-                    None,
+                    hooks,
                 )?;
                 if *stage == STAGE_DELTA && absorbed {
                     delivered.push(i);
                 }
             }
             if let Some(started) = stage_started {
-                let metrics = &plan.stage_metrics[index];
-                metrics.nanos.add(started.elapsed().as_nanos() as u64);
-                metrics.events.inc();
+                if bracket {
+                    let metrics = &plan.stage_metrics[index];
+                    metrics.nanos.add(started.elapsed().as_nanos() as u64);
+                    metrics.events.inc();
+                }
+                if let Some(t) = trace {
+                    t.recorder.record(TraceSpan {
+                        seq: t.seq,
+                        layer: LAYER_STAGE.to_string(),
+                        detail: format!("stage={} views={}", stage, views.len()),
+                        start_ns: t.recorder.ns_of(started),
+                        dur_ns: started.elapsed().as_nanos() as u64,
+                        tid: t.tid,
+                    });
+                }
             }
         }
         Ok(())
@@ -1098,6 +1183,14 @@ impl ViewServer {
             return Ok(0);
         };
         let timed = self.metrics.registry.enabled();
+        // Admission sequencing is unconditional (it feeds the view
+        // watermarks); span recording happens only for sampled events.
+        let seq = self.trace.admit(1);
+        let trace_ctx = self.trace.sampled(seq).then(|| TraceSpanCtx {
+            recorder: &self.trace,
+            seq,
+            tid: TraceRecorder::current_tid(),
+        });
         // Range-sharded relations run the event against the replica
         // frame its partition key hashes to — one range lock, not the
         // relation's whole plan — so appliers on different ranges
@@ -1106,7 +1199,18 @@ impl ViewServer {
             Some(sp) => &sp.frames[sp.route(&event.tuple)],
             None => &plan.frame,
         };
+        let lock_started = trace_ctx.as_ref().map(|_| Instant::now());
         let mut guards = self.store.lock_write(frame_plan.groups());
+        if let (Some(t), Some(lock_started)) = (&trace_ctx, lock_started) {
+            t.recorder.record(TraceSpan {
+                seq: t.seq,
+                layer: LAYER_LOCK.to_string(),
+                detail: format!("groups={}", frame_plan.groups().len()),
+                start_ns: t.recorder.ns_of(lock_started),
+                dur_ns: lock_started.elapsed().as_nanos() as u64,
+                tid: t.tid,
+            });
+        }
         let started = Instant::now();
         ctx.delivered.clear();
         let mut failure: Option<Error> = None;
@@ -1119,6 +1223,7 @@ impl ViewServer {
                 &mut ctx.scratch,
                 &mut ctx.delivered,
                 timed,
+                trace_ctx.as_ref(),
             ) {
                 failure = Some(e);
             }
@@ -1130,8 +1235,11 @@ impl ViewServer {
         let elapsed = started.elapsed().as_nanos() as u64;
         let nanos = elapsed / deliveries.max(1) as u64;
         for &i in &ctx.delivered {
-            self.views[i].record(&event.relation, event.kind, 1, nanos);
+            let view = &self.views[i];
+            view.record(&event.relation, event.kind, 1, nanos);
+            view.watermark.set_max(seq as i64);
         }
+        plan.events.inc();
         drop(guards);
         // Latency recording stays outside the lock scope: neither the
         // histogram atomics nor the slow ring's mutex ever extend the
@@ -1143,10 +1251,11 @@ impl ViewServer {
             plan.credit_flat_stage(elapsed);
         }
         if let Some(ring) = &self.metrics.slow {
-            ring.observe(
+            ring.observe_with(
                 &event.relation,
                 event.kind == EventKind::Delete,
                 elapsed / 1_000,
+                || event.tuple.to_string(),
             );
         }
         match failure {
@@ -1175,7 +1284,21 @@ impl ViewServer {
     pub fn apply_batch_with(&self, batch: &[Event], ctx: &mut ApplyCtx) -> Result<usize> {
         // Accepts any event slice; `&EventBatch` coerces via Deref, and
         // `UpdateStream::events.chunks(n)` feeds it zero-copy.
-        self.apply_batch_routed(batch, None, ctx)
+        let base = self.trace.admit(batch.len() as u64);
+        self.apply_batch_routed(batch, None, base, ctx)
+    }
+
+    /// [`ViewServer::apply_batch`] against admission sequences the
+    /// caller already allocated with [`TraceRecorder::admit`] — the
+    /// entry point for upstream layers (the net ingest queue, the
+    /// sharded dispatcher) that stamp seqs at admission so queue and
+    /// dispatch spans correlate with the apply-side spans. Event `i` of
+    /// the batch carries sequence `base + i`.
+    pub fn apply_batch_at(&self, batch: &[Event], base: u64) -> Result<usize> {
+        let mut ctx = self.make_ctx();
+        let result = self.apply_batch_routed(batch, None, base, &mut ctx);
+        self.return_ctx(ctx);
+        result
     }
 
     /// [`ViewServer::apply_batch_with`] restricted to an index subset of
@@ -1188,7 +1311,21 @@ impl ViewServer {
         indices: &[u32],
         ctx: &mut ApplyCtx,
     ) -> Result<usize> {
-        self.apply_batch_routed(batch, Some(indices), ctx)
+        let base = self.trace.admit(batch.len() as u64);
+        self.apply_batch_routed(batch, Some(indices), base, ctx)
+    }
+
+    /// [`ViewServer::apply_batch_indices`] with caller-allocated
+    /// admission sequences (see [`ViewServer::apply_batch_at`]); the
+    /// selected event at batch position `i` carries sequence `base + i`.
+    pub fn apply_batch_indices_at(
+        &self,
+        batch: &[Event],
+        indices: &[u32],
+        base: u64,
+        ctx: &mut ApplyCtx,
+    ) -> Result<usize> {
+        self.apply_batch_routed(batch, Some(indices), base, ctx)
     }
 
     /// The shared batch front end: scan the selected events' relations,
@@ -1199,6 +1336,7 @@ impl ViewServer {
         &self,
         batch: &[Event],
         indices: Option<&[u32]>,
+        base: u64,
         ctx: &mut ApplyCtx,
     ) -> Result<usize> {
         // The batch lock plan is the union of the cached relation plans
@@ -1220,7 +1358,7 @@ impl ViewServer {
             return Ok(0);
         }
         if sharded {
-            return self.apply_batch_ranged(batch, indices, ctx);
+            return self.apply_batch_ranged(batch, indices, base, ctx);
         }
         ctx.groups.sort_unstable();
         ctx.groups.dedup();
@@ -1235,7 +1373,7 @@ impl ViewServer {
             built = self.store.plan(&ctx.groups);
             &built
         };
-        self.apply_span(batch, indices, frame_plan, ctx)
+        self.apply_span(batch, indices, frame_plan, base, ctx)
     }
 
     /// Batch path for batches touching at least one range-sharded
@@ -1250,6 +1388,7 @@ impl ViewServer {
         &self,
         batch: &[Event],
         indices: Option<&[u32]>,
+        base: u64,
         ctx: &mut ApplyCtx,
     ) -> Result<usize> {
         let mut default_indices: Vec<u32> = Vec::new();
@@ -1295,14 +1434,14 @@ impl ViewServer {
                 built = self.store.plan(&ctx.groups);
                 &built
             };
-            deliveries += self.apply_span(batch, Some(&default_indices), frame_plan, ctx)?;
+            deliveries += self.apply_span(batch, Some(&default_indices), frame_plan, base, ctx)?;
         }
         for (rel, range, bucket) in &buckets {
             let sp = self.dispatch[*rel]
                 .shard
                 .as_ref()
                 .expect("bucketed as sharded");
-            deliveries += self.apply_span(batch, Some(bucket), &sp.frames[*range], ctx)?;
+            deliveries += self.apply_span(batch, Some(bucket), &sp.frames[*range], base, ctx)?;
         }
         Ok(deliveries)
     }
@@ -1316,6 +1455,7 @@ impl ViewServer {
         batch: &[Event],
         indices: Option<&[u32]>,
         frame_plan: &FramePlan,
+        base: u64,
         ctx: &mut ApplyCtx,
     ) -> Result<usize> {
         // Every lock plan in the server acquires groups in ascending id
@@ -1331,11 +1471,47 @@ impl ViewServer {
         // release (the ring takes a mutex). By definition they are rare,
         // so the buffer normally never allocates.
         let mut slow_hits: Vec<(usize, u64)> = Vec::new();
+        let count = indices.map_or(batch.len(), <[u32]>::len);
+        // Tracing state is hoisted: one relaxed load decides the span,
+        // and the lock span is recorded once, attributed to the first
+        // sampled sequence present (a span shares one acquisition — one
+        // span per sampled event would just duplicate it).
+        let tracing = self.trace.is_enabled();
+        let tid = if tracing {
+            TraceRecorder::current_tid()
+        } else {
+            0
+        };
+        let mut lock_seq: Option<u64> = None;
+        if tracing {
+            for pos in 0..count {
+                let position = indices.map_or(pos, |ix| ix[pos] as usize);
+                let seq = base + position as u64;
+                if self.trace.sampled(seq) {
+                    lock_seq = Some(seq);
+                    break;
+                }
+            }
+        }
+        let lock_started = lock_seq.map(|_| Instant::now());
         let mut guards = self.store.lock_write(frame_plan.groups());
+        if let (Some(seq), Some(lock_started)) = (lock_seq, lock_started) {
+            self.trace.record(TraceSpan {
+                seq,
+                layer: LAYER_LOCK.to_string(),
+                detail: format!("groups={} events={}", frame_plan.groups().len(), count),
+                start_ns: self.trace.ns_of(lock_started),
+                dur_ns: lock_started.elapsed().as_nanos() as u64,
+                tid,
+            });
+        }
 
         let started = Instant::now();
-        let count = indices.map_or(batch.len(), <[u32]>::len);
         let mut deliveries = 0usize;
+        // Highest sequence run through a relation plan in this span —
+        // the span-granular watermark every delivered-to view ratchets
+        // to at the counter flush.
+        let mut last_seq: Option<u64> = None;
         ctx.counts.clear();
         let mut failure: Option<Error> = None;
         {
@@ -1346,6 +1522,18 @@ impl ViewServer {
                 let Some(plan) = self.dispatch.get(&event.relation) else {
                     continue;
                 };
+                let seq = base + position as u64;
+                last_seq = Some(seq);
+                plan.events.inc();
+                let event_trace = if tracing && self.trace.sampled(seq) {
+                    Some(TraceSpanCtx {
+                        recorder: &self.trace,
+                        seq,
+                        tid,
+                    })
+                } else {
+                    None
+                };
                 let event_started = per_event_clock.then(Instant::now);
                 if let Err(e) = self.run_event_stages(
                     plan,
@@ -1354,6 +1542,7 @@ impl ViewServer {
                     &mut ctx.scratch,
                     &mut ctx.delivered,
                     timed,
+                    event_trace.as_ref(),
                 ) {
                     failure = Some(e);
                     break;
@@ -1393,7 +1582,11 @@ impl ViewServer {
         let batch_nanos = started.elapsed().as_nanos() as u64;
         let per_delivery = batch_nanos / deliveries.max(1) as u64;
         for (view, relation, kind, n) in ctx.counts.drain(..) {
-            self.views[view].record(&relation, kind, n, per_delivery * n);
+            let v = &self.views[view];
+            v.record(&relation, kind, n, per_delivery * n);
+            if let Some(seq) = last_seq {
+                v.watermark.set_max(seq as i64);
+            }
         }
         drop(guards);
         // Whole-batch latency and the slow-event ring record outside
@@ -1405,10 +1598,11 @@ impl ViewServer {
         if let Some(ring) = slow {
             for (position, nanos) in slow_hits {
                 let event = &batch[position];
-                ring.observe(
+                ring.observe_with(
                     &event.relation,
                     event.kind == EventKind::Delete,
                     nanos / 1_000,
+                    || event.tuple.to_string(),
                 );
             }
         }
@@ -1530,6 +1724,13 @@ impl ViewServer {
             statement_count: view.program.statement_count(),
             code_size: view.program.code_size(),
             compile_time: view.compile_time,
+            statements: view.stmt_profile.entries(&view.exec),
+            ordered_probes: ordered_fallback::probes(),
+            ordered_fallbacks: ordered_fallback::REASONS
+                .iter()
+                .map(|r| r.to_string())
+                .zip(ordered_fallback::counts())
+                .collect(),
         }
     }
 
@@ -1587,9 +1788,71 @@ impl ViewServer {
             self.store_report_from(&self.all_plan.read_frame(&guards))
         };
         // The scrape-prepare walk is also where the engine's process-
-        // global ordered-fallback counters surface in the registry.
+        // global ordered-fallback counters and the views' statement
+        // self-profiles surface in the registry.
         self.metrics.sync_ordered_fallbacks();
+        self.sync_stmt_profiles();
         report
+    }
+
+    /// Claim the growth of each view's statement self-profile into the
+    /// bounded-cardinality registry series `dbt_stmt_nanos_total{view,
+    /// stage}` / `dbt_stmt_runs_total{view,stage}` (per stage, not per
+    /// statement — full per-statement detail stays in
+    /// [`ViewServer::profile`]). Same delta-claim idiom as the ordered-
+    /// fallback sync: the hot path keeps relaxed atomics, the scrape
+    /// folds their growth into counters.
+    fn sync_stmt_profiles(&self) {
+        let mut seen = self.metrics.stmt_seen.lock();
+        for (view, last) in self.views.iter().zip(seen.iter_mut()) {
+            let totals = view.stmt_profile.stage_totals(&view.exec);
+            for (stage, nanos, runs) in totals {
+                let claimed = match last.iter_mut().find(|(s, _, _)| *s == stage) {
+                    Some(entry) => entry,
+                    None => {
+                        last.push((stage, 0, 0));
+                        last.last_mut().expect("just pushed")
+                    }
+                };
+                let stage_label = stage.to_string();
+                let labels = [
+                    ("view", view.name.as_str()),
+                    ("stage", stage_label.as_str()),
+                ];
+                let dn = nanos.saturating_sub(claimed.1);
+                if dn > 0 {
+                    self.metrics
+                        .registry
+                        .counter(
+                            "dbt_stmt_nanos_total",
+                            "Cumulative nanoseconds in the view's statements of one stage",
+                            &labels,
+                        )
+                        .add(dn);
+                    claimed.1 = nanos;
+                }
+                let dr = runs.saturating_sub(claimed.2);
+                if dr > 0 {
+                    self.metrics
+                        .registry
+                        .counter(
+                            "dbt_stmt_runs_total",
+                            "Statement executions in the view's statements of one stage",
+                            &labels,
+                        )
+                        .add(dr);
+                    claimed.2 = runs;
+                }
+            }
+        }
+    }
+
+    /// Events applied so far for one dispatched relation (the registry's
+    /// `dbt_relation_events_total{relation}` reading) — `None` when no
+    /// view listens to the relation. The net layer's feed-lag gauge is
+    /// its per-relation admitted count minus this.
+    pub fn relation_events(&self, relation: &str) -> Option<u64> {
+        self.dispatch.get(relation).map(|p| p.events.get())
     }
 
     fn store_report_from(&self, frame: &dyn MapRead) -> StoreReport {

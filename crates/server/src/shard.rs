@@ -57,7 +57,9 @@ use parking_lot::Mutex;
 
 use dbtoaster_common::{Error, Event, EventSource, FxHashMap, Result};
 use dbtoaster_runtime::range_of_value;
-use dbtoaster_telemetry::{Counter, Histogram, MetricsRegistry, Unit};
+use dbtoaster_telemetry::{
+    Counter, Histogram, MetricsRegistry, TraceRecorder, TraceSpan, Unit, LAYER_DISPATCH,
+};
 
 use crate::{drain_source, IngestReport, ViewServer};
 
@@ -359,6 +361,17 @@ impl ShardedDispatcher {
     ///
     /// [`ViewServer::apply_batch`]: crate::ViewServer::apply_batch
     pub fn apply_batch(&self, batch: &[Event]) -> Result<usize> {
+        let base = self.server.trace_recorder().admit(batch.len() as u64);
+        self.apply_batch_at(batch, base)
+    }
+
+    /// [`ShardedDispatcher::apply_batch`] against admission sequences
+    /// the caller already allocated (see [`ViewServer::apply_batch_at`])
+    /// — the entry point for the net ingest queue, which stamps seqs at
+    /// admission so queue-wait spans correlate with dispatch spans.
+    ///
+    /// [`ViewServer::apply_batch_at`]: crate::ViewServer::apply_batch_at
+    pub fn apply_batch_at(&self, batch: &[Event], base: u64) -> Result<usize> {
         self.batches.inc();
         self.events.add(batch.len() as u64);
 
@@ -373,7 +386,7 @@ impl ShardedDispatcher {
         };
         if effective <= 1 {
             self.sequential_batches.inc();
-            return self.server.apply_batch(batch);
+            return self.apply_inline(batch, base);
         }
 
         // Bucket the events: index lists per (partition, key range),
@@ -404,7 +417,7 @@ impl ShardedDispatcher {
         // with no queue round-trip.
         if buckets.len() <= 1 {
             self.sequential_batches.inc();
-            return self.server.apply_batch(batch);
+            return self.apply_inline(batch, base);
         }
 
         self.parallel_batches.inc();
@@ -424,18 +437,53 @@ impl ShardedDispatcher {
         let results: Vec<Mutex<Option<Result<usize>>>> =
             buckets.iter().map(|_| Mutex::new(None)).collect();
         let timed = self.registry.enabled();
-        let worker = |metrics: &WorkerMetrics| {
+        let trace = self.server.trace_recorder();
+        let tracing = trace.is_enabled();
+        let worker = |w: usize, metrics: &WorkerMetrics| {
             let mut ctx = self.server.make_ctx();
+            let tid = if tracing {
+                TraceRecorder::current_tid()
+            } else {
+                0
+            };
             loop {
                 let b = next.fetch_add(1, Ordering::Relaxed);
-                let Some((_, bucket)) = buckets.get(b) else {
+                let Some(((partition, range), bucket)) = buckets.get(b) else {
                     break;
                 };
                 metrics.jobs.inc();
-                let started = timed.then(Instant::now);
-                let result = self.server.apply_batch_indices(batch, bucket, &mut ctx);
+                let started = (timed || tracing).then(Instant::now);
+                let result = self
+                    .server
+                    .apply_batch_indices_at(batch, bucket, base, &mut ctx);
                 if let Some(started) = started {
-                    metrics.busy.add(started.elapsed().as_nanos() as u64);
+                    if timed {
+                        metrics.busy.add(started.elapsed().as_nanos() as u64);
+                    }
+                    if tracing {
+                        // One dispatch span per sampled event of the
+                        // bucket, all sharing the job's window: the
+                        // bucket *is* the unit the worker ran.
+                        let dur_ns = started.elapsed().as_nanos() as u64;
+                        for &i in bucket.iter() {
+                            let seq = base + i as u64;
+                            if trace.sampled(seq) {
+                                trace.record(TraceSpan {
+                                    seq,
+                                    layer: LAYER_DISPATCH.to_string(),
+                                    detail: match *range {
+                                        NO_RANGE => {
+                                            format!("partition={partition} worker={w}")
+                                        }
+                                        r => format!("partition={partition} range={r} worker={w}"),
+                                    },
+                                    start_ns: trace.ns_of(started),
+                                    dur_ns,
+                                    tid,
+                                });
+                            }
+                        }
+                    }
                 }
                 *results[b].lock() = Some(result);
             }
@@ -445,10 +493,10 @@ impl ShardedDispatcher {
             let handles: Vec<_> = (1..threads)
                 .map(|w| {
                     let metrics = &self.worker_metrics[w];
-                    scope.spawn(move || worker(metrics))
+                    scope.spawn(move || worker(w, metrics))
                 })
                 .collect();
-            worker(&self.worker_metrics[0]);
+            worker(0, &self.worker_metrics[0]);
             for handle in handles {
                 let _ = handle.join();
             }
@@ -482,6 +530,35 @@ impl ShardedDispatcher {
             Some(e) => Err(e),
             None => Ok(deliveries),
         }
+    }
+
+    /// Apply a whole batch inline on the caller's thread (the
+    /// single-bucket / no-spare-cores path), recording a dispatch span
+    /// per sampled event so traced events keep their dispatch layer
+    /// even when no worker pool ran.
+    fn apply_inline(&self, batch: &[Event], base: u64) -> Result<usize> {
+        let trace = self.server.trace_recorder();
+        if !trace.is_enabled() {
+            return self.server.apply_batch_at(batch, base);
+        }
+        let started = Instant::now();
+        let result = self.server.apply_batch_at(batch, base);
+        let dur_ns = started.elapsed().as_nanos() as u64;
+        let tid = TraceRecorder::current_tid();
+        for i in 0..batch.len() {
+            let seq = base + i as u64;
+            if trace.sampled(seq) {
+                trace.record(TraceSpan {
+                    seq,
+                    layer: LAYER_DISPATCH.to_string(),
+                    detail: "inline worker=0".to_string(),
+                    start_ns: trace.ns_of(started),
+                    dur_ns,
+                    tid,
+                });
+            }
+        }
+        result
     }
 
     /// Drain an [`EventSource`] through the sharded path, pulling

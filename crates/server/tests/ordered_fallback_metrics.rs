@@ -1,0 +1,135 @@
+//! Integration coverage for `dbt_ordered_fallback_total{reason}`.
+//!
+//! The engine counts ordered-plan precondition failures in
+//! process-global relaxed atomics; the server claims their growth into
+//! registry counters by delta at scrape time. This test forces two
+//! distinct fallback reasons through a live server — a negative inner
+//! aggregate (deleting a never-inserted bid) and incomparable outer
+//! keys (a string smuggled into the PRICE column) — and checks the
+//! delta-sync counts every increment exactly once: a second scrape with
+//! no new events adds nothing.
+//!
+//! Everything lives in one `#[test]` because the engine's fallback
+//! counters are process-global: a single function keeps the deltas this
+//! test observes unentangled from any sibling test.
+
+use dbtoaster_common::{tuple, Event, Value};
+use dbtoaster_runtime::ordered_fallback;
+use dbtoaster_server::ViewServer;
+use dbtoaster_workloads::orderbook::{orderbook_catalog, VWAP_NESTED};
+
+/// `(negative_inner, incomparable_keys)` readings of the engine's
+/// process-global counters.
+fn engine_counts() -> (u64, u64) {
+    let counts = ordered_fallback::counts();
+    (
+        counts[ordered_fallback::NEGATIVE_INNER],
+        counts[ordered_fallback::INCOMPARABLE_KEYS],
+    )
+}
+
+/// The registry's `dbt_ordered_fallback_total{reason="..."}` reading,
+/// parsed from the Prometheus text rendering (0 when absent).
+fn scraped_count(text: &str, reason: &str) -> u64 {
+    let needle = format!("dbt_ordered_fallback_total{{reason=\"{reason}\"}} ");
+    text.lines()
+        .find_map(|l| l.strip_prefix(&needle))
+        .map(|v| v.trim().parse().expect("counter value"))
+        .unwrap_or(0)
+}
+
+/// An orderbook bid event; the schema is `BIDS(T, ID, BROKER_ID,
+/// VOLUME, PRICE)`.
+fn bid(delete: bool, volume: f64, price: f64) -> Event {
+    let t = tuple![1.0f64, 1i64, 1i64, volume, price];
+    if delete {
+        Event::delete("BIDS", t)
+    } else {
+        Event::insert("BIDS", t)
+    }
+}
+
+#[test]
+fn fallback_reasons_sync_into_the_registry_exactly_once() {
+    let catalog = orderbook_catalog();
+    let mut server = ViewServer::new(&catalog);
+    server.register("vwap", VWAP_NESTED).unwrap();
+    let (neg0, inc0) = engine_counts();
+
+    // A healthy book first: the nested VWAP's monotone-guard statement
+    // runs on the ordered fast path, no fallbacks.
+    server.apply(&bid(false, 10.0, 100.0)).unwrap();
+    server.apply(&bid(false, 5.0, 102.0)).unwrap();
+
+    // Reason 1 — incomparable_keys: a string PRICE gives the outer
+    // ordered index mixed key classes, so the flip-point search is
+    // ill-defined and the statement falls back to the loop.
+    server
+        .apply(&Event::insert(
+            "BIDS",
+            tuple![1.0f64, 2i64, 1i64, 3.0f64, Value::str("oops")],
+        ))
+        .unwrap();
+    server.apply(&bid(false, 2.0, 101.0)).unwrap();
+    let (_, inc1) = engine_counts();
+    assert!(
+        inc1 > inc0,
+        "a mixed-class outer key must force incomparable_keys fallbacks"
+    );
+
+    // Undo the poison pill so the outer keys are numeric again...
+    server
+        .apply(&Event::delete(
+            "BIDS",
+            tuple![1.0f64, 2i64, 1i64, 3.0f64, Value::str("oops")],
+        ))
+        .unwrap();
+
+    // ...then reason 2 — negative_inner: deleting a bid that was never
+    // inserted drives its volume sum to −7, breaking the monotonicity
+    // the probe needs (a shrinking range could grow in value).
+    server.apply(&bid(true, 7.0, 50.0)).unwrap();
+    server.apply(&bid(false, 4.0, 103.0)).unwrap();
+    let (neg2, inc2) = engine_counts();
+    assert!(
+        neg2 > neg0,
+        "a negative inner aggregate must force negative_inner fallbacks"
+    );
+
+    // First scrape: the prepare walk claims the engine deltas into the
+    // registry counters, each increment exactly once.
+    server.refresh_store_metrics();
+    let text = server.metrics().render_prometheus();
+    let neg_scraped = scraped_count(&text, "negative_inner");
+    let inc_scraped = scraped_count(&text, "incomparable_keys");
+    // >= rather than ==: sibling tests in this process may also run
+    // interval statements; the registry can only be ahead of what this
+    // test saw before its own scrape, never behind.
+    assert!(
+        neg_scraped >= neg2 - neg0,
+        "registry negative_inner {neg_scraped} lost increments (engine grew by {})",
+        neg2 - neg0
+    );
+    assert!(
+        inc_scraped >= inc2 - inc0,
+        "registry incomparable_keys {inc_scraped} lost increments (engine grew by {})",
+        inc2 - inc0
+    );
+
+    // Second scrape with no events in between: the delta-sync must add
+    // nothing — each engine increment is claimed exactly once.
+    let (neg3, inc3) = engine_counts();
+    assert_eq!((neg3, inc3), (neg2, inc2), "no events ran since");
+    server.refresh_store_metrics();
+    let again = server.metrics().render_prometheus();
+    assert_eq!(
+        scraped_count(&again, "negative_inner"),
+        neg_scraped,
+        "re-scraping without new events must not double-count"
+    );
+    assert_eq!(
+        scraped_count(&again, "incomparable_keys"),
+        inc_scraped,
+        "re-scraping without new events must not double-count"
+    );
+}

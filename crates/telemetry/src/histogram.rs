@@ -122,12 +122,14 @@ impl Default for HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Estimate quantile `q` in `[0,1]` as the upper bound of the
-    /// bucket holding the q-th sample. Log2 buckets make this exact to
-    /// within 2× — plenty to distinguish a 2µs p50 from a 500µs p99.
-    /// Returns 0 for an empty snapshot. The top bucket reports the
-    /// observed max (it is open-ended, so its power-of-two edge would
-    /// lie).
+    /// Estimate quantile `q` in `[0,1]` by linear interpolation within
+    /// the log2 bucket holding the q-th sample (assuming samples spread
+    /// uniformly inside a bucket — the standard Prometheus
+    /// `histogram_quantile` model). The estimate lands in
+    /// `(bucket_lower, bucket_upper]` and is clamped to the observed
+    /// max, so constant distributions and the open-ended top bucket
+    /// never report a value larger than anything recorded. Returns 0
+    /// for an empty snapshot.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -135,14 +137,20 @@ impl HistogramSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return if i == BUCKETS - 1 {
-                    self.max
+            if n > 0 && seen + n >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << i };
+                let upper = if i == BUCKETS - 1 {
+                    // Open-ended tail: the observed max is the only
+                    // honest upper edge.
+                    self.max.max(lower)
                 } else {
                     bucket_upper_bound(i)
                 };
+                let pos = (rank - seen) as f64 / n as f64;
+                let value = lower as f64 + pos * (upper - lower) as f64;
+                return (value as u64).min(self.max);
             }
+            seen += n;
         }
         self.max
     }
@@ -222,11 +230,44 @@ mod tests {
         assert_eq!(s.count, 100);
         assert_eq!(s.sum, 90 * 1_000 + 10 * 1_000_000);
         assert_eq!(s.max, 1_000_000);
-        // 1000 lives in [512, 1024): p50 reports 1024.
-        assert_eq!(s.p50(), 1024);
-        // p95/p99 land among the slow samples: 1e6 in [2^19, 2^20).
-        assert_eq!(s.p95(), 1 << 20);
-        assert_eq!(s.p99(), 1 << 20);
+        // 1000 lives in [512, 1024): rank 50 of the 90 fast samples
+        // interpolates to 512 + (50/90)*512 = 796.
+        assert_eq!(s.p50(), 796);
+        // p95/p99 land among the slow samples: 1e6 in [2^19, 2^20),
+        // ranks 95/99 sit 5/10 and 9/10 of the way through it.
+        assert_eq!(s.p95(), 786_432);
+        assert_eq!(s.p99(), 996_147);
+    }
+
+    #[test]
+    fn interpolated_quantiles_bound_error_on_uniform_distribution() {
+        let h = Histogram::ungated();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // True p50 = 500, p95 = 950. Interpolation inside the log2
+        // bucket keeps the estimate within a few percent instead of
+        // the old bucket-upper-bound 2× error.
+        assert_eq!(s.p50(), 501);
+        assert!((s.p50() as f64 - 500.0).abs() / 500.0 < 0.01);
+        assert_eq!(s.p95(), 971);
+        assert!((s.p95() as f64 - 950.0).abs() / 950.0 < 0.05);
+        assert_eq!(s.quantile(1.0), 1000, "q=1 clamps to the observed max");
+    }
+
+    #[test]
+    fn constant_distribution_clamps_to_observed_max() {
+        let h = Histogram::ungated();
+        for _ in 0..1000 {
+            h.record(777);
+        }
+        let s = h.snapshot();
+        // 777 fills [512, 1024); high quantiles would interpolate past
+        // the largest sample without the max clamp.
+        assert_eq!(s.p99(), 777);
+        assert_eq!(s.p50(), 768);
+        assert!(s.p50() <= s.max && s.p99() <= s.max);
     }
 
     #[test]

@@ -24,6 +24,10 @@ const MAX_REQUEST_BYTES: usize = 8192;
 /// reflects current state.
 pub type PrepareFn = Box<dyn Fn() + Send + Sync>;
 
+/// A callback producing the `/trace` body — Chrome `trace_event` JSON
+/// rendered from the trace recorder's current ring.
+pub type TraceFn = Box<dyn Fn() -> String + Send + Sync>;
+
 /// HTTP server exposing a [`MetricsRegistry`] in Prometheus text
 /// format. Dropping the handle stops the accept thread.
 pub struct MetricsHttpServer {
@@ -41,6 +45,17 @@ impl MetricsHttpServer {
         registry: Arc<MetricsRegistry>,
         prepare: Option<PrepareFn>,
     ) -> std::io::Result<MetricsHttpServer> {
+        MetricsHttpServer::bind_with_trace(addr, registry, prepare, None)
+    }
+
+    /// Like [`MetricsHttpServer::bind`], additionally serving `trace`
+    /// output (Chrome `trace_event` JSON) at `GET /trace`.
+    pub fn bind_with_trace(
+        addr: &str,
+        registry: Arc<MetricsRegistry>,
+        prepare: Option<PrepareFn>,
+        trace: Option<TraceFn>,
+    ) -> std::io::Result<MetricsHttpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -48,7 +63,7 @@ impl MetricsHttpServer {
         let stop = Arc::clone(&stopping);
         let thread = std::thread::Builder::new()
             .name("metrics-http".to_string())
-            .spawn(move || accept_loop(listener, registry, prepare, stop))
+            .spawn(move || accept_loop(listener, registry, prepare, trace, stop))
             .expect("spawn metrics-http thread");
         Ok(MetricsHttpServer {
             addr: local,
@@ -81,6 +96,7 @@ fn accept_loop(
     listener: TcpListener,
     registry: Arc<MetricsRegistry>,
     prepare: Option<PrepareFn>,
+    trace: Option<TraceFn>,
     stopping: Arc<AtomicBool>,
 ) {
     while !stopping.load(Ordering::SeqCst) {
@@ -88,7 +104,7 @@ fn accept_loop(
             Ok((stream, _)) => {
                 // A scrape is a single tiny request/response; answering
                 // inline keeps the server at one thread.
-                let _ = serve_one(stream, &registry, prepare.as_deref());
+                let _ = serve_one(stream, &registry, prepare.as_deref(), trace.as_deref());
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -102,6 +118,7 @@ fn serve_one(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
     prepare: Option<&(dyn Fn() + Send + Sync)>,
+    trace: Option<&(dyn Fn() -> String + Send + Sync)>,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
@@ -116,6 +133,13 @@ fn serve_one(
         let body = registry.render_prometheus();
         format!(
             "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else if path == "/trace" && trace.is_some() {
+        let body = trace.map(|t| t()).unwrap_or_default();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             body.len(),
             body
         )
@@ -187,6 +211,21 @@ mod tests {
         assert!(resp.contains("demo_seconds_count 1"), "{resp}");
         let missing = http_get(server.addr(), "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        // Without a trace callback, /trace is not a route.
+        let no_trace = http_get(server.addr(), "/trace");
+        assert!(no_trace.starts_with("HTTP/1.1 404"), "{no_trace}");
+    }
+
+    #[test]
+    fn trace_endpoint_serves_json_when_wired() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let trace: TraceFn = Box::new(|| "{\"traceEvents\":[]}".to_string());
+        let server =
+            MetricsHttpServer::bind_with_trace("127.0.0.1:0", reg, None, Some(trace)).unwrap();
+        let resp = http_get(server.addr(), "/trace");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(resp.contains("application/json"), "{resp}");
+        assert!(resp.ends_with("{\"traceEvents\":[]}"), "{resp}");
     }
 
     #[test]

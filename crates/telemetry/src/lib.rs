@@ -32,10 +32,15 @@
 mod histogram;
 mod http;
 mod slow;
+mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
-pub use http::MetricsHttpServer;
-pub use slow::{SlowEvent, SlowEventRing, DEFAULT_SLOW_RING_CAPACITY};
+pub use http::{MetricsHttpServer, PrepareFn, TraceFn};
+pub use slow::{SlowEvent, SlowEventRing, DEFAULT_SLOW_PAYLOAD_BYTES, DEFAULT_SLOW_RING_CAPACITY};
+pub use trace::{
+    chrome_trace_json, TraceRecorder, TraceSpan, DEFAULT_TRACE_RING_CAPACITY, LAYER_DISPATCH,
+    LAYER_LOCK, LAYER_QUEUE, LAYER_STAGE, LAYER_STATEMENT,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -95,6 +100,13 @@ impl Gauge {
     #[inline]
     pub fn sub(&self, n: i64) {
         self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Ratchet the gauge up to `v` if it is larger than the current
+    /// value (watermark semantics — safe under concurrent writers).
+    #[inline]
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     #[inline]
@@ -448,6 +460,10 @@ mod tests {
         g.add(3);
         g.sub(2);
         assert_eq!(g.get(), 8);
+        g.set_max(5);
+        assert_eq!(g.get(), 8, "set_max never moves the gauge down");
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
     }
 
     #[test]

@@ -13,6 +13,9 @@ use std::sync::Mutex;
 /// Default number of retained slow events.
 pub const DEFAULT_SLOW_RING_CAPACITY: usize = 256;
 
+/// Default per-entry payload budget when `--slow-event-payloads` is on.
+pub const DEFAULT_SLOW_PAYLOAD_BYTES: usize = 128;
+
 /// One event that exceeded the slow threshold.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SlowEvent {
@@ -25,6 +28,9 @@ pub struct SlowEvent {
     pub is_delete: bool,
     /// Apply latency in microseconds.
     pub micros: u64,
+    /// Rendered tuple payload, truncated to the ring's byte budget.
+    /// Empty unless payload capture is enabled.
+    pub payload: String,
 }
 
 /// Fixed-capacity ring of recent slow events. `push` and `dump` take a
@@ -33,20 +39,35 @@ pub struct SlowEvent {
 pub struct SlowEventRing {
     threshold_us: u64,
     capacity: usize,
+    payload_bytes: usize,
     seq: AtomicU64,
     ring: Mutex<Vec<SlowEvent>>,
 }
 
 impl SlowEventRing {
     /// A ring that captures events at or above `threshold_us`
-    /// microseconds. `capacity` is clamped to at least 1.
+    /// microseconds. `capacity` is clamped to at least 1. Payload
+    /// capture starts off; see [`SlowEventRing::with_payloads`].
     pub fn new(threshold_us: u64, capacity: usize) -> SlowEventRing {
         SlowEventRing {
             threshold_us,
             capacity: capacity.max(1),
+            payload_bytes: 0,
             seq: AtomicU64::new(0),
             ring: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Also capture the offending tuple, keeping at most `max_bytes`
+    /// of its rendering per entry (0 turns capture back off).
+    pub fn with_payloads(mut self, max_bytes: usize) -> SlowEventRing {
+        self.payload_bytes = max_bytes;
+        self
+    }
+
+    /// Per-entry payload byte budget (0 = payload capture off).
+    pub fn payload_bytes(&self) -> usize {
+        self.payload_bytes
     }
 
     /// The capture threshold in microseconds.
@@ -65,17 +86,39 @@ impl SlowEventRing {
     }
 
     /// Record an event if it meets the threshold. Returns true when
-    /// captured.
+    /// captured. No payload is stored — see
+    /// [`SlowEventRing::observe_with`].
     pub fn observe(&self, relation: &str, is_delete: bool, micros: u64) -> bool {
+        self.observe_with(relation, is_delete, micros, String::new)
+    }
+
+    /// Record an event if it meets the threshold, lazily rendering its
+    /// tuple payload. `render` only runs for captured events on rings
+    /// built [`SlowEventRing::with_payloads`]; the result is truncated
+    /// to the byte budget on a char boundary. Returns true when
+    /// captured.
+    pub fn observe_with(
+        &self,
+        relation: &str,
+        is_delete: bool,
+        micros: u64,
+        render: impl FnOnce() -> String,
+    ) -> bool {
         if micros < self.threshold_us {
             return false;
         }
+        let payload = if self.payload_bytes > 0 {
+            truncate_to_boundary(render(), self.payload_bytes)
+        } else {
+            String::new()
+        };
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let ev = SlowEvent {
             seq,
             relation: relation.to_string(),
             is_delete,
             micros,
+            payload,
         };
         let mut ring = self.ring.lock().expect("slow ring poisoned");
         if ring.len() == self.capacity {
@@ -96,6 +139,18 @@ impl SlowEventRing {
         out.sort_by_key(|e| e.seq);
         out
     }
+}
+
+/// Truncate to at most `max_bytes`, backing off to a char boundary.
+fn truncate_to_boundary(mut s: String, max_bytes: usize) -> String {
+    if s.len() > max_bytes {
+        let mut cut = max_bytes;
+        while cut > 0 && !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+    }
+    s
 }
 
 #[cfg(test)]
@@ -127,6 +182,26 @@ mod tests {
         assert_eq!(dump.len(), 4);
         let seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
         assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, most recent kept");
+    }
+
+    #[test]
+    fn payload_capture_is_lazy_and_bounded() {
+        let plain = SlowEventRing::new(0, 4);
+        assert!(plain.observe_with("R", false, 10, || panic!("must not render")));
+        assert_eq!(plain.dump()[0].payload, "", "no budget, no payload");
+
+        let ring = SlowEventRing::new(100, 4).with_payloads(8);
+        assert_eq!(ring.payload_bytes(), 8);
+        assert!(!ring.observe_with("R", false, 5, || panic!("below threshold")));
+        assert!(ring.observe_with("R", false, 200, || "(1, 2.5)".to_string()));
+        assert!(ring.observe_with("R", false, 200, || "abcdefghij".to_string()));
+        // Multi-byte char straddling the cut backs off to a boundary.
+        assert!(ring.observe_with("R", false, 200, || "abcdefgé".to_string()));
+        let dump = ring.dump();
+        assert_eq!(dump[0].payload, "(1, 2.5)");
+        assert_eq!(dump[1].payload, "abcdefgh");
+        assert_eq!(dump[2].payload, "abcdefg");
+        assert!(dump.iter().all(|e| e.payload.len() <= 8));
     }
 
     #[test]
