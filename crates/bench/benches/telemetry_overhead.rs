@@ -18,10 +18,18 @@
 //!   load per span site.
 //! * `trace-1in1024` — metrics on plus span recording for one in every
 //!   1024 admitted events (the realistic `--trace-sample` setup).
+//! * `audit-off` — metrics off, the shadow auditor constructed but
+//!   left disabled: isolates the armed-but-off auditor's cost (one
+//!   relaxed enable load per apply) on the otherwise-uninstrumented
+//!   hot path, so the disabled-path floor applies to it directly.
+//! * `audit-1in1024` — metrics on plus shadow auditing for one in every
+//!   1024 admitted events (the realistic `--audit-sample` setup:
+//!   snapshot capture on the hot path, oracle replay off-thread).
 //!
 //! The `emit_json` stage writes `BENCH_telemetry_overhead.json` and
-//! **asserts** the disabled path stays within 5% of the pre-telemetry
-//! batch-1024 baseline — the CI smoke that keeps the gate a gate.
+//! **asserts** both the disabled path and the audit-off path stay
+//! within 5% of the pre-telemetry batch-1024 baseline — the CI smoke
+//! that keeps the gate a gate.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -52,15 +60,18 @@ struct Mode {
     slow_ring: bool,
     /// `Some(n)`: record trace spans for one in `n` admitted events.
     trace_sample: Option<u64>,
+    /// `Some(n)`: shadow-audit one in `n` events through the oracle.
+    audit_sample: Option<u64>,
 }
 
-const MODES: [(&str, Mode); 5] = [
+const MODES: [(&str, Mode); 7] = [
     (
         "disabled",
         Mode {
             metrics: false,
             slow_ring: false,
             trace_sample: None,
+            audit_sample: None,
         },
     ),
     (
@@ -69,6 +80,7 @@ const MODES: [(&str, Mode); 5] = [
             metrics: true,
             slow_ring: false,
             trace_sample: None,
+            audit_sample: None,
         },
     ),
     (
@@ -77,6 +89,7 @@ const MODES: [(&str, Mode); 5] = [
             metrics: true,
             slow_ring: true,
             trace_sample: None,
+            audit_sample: None,
         },
     ),
     (
@@ -85,6 +98,7 @@ const MODES: [(&str, Mode); 5] = [
             metrics: true,
             slow_ring: false,
             trace_sample: None,
+            audit_sample: None,
         },
     ),
     (
@@ -93,6 +107,25 @@ const MODES: [(&str, Mode); 5] = [
             metrics: true,
             slow_ring: false,
             trace_sample: Some(1024),
+            audit_sample: None,
+        },
+    ),
+    (
+        "audit-off",
+        Mode {
+            metrics: false,
+            slow_ring: false,
+            trace_sample: None,
+            audit_sample: None,
+        },
+    ),
+    (
+        "audit-1in1024",
+        Mode {
+            metrics: true,
+            slow_ring: false,
+            trace_sample: None,
+            audit_sample: Some(1024),
         },
     ),
 ];
@@ -111,6 +144,10 @@ fn portfolio(mode: Mode) -> ViewServer {
         let trace = server.trace_recorder();
         trace.set_sample_one_in(n);
         trace.set_enabled(true);
+    }
+    if let Some(n) = mode.audit_sample {
+        server.auditor().set_sample_one_in(n);
+        server.auditor().set_enabled(true);
     }
     server
 }
@@ -180,6 +217,8 @@ fn emit_json(_c: &mut Criterion) {
     let enabled_slow = best_rate(&stream, mode("enabled+slow"), 5);
     let trace_off = best_rate(&stream, mode("trace-off"), 5);
     let trace_sampled = best_rate(&stream, mode("trace-1in1024"), 5);
+    let audit_off = best_rate(&stream, mode("audit-off"), 5);
+    let audit_sampled = best_rate(&stream, mode("audit-1in1024"), 5);
     let overhead = |rate: f64| (1.0 - rate / disabled) * 100.0;
 
     let report = Json::obj([
@@ -200,10 +239,19 @@ fn emit_json(_c: &mut Criterion) {
             "enabled_slow_overhead_pct",
             Json::from(overhead(enabled_slow)),
         ),
+        ("audit_off_events_per_sec", Json::from(audit_off)),
+        ("audit_1in1024_events_per_sec", Json::from(audit_sampled)),
         ("trace_off_overhead_pct", Json::from(overhead(trace_off))),
         (
             "trace_1in1024_overhead_pct",
             Json::from(overhead(trace_sampled)),
+        ),
+        ("audit_off_overhead_pct", Json::from(overhead(audit_off))),
+        // Sampled auditing runs with metrics on (the realistic setup),
+        // so its marginal cost reads against the `enabled` mode.
+        (
+            "audit_1in1024_overhead_pct",
+            Json::from((1.0 - audit_sampled / enabled) * 100.0),
         ),
     ]);
     match write_bench_json("telemetry_overhead", &report) {
@@ -223,6 +271,14 @@ fn emit_json(_c: &mut Criterion) {
     assert!(
         disabled >= floor,
         "telemetry gate regressed the hot path: {disabled:.0} events/s is below \
+         the {floor:.0} floor (pre-telemetry baseline {BASELINE_EVENTS_PER_SEC:.0} - 5%)"
+    );
+    // Same floor for an armed-but-disabled auditor: the audit plane's
+    // off state must be a relaxed load and a branch, nothing more.
+    println!("audit-off {audit_off:.0} ev/s (floor {floor:.0})");
+    assert!(
+        audit_off >= floor,
+        "the disabled audit path regressed ingest: {audit_off:.0} events/s is below \
          the {floor:.0} floor (pre-telemetry baseline {BASELINE_EVENTS_PER_SEC:.0} - 5%)"
     );
 }

@@ -30,7 +30,8 @@
 //!   connection (default 1024).
 //! * `--metrics-listen ADDR` — serve Prometheus text metrics over HTTP
 //!   on `ADDR` (e.g. `127.0.0.1:9898`; port 0 picks an ephemeral port,
-//!   printed at startup). Also enables latency recording.
+//!   printed at startup). Also enables latency recording, and serves
+//!   the `/healthz` (liveness) and `/readyz` (readiness) endpoints.
 //! * `--slow-event-us N` — capture events whose apply latency is at
 //!   least `N` microseconds in a bounded ring, dumpable with the wire
 //!   `debug` request.
@@ -42,18 +43,35 @@
 //!   admitted events. Dump with the wire `debug trace` request or, when
 //!   `--metrics-listen` is set, as Chrome `trace_event` JSON from
 //!   `GET /trace` (open in `chrome://tracing` or Perfetto).
+//! * `--audit-sample N` — shadow-audit one in every `N` events:
+//!   re-run it through the interpreter oracle off-thread and verify the
+//!   maintained view bit-exactly. Mismatches count into
+//!   `dbt_audit_mismatch_total`, are dumpable with the wire
+//!   `debug audit` request, and fail readiness.
+//! * `--ready-max-lag N` — `/readyz` reports not-ready while any
+//!   relation's feed lag (admitted − applied events) exceeds `N`
+//!   (default 100000).
+//! * `--ready-max-queue N` — `/readyz` reports not-ready while the
+//!   ingest queue holds more than `N` batches (default 64).
+//! * `--log-level LEVEL` — stderr log verbosity: `error`, `warn`,
+//!   `info` (default), or `debug`. Lines are logfmt-structured and
+//!   rate-bounded.
 
 use std::process::ExitCode;
 
 use dbtoaster_common::Catalog;
 use dbtoaster_net::{parse_schema_spec, NetConfig, NetServer};
-use dbtoaster_telemetry::{chrome_trace_json, MetricsHttpServer, TraceFn};
+use dbtoaster_telemetry::{
+    chrome_trace_json, log_info, set_log_level, LogLevel, MetricsHttpServer, TraceFn,
+};
 
 fn usage() -> &'static str {
     "usage: dbtoasterd [--listen ADDR] --schema \"NAME(COL TYPE, ...)\" \
      [--schema ...] [--view \"NAME=SQL\" ...] [--workers N] \
      [--queue-depth N] [--feed-batch N] [--metrics-listen ADDR] \
-     [--slow-event-us N] [--slow-event-payloads] [--trace-sample N]"
+     [--slow-event-us N] [--slow-event-payloads] [--trace-sample N] \
+     [--audit-sample N] [--ready-max-lag N] [--ready-max-queue N] \
+     [--log-level error|warn|info|debug]"
 }
 
 struct Flags {
@@ -124,6 +142,31 @@ fn parse_flags(args: impl Iterator<Item = String>) -> Result<Flags, String> {
                 }
                 flags.config.trace_sample = Some(n);
             }
+            "--audit-sample" => {
+                let n: u64 = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("--audit-sample: {e}"))?;
+                if n == 0 {
+                    return Err("--audit-sample expects a positive number".to_string());
+                }
+                flags.config.audit_sample = Some(n);
+            }
+            "--ready-max-lag" => {
+                flags.config.ready_max_lag = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("--ready-max-lag: {e}"))?;
+            }
+            "--ready-max-queue" => {
+                flags.config.ready_max_queue = value("a number")?
+                    .parse()
+                    .map_err(|e| format!("--ready-max-queue: {e}"))?;
+            }
+            "--log-level" => {
+                let spec = value("error|warn|info|debug")?;
+                let level = LogLevel::parse(&spec)
+                    .ok_or_else(|| format!("--log-level: unknown level '{spec}'"))?;
+                set_log_level(level);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -144,7 +187,7 @@ fn run() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     for (name, sql) in &flags.views {
         server.register(name, sql).map_err(|e| e.to_string())?;
-        eprintln!("dbtoasterd: registered view '{name}'");
+        log_info("dbtoasterd", "registered view", &[("view", name.as_str())]);
     }
     // Kept alive until after wait(): dropping the handle stops the
     // metrics endpoint.
@@ -158,37 +201,55 @@ fn run() -> Result<(), String> {
                 Box::new(move || chrome_trace_json(&trace.dump())) as TraceFn
             });
             let traced = trace_fn.is_some();
-            let http = MetricsHttpServer::bind_with_trace(
+            let http = MetricsHttpServer::bind_with_planes(
                 addr,
                 server.metrics(),
                 Some(server.store_metrics_refresher()),
                 trace_fn,
+                Some(server.health_fn()),
             )
             .map_err(|e| format!("--metrics-listen {addr}: {e}"))?;
-            eprintln!(
-                "dbtoasterd: serving metrics on http://{}/metrics{}",
-                http.addr(),
-                if traced { " (+ /trace)" } else { "" }
+            log_info(
+                "dbtoasterd",
+                "serving metrics",
+                &[
+                    ("endpoint", &format!("http://{}/metrics", http.addr())),
+                    ("trace", if traced { "on" } else { "off" }),
+                    ("health", "/healthz + /readyz"),
+                ],
             );
             Some(http)
         }
         None => None,
     };
-    eprintln!(
-        "dbtoasterd: serving {} relation(s), {} view(s) on {} \
-         (queue depth {}, workers {})",
-        catalog.relations().len(),
-        flags.views.len(),
-        server.local_addr(),
-        flags.config.queue_depth,
-        flags
-            .config
-            .workers
-            .map(|w| w.to_string())
-            .unwrap_or_else(|| "auto".to_string()),
+    log_info(
+        "dbtoasterd",
+        "serving",
+        &[
+            ("addr", &server.local_addr().to_string()),
+            ("relations", &catalog.relations().len().to_string()),
+            ("views", &flags.views.len().to_string()),
+            ("queue_depth", &flags.config.queue_depth.to_string()),
+            (
+                "workers",
+                &flags
+                    .config
+                    .workers
+                    .map(|w| w.to_string())
+                    .unwrap_or_else(|| "auto".to_string()),
+            ),
+            (
+                "audit",
+                &flags
+                    .config
+                    .audit_sample
+                    .map(|n| format!("1/{n}"))
+                    .unwrap_or_else(|| "off".to_string()),
+            ),
+        ],
     );
     server.wait();
-    eprintln!("dbtoasterd: shut down");
+    log_info("dbtoasterd", "shut down", &[]);
     Ok(())
 }
 
@@ -196,6 +257,8 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
+            // Flag/usage feedback stays plain multi-line text — it is
+            // CLI output for a human, not runtime logging.
             eprintln!("{msg}");
             ExitCode::FAILURE
         }

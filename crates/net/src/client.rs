@@ -16,7 +16,7 @@ use dbtoaster_common::{Error, Event, Result};
 use dbtoaster_server::{ViewId, ViewSnapshot};
 use dbtoaster_telemetry::{SlowEvent, TraceSpan};
 
-use crate::wire::{self, Response, ServerStats};
+use crate::wire::{self, AuditReport, Response, ServerStats};
 
 /// A blocking connection to a [`NetServer`](crate::NetServer) /
 /// `dbtoasterd`.
@@ -121,6 +121,16 @@ impl NetClient {
         match self.call(&wire::encode_debug_trace())? {
             Response::TraceSpans(spans) => Ok(spans),
             other => Err(unexpected("debug trace", &other)),
+        }
+    }
+
+    /// Fetch the server's shadow-audit report: sampling configuration,
+    /// check/mismatch counters, and the retained mismatch records (all
+    /// zeros unless the server runs with audit sampling enabled).
+    pub fn debug_audit(&mut self) -> Result<AuditReport> {
+        match self.call(&wire::encode_debug_audit())? {
+            Response::AuditReport(report) => Ok(report),
+            other => Err(unexpected("debug audit", &other)),
         }
     }
 

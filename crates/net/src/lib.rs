@@ -42,7 +42,9 @@ pub mod wire;
 pub use client::NetClient;
 pub use server::{NetConfig, NetServer};
 pub use source::{FeedWriter, SocketSource, DEFAULT_SOURCE_QUEUE_DEPTH};
-pub use wire::{HistogramStat, Message, Request, Response, ServerStats, ViewStat, MAX_FRAME_LEN};
+pub use wire::{
+    AuditReport, HistogramStat, Message, Request, Response, ServerStats, ViewStat, MAX_FRAME_LEN,
+};
 
 use dbtoaster_common::{ColumnType, Error, Result, Schema};
 

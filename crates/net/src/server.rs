@@ -47,14 +47,19 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use dbtoaster_common::{Catalog, Error, EventBatch, Result};
-use dbtoaster_server::{IngestReport, ShardedDispatcher, ViewId, ViewServer, ViewSnapshot};
+use dbtoaster_server::{
+    AuditHandle, IngestReport, ShardedDispatcher, ViewId, ViewServer, ViewSnapshot,
+};
 use dbtoaster_telemetry::{
-    Counter, Gauge, Histogram, MetricsRegistry, SlowEvent, SlowEventRing, TraceRecorder, TraceSpan,
-    Unit, DEFAULT_SLOW_PAYLOAD_BYTES, DEFAULT_SLOW_RING_CAPACITY, LAYER_QUEUE,
+    log_info, log_warn, Counter, Gauge, HealthFn, HealthStatus, Histogram, MetricsRegistry,
+    SlowEvent, SlowEventRing, TraceRecorder, TraceSpan, Unit, DEFAULT_SLOW_PAYLOAD_BYTES,
+    DEFAULT_SLOW_RING_CAPACITY, LAYER_QUEUE,
 };
 
 use crate::source::{SocketSource, DEFAULT_SOURCE_QUEUE_DEPTH};
-use crate::wire::{self, HistogramStat, Message, Request, Response, ServerStats, ViewStat};
+use crate::wire::{
+    self, AuditReport, HistogramStat, Message, Request, Response, ServerStats, ViewStat,
+};
 
 /// Tunables of a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -84,6 +89,19 @@ pub struct NetConfig {
     /// `None` leaves tracing fully disabled (one relaxed load per span
     /// site).
     pub trace_sample: Option<u64>,
+    /// Shadow-audit one in every N events: re-run it through the
+    /// interpreter oracle off-thread and compare the view bit-exactly
+    /// (`Some(1)` audits everything). Mismatches count into
+    /// `dbt_audit_mismatch_total`, land in a bounded ring dumpable via
+    /// the `debug audit` request, and fail readiness. `None` leaves
+    /// auditing fully disabled (one relaxed load per event).
+    pub audit_sample: Option<u64>,
+    /// Readiness threshold: `/readyz` reports not-ready while any
+    /// relation's feed lag (admitted − applied events) exceeds this.
+    pub ready_max_lag: u64,
+    /// Readiness threshold: `/readyz` reports not-ready while the
+    /// ingest queue holds more than this many batches.
+    pub ready_max_queue: u64,
 }
 
 impl Default for NetConfig {
@@ -96,6 +114,9 @@ impl Default for NetConfig {
             slow_event_us: None,
             slow_event_payloads: false,
             trace_sample: None,
+            audit_sample: None,
+            ready_max_lag: 100_000,
+            ready_max_queue: 64,
         }
     }
 }
@@ -233,6 +254,13 @@ struct Inner {
     /// The slow-event ring shared with the [`ViewServer`]'s apply
     /// paths; populated when [`NetConfig::slow_event_us`] is set.
     slow_ring: Option<Arc<SlowEventRing>>,
+    /// Read-side handle onto the [`ViewServer`]'s shadow auditor,
+    /// cloned at bind so the `debug audit` response and the readiness
+    /// probe never take the phase lock.
+    audit: AuditHandle,
+    /// Last readiness verdict, so flips (ready ⇄ not ready) are logged
+    /// exactly once per transition.
+    last_ready: AtomicBool,
 }
 
 impl Inner {
@@ -471,6 +499,103 @@ impl Inner {
             }
             Request::Debug => Response::SlowEvents(self.slow_events()),
             Request::DebugTrace => Response::TraceSpans(self.trace.dump()),
+            Request::DebugAudit => Response::AuditReport(self.audit_report()),
+        }
+    }
+
+    /// Assemble the `debug audit` response from the auditor's handle.
+    fn audit_report(&self) -> AuditReport {
+        AuditReport {
+            enabled: self.audit.is_enabled(),
+            sample_one_in: self.audit.sample_one_in(),
+            checks: self.audit.checks_total(),
+            mismatches: self.audit.mismatch_total(),
+            dropped: self.audit.dropped_total(),
+            entries: self.audit.mismatches(),
+        }
+    }
+
+    /// The highest per-relation feed lag (admitted − applied events)
+    /// across the catalog, read from the live counters.
+    fn max_feed_lag(&self) -> u64 {
+        let phase = self.phase.lock();
+        let server = match &*phase {
+            Phase::Registering(server) => {
+                self.refresh_feed_lag(server);
+                return self.peak_lag_gauge();
+            }
+            Phase::Running(d) => Arc::clone(d),
+            Phase::Promoting => unreachable!("Promoting is never left in place"),
+        };
+        drop(phase);
+        self.refresh_feed_lag(server.server());
+        self.peak_lag_gauge()
+    }
+
+    fn peak_lag_gauge(&self) -> u64 {
+        self.metrics
+            .relation_lag
+            .iter()
+            .map(|(_, _, lag)| lag.get().max(0) as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The readiness verdict behind `/readyz`: the server is ready to
+    /// take traffic while the ingest queue is below its threshold,
+    /// every relation's feed lag is bounded, and the shadow auditor
+    /// has found zero mismatches. A server that cannot trust its own
+    /// views, or cannot keep up, should be rotated out of service.
+    /// Transitions are logged once per flip.
+    fn readiness(&self) -> HealthStatus {
+        let mut problems = Vec::new();
+        let queue = self.metrics.queue_depth.get().max(0) as u64;
+        if queue > self.config.ready_max_queue {
+            problems.push(format!(
+                "ingest queue depth {queue} exceeds {}",
+                self.config.ready_max_queue
+            ));
+        }
+        let lag = self.max_feed_lag();
+        if lag > self.config.ready_max_lag {
+            problems.push(format!(
+                "feed lag {lag} events exceeds {}",
+                self.config.ready_max_lag
+            ));
+        }
+        let mismatches = self.audit.mismatch_total();
+        if mismatches > 0 {
+            problems.push(format!("{mismatches} audit mismatch(es)"));
+        }
+        let ready = problems.is_empty();
+        let detail = if ready {
+            "ingest healthy".to_string()
+        } else {
+            problems.join("; ")
+        };
+        let was_ready = self.last_ready.swap(ready, Ordering::Relaxed);
+        if was_ready != ready {
+            if ready {
+                log_info("net", "readiness restored", &[]);
+            } else {
+                log_warn("net", "readiness lost", &[("detail", detail.as_str())]);
+            }
+        }
+        HealthStatus { ready, detail }
+    }
+
+    /// Fault-injection passthrough to
+    /// [`ViewServer::corrupt_map_entry`], phase-agnostic.
+    fn corrupt_map_entry(&self, view: &str, map: &str) -> Result<bool> {
+        let phase = self.phase.lock();
+        match &*phase {
+            Phase::Registering(server) => server.corrupt_map_entry(view, map),
+            Phase::Running(d) => {
+                let d = Arc::clone(d);
+                drop(phase);
+                d.server().corrupt_map_entry(view, map)
+            }
+            Phase::Promoting => unreachable!("Promoting is never left in place"),
         }
     }
 
@@ -524,7 +649,13 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
             Err(e) => {
                 // Tell the peer what was malformed, then drop the
                 // connection — after a framing error the stream cannot
-                // be re-synchronized.
+                // be re-synchronized. The logger's global rate bound
+                // keeps a misbehaving peer from flooding stderr.
+                log_warn(
+                    "net",
+                    "dropping connection after a framing error",
+                    &[("error", &e.to_string())],
+                );
                 let _ = write_response(&mut writer, &Response::Error(e));
                 return;
             }
@@ -550,6 +681,11 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) {
                 }
             }
             Err(e) => {
+                log_warn(
+                    "net",
+                    "dropping connection after an undecodable message",
+                    &[("error", &e.to_string())],
+                );
                 let _ = write_response(&mut writer, &Response::Error(e));
                 return;
             }
@@ -593,7 +729,18 @@ fn feed_connection(
     })();
     let resp = match outcome {
         Ok(()) => Response::FeedAck(report),
-        Err(e) => Response::Error(e),
+        Err(e) => {
+            log_warn(
+                "net",
+                "feed connection failed",
+                &[
+                    ("error", &e.to_string()),
+                    ("batches", &report.batches.to_string()),
+                    ("events", &report.events.to_string()),
+                ],
+            );
+            Response::Error(e)
+        }
     };
     let _ = write_response(&mut writer, &resp);
 }
@@ -746,6 +893,11 @@ impl NetServer {
             trace.set_sample_one_in(n);
             trace.set_enabled(true);
         }
+        if let Some(n) = config.audit_sample {
+            server.auditor().set_sample_one_in(n);
+            server.auditor().set_enabled(true);
+        }
+        let audit = server.auditor().handle();
         let inner = Arc::new(Inner {
             config,
             trace,
@@ -757,6 +909,8 @@ impl NetServer {
             registry,
             metrics,
             slow_ring,
+            audit,
+            last_ready: AtomicBool::new(true),
         });
         let ingest = std::thread::Builder::new()
             .name("dbtoaster-ingest".into())
@@ -852,6 +1006,48 @@ impl NetServer {
     pub fn store_metrics_refresher(&self) -> Box<dyn Fn() + Send + Sync> {
         let inner = Arc::clone(&self.inner);
         Box::new(move || inner.refresh_store_metrics())
+    }
+
+    /// A readiness callback for the `/readyz` endpoint — pass it to
+    /// [`MetricsHttpServer::bind_with_planes`]: ready while the ingest
+    /// queue and feed lag are below the configured thresholds and the
+    /// shadow auditor has found zero mismatches.
+    ///
+    /// [`MetricsHttpServer::bind_with_planes`]:
+    /// dbtoaster_telemetry::MetricsHttpServer::bind_with_planes
+    pub fn health_fn(&self) -> HealthFn {
+        let inner = Arc::clone(&self.inner);
+        Box::new(move || inner.readiness())
+    }
+
+    /// The current readiness verdict (what `/readyz` serves).
+    pub fn readiness(&self) -> HealthStatus {
+        self.inner.readiness()
+    }
+
+    /// A read-side handle onto the shadow auditor: counters, the
+    /// mismatch ring, and the drain barrier tests use to settle the
+    /// audit worker (sampling enabled at bind via
+    /// [`NetConfig::audit_sample`]).
+    pub fn audit_handle(&self) -> AuditHandle {
+        self.inner.audit.clone()
+    }
+
+    /// The `debug audit` report (also served over the wire via
+    /// [`NetClient::debug_audit`](crate::NetClient::debug_audit)).
+    pub fn audit_report(&self) -> AuditReport {
+        self.inner.audit_report()
+    }
+
+    /// Deliberately corrupt one live map entry of a view — the audit
+    /// plane's fault-injection hook, for chaos tests that must prove
+    /// the auditor detects real divergence. See
+    /// [`ViewServer::corrupt_map_entry`].
+    ///
+    /// [`ViewServer::corrupt_map_entry`]:
+    /// dbtoaster_server::ViewServer::corrupt_map_entry
+    pub fn corrupt_map_entry(&self, view: &str, map: &str) -> Result<bool> {
+        self.inner.corrupt_map_entry(view, map)
     }
 
     /// Stop accepting, drain admitted batches, and join the service

@@ -32,7 +32,7 @@ use std::io::{Read, Write};
 
 use dbtoaster_common::{Error, Event, EventBatch, EventKind, Result, Tuple, Value};
 use dbtoaster_runtime::ResultRow;
-use dbtoaster_server::{IngestReport, ViewSnapshot};
+use dbtoaster_server::{AuditMismatch, IngestReport, ViewSnapshot};
 use dbtoaster_telemetry::{SlowEvent, TraceSpan};
 
 /// Upper bound on a frame payload (64 MiB). Large enough for any
@@ -52,6 +52,7 @@ const TAG_STATS: u8 = 0x05;
 const TAG_SHUTDOWN: u8 = 0x06;
 const TAG_DEBUG: u8 = 0x07;
 const TAG_DEBUG_TRACE: u8 = 0x08;
+const TAG_DEBUG_AUDIT: u8 = 0x09;
 /// Feed-plane frame: a naked event batch, no per-frame response.
 const TAG_BATCH: u8 = 0x10;
 
@@ -64,6 +65,7 @@ const TAG_SHUTTING_DOWN: u8 = 0x86;
 const TAG_FEED_ACK: u8 = 0x87;
 const TAG_SLOW_EVENTS: u8 = 0x88;
 const TAG_TRACE_SPANS: u8 = 0x89;
+const TAG_AUDIT_REPORT: u8 = 0x8A;
 const TAG_ERROR: u8 = 0xEE;
 
 const VAL_INT: u8 = 0;
@@ -98,6 +100,9 @@ pub enum Request {
     /// Dump the trace recorder's span ring (empty unless the server
     /// runs with `--trace-sample`).
     DebugTrace,
+    /// Dump the shadow auditor's counters and mismatch ring (all
+    /// zeros unless the server runs with `--audit-sample`).
+    DebugAudit,
 }
 
 /// Anything a server may legally receive on an accepted connection:
@@ -166,6 +171,25 @@ pub struct ServerStats {
     pub histograms: Vec<HistogramStat>,
 }
 
+/// The shadow auditor's state served by [`Request::DebugAudit`]:
+/// sampling configuration, lifetime counters, and the retained
+/// mismatch records.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Whether auditing is switched on.
+    pub enabled: bool,
+    /// One event in `sample_one_in` is audited.
+    pub sample_one_in: u64,
+    /// Audits completed.
+    pub checks: u64,
+    /// Mismatches found (chain + replay).
+    pub mismatches: u64,
+    /// Sampled audits dropped because the worker fell behind.
+    pub dropped: u64,
+    /// The bounded mismatch ring, oldest first.
+    pub entries: Vec<AuditMismatch>,
+}
+
 /// A response frame of the request/response plane.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -188,6 +212,9 @@ pub enum Response {
     /// Reply to [`Request::DebugTrace`]: the recorded spans, by start
     /// time.
     TraceSpans(Vec<TraceSpan>),
+    /// Reply to [`Request::DebugAudit`]: the auditor's counters and
+    /// mismatch ring.
+    AuditReport(AuditReport),
     /// Any request that failed, with the typed error it failed with.
     Error(Error),
 }
@@ -438,6 +465,11 @@ pub fn encode_debug_trace() -> Vec<u8> {
     vec![TAG_DEBUG_TRACE]
 }
 
+/// Encode a [`Request::DebugAudit`] payload.
+pub fn encode_debug_audit() -> Vec<u8> {
+    vec![TAG_DEBUG_AUDIT]
+}
+
 /// Encode a feed-plane batch payload ([`Message::Batch`]).
 pub fn encode_batch(events: &[Event]) -> Vec<u8> {
     let mut buf = vec![TAG_BATCH];
@@ -529,6 +561,30 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 put_u64(&mut buf, s.start_ns);
                 put_u64(&mut buf, s.dur_ns);
                 put_u64(&mut buf, s.tid);
+            }
+        }
+        Response::AuditReport(report) => {
+            buf.push(TAG_AUDIT_REPORT);
+            buf.push(report.enabled as u8);
+            for n in [
+                report.sample_one_in,
+                report.checks,
+                report.mismatches,
+                report.dropped,
+            ] {
+                put_u64(&mut buf, n);
+            }
+            put_u32(&mut buf, report.entries.len() as u32);
+            for m in &report.entries {
+                put_str(&mut buf, &m.view);
+                put_u64(&mut buf, m.seq);
+                put_str(&mut buf, &m.kind);
+                for side in [&m.expected, &m.actual] {
+                    put_u32(&mut buf, side.len() as u32);
+                    for entry in side {
+                        put_str(&mut buf, entry);
+                    }
+                }
             }
         }
         Response::Error(e) => {
@@ -722,6 +778,7 @@ pub fn decode_message(payload: &[u8]) -> Result<Message> {
         TAG_SHUTDOWN => Message::Request(Request::Shutdown),
         TAG_DEBUG => Message::Request(Request::Debug),
         TAG_DEBUG_TRACE => Message::Request(Request::DebugTrace),
+        TAG_DEBUG_AUDIT => Message::Request(Request::DebugAudit),
         TAG_BATCH => Message::Batch(d.batch()?),
         other => return Err(Error::Wire(format!("unknown request tag 0x{other:02x}"))),
     };
@@ -854,6 +911,50 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             }
             Response::TraceSpans(spans)
         }
+        TAG_AUDIT_REPORT => {
+            let enabled = match d.u8("audit enabled flag")? {
+                0 => false,
+                1 => true,
+                other => return Err(Error::Wire(format!("bad audit enabled flag {other}"))),
+            };
+            let sample_one_in = d.u64("audit sample rate")?;
+            let checks = d.u64("audit check count")?;
+            let mismatches = d.u64("audit mismatch count")?;
+            let dropped = d.u64("audit dropped count")?;
+            // Smallest mismatch: empty view + seq + empty kind + two
+            // zero-length entry lists.
+            let n = d.count(24, "audit mismatch count")?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let view = d.str("audit mismatch view")?;
+                let seq = d.u64("audit mismatch seq")?;
+                let kind = d.str("audit mismatch kind")?;
+                let mut sides = [Vec::new(), Vec::new()];
+                for side in &mut sides {
+                    let len = d.count(4, "audit entry count")?;
+                    side.reserve(len);
+                    for _ in 0..len {
+                        side.push(d.str("audit entry")?);
+                    }
+                }
+                let [expected, actual] = sides;
+                entries.push(AuditMismatch {
+                    view,
+                    seq,
+                    kind,
+                    expected,
+                    actual,
+                });
+            }
+            Response::AuditReport(AuditReport {
+                enabled,
+                sample_one_in,
+                checks,
+                mismatches,
+                dropped,
+                entries,
+            })
+        }
         TAG_ERROR => {
             let tag = d.u8("error category")?;
             let message = d.str("error message")?;
@@ -960,6 +1061,10 @@ mod tests {
         assert_eq!(
             roundtrip_message(encode_debug_trace()),
             Message::Request(Request::DebugTrace)
+        );
+        assert_eq!(
+            roundtrip_message(encode_debug_audit()),
+            Message::Request(Request::DebugAudit)
         );
     }
 
@@ -1071,6 +1176,32 @@ mod tests {
         ]
     }
 
+    fn sample_audit_report() -> AuditReport {
+        AuditReport {
+            enabled: true,
+            sample_one_in: 1024,
+            checks: 977,
+            mismatches: 2,
+            dropped: 1,
+            entries: vec![
+                AuditMismatch {
+                    view: "vwap".into(),
+                    seq: 4_096,
+                    kind: "chain".into(),
+                    expected: vec!["q_BIDS[(1)]=7".into(), "... (+3 more)".into()],
+                    actual: vec!["q_BIDS[(1)]=8".into()],
+                },
+                AuditMismatch {
+                    view: "mm".into(),
+                    seq: u64::MAX,
+                    kind: "replay".into(),
+                    expected: Vec::new(),
+                    actual: vec!["[()] -> (42)".into()],
+                },
+            ],
+        }
+    }
+
     #[test]
     fn responses_round_trip() {
         for resp in [
@@ -1084,6 +1215,8 @@ mod tests {
             Response::SlowEvents(Vec::new()),
             Response::TraceSpans(sample_trace_spans()),
             Response::TraceSpans(Vec::new()),
+            Response::AuditReport(sample_audit_report()),
+            Response::AuditReport(AuditReport::default()),
             Response::ShuttingDown,
             Response::FeedAck(IngestReport {
                 batches: 5,
@@ -1163,6 +1296,7 @@ mod tests {
             Response::Stats(sample_stats()),
             Response::SlowEvents(sample_slow_events()),
             Response::TraceSpans(sample_trace_spans()),
+            Response::AuditReport(sample_audit_report()),
         ] {
             let payload = encode_response(&resp);
             for cut in 0..payload.len() {

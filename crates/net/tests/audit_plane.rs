@@ -1,0 +1,151 @@
+//! Loopback audit-plane integration: a `dbtoasterd`-shaped server run
+//! with `audit_sample: 1` must (a) audit a clean ingest run with zero
+//! mismatches and report ready, and (b) detect deliberately injected
+//! map corruption — the mismatch must show up in the counters, in the
+//! `debug audit` wire report, in the Prometheus text, and flip
+//! `GET /readyz` to 503 while `GET /healthz` stays 200.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+
+use dbtoaster_common::{tuple, Catalog, ColumnType, Event, Schema};
+use dbtoaster_net::{NetClient, NetConfig, NetServer};
+use dbtoaster_server::{CHECK_CHAIN, CHECK_REPLAY};
+use dbtoaster_telemetry::MetricsHttpServer;
+
+fn r_catalog() -> Catalog {
+    Catalog::new().with(Schema::new(
+        "R",
+        vec![("A", ColumnType::Int), ("B", ColumnType::Int)],
+    ))
+}
+
+/// One blocking HTTP GET; returns (status line, body).
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {text:?}"));
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn a_clean_run_is_ready_and_injected_corruption_fails_readiness() {
+    let config = NetConfig {
+        audit_sample: Some(1),
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(&r_catalog(), "127.0.0.1:0", config).unwrap();
+    server.register("totals", "select sum(A) from R").unwrap();
+    server.set_metrics_enabled(true);
+    let http = MetricsHttpServer::bind_with_planes(
+        "127.0.0.1:0",
+        server.metrics(),
+        Some(server.store_metrics_refresher()),
+        None,
+        Some(server.health_fn()),
+    )
+    .unwrap();
+
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    for chunk in 0..4i64 {
+        let batch: Vec<Event> = (0..32i64)
+            .map(|i| Event::insert("R", tuple![i + 1, chunk]))
+            .collect();
+        client.apply_batch(&batch).unwrap();
+    }
+
+    // Clean phase: every event audited, zero mismatches, ready.
+    let audit = server.audit_handle();
+    audit.drain();
+    assert!(audit.is_enabled());
+    assert!(audit.checks_total() >= 128, "{}", audit.checks_total());
+    assert_eq!(audit.mismatch_total(), 0);
+    assert_eq!(audit.dropped_total(), 0);
+
+    let report = client.debug_audit().unwrap();
+    assert!(report.enabled);
+    assert_eq!(report.sample_one_in, 1);
+    assert!(report.checks >= 128);
+    assert_eq!(report.mismatches, 0);
+    assert!(report.entries.is_empty());
+
+    let ready = server.readiness();
+    assert!(ready.ready, "{}", ready.detail);
+    let (status, body) = http_get(http.addr(), "/readyz");
+    assert!(status.contains("200"), "{status}: {body}");
+    assert!(body.contains("ingest healthy"), "{body}");
+
+    // Fault injection: flip one live entry of the view's map, then
+    // deliver one more event. The audit chain check compares the next
+    // pre-event snapshot against the oracle's retained post-state and
+    // must report the divergence.
+    assert!(server.corrupt_map_entry("totals", "").unwrap());
+    client
+        .apply_batch(&[Event::insert("R", tuple![7i64, 9i64])])
+        .unwrap();
+    audit.drain();
+    assert!(audit.mismatch_total() >= 1);
+
+    let report = client.debug_audit().unwrap();
+    assert!(report.mismatches >= 1);
+    assert!(!report.entries.is_empty());
+    let entry = &report.entries[0];
+    assert_eq!(entry.view, "totals");
+    assert!(
+        entry.kind == CHECK_CHAIN || entry.kind == CHECK_REPLAY,
+        "{}",
+        entry.kind
+    );
+    assert!(!entry.expected.is_empty() || !entry.actual.is_empty());
+
+    (server.store_metrics_refresher())();
+    let text = server.metrics().render_prometheus();
+    assert!(
+        text.contains("dbt_audit_mismatch_total{view=\"totals\"}"),
+        "{text}"
+    );
+
+    let ready = server.readiness();
+    assert!(!ready.ready);
+    assert!(ready.detail.contains("audit mismatch"), "{}", ready.detail);
+    let (status, body) = http_get(http.addr(), "/readyz");
+    assert!(status.contains("503"), "{status}: {body}");
+    assert!(body.contains("audit mismatch"), "{body}");
+    // Liveness is about the process, not the data: still 200.
+    let (status, _) = http_get(http.addr(), "/healthz");
+    assert!(status.contains("200"), "{status}");
+
+    client.shutdown_server().unwrap();
+    server.wait();
+}
+
+#[test]
+fn audit_off_reports_disabled_and_stays_ready() {
+    let server = NetServer::bind(&r_catalog(), "127.0.0.1:0", NetConfig::default()).unwrap();
+    server.register("totals", "select sum(A) from R").unwrap();
+    let mut client = NetClient::connect(server.local_addr()).unwrap();
+    client
+        .apply_batch(&[Event::insert("R", tuple![1i64, 1i64])])
+        .unwrap();
+
+    let report = client.debug_audit().unwrap();
+    assert!(!report.enabled);
+    assert_eq!(report.checks, 0);
+    assert_eq!(report.mismatches, 0);
+    assert!(report.entries.is_empty());
+
+    let ready = server.readiness();
+    assert!(ready.ready, "{}", ready.detail);
+
+    client.shutdown_server().unwrap();
+    server.wait();
+}

@@ -320,6 +320,18 @@ impl Engine {
         Ok(())
     }
 
+    /// Empty every internal map, keeping the registered secondary
+    /// indexes (equality slices, ordered positions). Turns a built
+    /// engine into a reusable oracle: the shadow auditor seeds one
+    /// engine per view once, then per audited event resets it, loads
+    /// the captured pre-event snapshot via [`Engine::load_map`], and
+    /// replays the event — no re-lowering per audit.
+    pub fn reset_maps(&mut self) {
+        for m in &mut self.maps {
+            m.clear();
+        }
+    }
+
     /// Re-establish every derived map that is maintained by post-stage
     /// statements — hierarchy-bracket targets (`Q += F(children)`) and
     /// legacy `Replace` targets — from the currently loaded inputs. Each

@@ -75,6 +75,7 @@
 //! post-event state — the stage schedule delivers both, whichever view
 //! maintains the shared map.
 
+pub mod audit;
 pub mod csv;
 pub mod shard;
 
@@ -100,12 +101,26 @@ use dbtoaster_telemetry::{
     DEFAULT_TRACE_RING_CAPACITY, LAYER_LOCK, LAYER_STAGE,
 };
 
+pub use audit::{
+    AuditHandle, AuditMismatch, ShadowAuditor, CHECK_CHAIN, CHECK_REPLAY,
+    DEFAULT_AUDIT_RING_CAPACITY,
+};
 pub use csv::{to_csv_string, write_csv, CsvReplaySource};
 pub use shard::{auto_workers, DispatchReport, ShardedDispatcher, MAX_AUTO_WORKERS};
 
 /// Stable handle to a registered view (its registration index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ViewId(pub usize);
+
+/// Pre-event capture of a sampled audit, taken under the group write
+/// locks before the event runs (see [`ViewServer::audit_pre`]).
+struct AuditPre {
+    view: usize,
+    seq: u64,
+    event: Event,
+    pre: Vec<Vec<(Tuple, Value)>>,
+    events_before: u64,
+}
 
 /// One per-(relation, kind) ingestion counter of a view. The set of
 /// trigger keys is fixed at registration, so updates are plain atomic
@@ -567,6 +582,10 @@ pub struct ViewServer {
     /// default, so the hot paths pay one relaxed load per event span
     /// site until tracing is switched on.
     trace: Arc<TraceRecorder>,
+    /// Shadow auditor: sampled oracle re-execution of live events.
+    /// Always constructed but disabled by default — the hot paths pay
+    /// one relaxed load per event until auditing is switched on.
+    audit: Arc<ShadowAuditor>,
 }
 
 impl ViewServer {
@@ -595,6 +614,10 @@ impl ViewServer {
             store,
             all_plan: FramePlan::default(),
             ctx_pool: Mutex::new(Vec::new()),
+            audit: Arc::new(ShadowAuditor::new(
+                DEFAULT_AUDIT_RING_CAPACITY,
+                Arc::clone(&metrics.registry),
+            )),
             metrics,
             trace: Arc::new(TraceRecorder::new(DEFAULT_TRACE_RING_CAPACITY)),
         }
@@ -606,6 +629,14 @@ impl ViewServer {
     /// [`dbtoaster_telemetry::chrome_trace_json`].
     pub fn trace_recorder(&self) -> &Arc<TraceRecorder> {
         &self.trace
+    }
+
+    /// The shadow auditor: enable it (and pick a sampling rate) to
+    /// re-run a sample of live events through the interpreter oracle
+    /// and verify the maintained views bit-exactly. See
+    /// [`audit::ShadowAuditor`].
+    pub fn auditor(&self) -> &Arc<ShadowAuditor> {
+        &self.audit
     }
 
     /// The server-wide metrics registry every layer records into. Wrap
@@ -758,6 +789,7 @@ impl ViewServer {
         }
         let plan = self.store.plan(&binding.groups);
         let stmt_profile = Arc::new(StmtProfile::for_program(&exec));
+        self.audit.register_view(id, name, program.clone());
         self.views.push(View {
             name: name.to_string(),
             sql: sql.to_string(),
@@ -1176,6 +1208,107 @@ impl ViewServer {
         result
     }
 
+    /// Capture the audit pre-state of a sampled event, under the
+    /// already-held group write locks: which view to audit (rotating
+    /// through the relation's views so a low sample rate still covers
+    /// all of them), the view's map entries before the event, and its
+    /// exact delivered-event count. `span_counts` carries the not-yet-
+    /// flushed per-view delivery counts of an in-progress batch span.
+    /// Returns `None` off-sample, and under range sharding (a replica
+    /// frame holds partial map state the oracle cannot replay).
+    fn audit_pre<M: MapRead + ?Sized>(
+        &self,
+        plan: &RelationPlan,
+        event: &Event,
+        seq: u64,
+        frame: &M,
+        span_counts: Option<&[(usize, String, EventKind, u64)]>,
+    ) -> Option<AuditPre> {
+        if !self.audit.sampled(seq) || plan.views.is_empty() || self.store.any_sharded() {
+            return None;
+        }
+        let rotation = (seq / self.audit.sample_one_in()) as usize;
+        let index = plan.views[rotation % plan.views.len()];
+        let view = &self.views[index];
+        let pre = view
+            .binding
+            .slots
+            .iter()
+            .map(|&slot| {
+                frame
+                    .map(slot)
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect()
+            })
+            .collect();
+        let pending: u64 = span_counts
+            .into_iter()
+            .flatten()
+            .filter(|(v, _, _, _)| *v == index)
+            .map(|(_, _, _, n)| *n)
+            .sum();
+        Some(AuditPre {
+            view: index,
+            seq,
+            event: event.clone(),
+            pre,
+            events_before: view.events_processed.get() + pending,
+        })
+    }
+
+    /// Complete a sampled audit after the event ran, still under the
+    /// same write locks: assemble the audited view's post-event rows
+    /// from the live frame and hand the bundle to the audit worker.
+    fn audit_post<M: MapRead + ?Sized>(&self, pre: AuditPre, frame: &M, delivered: bool) {
+        let view = &self.views[pre.view];
+        let post_rows = assemble_result(&view.exec, frame);
+        self.audit.submit(audit::AuditJob {
+            view: pre.view,
+            seq: pre.seq,
+            event: pre.event,
+            pre: pre.pre,
+            post_rows,
+            events_before: pre.events_before,
+            delivered,
+        });
+    }
+
+    /// Deliberately corrupt one live entry of a view's map: under the
+    /// view's group write locks, add 1 to the first entry's value (via
+    /// the storage's own `add`, so secondary indexes stay internally
+    /// consistent — the corruption is that the state no longer matches
+    /// the stream). An empty `map` name picks the view's first map
+    /// holding a live entry. Returns whether an entry existed to
+    /// corrupt. This is the audit plane's fault-injection hook: a chaos
+    /// test flips an entry and asserts the auditor reports the
+    /// divergence.
+    pub fn corrupt_map_entry(&self, view: &str, map: &str) -> Result<bool> {
+        let view = self.resolve(view)?;
+        let mut guards = self.store.lock_write(view.plan.groups());
+        let mut frame = view.plan.write_frame(&mut guards);
+        let slots: Vec<usize> = if map.is_empty() {
+            view.binding.slots.clone()
+        } else {
+            let index = view
+                .program
+                .maps
+                .iter()
+                .position(|d| d.name == map)
+                .ok_or_else(|| Error::Runtime(format!("view has no map named '{map}'")))?;
+            vec![view.binding.slots[index]]
+        };
+        for slot in slots {
+            let storage = frame.map_mut(slot);
+            let key = storage.iter().next().map(|(k, _)| k.clone());
+            if let Some(key) = key {
+                storage.add(key, Value::Int(1));
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     /// [`ViewServer::apply`] with a caller-owned context (for threads
     /// that ingest continuously and want zero pool traffic).
     pub fn apply_with(&self, event: &Event, ctx: &mut ApplyCtx) -> Result<usize> {
@@ -1216,6 +1349,7 @@ impl ViewServer {
         let mut failure: Option<Error> = None;
         {
             let mut frame = frame_plan.write_frame(&mut guards);
+            let audit = self.audit_pre(plan, event, seq, &frame, None);
             if let Err(e) = self.run_event_stages(
                 plan,
                 &mut frame,
@@ -1226,6 +1360,10 @@ impl ViewServer {
                 trace_ctx.as_ref(),
             ) {
                 failure = Some(e);
+            }
+            if let Some(pre) = audit {
+                let delivered = ctx.delivered.contains(&pre.view);
+                self.audit_post(pre, &frame, delivered);
             }
         }
         // Credit stats while still holding the write locks, so a
@@ -1534,6 +1672,7 @@ impl ViewServer {
                 } else {
                     None
                 };
+                let audit = self.audit_pre(plan, event, seq, &frame, Some(&ctx.counts));
                 let event_started = per_event_clock.then(Instant::now);
                 if let Err(e) = self.run_event_stages(
                     plan,
@@ -1558,6 +1697,10 @@ impl ViewServer {
                             slow_hits.push((position, nanos));
                         }
                     }
+                }
+                if let Some(pre) = audit {
+                    let delivered = ctx.delivered.contains(&pre.view);
+                    self.audit_post(pre, &frame, delivered);
                 }
                 deliveries += ctx.delivered.len();
                 for &i in &ctx.delivered {

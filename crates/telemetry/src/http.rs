@@ -1,22 +1,36 @@
-//! Minimal Prometheus scrape endpoint.
+//! Minimal Prometheus scrape endpoint plus the health plane.
 //!
 //! One std thread runs a nonblocking accept loop (same poll-and-sleep
 //! pattern as the wire server — no async runtime in this workspace);
-//! each connection is answered inline since a scrape is one request.
-//! Only `GET /metrics` (and `GET /` as a convenience alias) are served;
-//! everything else gets a 404.
+//! each accepted connection is answered on its own short-lived thread
+//! under a total read/write deadline, so one stalled or trickling
+//! scraper can neither block other scrapes nor hold a connection open
+//! indefinitely. Routes:
+//!
+//! * `GET /metrics` (and `GET /` as an alias) — Prometheus text.
+//! * `GET /trace` — Chrome `trace_event` JSON, when wired.
+//! * `GET /healthz` — liveness: `200 ok` whenever the endpoint thread
+//!   is alive to answer.
+//! * `GET /readyz` — readiness, when wired: `200` with a detail body
+//!   while the [`HealthFn`] reports ready, `503` otherwise.
+//!
+//! Anything else gets a 404; an oversized or non-HTTP request line gets
+//! a 400 after a strictly bounded read.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::MetricsRegistry;
+use crate::{Gauge, MetricsRegistry};
 
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
-const READ_TIMEOUT: Duration = Duration::from_secs(2);
+/// Total budget for one connection: reading the request *and* writing
+/// the response. A peer that trickles bytes slower than this is cut
+/// off, whatever its per-read cadence.
+const CONN_DEADLINE: Duration = Duration::from_secs(5);
 const MAX_REQUEST_BYTES: usize = 8192;
 
 /// A callback run before each render — layers use it to refresh
@@ -28,12 +42,38 @@ pub type PrepareFn = Box<dyn Fn() + Send + Sync>;
 /// rendered from the trace recorder's current ring.
 pub type TraceFn = Box<dyn Fn() -> String + Send + Sync>;
 
+/// A callback evaluating readiness for `GET /readyz`.
+pub type HealthFn = Box<dyn Fn() -> HealthStatus + Send + Sync>;
+
+/// One readiness evaluation: the verdict and a short human-readable
+/// detail line served as the response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthStatus {
+    /// Whether the server should receive traffic.
+    pub ready: bool,
+    /// Bounded detail (queue depth, lag, mismatch count, ...).
+    pub detail: String,
+}
+
 /// HTTP server exposing a [`MetricsRegistry`] in Prometheus text
-/// format. Dropping the handle stops the accept thread.
+/// format, with optional trace and health planes. Dropping the handle
+/// stops the accept thread.
 pub struct MetricsHttpServer {
     addr: SocketAddr,
     stopping: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
+}
+
+/// Everything a connection thread needs to answer a request.
+struct Routes {
+    registry: Arc<MetricsRegistry>,
+    prepare: Option<PrepareFn>,
+    trace: Option<TraceFn>,
+    health: Option<HealthFn>,
+    /// `dbt_uptime_seconds`, refreshed before each render from
+    /// `started` so scrapes always see the current value.
+    uptime: Arc<Gauge>,
+    started: Instant,
 }
 
 impl MetricsHttpServer {
@@ -45,7 +85,7 @@ impl MetricsHttpServer {
         registry: Arc<MetricsRegistry>,
         prepare: Option<PrepareFn>,
     ) -> std::io::Result<MetricsHttpServer> {
-        MetricsHttpServer::bind_with_trace(addr, registry, prepare, None)
+        MetricsHttpServer::bind_with_planes(addr, registry, prepare, None, None)
     }
 
     /// Like [`MetricsHttpServer::bind`], additionally serving `trace`
@@ -56,14 +96,51 @@ impl MetricsHttpServer {
         prepare: Option<PrepareFn>,
         trace: Option<TraceFn>,
     ) -> std::io::Result<MetricsHttpServer> {
+        MetricsHttpServer::bind_with_planes(addr, registry, prepare, trace, None)
+    }
+
+    /// The full surface: `/metrics`, plus `/trace` when `trace` is
+    /// wired and `/readyz` when `health` is wired. Binding also
+    /// registers the identity gauges `dbt_up`, `dbt_uptime_seconds`,
+    /// and `dbt_build_info{version}` in `registry`.
+    pub fn bind_with_planes(
+        addr: &str,
+        registry: Arc<MetricsRegistry>,
+        prepare: Option<PrepareFn>,
+        trace: Option<TraceFn>,
+        health: Option<HealthFn>,
+    ) -> std::io::Result<MetricsHttpServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        registry
+            .gauge("dbt_up", "1 while the metrics endpoint is serving", &[])
+            .set(1);
+        registry
+            .gauge(
+                "dbt_build_info",
+                "Build identity (value is always 1)",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1);
+        let uptime = registry.gauge(
+            "dbt_uptime_seconds",
+            "Seconds since the metrics endpoint was bound",
+            &[],
+        );
+        let routes = Arc::new(Routes {
+            registry,
+            prepare,
+            trace,
+            health,
+            uptime,
+            started: Instant::now(),
+        });
         let stopping = Arc::new(AtomicBool::new(false));
         let stop = Arc::clone(&stopping);
         let thread = std::thread::Builder::new()
             .name("metrics-http".to_string())
-            .spawn(move || accept_loop(listener, registry, prepare, trace, stop))
+            .spawn(move || accept_loop(listener, routes, stop))
             .expect("spawn metrics-http thread");
         Ok(MetricsHttpServer {
             addr: local,
@@ -92,19 +169,24 @@ impl Drop for MetricsHttpServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    registry: Arc<MetricsRegistry>,
-    prepare: Option<PrepareFn>,
-    trace: Option<TraceFn>,
-    stopping: Arc<AtomicBool>,
-) {
+fn accept_loop(listener: TcpListener, routes: Arc<Routes>, stopping: Arc<AtomicBool>) {
     while !stopping.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // A scrape is a single tiny request/response; answering
-                // inline keeps the server at one thread.
-                let _ = serve_one(stream, &registry, prepare.as_deref(), trace.as_deref());
+                // Per-connection thread: a scraper that stalls mid-read
+                // only wedges its own (deadline-bounded) thread, never
+                // the accept loop or other scrapes. Threads are
+                // detached — the deadline bounds their lifetime.
+                let routes = Arc::clone(&routes);
+                let spawned = std::thread::Builder::new()
+                    .name("metrics-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_one(stream, &routes);
+                    });
+                if spawned.is_err() {
+                    // Out of threads: drop the connection, keep serving.
+                    continue;
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -114,74 +196,133 @@ fn accept_loop(
     }
 }
 
-fn serve_one(
-    mut stream: TcpStream,
-    registry: &MetricsRegistry,
-    prepare: Option<&(dyn Fn() + Send + Sync)>,
-    trace: Option<&(dyn Fn() -> String + Send + Sync)>,
-) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let path = match read_request_path(&mut stream) {
-        Some(p) => p,
-        None => return Ok(()),
-    };
-    let response = if path == "/metrics" || path == "/" {
-        if let Some(p) = prepare {
-            p();
-        }
-        let body = registry.render_prometheus();
-        format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
-        )
-    } else if path == "/trace" && trace.is_some() {
-        let body = trace.map(|t| t()).unwrap_or_default();
-        format!(
-            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
-        )
-    } else {
-        let body = "not found; try /metrics\n";
-        format!(
-            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-            body.len(),
-            body
-        )
-    };
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
+/// Outcome of the bounded request read.
+enum RequestLine {
+    Path(String),
+    /// Headers exceeded [`MAX_REQUEST_BYTES`] before terminating.
+    TooLarge,
+    /// Not parseable as `GET <path> ...`.
+    Garbage,
+    /// Peer vanished before sending a parseable request.
+    Gone,
 }
 
-/// Read up to the end of the request headers and return the GET path,
-/// or None for anything malformed / non-GET.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+fn serve_one(mut stream: TcpStream, routes: &Routes) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let deadline = Instant::now() + CONN_DEADLINE;
+    stream.set_write_timeout(Some(CONN_DEADLINE))?;
+    let request = read_request_path(&mut stream, deadline);
+    // An oversized request is rejected with the peer's unread bytes
+    // still in flight; closing right after the response would RST the
+    // socket and could destroy the response before the peer reads it.
+    // Half-close and drain (deadline-bounded) instead.
+    let drain = matches!(request, RequestLine::TooLarge);
+    let response = match request {
+        RequestLine::Gone => return Ok(()),
+        RequestLine::TooLarge => text_response("400 Bad Request", "request too large\n"),
+        RequestLine::Garbage => text_response("400 Bad Request", "malformed request\n"),
+        RequestLine::Path(path) => match path.as_str() {
+            "/metrics" | "/" => {
+                if let Some(p) = &routes.prepare {
+                    p();
+                }
+                routes.uptime.set(routes.started.elapsed().as_secs() as i64);
+                let body = routes.registry.render_prometheus();
+                response_with("200 OK", "text/plain; version=0.0.4; charset=utf-8", &body)
+            }
+            "/trace" if routes.trace.is_some() => {
+                let body = routes.trace.as_ref().map(|t| t()).unwrap_or_default();
+                response_with("200 OK", "application/json", &body)
+            }
+            "/healthz" => text_response("200 OK", "ok\n"),
+            "/readyz" if routes.health.is_some() => {
+                let status = routes.health.as_ref().map(|h| h()).expect("guarded");
+                let mut body = status.detail;
+                if !body.ends_with('\n') {
+                    body.push('\n');
+                }
+                if status.ready {
+                    text_response("200 OK", &body)
+                } else {
+                    text_response("503 Service Unavailable", &body)
+                }
+            }
+            _ => text_response("404 Not Found", "not found; try /metrics\n"),
+        },
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()?;
+    if drain {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = [0u8; 512];
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() || stream.set_read_timeout(Some(remaining)).is_err() {
+                break;
+            }
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+fn text_response(status: &str, body: &str) -> String {
+    response_with(status, "text/plain", body)
+}
+
+fn response_with(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )
+}
+
+/// Read up to the end of the request headers within `deadline` and
+/// classify the request line. Every read is bounded twice: the buffer
+/// never exceeds [`MAX_REQUEST_BYTES`], and each read's timeout is the
+/// *remaining* deadline budget — a one-byte-per-second trickler is cut
+/// off when the budget runs out, not per-read.
+fn read_request_path(stream: &mut TcpStream, deadline: Instant) -> RequestLine {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
     loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() || stream.set_read_timeout(Some(remaining)).is_err() {
+            break;
+        }
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return RequestLine::TooLarge;
+                }
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") {
                     break;
                 }
             }
             Err(_) => break,
         }
     }
+    if buf.is_empty() {
+        return RequestLine::Gone;
+    }
     let text = String::from_utf8_lossy(&buf);
-    let first = text.lines().next()?;
+    let Some(first) = text.lines().next() else {
+        return RequestLine::Garbage;
+    };
     let mut parts = first.split_whitespace();
-    let method = parts.next()?;
-    let path = parts.next()?;
-    if method != "GET" {
-        return None;
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return RequestLine::Garbage;
+    };
+    if method != "GET" || !path.starts_with('/') {
+        return RequestLine::Garbage;
     }
     // Strip any query string; scrapes sometimes append one.
-    Some(path.split('?').next().unwrap_or(path).to_string())
+    RequestLine::Path(path.split('?').next().unwrap_or(path).to_string())
 }
 
 #[cfg(test)]
@@ -192,6 +333,15 @@ mod tests {
     fn http_get(addr: SocketAddr, path: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();
         write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn raw_request(addr: SocketAddr, payload: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(payload).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         out
@@ -214,6 +364,25 @@ mod tests {
         // Without a trace callback, /trace is not a route.
         let no_trace = http_get(server.addr(), "/trace");
         assert!(no_trace.starts_with("HTTP/1.1 404"), "{no_trace}");
+        // Without a health callback, /readyz is not a route either.
+        let no_ready = http_get(server.addr(), "/readyz");
+        assert!(no_ready.starts_with("HTTP/1.1 404"), "{no_ready}");
+    }
+
+    #[test]
+    fn identity_gauges_and_uptime_are_served() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let server = MetricsHttpServer::bind("127.0.0.1:0", Arc::clone(&reg), None).unwrap();
+        let resp = http_get(server.addr(), "/metrics");
+        assert!(resp.contains("dbt_up 1"), "{resp}");
+        assert!(resp.contains("dbt_uptime_seconds"), "{resp}");
+        assert!(
+            resp.contains(&format!(
+                "dbt_build_info{{version=\"{}\"}} 1",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{resp}"
+        );
     }
 
     #[test]
@@ -226,6 +395,83 @@ mod tests {
         assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
         assert!(resp.contains("application/json"), "{resp}");
         assert!(resp.ends_with("{\"traceEvents\":[]}"), "{resp}");
+    }
+
+    #[test]
+    fn health_endpoints_reflect_the_callback() {
+        use std::sync::atomic::AtomicBool;
+        let reg = Arc::new(MetricsRegistry::new());
+        let ready = Arc::new(AtomicBool::new(true));
+        let health: HealthFn = {
+            let ready = Arc::clone(&ready);
+            Box::new(move || {
+                let r = ready.load(Ordering::SeqCst);
+                HealthStatus {
+                    ready: r,
+                    detail: if r {
+                        "ready".into()
+                    } else {
+                        "not ready: lag=9".into()
+                    },
+                }
+            })
+        };
+        let server =
+            MetricsHttpServer::bind_with_planes("127.0.0.1:0", reg, None, None, Some(health))
+                .unwrap();
+        // Liveness is unconditional.
+        let live = http_get(server.addr(), "/healthz");
+        assert!(live.starts_with("HTTP/1.1 200 OK"), "{live}");
+        assert!(live.ends_with("ok\n"), "{live}");
+        // Readiness follows the callback.
+        let ok = http_get(server.addr(), "/readyz");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.ends_with("ready\n"), "{ok}");
+        ready.store(false, Ordering::SeqCst);
+        let sad = http_get(server.addr(), "/readyz");
+        assert!(sad.starts_with("HTTP/1.1 503"), "{sad}");
+        assert!(sad.contains("not ready: lag=9"), "{sad}");
+    }
+
+    #[test]
+    fn oversized_and_garbage_requests_get_400s() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let server = MetricsHttpServer::bind("127.0.0.1:0", reg, None).unwrap();
+        // Headers larger than the bound: rejected, bounded read.
+        let huge = format!(
+            "GET /metrics HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(16384)
+        );
+        let resp = raw_request(server.addr(), huge.as_bytes());
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        assert!(resp.contains("request too large"), "{resp}");
+        // Not HTTP at all.
+        let resp = raw_request(server.addr(), b"\x00\x01\x02 binary junk\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        // Wrong method.
+        let resp = raw_request(server.addr(), b"POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        // The server still answers a well-formed scrape afterwards.
+        let ok = http_get(server.addr(), "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+    }
+
+    #[test]
+    fn a_stalled_connection_does_not_block_other_scrapes() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let server = MetricsHttpServer::bind("127.0.0.1:0", reg, None).unwrap();
+        // Open a connection and send nothing — under the old serial
+        // accept loop this held /metrics hostage for the read timeout.
+        let stalled = TcpStream::connect(server.addr()).unwrap();
+        let t0 = Instant::now();
+        let resp = http_get(server.addr(), "/metrics");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "scrape waited on a stalled peer: {:?}",
+            t0.elapsed()
+        );
+        drop(stalled);
     }
 
     #[test]

@@ -31,11 +31,15 @@
 
 mod histogram;
 mod http;
+mod log;
 mod slow;
 mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
-pub use http::{MetricsHttpServer, PrepareFn, TraceFn};
+pub use http::{HealthFn, HealthStatus, MetricsHttpServer, PrepareFn, TraceFn};
+pub use log::{
+    log, log_debug, log_error, log_info, log_level, log_warn, set_log_level, LogLevel, RateLimiter,
+};
 pub use slow::{SlowEvent, SlowEventRing, DEFAULT_SLOW_PAYLOAD_BYTES, DEFAULT_SLOW_RING_CAPACITY};
 pub use trace::{
     chrome_trace_json, TraceRecorder, TraceSpan, DEFAULT_TRACE_RING_CAPACITY, LAYER_DISPATCH,

@@ -1,0 +1,355 @@
+//! Leveled, structured (logfmt) logging with a bounded emission rate.
+//!
+//! The daemon and the net server used to print through bare
+//! `eprintln!` — no level to filter on, no structure to grep, and a
+//! connection-error storm could write to stderr as fast as peers could
+//! misbehave. This module replaces that with one process-global logger:
+//!
+//! * **Leveled** — `error`/`warn`/`info`/`debug`, filtered by a single
+//!   relaxed atomic load ([`set_log_level`], the daemon's
+//!   `--log-level`). A suppressed line costs the load and a branch.
+//! * **logfmt** — every line is `ts=... level=... target=... msg=...`
+//!   plus caller-supplied `key=value` fields; values with spaces or
+//!   quotes are quoted and escaped, so lines stay machine-parseable.
+//! * **Rate-bounded** — a token bucket caps emission at
+//!   [`MAX_LINES_PER_SEC`] lines/s (burst [`BURST_LINES`]). Beyond
+//!   that, lines are counted instead of written, and the next emitted
+//!   line carries a `suppressed=N` field — an error storm costs
+//!   counters, not stderr bandwidth.
+//!
+//! Output goes to stderr, one line per record, matching what operators
+//! already capture from the daemon.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Sustained emission bound of the global logger, lines per second.
+pub const MAX_LINES_PER_SEC: f64 = 100.0;
+/// Burst capacity of the token bucket (lines).
+pub const BURST_LINES: f64 = 200.0;
+
+/// Severity of a log record, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl LogLevel {
+    /// The lowercase logfmt label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+
+    /// Parse a CLI spelling (`error|warn|info|debug`, case-insensitive).
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            0 => LogLevel::Error,
+            1 => LogLevel::Warn,
+            3 => LogLevel::Debug,
+            _ => LogLevel::Info,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Set the process-global log level; records above it are dropped
+/// before any formatting.
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global log level.
+pub fn log_level() -> LogLevel {
+    LogLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Token-bucket limiter: `allow` spends one token when available and
+/// counts a suppression otherwise; refill is continuous at
+/// `rate` tokens/s up to `burst`. Time is passed in so tests can drive
+/// the clock.
+pub struct RateLimiter {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+    suppressed: u64,
+}
+
+impl RateLimiter {
+    /// A full bucket of `burst` tokens refilling at `rate`/s.
+    pub fn new(rate: f64, burst: f64, now: Instant) -> RateLimiter {
+        RateLimiter {
+            rate,
+            burst,
+            tokens: burst,
+            last: now,
+            suppressed: 0,
+        }
+    }
+
+    /// `Some(previously_suppressed)` when a token was available (the
+    /// caller should emit, noting the count if non-zero); `None` when
+    /// the line must be suppressed.
+    pub fn allow(&mut self, now: Instant) -> Option<u64> {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Some(std::mem::take(&mut self.suppressed))
+        } else {
+            self.suppressed += 1;
+            None
+        }
+    }
+}
+
+static LIMITER: Mutex<Option<RateLimiter>> = Mutex::new(None);
+
+/// Format one logfmt line (no trailing newline). `unix_nanos` is the
+/// wall-clock timestamp; `suppressed` (when non-zero) notes how many
+/// earlier lines the rate bound swallowed.
+pub fn format_line(
+    unix_nanos: u128,
+    level: LogLevel,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, &str)],
+    suppressed: u64,
+) -> String {
+    let mut out = String::with_capacity(96 + msg.len());
+    out.push_str("ts=");
+    push_rfc3339(&mut out, unix_nanos);
+    out.push_str(" level=");
+    out.push_str(level.label());
+    out.push_str(" target=");
+    push_value(&mut out, target);
+    out.push_str(" msg=");
+    push_value(&mut out, msg);
+    for (k, v) in fields {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        push_value(&mut out, v);
+    }
+    if suppressed > 0 {
+        let _ = write!(out, " suppressed={suppressed}");
+    }
+    out
+}
+
+/// Log one record through the global level filter and rate bound.
+pub fn log(level: LogLevel, target: &str, msg: &str, fields: &[(&str, &str)]) {
+    if level > log_level() {
+        return;
+    }
+    let suppressed = {
+        let mut limiter = LIMITER.lock().unwrap_or_else(|e| e.into_inner());
+        let now = Instant::now();
+        match limiter
+            .get_or_insert_with(|| RateLimiter::new(MAX_LINES_PER_SEC, BURST_LINES, now))
+            .allow(now)
+        {
+            Some(n) => n,
+            None => return,
+        }
+    };
+    let unix_nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let line = format_line(unix_nanos, level, target, msg, fields, suppressed);
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = writeln!(lock, "{line}");
+}
+
+/// [`log`] at [`LogLevel::Error`].
+pub fn log_error(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(LogLevel::Error, target, msg, fields);
+}
+
+/// [`log`] at [`LogLevel::Warn`].
+pub fn log_warn(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(LogLevel::Warn, target, msg, fields);
+}
+
+/// [`log`] at [`LogLevel::Info`].
+pub fn log_info(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(LogLevel::Info, target, msg, fields);
+}
+
+/// [`log`] at [`LogLevel::Debug`].
+pub fn log_debug(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(LogLevel::Debug, target, msg, fields);
+}
+
+/// A logfmt value: bare when it is plain, quoted-and-escaped otherwise.
+fn push_value(out: &mut String, v: &str) {
+    let plain = !v.is_empty()
+        && v.bytes()
+            .all(|b| b.is_ascii_graphic() && b != b'"' && b != b'=' && b != b'\\');
+    if plain {
+        out.push_str(v);
+        return;
+    }
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render a unix-epoch timestamp as RFC 3339 UTC with millisecond
+/// precision (`2026-08-08T12:34:56.789Z`), no external time crate.
+fn push_rfc3339(out: &mut String, unix_nanos: u128) {
+    let secs = (unix_nanos / 1_000_000_000) as i64;
+    let millis = (unix_nanos / 1_000_000 % 1_000) as u32;
+    let days = secs.div_euclid(86_400);
+    let tod = secs.rem_euclid(86_400);
+    let (h, m, s) = (tod / 3600, tod % 3600 / 60, tod % 60);
+    let (year, month, day) = civil_from_days(days);
+    let _ = write!(
+        out,
+        "{year:04}-{month:02}-{day:02}T{h:02}:{m:02}:{s:02}.{millis:03}Z"
+    );
+}
+
+/// Days-since-epoch to (year, month, day) in the proleptic Gregorian
+/// calendar (Howard Hinnant's `civil_from_days` algorithm).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Warn);
+        assert!(LogLevel::Warn < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+        assert_eq!(LogLevel::parse("WARN"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("warning"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("loud"), None);
+        for l in [
+            LogLevel::Error,
+            LogLevel::Warn,
+            LogLevel::Info,
+            LogLevel::Debug,
+        ] {
+            assert_eq!(LogLevel::from_u8(l as u8), l);
+        }
+    }
+
+    #[test]
+    fn format_is_logfmt_with_escaping() {
+        // 2021-01-02 03:04:05.678 UTC.
+        let ts = 1_609_556_645_678_000_000u128;
+        let line = format_line(
+            ts,
+            LogLevel::Warn,
+            "net",
+            "connection dropped: reset by peer",
+            &[("addr", "127.0.0.1:9000"), ("note", "say \"hi\"\n")],
+            3,
+        );
+        assert_eq!(
+            line,
+            "ts=2021-01-02T03:04:05.678Z level=warn target=net \
+             msg=\"connection dropped: reset by peer\" addr=127.0.0.1:9000 \
+             note=\"say \\\"hi\\\"\\n\" suppressed=3"
+        );
+        assert!(!line.contains('\n'), "escaped output stays single-line");
+    }
+
+    #[test]
+    fn plain_values_stay_bare_and_equals_forces_quotes() {
+        let line = format_line(0, LogLevel::Info, "daemon", "up", &[("k", "a=b")], 0);
+        assert_eq!(
+            line,
+            "ts=1970-01-01T00:00:00.000Z level=info target=daemon msg=up k=\"a=b\""
+        );
+    }
+
+    #[test]
+    fn civil_from_days_round_trips_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_782), (2024, 2, 29));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn rate_limiter_suppresses_beyond_burst_and_refills() {
+        let t0 = Instant::now();
+        let mut limiter = RateLimiter::new(10.0, 2.0, t0);
+        assert_eq!(limiter.allow(t0), Some(0));
+        assert_eq!(limiter.allow(t0), Some(0));
+        // Bucket empty: suppressed, counted.
+        assert_eq!(limiter.allow(t0), None);
+        assert_eq!(limiter.allow(t0), None);
+        // 0.5 s at 10/s refills 5 tokens (clamped to burst 2); the first
+        // emitted line reports the 2 suppressions.
+        let t1 = t0 + Duration::from_millis(500);
+        assert_eq!(limiter.allow(t1), Some(2));
+        assert_eq!(limiter.allow(t1), Some(0));
+        assert_eq!(limiter.allow(t1), None);
+    }
+
+    #[test]
+    fn global_filter_drops_below_level() {
+        // Only exercises the cheap filter path (no emission assertions —
+        // stderr is shared); the important property is no panic and the
+        // level round-trip.
+        let prev = log_level();
+        set_log_level(LogLevel::Error);
+        log_debug("test", "must be dropped by the level filter", &[]);
+        assert_eq!(log_level(), LogLevel::Error);
+        set_log_level(prev);
+    }
+}
